@@ -1,0 +1,21 @@
+/* Paper Listing 2: valid and invalid operations in pure functions.
+ * The purity linter flags exactly the two invalid lines:
+ *   ./build/examples/purity_lint assets/c/listing2_rules.c */
+int* globalPtr;
+
+void func1();
+pure int* func2(pure int* p1, int p2);
+
+pure int* func2(pure int* p1, int p2) {
+  int a = p2;
+  int b = a + 42;
+  int* c = (int*)malloc(3 * sizeof(int));
+  pure int* ptr = p1;
+  int* extPtr1 = globalPtr;          /* invalid */
+  pure int* extPtr2;
+  extPtr2 = (pure int*)globalPtr;
+  func1();                           /* invalid */
+  pure int* extPtr3;
+  extPtr3 = (pure int*)func2(p1, p2);
+  return c;
+}

@@ -1,0 +1,13 @@
+/* Paper Listing 5: the argument array is also the loop's write target.
+ * The chain rejects this (hard error) — §3.4. */
+pure int func(pure int* a, int idx) {
+  return a[idx - 1] + a[idx];
+}
+
+int main() {
+  int array[100];
+  for (int i = 1; i < 100; i++) {
+    array[i] = func(array, i);
+  }
+  return 0;
+}

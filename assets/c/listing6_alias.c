@@ -1,0 +1,15 @@
+/* Paper Listing 6: alias evasion of the Listing-5 rule. The checker
+ * compares names only, so this deliberately passes — the documented
+ * limitation of §3.4. */
+pure int func(pure int* a, int idx) {
+  return a[idx - 1] + a[idx];
+}
+
+int main() {
+  int array[100];
+  int* alias = array;
+  for (int i = 1; i < 100; i++) {
+    alias[i] = func(array, i);
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+/* Paper Listing 7: matrix-matrix multiplication with a pure dot product.
+ * Feed through: ./build/examples/quickstart assets/c/listing7_matmul.c */
+#include <stdio.h>
+#include <stdlib.h>
+
+float **A, **Bt, **C;
+
+pure float mult(float a, float b) {
+  return a * b;
+}
+
+pure float dot(pure float* a, pure float* b, int size) {
+  float res = 0.0f;
+  for (int i = 0; i < size; ++i)
+    res += mult(a[i], b[i]);
+  return res;
+}
+
+int main(int argc, char** argv) {
+  for (int i = 0; i < 4096; ++i)
+    for (int j = 0; j < 4096; ++j)
+      C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], 4096);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 8: execution time of the satellite image filter (AOD retrieval).
+//
+// Only the pure chain can parallelize this code (the filter function is
+// far beyond polyhedral analysis; §4.3.3) — hence no PluTo series.
+// Expected shape: good scaling everywhere; static scheduling suffers from
+// the late-scene imbalance; schedule(dynamic,1) (the paper's manual
+// adaptation) repairs it; the hand-tuned dynamic version leads.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/satellite.h"
+#include "bench_common.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using purec::apps::Compiler;
+using purec::apps::SatelliteConfig;
+using purec::apps::SatelliteVariant;
+using purec::apps::run_satellite;
+
+SatelliteConfig config() {
+  SatelliteConfig c;
+  if (purec::bench::full_scale()) {
+    c.width = 1354;   // MODIS granule cross-track width
+    c.height = 2030;  // along-track
+    c.bands = 8;
+  }
+  return c;
+}
+
+double run_variant(SatelliteVariant variant, int threads) {
+  purec::rt::ThreadPool pool(static_cast<std::size_t>(threads));
+  return run_satellite(variant, config(), pool).compute_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  {
+    purec::rt::ThreadPool pool(1);
+    std::printf("fig8: sequential baseline = %.3f s\n",
+                run_satellite(SatelliteVariant::Sequential, config(), pool)
+                    .compute_seconds);
+  }
+
+  purec::bench::register_series("fig8_satellite_exec", "auto_static",
+                                [](int t) {
+    return run_variant(SatelliteVariant::AutoStatic, t);
+  });
+  purec::bench::register_series("fig8_satellite_exec", "auto_dynamic",
+                                [](int t) {
+    return run_variant(SatelliteVariant::AutoDynamic, t);
+  });
+  purec::bench::register_series("fig8_satellite_exec", "hand_dynamic",
+                                [](int t) {
+    return run_variant(SatelliteVariant::HandDynamic, t);
+  });
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

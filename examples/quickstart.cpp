@@ -1,0 +1,99 @@
+// Quickstart: the paper's Fig. 1 as a live walkthrough. Feeds the
+// matrix-multiplication listing (Listing 7) through the full chain and
+// prints every stage's source text — ending with the compilable,
+// OpenMP-parallelized C of Listing 8.
+//
+//   $ ./quickstart            # walk the built-in matmul example
+//   $ ./quickstart file.c     # run the chain on your own file
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "transform/pure_chain.h"
+
+namespace {
+
+constexpr const char* kListing7 = R"(#include <stdio.h>
+#include <stdlib.h>
+
+float **A, **Bt, **C;
+
+pure float mult(float a, float b) {
+  return a * b;
+}
+
+pure float dot(pure float* a, pure float* b, int size) {
+  float res = 0.0f;
+  for (int i = 0; i < size; ++i)
+    res += mult(a[i], b[i]);
+  return res;
+}
+
+int main(int argc, char** argv) {
+  for (int i = 0; i < 4096; ++i)
+    for (int j = 0; j < 4096; ++j)
+      C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], 4096);
+  return 0;
+}
+)";
+
+void banner(const char* title) {
+  std::printf("\n======== %s ========\n", title);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source = kListing7;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = std::move(ss).str();
+  }
+
+  banner("input (pure C)");
+  std::fputs(source.c_str(), stdout);
+
+  purec::ChainOptions options;
+  options.mode = purec::TransformMode::PlutoSica;
+  purec::ChainArtifacts artifacts = purec::run_pure_chain(source, options);
+
+  if (!artifacts.ok) {
+    banner("chain stopped: diagnostics");
+    std::fputs(artifacts.diagnostics.format().c_str(), stdout);
+    return 1;
+  }
+
+  banner("after PC-PrePro (system includes stripped)");
+  std::fputs(artifacts.stripped.c_str(), stdout);
+
+  banner("after PC-CC (purity verified, scops marked)");
+  std::fputs(artifacts.marked.c_str(), stdout);
+
+  banner("after call substitution (tmpConst placeholders)");
+  std::fputs(artifacts.substituted.c_str(), stdout);
+
+  banner("after polycc (tiled + OpenMP, calls reinserted)");
+  std::fputs(artifacts.transformed.c_str(), stdout);
+
+  banner("final output (pure lowered, includes restored) — gcc-ready");
+  std::fputs(artifacts.final_source.c_str(), stdout);
+
+  banner("scop report");
+  for (const purec::ScopReport& r : artifacts.scops) {
+    std::printf(
+        "  %s:%u depth=%zu calls=%zu deps=%zu extracted=%d transformed=%d "
+        "parallel=%d tiled=%d%s%s\n",
+        r.function.c_str(), r.line, r.depth, r.substituted_calls,
+        r.dependences, r.extracted, r.transformed, r.parallelized, r.tiled,
+        r.failure_reason.empty() ? "" : " reason=",
+        r.failure_reason.c_str());
+  }
+  return 0;
+}

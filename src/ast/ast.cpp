@@ -1,0 +1,318 @@
+#include "ast/decl.h"
+#include "ast/expr.h"
+#include "ast/stmt.h"
+
+namespace purec {
+
+// ---------------------------------------------------------------------------
+// Operator spellings
+// ---------------------------------------------------------------------------
+
+std::string_view to_string(UnaryOp op) noexcept {
+  switch (op) {
+    case UnaryOp::Plus: return "+";
+    case UnaryOp::Minus: return "-";
+    case UnaryOp::Not: return "!";
+    case UnaryOp::BitNot: return "~";
+    case UnaryOp::Deref: return "*";
+    case UnaryOp::AddrOf: return "&";
+    case UnaryOp::PreInc: return "++";
+    case UnaryOp::PreDec: return "--";
+    case UnaryOp::PostInc: return "++";
+    case UnaryOp::PostDec: return "--";
+  }
+  return "?";
+}
+
+std::string_view to_string(BinaryOp op) noexcept {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Rem: return "%";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::BitAnd: return "&";
+    case BinaryOp::BitOr: return "|";
+    case BinaryOp::BitXor: return "^";
+    case BinaryOp::LogicalAnd: return "&&";
+    case BinaryOp::LogicalOr: return "||";
+    case BinaryOp::Less: return "<";
+    case BinaryOp::Greater: return ">";
+    case BinaryOp::LessEqual: return "<=";
+    case BinaryOp::GreaterEqual: return ">=";
+    case BinaryOp::Equal: return "==";
+    case BinaryOp::NotEqual: return "!=";
+    case BinaryOp::Comma: return ",";
+  }
+  return "?";
+}
+
+std::string_view to_string(AssignOp op) noexcept {
+  switch (op) {
+    case AssignOp::Assign: return "=";
+    case AssignOp::AddAssign: return "+=";
+    case AssignOp::SubAssign: return "-=";
+    case AssignOp::MulAssign: return "*=";
+    case AssignOp::DivAssign: return "/=";
+    case AssignOp::RemAssign: return "%=";
+    case AssignOp::ShlAssign: return "<<=";
+    case AssignOp::ShrAssign: return ">>=";
+    case AssignOp::AndAssign: return "&=";
+    case AssignOp::OrAssign: return "|=";
+    case AssignOp::XorAssign: return "^=";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Expr clones
+// ---------------------------------------------------------------------------
+
+namespace {
+[[nodiscard]] ExprPtr clone_or_null(const ExprPtr& e) {
+  return e ? e->clone() : nullptr;
+}
+[[nodiscard]] StmtPtr clone_or_null(const StmtPtr& s) {
+  return s ? s->clone() : nullptr;
+}
+template <typename T>
+T* with_loc(T* node, SourceLocation loc) {
+  node->loc = loc;
+  return node;
+}
+}  // namespace
+
+ExprPtr IntLiteralExpr::clone() const {
+  auto e = std::make_unique<IntLiteralExpr>(value, spelling);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr FloatLiteralExpr::clone() const {
+  auto e = std::make_unique<FloatLiteralExpr>(value, spelling);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr CharLiteralExpr::clone() const {
+  auto e = std::make_unique<CharLiteralExpr>(spelling);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr StringLiteralExpr::clone() const {
+  auto e = std::make_unique<StringLiteralExpr>(spelling);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr IdentExpr::clone() const {
+  auto e = std::make_unique<IdentExpr>(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr UnaryExpr::clone() const {
+  auto e = std::make_unique<UnaryExpr>(op, operand->clone());
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr BinaryExpr::clone() const {
+  auto e = std::make_unique<BinaryExpr>(op, lhs->clone(), rhs->clone());
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr AssignExpr::clone() const {
+  auto e = std::make_unique<AssignExpr>(op, lhs->clone(), rhs->clone());
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr ConditionalExpr::clone() const {
+  auto e = std::make_unique<ConditionalExpr>(cond->clone(), then_expr->clone(),
+                                             else_expr->clone());
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr CallExpr::clone() const {
+  std::vector<ExprPtr> cloned_args;
+  cloned_args.reserve(args.size());
+  for (const ExprPtr& a : args) cloned_args.push_back(a->clone());
+  auto e = std::make_unique<CallExpr>(callee->clone(), std::move(cloned_args));
+  e->loc = loc;
+  return e;
+}
+
+std::string CallExpr::callee_name() const {
+  if (const auto* ident = expr_cast<IdentExpr>(callee.get())) {
+    return ident->name;
+  }
+  return {};
+}
+
+ExprPtr IndexExpr::clone() const {
+  auto e = std::make_unique<IndexExpr>(base->clone(), index->clone());
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr MemberExpr::clone() const {
+  auto e = std::make_unique<MemberExpr>(base->clone(), member, is_arrow);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr CastExpr::clone() const {
+  auto e = std::make_unique<CastExpr>(target_type, operand->clone());
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr SizeofExpr::clone() const {
+  auto e = std::make_unique<SizeofExpr>(of_type, clone_or_null(operand));
+  e->loc = loc;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Stmt clones
+// ---------------------------------------------------------------------------
+
+StmtPtr CompoundStmt::clone() const {
+  auto s = std::make_unique<CompoundStmt>();
+  s->loc = loc;
+  s->stmts.reserve(stmts.size());
+  for (const StmtPtr& child : stmts) s->stmts.push_back(child->clone());
+  return s;
+}
+
+StmtPtr DeclStmt::clone() const {
+  auto s = std::make_unique<DeclStmt>();
+  s->loc = loc;
+  s->decls.reserve(decls.size());
+  for (const VarDecl& d : decls) s->decls.push_back(d.clone());
+  return s;
+}
+
+StmtPtr ExprStmt::clone() const {
+  auto s = std::make_unique<ExprStmt>(expr->clone());
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr IfStmt::clone() const {
+  auto s = std::make_unique<IfStmt>(cond->clone(), then_stmt->clone(),
+                                    clone_or_null(else_stmt));
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr ForStmt::clone() const {
+  auto s = std::make_unique<ForStmt>();
+  s->loc = loc;
+  s->init = clone_or_null(init);
+  s->cond = clone_or_null(cond);
+  s->inc = clone_or_null(inc);
+  s->body = clone_or_null(body);
+  return s;
+}
+
+StmtPtr WhileStmt::clone() const {
+  auto s = std::make_unique<WhileStmt>(cond->clone(), body->clone());
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr DoWhileStmt::clone() const {
+  auto s = std::make_unique<DoWhileStmt>(body->clone(), cond->clone());
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr ReturnStmt::clone() const {
+  auto s = std::make_unique<ReturnStmt>(clone_or_null(value));
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr BreakStmt::clone() const {
+  return StmtPtr(with_loc(new BreakStmt(), loc));
+}
+
+StmtPtr ContinueStmt::clone() const {
+  return StmtPtr(with_loc(new ContinueStmt(), loc));
+}
+
+StmtPtr NullStmt::clone() const {
+  return StmtPtr(with_loc(new NullStmt(), loc));
+}
+
+StmtPtr PragmaStmt::clone() const {
+  auto s = std::make_unique<PragmaStmt>(text);
+  s->loc = loc;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// TranslationUnit helpers
+// ---------------------------------------------------------------------------
+
+std::vector<FunctionDecl*> TranslationUnit::functions() {
+  std::vector<FunctionDecl*> out;
+  for (TopLevelItem& item : items) {
+    if (auto* fn = std::get_if<std::unique_ptr<FunctionDecl>>(&item.node)) {
+      out.push_back(fn->get());
+    }
+  }
+  return out;
+}
+
+std::vector<const FunctionDecl*> TranslationUnit::functions() const {
+  std::vector<const FunctionDecl*> out;
+  for (const TopLevelItem& item : items) {
+    if (const auto* fn =
+            std::get_if<std::unique_ptr<FunctionDecl>>(&item.node)) {
+      out.push_back(fn->get());
+    }
+  }
+  return out;
+}
+
+const FunctionDecl* TranslationUnit::find_function(
+    std::string_view name) const {
+  const FunctionDecl* prototype = nullptr;
+  for (const FunctionDecl* fn : functions()) {
+    if (fn->name != name) continue;
+    if (fn->is_definition()) return fn;
+    if (prototype == nullptr) prototype = fn;
+  }
+  return prototype;
+}
+
+FunctionDecl* TranslationUnit::find_function(std::string_view name) {
+  FunctionDecl* prototype = nullptr;
+  for (FunctionDecl* fn : functions()) {
+    if (fn->name != name) continue;
+    if (fn->is_definition()) return fn;
+    if (prototype == nullptr) prototype = fn;
+  }
+  return prototype;
+}
+
+std::vector<const GlobalVarDecl*> TranslationUnit::globals() const {
+  std::vector<const GlobalVarDecl*> out;
+  for (const TopLevelItem& item : items) {
+    if (const auto* g =
+            std::get_if<std::unique_ptr<GlobalVarDecl>>(&item.node)) {
+      out.push_back(g->get());
+    }
+  }
+  return out;
+}
+
+}  // namespace purec

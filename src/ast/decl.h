@@ -1,0 +1,93 @@
+// Top-level declarations and the translation unit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ast/stmt.h"
+#include "ast/type.h"
+
+namespace purec {
+
+struct ParamDecl {
+  std::string name;  // may be empty in prototypes
+  TypePtr type;
+  SourceLocation loc;
+};
+
+/// Function declaration or definition. `is_pure` is the paper's keyword on
+/// the function itself; parameter-level `pure` lives in each param's type.
+class FunctionDecl {
+ public:
+  std::string name;
+  TypePtr return_type;
+  bool returns_pure_pointer = false;  // `pure int* f(...)`
+  bool is_pure = false;
+  bool is_static = false;
+  bool is_variadic = false;
+  /// Set by the chain when the lowered output should carry GCC's
+  /// `__attribute__((pure))` (verified pure AND allocation-free, so the
+  /// attribute's contract holds). See ChainOptions::emit_gcc_attributes.
+  bool annotate_gcc_pure = false;
+  std::vector<ParamDecl> params;
+  std::unique_ptr<CompoundStmt> body;  // null for prototypes
+  SourceLocation loc;
+
+  [[nodiscard]] bool is_definition() const noexcept { return body != nullptr; }
+};
+
+struct StructField {
+  std::string name;
+  TypePtr type;
+};
+
+class StructDecl {
+ public:
+  std::string tag;
+  std::vector<StructField> fields;
+  bool is_definition = false;
+  SourceLocation loc;
+};
+
+class TypedefDecl {
+ public:
+  std::string name;
+  TypePtr underlying;
+  SourceLocation loc;
+};
+
+/// A file-scope variable (possibly several from one declaration statement).
+class GlobalVarDecl {
+ public:
+  VarDecl var;
+  bool is_static = false;
+  bool is_extern = false;
+};
+
+/// One item at file scope, in source order. HashLine carries pragmas and
+/// preprocessor remnants verbatim (the chain re-emits them in place).
+struct TopLevelItem {
+  std::variant<std::unique_ptr<FunctionDecl>, std::unique_ptr<GlobalVarDecl>,
+               std::unique_ptr<StructDecl>, std::unique_ptr<TypedefDecl>,
+               std::string /* HashLine text */>
+      node;
+};
+
+class TranslationUnit {
+ public:
+  std::vector<TopLevelItem> items;
+  std::string source_name;
+
+  /// All function declarations/definitions in source order.
+  [[nodiscard]] std::vector<FunctionDecl*> functions();
+  [[nodiscard]] std::vector<const FunctionDecl*> functions() const;
+  /// Definition of `name` if present, else the first prototype, else null.
+  [[nodiscard]] const FunctionDecl* find_function(std::string_view name) const;
+  [[nodiscard]] FunctionDecl* find_function(std::string_view name);
+  /// All file-scope variables.
+  [[nodiscard]] std::vector<const GlobalVarDecl*> globals() const;
+};
+
+}  // namespace purec

@@ -1,0 +1,286 @@
+// Expression nodes. Ownership is strict parent-owns-child via unique_ptr;
+// passes navigate with kind switches (LLVM style) or the walk helpers in
+// ast/walk.h.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/type.h"
+#include "support/source_location.h"
+
+namespace purec {
+
+enum class ExprKind : std::uint8_t {
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+  Ident,
+  Unary,
+  Binary,
+  Assign,
+  Conditional,
+  Call,
+  Index,
+  Member,
+  Cast,
+  Sizeof,
+};
+
+enum class UnaryOp : std::uint8_t {
+  Plus, Minus, Not, BitNot, Deref, AddrOf, PreInc, PreDec, PostInc, PostDec,
+};
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Shl, Shr, BitAnd, BitOr, BitXor,
+  LogicalAnd, LogicalOr,
+  Less, Greater, LessEqual, GreaterEqual, Equal, NotEqual,
+  Comma,
+};
+
+enum class AssignOp : std::uint8_t {
+  Assign, AddAssign, SubAssign, MulAssign, DivAssign, RemAssign,
+  ShlAssign, ShrAssign, AndAssign, OrAssign, XorAssign,
+};
+
+[[nodiscard]] std::string_view to_string(UnaryOp op) noexcept;
+[[nodiscard]] std::string_view to_string(BinaryOp op) noexcept;
+[[nodiscard]] std::string_view to_string(AssignOp op) noexcept;
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  [[nodiscard]] ExprKind kind() const noexcept { return kind_; }
+  [[nodiscard]] virtual ExprPtr clone() const = 0;
+
+  SourceLocation loc;
+
+ private:
+  ExprKind kind_;
+};
+
+class IntLiteralExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::IntLiteral;
+  }
+  explicit IntLiteralExpr(std::int64_t value, std::string spelling = {})
+      : Expr(static_kind()), value(value), spelling(std::move(spelling)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  std::int64_t value;
+  std::string spelling;  // original text ("0x10", "3u") if it matters
+};
+
+class FloatLiteralExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::FloatLiteral;
+  }
+  explicit FloatLiteralExpr(double value, std::string spelling = {})
+      : Expr(static_kind()), value(value), spelling(std::move(spelling)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  double value;
+  std::string spelling;
+};
+
+class CharLiteralExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::CharLiteral;
+  }
+  explicit CharLiteralExpr(std::string spelling)
+      : Expr(static_kind()), spelling(std::move(spelling)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  std::string spelling;  // includes the quotes
+};
+
+class StringLiteralExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::StringLiteral;
+  }
+  explicit StringLiteralExpr(std::string spelling)
+      : Expr(static_kind()), spelling(std::move(spelling)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  std::string spelling;  // includes the quotes
+};
+
+class IdentExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::Ident;
+  }
+  explicit IdentExpr(std::string name)
+      : Expr(static_kind()), name(std::move(name)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  std::string name;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::Unary;
+  }
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(static_kind()), op(op), operand(std::move(operand)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::Binary;
+  }
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(static_kind()), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+class AssignExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::Assign;
+  }
+  AssignExpr(AssignOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(static_kind()), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  AssignOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+class ConditionalExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::Conditional;
+  }
+  ConditionalExpr(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr)
+      : Expr(static_kind()),
+        cond(std::move(cond)),
+        then_expr(std::move(then_expr)),
+        else_expr(std::move(else_expr)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  ExprPtr cond;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+};
+
+class CallExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::Call;
+  }
+  CallExpr(ExprPtr callee, std::vector<ExprPtr> args)
+      : Expr(static_kind()), callee(std::move(callee)), args(std::move(args)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  /// Callee name when the callee is a plain identifier (the usual case in
+  /// this dialect); empty otherwise.
+  [[nodiscard]] std::string callee_name() const;
+
+  ExprPtr callee;
+  std::vector<ExprPtr> args;
+};
+
+class IndexExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::Index;
+  }
+  IndexExpr(ExprPtr base, ExprPtr index)
+      : Expr(static_kind()), base(std::move(base)), index(std::move(index)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  ExprPtr base;
+  ExprPtr index;
+};
+
+class MemberExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::Member;
+  }
+  MemberExpr(ExprPtr base, std::string member, bool is_arrow)
+      : Expr(static_kind()),
+        base(std::move(base)),
+        member(std::move(member)),
+        is_arrow(is_arrow) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  ExprPtr base;
+  std::string member;
+  bool is_arrow;
+};
+
+class CastExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::Cast;
+  }
+  CastExpr(TypePtr target_type, ExprPtr operand)
+      : Expr(static_kind()),
+        target_type(std::move(target_type)),
+        operand(std::move(operand)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  TypePtr target_type;
+  ExprPtr operand;
+};
+
+class SizeofExpr final : public Expr {
+ public:
+  [[nodiscard]] static constexpr ExprKind static_kind() noexcept {
+    return ExprKind::Sizeof;
+  }
+  /// sizeof(type) form has a type and null operand; `sizeof expr` is the
+  /// reverse.
+  SizeofExpr(TypePtr of_type, ExprPtr operand)
+      : Expr(static_kind()),
+        of_type(std::move(of_type)),
+        operand(std::move(operand)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  TypePtr of_type;
+  ExprPtr operand;
+};
+
+/// Downcast helper: `auto* call = expr_cast<CallExpr>(e);` — nullptr when
+/// the kind does not match.
+template <typename T>
+[[nodiscard]] T* expr_cast(Expr* e) noexcept {
+  return (e != nullptr && e->kind() == T::static_kind()) ? static_cast<T*>(e)
+                                                         : nullptr;
+}
+template <typename T>
+[[nodiscard]] const T* expr_cast(const Expr* e) noexcept {
+  return (e != nullptr && e->kind() == T::static_kind())
+             ? static_cast<const T*>(e)
+             : nullptr;
+}
+
+}  // namespace purec

@@ -1,0 +1,219 @@
+// Statement and declaration nodes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/expr.h"
+#include "ast/type.h"
+#include "support/source_location.h"
+
+namespace purec {
+
+enum class StmtKind : std::uint8_t {
+  Compound,
+  Decl,
+  Expr,
+  If,
+  For,
+  While,
+  DoWhile,
+  Return,
+  Break,
+  Continue,
+  Null,
+  Pragma,
+};
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class Stmt {
+ public:
+  explicit Stmt(StmtKind kind) : kind_(kind) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] StmtKind kind() const noexcept { return kind_; }
+  [[nodiscard]] virtual StmtPtr clone() const = 0;
+
+  SourceLocation loc;
+
+ private:
+  StmtKind kind_;
+};
+
+/// One declared variable. Multi-declarator statements
+/// (`int a = 1, *b;`) expand into one VarDecl per declarator.
+struct VarDecl {
+  std::string name;
+  TypePtr type;
+  ExprPtr init;  // may be null
+  SourceLocation loc;
+
+  [[nodiscard]] VarDecl clone() const {
+    return VarDecl{name, type, init ? init->clone() : nullptr, loc};
+  }
+};
+
+class CompoundStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::Compound;
+  }
+  CompoundStmt() : Stmt(static_kind()) {}
+  explicit CompoundStmt(std::vector<StmtPtr> stmts)
+      : Stmt(static_kind()), stmts(std::move(stmts)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  std::vector<StmtPtr> stmts;
+};
+
+class DeclStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::Decl;
+  }
+  DeclStmt() : Stmt(static_kind()) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  std::vector<VarDecl> decls;
+};
+
+class ExprStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::Expr;
+  }
+  explicit ExprStmt(ExprPtr expr) : Stmt(static_kind()), expr(std::move(expr)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr expr;
+};
+
+class IfStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::If;
+  }
+  IfStmt(ExprPtr cond, StmtPtr then_stmt, StmtPtr else_stmt)
+      : Stmt(static_kind()),
+        cond(std::move(cond)),
+        then_stmt(std::move(then_stmt)),
+        else_stmt(std::move(else_stmt)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr cond;
+  StmtPtr then_stmt;
+  StmtPtr else_stmt;  // may be null
+};
+
+class ForStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::For;
+  }
+  ForStmt() : Stmt(static_kind()) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  StmtPtr init;   // DeclStmt, ExprStmt or NullStmt
+  ExprPtr cond;   // may be null
+  ExprPtr inc;    // may be null
+  StmtPtr body;
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::While;
+  }
+  WhileStmt(ExprPtr cond, StmtPtr body)
+      : Stmt(static_kind()), cond(std::move(cond)), body(std::move(body)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+class DoWhileStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::DoWhile;
+  }
+  DoWhileStmt(StmtPtr body, ExprPtr cond)
+      : Stmt(static_kind()), body(std::move(body)), cond(std::move(cond)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  StmtPtr body;
+  ExprPtr cond;
+};
+
+class ReturnStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::Return;
+  }
+  explicit ReturnStmt(ExprPtr value)
+      : Stmt(static_kind()), value(std::move(value)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr value;  // may be null
+};
+
+class BreakStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::Break;
+  }
+  BreakStmt() : Stmt(static_kind()) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+class ContinueStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::Continue;
+  }
+  ContinueStmt() : Stmt(static_kind()) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+class NullStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::Null;
+  }
+  NullStmt() : Stmt(static_kind()) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+/// A preprocessor/pragma line carried through the chain verbatim
+/// (`#pragma scop`, `#pragma omp parallel for ...`, ...).
+class PragmaStmt final : public Stmt {
+ public:
+  [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
+    return StmtKind::Pragma;
+  }
+  explicit PragmaStmt(std::string text)
+      : Stmt(static_kind()), text(std::move(text)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  std::string text;  // full line including the leading '#'
+};
+
+template <typename T>
+[[nodiscard]] T* stmt_cast(Stmt* s) noexcept {
+  return (s != nullptr && s->kind() == T::static_kind()) ? static_cast<T*>(s)
+                                                         : nullptr;
+}
+template <typename T>
+[[nodiscard]] const T* stmt_cast(const Stmt* s) noexcept {
+  return (s != nullptr && s->kind() == T::static_kind())
+             ? static_cast<const T*>(s)
+             : nullptr;
+}
+
+}  // namespace purec

@@ -1,0 +1,40 @@
+// Generic pre-order traversal helpers used by every analysis pass. The
+// mutating "slot" variants hand out the owning ExprPtr so a pass can replace
+// a subtree in place (the chain's pure-call substitution needs exactly that).
+#pragma once
+
+#include <functional>
+
+#include "ast/decl.h"
+#include "ast/expr.h"
+#include "ast/stmt.h"
+
+namespace purec {
+
+/// Visits `e` and all sub-expressions, pre-order.
+void for_each_expr(const Expr& e, const std::function<void(const Expr&)>& fn);
+void for_each_expr(Expr& e, const std::function<void(Expr&)>& fn);
+
+/// Visits all expressions reachable from `s` (conditions, initializers,
+/// increments, ...), pre-order within each expression tree.
+void for_each_expr(const Stmt& s, const std::function<void(const Expr&)>& fn);
+void for_each_expr(Stmt& s, const std::function<void(Expr&)>& fn);
+
+/// Visits `s` and all sub-statements, pre-order.
+void for_each_stmt(const Stmt& s, const std::function<void(const Stmt&)>& fn);
+void for_each_stmt(Stmt& s, const std::function<void(Stmt&)>& fn);
+
+/// Mutating traversal over every owning expression slot under `s`.
+/// The callback may replace the pointed-to expression; returning `true`
+/// means "do not descend into this slot's (possibly new) children".
+using ExprSlotFn = std::function<bool(ExprPtr&)>;
+void for_each_expr_slot(Stmt& s, const ExprSlotFn& fn);
+void for_each_expr_slot(ExprPtr& e, const ExprSlotFn& fn);
+
+/// Mutating traversal over every owning statement slot under `root`
+/// (including slots inside compound statements). The callback may replace
+/// the statement; returning `true` stops descent into that slot.
+using StmtSlotFn = std::function<bool(StmtPtr&)>;
+void for_each_stmt_slot(StmtPtr& root, const StmtSlotFn& fn);
+
+}  // namespace purec

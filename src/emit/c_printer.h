@@ -1,0 +1,38 @@
+// AST -> C source pretty-printer. Two modes:
+//   Keep  — prints the `pure` keyword as-is (the chain's intermediate files).
+//   Lower — the paper's final rewrite (§3.2): pointer-level `pure` becomes
+//           `const` on the pointee, function-level `pure` is dropped, so the
+//           result compiles with a stock GCC.
+#pragma once
+
+#include <string>
+
+#include "ast/decl.h"
+
+namespace purec {
+
+enum class PureHandling { Keep, Lower };
+
+struct PrintOptions {
+  PureHandling pure_handling = PureHandling::Keep;
+  int indent_width = 2;
+};
+
+/// Renders a full translation unit (including carried-through pragma and
+/// preprocessor lines, in their original order).
+[[nodiscard]] std::string print_c(const TranslationUnit& tu,
+                                  const PrintOptions& options = {});
+
+/// Renders a single statement / expression (tests, debugging).
+[[nodiscard]] std::string print_c(const Stmt& stmt,
+                                  const PrintOptions& options = {});
+[[nodiscard]] std::string print_c(const Expr& expr,
+                                  const PrintOptions& options = {});
+
+/// Renders "type name" as a C declaration fragment, e.g.
+/// ("float**", "A") -> "float** A", (array) -> "int A[100]".
+[[nodiscard]] std::string format_declaration(const TypePtr& type,
+                                             const std::string& name,
+                                             PureHandling pure_handling);
+
+}  // namespace purec

@@ -1,0 +1,299 @@
+#include "lexer/lexer.h"
+
+#include <cctype>
+
+namespace purec {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] bool is_ident_continue(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] bool is_digit(char c) noexcept {
+  return c >= '0' && c <= '9';
+}
+
+[[nodiscard]] bool is_hex_digit(char c) noexcept {
+  return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+}  // namespace
+
+Lexer::Lexer(const SourceBuffer& buffer, DiagnosticEngine& diags)
+    : buffer_(buffer), diags_(diags), text_(buffer.text()) {}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token t = next();
+    const bool done = t.is(TokenKind::EndOfFile);
+    tokens.push_back(t);
+    if (done) break;
+  }
+  return tokens;
+}
+
+char Lexer::peek(std::size_t ahead) const noexcept {
+  const std::size_t i = pos_ + ahead;
+  return i < text_.size() ? text_[i] : '\0';
+}
+
+char Lexer::advance() noexcept {
+  return pos_ < text_.size() ? text_[pos_++] : '\0';
+}
+
+void Lexer::skip_whitespace_and_comments() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+        c == '\f') {
+      ++pos_;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') ++pos_;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const std::uint32_t begin = pos_;
+      pos_ += 2;
+      bool closed = false;
+      while (!at_end()) {
+        if (peek() == '*' && peek(1) == '/') {
+          pos_ += 2;
+          closed = true;
+          break;
+        }
+        ++pos_;
+      }
+      if (!closed) {
+        diags_.error(buffer_.location_for_offset(begin), "lexer",
+                     "unterminated block comment");
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::make_token(TokenKind kind, std::uint32_t begin) const {
+  Token t;
+  t.kind = kind;
+  t.text = text_.substr(begin, pos_ - begin);
+  t.range = SourceRange{buffer_.location_for_offset(begin),
+                        buffer_.location_for_offset(pos_)};
+  return t;
+}
+
+Token Lexer::next() {
+  skip_whitespace_and_comments();
+  const std::uint32_t begin = pos_;
+  if (at_end()) return make_token(TokenKind::EndOfFile, begin);
+
+  const char c = peek();
+  if (is_ident_start(c)) return lex_identifier_or_keyword(begin);
+  if (is_digit(c) || (c == '.' && is_digit(peek(1)))) return lex_number(begin);
+  if (c == '\'') return lex_char_literal(begin);
+  if (c == '"') return lex_string_literal(begin);
+  if (c == '#') return lex_hash_line(begin);
+  return lex_punctuation(begin);
+}
+
+Token Lexer::lex_identifier_or_keyword(std::uint32_t begin) {
+  while (!at_end() && is_ident_continue(peek())) ++pos_;
+  Token t = make_token(TokenKind::Identifier, begin);
+  t.kind = keyword_kind(t.text);
+  return t;
+}
+
+Token Lexer::lex_number(std::uint32_t begin) {
+  bool is_float = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    pos_ += 2;
+    while (!at_end() && is_hex_digit(peek())) ++pos_;
+  } else {
+    while (!at_end() && is_digit(peek())) ++pos_;
+    if (peek() == '.') {
+      is_float = true;
+      ++pos_;
+      while (!at_end() && is_digit(peek())) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char after = peek(1);
+      std::size_t skip = 1;
+      if (after == '+' || after == '-') {
+        after = peek(2);
+        skip = 2;
+      }
+      if (is_digit(after)) {
+        is_float = true;
+        pos_ += skip;
+        while (!at_end() && is_digit(peek())) ++pos_;
+      }
+    }
+  }
+  // Suffixes: f/F/l/L for floats, u/U/l/L (incl. ll) for integers.
+  if (is_float) {
+    if (peek() == 'f' || peek() == 'F' || peek() == 'l' || peek() == 'L') {
+      ++pos_;
+    }
+  } else {
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
+      ++pos_;
+    }
+    if (peek() == 'f' || peek() == 'F') {  // e.g. "1f" is not valid C, flag it
+      diags_.error(buffer_.location_for_offset(pos_), "lexer",
+                   "invalid 'f' suffix on integer literal");
+      ++pos_;
+    }
+  }
+  return make_token(is_float ? TokenKind::FloatLiteral
+                             : TokenKind::IntegerLiteral,
+                    begin);
+}
+
+Token Lexer::lex_char_literal(std::uint32_t begin) {
+  ++pos_;  // opening quote
+  bool closed = false;
+  while (!at_end()) {
+    const char c = advance();
+    if (c == '\\' && !at_end()) {
+      ++pos_;  // skip escaped char
+      continue;
+    }
+    if (c == '\'') {
+      closed = true;
+      break;
+    }
+    if (c == '\n') break;
+  }
+  if (!closed) {
+    diags_.error(buffer_.location_for_offset(begin), "lexer",
+                 "unterminated character literal");
+    return make_token(TokenKind::Invalid, begin);
+  }
+  return make_token(TokenKind::CharLiteral, begin);
+}
+
+Token Lexer::lex_string_literal(std::uint32_t begin) {
+  ++pos_;  // opening quote
+  bool closed = false;
+  while (!at_end()) {
+    const char c = advance();
+    if (c == '\\' && !at_end()) {
+      ++pos_;
+      continue;
+    }
+    if (c == '"') {
+      closed = true;
+      break;
+    }
+    if (c == '\n') break;
+  }
+  if (!closed) {
+    diags_.error(buffer_.location_for_offset(begin), "lexer",
+                 "unterminated string literal");
+    return make_token(TokenKind::Invalid, begin);
+  }
+  return make_token(TokenKind::StringLiteral, begin);
+}
+
+Token Lexer::lex_hash_line(std::uint32_t begin) {
+  // Consume to end of line, honoring backslash-newline continuations.
+  while (!at_end()) {
+    if (peek() == '\\' && peek(1) == '\n') {
+      pos_ += 2;
+      continue;
+    }
+    if (peek() == '\n') break;
+    ++pos_;
+  }
+  return make_token(TokenKind::HashLine, begin);
+}
+
+Token Lexer::lex_punctuation(std::uint32_t begin) {
+  const char c = advance();
+  const auto two = [&](char second, TokenKind paired, TokenKind single) {
+    if (peek() == second) {
+      ++pos_;
+      return paired;
+    }
+    return single;
+  };
+
+  switch (c) {
+    case '(': return make_token(TokenKind::LParen, begin);
+    case ')': return make_token(TokenKind::RParen, begin);
+    case '{': return make_token(TokenKind::LBrace, begin);
+    case '}': return make_token(TokenKind::RBrace, begin);
+    case '[': return make_token(TokenKind::LBracket, begin);
+    case ']': return make_token(TokenKind::RBracket, begin);
+    case ';': return make_token(TokenKind::Semicolon, begin);
+    case ',': return make_token(TokenKind::Comma, begin);
+    case '~': return make_token(TokenKind::Tilde, begin);
+    case '?': return make_token(TokenKind::Question, begin);
+    case ':': return make_token(TokenKind::Colon, begin);
+    case '.':
+      if (peek() == '.' && peek(1) == '.') {
+        pos_ += 2;
+        return make_token(TokenKind::Ellipsis, begin);
+      }
+      return make_token(TokenKind::Dot, begin);
+    case '+':
+      if (peek() == '+') { ++pos_; return make_token(TokenKind::PlusPlus, begin); }
+      return make_token(two('=', TokenKind::PlusEqual, TokenKind::Plus), begin);
+    case '-':
+      if (peek() == '-') { ++pos_; return make_token(TokenKind::MinusMinus, begin); }
+      if (peek() == '>') { ++pos_; return make_token(TokenKind::Arrow, begin); }
+      return make_token(two('=', TokenKind::MinusEqual, TokenKind::Minus), begin);
+    case '*':
+      return make_token(two('=', TokenKind::StarEqual, TokenKind::Star), begin);
+    case '/':
+      return make_token(two('=', TokenKind::SlashEqual, TokenKind::Slash), begin);
+    case '%':
+      return make_token(two('=', TokenKind::PercentEqual, TokenKind::Percent), begin);
+    case '&':
+      if (peek() == '&') { ++pos_; return make_token(TokenKind::AmpAmp, begin); }
+      return make_token(two('=', TokenKind::AmpEqual, TokenKind::Amp), begin);
+    case '|':
+      if (peek() == '|') { ++pos_; return make_token(TokenKind::PipePipe, begin); }
+      return make_token(two('=', TokenKind::PipeEqual, TokenKind::Pipe), begin);
+    case '^':
+      return make_token(two('=', TokenKind::CaretEqual, TokenKind::Caret), begin);
+    case '!':
+      return make_token(two('=', TokenKind::ExclaimEqual, TokenKind::Exclaim), begin);
+    case '=':
+      return make_token(two('=', TokenKind::EqualEqual, TokenKind::Equal), begin);
+    case '<':
+      if (peek() == '<') {
+        ++pos_;
+        return make_token(
+            two('=', TokenKind::LessLessEqual, TokenKind::LessLess), begin);
+      }
+      return make_token(two('=', TokenKind::LessEqual, TokenKind::Less), begin);
+    case '>':
+      if (peek() == '>') {
+        ++pos_;
+        return make_token(
+            two('=', TokenKind::GreaterGreaterEqual, TokenKind::GreaterGreater),
+            begin);
+      }
+      return make_token(two('=', TokenKind::GreaterEqual, TokenKind::Greater),
+                        begin);
+    default:
+      diags_.error(buffer_.location_for_offset(begin), "lexer",
+                   std::string("invalid character '") + c + "'");
+      return make_token(TokenKind::Invalid, begin);
+  }
+}
+
+std::vector<Token> lex(const SourceBuffer& buffer, DiagnosticEngine& diags) {
+  return Lexer(buffer, diags).lex_all();
+}
+
+}  // namespace purec

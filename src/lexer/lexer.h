@@ -1,0 +1,51 @@
+// Hand-written lexer for the purec C dialect. Stands in for the AntLR
+// C11 lexer in the paper's chain.
+#pragma once
+
+#include <vector>
+
+#include "lexer/token.h"
+#include "support/diagnostics.h"
+#include "support/source_buffer.h"
+
+namespace purec {
+
+/// Tokenizes a SourceBuffer. Comments and whitespace are skipped;
+/// preprocessor lines (`#...` to end of line, honoring line continuations)
+/// become single HashLine tokens so later passes can carry pragmas through
+/// unchanged. Invalid characters produce diagnostics plus Invalid tokens,
+/// and lexing continues, so one bad byte doesn't hide later errors.
+class Lexer {
+ public:
+  Lexer(const SourceBuffer& buffer, DiagnosticEngine& diags);
+
+  /// Lexes the entire buffer. The returned vector always ends with an
+  /// EndOfFile token.
+  [[nodiscard]] std::vector<Token> lex_all();
+
+ private:
+  [[nodiscard]] Token next();
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept;
+  char advance() noexcept;
+  void skip_whitespace_and_comments();
+
+  [[nodiscard]] Token make_token(TokenKind kind, std::uint32_t begin) const;
+  [[nodiscard]] Token lex_identifier_or_keyword(std::uint32_t begin);
+  [[nodiscard]] Token lex_number(std::uint32_t begin);
+  [[nodiscard]] Token lex_char_literal(std::uint32_t begin);
+  [[nodiscard]] Token lex_string_literal(std::uint32_t begin);
+  [[nodiscard]] Token lex_hash_line(std::uint32_t begin);
+  [[nodiscard]] Token lex_punctuation(std::uint32_t begin);
+
+  const SourceBuffer& buffer_;
+  DiagnosticEngine& diags_;
+  std::string_view text_;
+  std::uint32_t pos_ = 0;
+};
+
+/// Convenience wrapper used everywhere in tests.
+[[nodiscard]] std::vector<Token> lex(const SourceBuffer& buffer,
+                                     DiagnosticEngine& diags);
+
+}  // namespace purec

@@ -1,0 +1,147 @@
+#include "lexer/token.h"
+
+#include <unordered_map>
+
+namespace purec {
+
+std::string_view to_string(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::EndOfFile: return "<eof>";
+    case TokenKind::Invalid: return "<invalid>";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntegerLiteral: return "integer literal";
+    case TokenKind::FloatLiteral: return "float literal";
+    case TokenKind::CharLiteral: return "char literal";
+    case TokenKind::StringLiteral: return "string literal";
+    case TokenKind::KwAuto: return "auto";
+    case TokenKind::KwBreak: return "break";
+    case TokenKind::KwCase: return "case";
+    case TokenKind::KwChar: return "char";
+    case TokenKind::KwConst: return "const";
+    case TokenKind::KwContinue: return "continue";
+    case TokenKind::KwDefault: return "default";
+    case TokenKind::KwDo: return "do";
+    case TokenKind::KwDouble: return "double";
+    case TokenKind::KwElse: return "else";
+    case TokenKind::KwEnum: return "enum";
+    case TokenKind::KwExtern: return "extern";
+    case TokenKind::KwFloat: return "float";
+    case TokenKind::KwFor: return "for";
+    case TokenKind::KwGoto: return "goto";
+    case TokenKind::KwIf: return "if";
+    case TokenKind::KwInline: return "inline";
+    case TokenKind::KwInt: return "int";
+    case TokenKind::KwLong: return "long";
+    case TokenKind::KwRegister: return "register";
+    case TokenKind::KwRestrict: return "restrict";
+    case TokenKind::KwReturn: return "return";
+    case TokenKind::KwShort: return "short";
+    case TokenKind::KwSigned: return "signed";
+    case TokenKind::KwSizeof: return "sizeof";
+    case TokenKind::KwStatic: return "static";
+    case TokenKind::KwStruct: return "struct";
+    case TokenKind::KwSwitch: return "switch";
+    case TokenKind::KwTypedef: return "typedef";
+    case TokenKind::KwUnion: return "union";
+    case TokenKind::KwUnsigned: return "unsigned";
+    case TokenKind::KwVoid: return "void";
+    case TokenKind::KwVolatile: return "volatile";
+    case TokenKind::KwWhile: return "while";
+    case TokenKind::KwPure: return "pure";
+    case TokenKind::LParen: return "(";
+    case TokenKind::RParen: return ")";
+    case TokenKind::LBrace: return "{";
+    case TokenKind::RBrace: return "}";
+    case TokenKind::LBracket: return "[";
+    case TokenKind::RBracket: return "]";
+    case TokenKind::Semicolon: return ";";
+    case TokenKind::Comma: return ",";
+    case TokenKind::Dot: return ".";
+    case TokenKind::Arrow: return "->";
+    case TokenKind::Ellipsis: return "...";
+    case TokenKind::Plus: return "+";
+    case TokenKind::Minus: return "-";
+    case TokenKind::Star: return "*";
+    case TokenKind::Slash: return "/";
+    case TokenKind::Percent: return "%";
+    case TokenKind::PlusPlus: return "++";
+    case TokenKind::MinusMinus: return "--";
+    case TokenKind::Amp: return "&";
+    case TokenKind::Pipe: return "|";
+    case TokenKind::Caret: return "^";
+    case TokenKind::Tilde: return "~";
+    case TokenKind::Exclaim: return "!";
+    case TokenKind::AmpAmp: return "&&";
+    case TokenKind::PipePipe: return "||";
+    case TokenKind::Less: return "<";
+    case TokenKind::Greater: return ">";
+    case TokenKind::LessEqual: return "<=";
+    case TokenKind::GreaterEqual: return ">=";
+    case TokenKind::EqualEqual: return "==";
+    case TokenKind::ExclaimEqual: return "!=";
+    case TokenKind::LessLess: return "<<";
+    case TokenKind::GreaterGreater: return ">>";
+    case TokenKind::Question: return "?";
+    case TokenKind::Colon: return ":";
+    case TokenKind::Equal: return "=";
+    case TokenKind::PlusEqual: return "+=";
+    case TokenKind::MinusEqual: return "-=";
+    case TokenKind::StarEqual: return "*=";
+    case TokenKind::SlashEqual: return "/=";
+    case TokenKind::PercentEqual: return "%=";
+    case TokenKind::AmpEqual: return "&=";
+    case TokenKind::PipeEqual: return "|=";
+    case TokenKind::CaretEqual: return "^=";
+    case TokenKind::LessLessEqual: return "<<=";
+    case TokenKind::GreaterGreaterEqual: return ">>=";
+    case TokenKind::HashLine: return "<preprocessor line>";
+  }
+  return "<unknown>";
+}
+
+bool is_type_specifier_keyword(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::KwChar:
+    case TokenKind::KwDouble:
+    case TokenKind::KwFloat:
+    case TokenKind::KwInt:
+    case TokenKind::KwLong:
+    case TokenKind::KwShort:
+    case TokenKind::KwSigned:
+    case TokenKind::KwUnsigned:
+    case TokenKind::KwVoid:
+    case TokenKind::KwStruct:
+    case TokenKind::KwUnion:
+    case TokenKind::KwEnum:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TokenKind keyword_kind(std::string_view text) noexcept {
+  static const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+      {"auto", TokenKind::KwAuto},       {"break", TokenKind::KwBreak},
+      {"case", TokenKind::KwCase},       {"char", TokenKind::KwChar},
+      {"const", TokenKind::KwConst},     {"continue", TokenKind::KwContinue},
+      {"default", TokenKind::KwDefault}, {"do", TokenKind::KwDo},
+      {"double", TokenKind::KwDouble},   {"else", TokenKind::KwElse},
+      {"enum", TokenKind::KwEnum},       {"extern", TokenKind::KwExtern},
+      {"float", TokenKind::KwFloat},     {"for", TokenKind::KwFor},
+      {"goto", TokenKind::KwGoto},       {"if", TokenKind::KwIf},
+      {"inline", TokenKind::KwInline},   {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},       {"register", TokenKind::KwRegister},
+      {"restrict", TokenKind::KwRestrict},
+      {"return", TokenKind::KwReturn},   {"short", TokenKind::KwShort},
+      {"signed", TokenKind::KwSigned},   {"sizeof", TokenKind::KwSizeof},
+      {"static", TokenKind::KwStatic},   {"struct", TokenKind::KwStruct},
+      {"switch", TokenKind::KwSwitch},   {"typedef", TokenKind::KwTypedef},
+      {"union", TokenKind::KwUnion},     {"unsigned", TokenKind::KwUnsigned},
+      {"void", TokenKind::KwVoid},       {"volatile", TokenKind::KwVolatile},
+      {"while", TokenKind::KwWhile},     {"pure", TokenKind::KwPure},
+  };
+  const auto it = kKeywords.find(text);
+  return it == kKeywords.end() ? TokenKind::Identifier : it->second;
+}
+
+}  // namespace purec

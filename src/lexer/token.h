@@ -1,0 +1,76 @@
+// Token definitions for the purec C dialect (C11 subset + `pure`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.h"
+
+namespace purec {
+
+enum class TokenKind : std::uint8_t {
+  // Bookkeeping
+  EndOfFile,
+  Invalid,
+
+  // Literals & names
+  Identifier,
+  IntegerLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords (C subset)
+  KwAuto, KwBreak, KwCase, KwChar, KwConst, KwContinue, KwDefault, KwDo,
+  KwDouble, KwElse, KwEnum, KwExtern, KwFloat, KwFor, KwGoto, KwIf,
+  KwInline, KwInt, KwLong, KwRegister, KwRestrict, KwReturn, KwShort,
+  KwSigned, KwSizeof, KwStatic, KwStruct, KwSwitch, KwTypedef, KwUnion,
+  KwUnsigned, KwVoid, KwVolatile, KwWhile,
+  // The paper's extension.
+  KwPure,
+
+  // Punctuation / operators
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semicolon, Comma, Dot, Arrow, Ellipsis,
+  Plus, Minus, Star, Slash, Percent,
+  PlusPlus, MinusMinus,
+  Amp, Pipe, Caret, Tilde, Exclaim,
+  AmpAmp, PipePipe,
+  Less, Greater, LessEqual, GreaterEqual, EqualEqual, ExclaimEqual,
+  LessLess, GreaterGreater,
+  Question, Colon,
+  Equal, PlusEqual, MinusEqual, StarEqual, SlashEqual, PercentEqual,
+  AmpEqual, PipeEqual, CaretEqual, LessLessEqual, GreaterGreaterEqual,
+
+  // Preserved preprocessor line (the chain keeps pragmas/defines it does
+  // not interpret as opaque lines attached to the token stream).
+  HashLine,
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind kind) noexcept;
+
+/// True for keywords that start a declaration-specifier sequence.
+[[nodiscard]] bool is_type_specifier_keyword(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::Invalid;
+  /// Points into the originating SourceBuffer (or into the lexer's string
+  /// table for tokens synthesized by the chain).
+  std::string_view text;
+  SourceRange range;
+
+  [[nodiscard]] bool is(TokenKind k) const noexcept { return kind == k; }
+  [[nodiscard]] bool is_keyword() const noexcept {
+    return kind >= TokenKind::KwAuto && kind <= TokenKind::KwPure;
+  }
+  [[nodiscard]] SourceLocation location() const noexcept {
+    return range.begin;
+  }
+  [[nodiscard]] std::string str() const { return std::string(text); }
+};
+
+/// Keyword lookup: returns TokenKind::Identifier if `text` is not a keyword.
+[[nodiscard]] TokenKind keyword_kind(std::string_view text) noexcept;
+
+}  // namespace purec

@@ -1,0 +1,332 @@
+#include "polyhedral/codegen.h"
+
+#include <algorithm>
+
+#include "ast/walk.h"
+#include "support/rational.h"
+
+namespace purec::poly {
+
+const std::string& codegen_prelude() {
+  static const std::string kPrelude =
+      "#ifndef PUREC_POLY_HELPERS\n"
+      "#define PUREC_POLY_HELPERS\n"
+      "#define floord(n, d) "
+      "(((n) < 0) ? -((-(n) + (d) - 1) / (d)) : (n) / (d))\n"
+      "#define ceild(n, d) floord((n) + (d) - 1, (d))\n"
+      "#define purec_max(a, b) (((a) > (b)) ? (a) : (b))\n"
+      "#define purec_min(a, b) (((a) < (b)) ? (a) : (b))\n"
+      "#endif\n";
+  return kPrelude;
+}
+
+namespace {
+
+/// Builds an AST expression for an affine combination of named variables.
+[[nodiscard]] ExprPtr affine_to_expr(const IntVec& coeffs,
+                                     std::int64_t constant,
+                                     const std::vector<std::string>& names) {
+  ExprPtr acc;
+  const auto add_term = [&](ExprPtr term, bool negative) {
+    if (!acc) {
+      if (negative) {
+        acc = std::make_unique<UnaryExpr>(UnaryOp::Minus, std::move(term));
+      } else {
+        acc = std::move(term);
+      }
+      return;
+    }
+    acc = std::make_unique<BinaryExpr>(
+        negative ? BinaryOp::Sub : BinaryOp::Add, std::move(acc),
+        std::move(term));
+  };
+
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    if (coeffs[i] == 0) continue;
+    const std::int64_t a = coeffs[i] < 0 ? -coeffs[i] : coeffs[i];
+    ExprPtr term = std::make_unique<IdentExpr>(names[i]);
+    if (a != 1) {
+      term = std::make_unique<BinaryExpr>(
+          BinaryOp::Mul, std::make_unique<IntLiteralExpr>(a),
+          std::move(term));
+    }
+    add_term(std::move(term), coeffs[i] < 0);
+  }
+  if (constant != 0 || !acc) {
+    if (!acc) {
+      acc = std::make_unique<IntLiteralExpr>(constant);
+    } else if (constant > 0) {
+      acc = std::make_unique<BinaryExpr>(
+          BinaryOp::Add, std::move(acc),
+          std::make_unique<IntLiteralExpr>(constant));
+    } else {
+      acc = std::make_unique<BinaryExpr>(
+          BinaryOp::Sub, std::move(acc),
+          std::make_unique<IntLiteralExpr>(-constant));
+    }
+  }
+  return acc;
+}
+
+[[nodiscard]] ExprPtr call_helper(const std::string& name, ExprPtr a,
+                                  ExprPtr b) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(a));
+  args.push_back(std::move(b));
+  return std::make_unique<CallExpr>(std::make_unique<IdentExpr>(name),
+                                    std::move(args));
+}
+
+/// Renders one bound as an expression; divisor > 1 becomes ceild/floord.
+[[nodiscard]] ExprPtr bound_to_expr(const VarBound& bound, bool lower,
+                                    const std::vector<std::string>& names) {
+  ExprPtr base = affine_to_expr(bound.coeffs, bound.constant, names);
+  if (bound.divisor == 1) return base;
+  return call_helper(lower ? "ceild" : "floord", std::move(base),
+                     std::make_unique<IntLiteralExpr>(bound.divisor));
+}
+
+/// Combines several bounds with purec_max (lower) / purec_min (upper).
+[[nodiscard]] ExprPtr combine_bounds(const std::vector<VarBound>& bounds,
+                                     bool lower,
+                                     const std::vector<std::string>& names) {
+  ExprPtr acc;
+  for (const VarBound& b : bounds) {
+    ExprPtr e = bound_to_expr(b, lower, names);
+    if (!acc) {
+      acc = std::move(e);
+    } else {
+      acc = call_helper(lower ? "purec_max" : "purec_min", std::move(acc),
+                        std::move(e));
+    }
+  }
+  return acc;
+}
+
+/// for (int name = lower; name <= upper; name++) { body }
+[[nodiscard]] StmtPtr make_loop(const std::string& name, ExprPtr lower,
+                                ExprPtr upper, StmtPtr body) {
+  auto loop = std::make_unique<ForStmt>();
+  auto init = std::make_unique<DeclStmt>();
+  VarDecl v;
+  v.name = name;
+  v.type = Type::make_builtin(BuiltinKind::Int);
+  v.init = std::move(lower);
+  init->decls.push_back(std::move(v));
+  loop->init = std::move(init);
+  loop->cond = std::make_unique<BinaryExpr>(
+      BinaryOp::LessEqual, std::make_unique<IdentExpr>(name),
+      std::move(upper));
+  loop->inc = std::make_unique<UnaryExpr>(
+      UnaryOp::PostInc, std::make_unique<IdentExpr>(name));
+  loop->body = std::move(body);
+  return loop;
+}
+
+}  // namespace
+
+void apply_iterator_substitution(ExprPtr& expr,
+                                 const std::vector<std::string>& old_names,
+                                 const IteratorSubstitution& substitution) {
+  for_each_expr_slot(expr, [&](ExprPtr& slot) -> bool {
+    const auto* ident = expr_cast<IdentExpr>(slot.get());
+    if (ident == nullptr) return false;
+    for (std::size_t j = 0; j < old_names.size(); ++j) {
+      if (ident->name == old_names[j]) {
+        slot = affine_to_expr(substitution.iterator_replacement[j], 0,
+                              substitution.names);
+        return true;  // do not descend into the replacement
+      }
+    }
+    return false;
+  });
+}
+
+void apply_iterator_substitution(StmtPtr& stmt,
+                                 const std::vector<std::string>& old_names,
+                                 const IteratorSubstitution& substitution) {
+  for_each_expr_slot(*stmt, [&](ExprPtr& slot) -> bool {
+    const auto* ident = expr_cast<IdentExpr>(slot.get());
+    if (ident == nullptr) return false;
+    for (std::size_t j = 0; j < old_names.size(); ++j) {
+      if (ident->name == old_names[j]) {
+        slot = affine_to_expr(substitution.iterator_replacement[j], 0,
+                              substitution.names);
+        return true;
+      }
+    }
+    return false;
+  });
+}
+
+StmtPtr generate_code(const Scop& scop, const Transform& transform,
+                      const CodegenOptions& options,
+                      IteratorSubstitution* substitution_out) {
+  const std::size_t d = scop.depth();
+  const std::size_t p = scop.parameters.size();
+  const IntMat& T = transform.matrix;
+  const IntMat Tinv = T.inverse_unimodular();
+
+  // New iterator names t1..td (PluTo's convention), avoiding collisions
+  // with parameters and arrays.
+  std::vector<std::string> point_names;
+  for (std::size_t i = 0; i < d; ++i) {
+    std::string name = "t" + std::to_string(i + 1);
+    while (std::find(scop.parameters.begin(), scop.parameters.end(), name) !=
+               scop.parameters.end() ||
+           std::find(scop.iterators.begin(), scop.iterators.end(), name) !=
+               scop.iterators.end()) {
+      name = "_" + name;
+    }
+    point_names.push_back(name);
+  }
+
+  const bool do_tile =
+      options.tile && transform.band_size >= 2 && options.tile_size > 1;
+  const std::size_t tiled_dims = do_tile ? transform.band_size : 0;
+
+  std::vector<std::string> tile_names;
+  for (std::size_t i = 0; i < tiled_dims; ++i) {
+    tile_names.push_back(point_names[i] + "t");
+  }
+
+  // Variable order for generation: [tiles..., points..., params...].
+  const std::size_t loop_vars = tiled_dims + d;
+  const std::size_t dims = loop_vars + p;
+  std::vector<std::string> names;
+  names.insert(names.end(), tile_names.begin(), tile_names.end());
+  names.insert(names.end(), point_names.begin(), point_names.end());
+  names.insert(names.end(), scop.parameters.begin(), scop.parameters.end());
+
+  ConstraintSystem sys(dims);
+  // Transformed domain: original constraint a.i + b.p + k ~ 0 with
+  // i = Tinv.c becomes (a.Tinv).c + b.p + k ~ 0.
+  for (const Constraint& c : scop.domain.constraints()) {
+    IntVec coeffs(dims, 0);
+    for (std::size_t col = 0; col < d; ++col) {
+      std::int64_t acc = 0;
+      for (std::size_t i = 0; i < d; ++i) {
+        acc = checked_add(acc, checked_mul(c.coeffs[i], Tinv.at(i, col)));
+      }
+      coeffs[tiled_dims + col] = acc;
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      coeffs[loop_vars + i] = c.coeffs[d + i];
+    }
+    sys.add(Constraint{c.kind, std::move(coeffs), c.constant});
+  }
+  // Tile containment: 0 <= c_k - B*ct_k <= B-1.
+  for (std::size_t k = 0; k < tiled_dims; ++k) {
+    IntVec lo(dims, 0);
+    lo[tiled_dims + k] = 1;
+    lo[k] = -options.tile_size;
+    sys.add_inequality(std::move(lo), 0);
+    IntVec hi(dims, 0);
+    hi[tiled_dims + k] = -1;
+    hi[k] = options.tile_size;
+    sys.add_inequality(std::move(hi), options.tile_size - 1);
+  }
+
+  const std::vector<VarBounds> bounds = sys.derive_bounds(loop_vars);
+
+  // Statement body: original statements with iterators substituted by
+  // rows of Tinv over the new point iterators.
+  std::vector<IntVec> replacement(d);
+  {
+    // i_j = row j of Tinv applied to c; expressed over `names`.
+    for (std::size_t j = 0; j < d; ++j) {
+      IntVec coeffs(names.size(), 0);
+      for (std::size_t col = 0; col < d; ++col) {
+        coeffs[tiled_dims + col] = Tinv.at(j, col);
+      }
+      replacement[j] = std::move(coeffs);
+    }
+  }
+
+  IteratorSubstitution substitution;
+  substitution.names = names;
+  substitution.iterator_replacement = replacement;
+  if (substitution_out != nullptr) *substitution_out = substitution;
+
+  auto body = std::make_unique<CompoundStmt>();
+  for (const ScopStatement& stmt : scop.statements) {
+    StmtPtr cloned = stmt.ast->clone();
+    apply_iterator_substitution(cloned, scop.iterators, substitution);
+    body->stmts.push_back(std::move(cloned));
+  }
+
+  // Decide pragma placement.
+  const std::size_t outer_parallel = transform.outermost_parallel();
+  const bool parallel_outermost =
+      options.parallelize && outer_parallel == 0;
+  // When the outermost dimension is sequential but an inner one is
+  // parallel, the OpenMP pragma goes on that inner *point* loop (valid:
+  // all outer point dimensions are fixed there).
+  const std::size_t inner_parallel_point =
+      (options.parallelize && !parallel_outermost &&
+       outer_parallel != Transform::npos)
+          ? outer_parallel
+          : Transform::npos;
+
+  // Innermost parallel point dimension for the SICA simd pragma.
+  std::size_t simd_dim = Transform::npos;
+  if (options.simd && d > 0 && transform.parallel[d - 1]) {
+    simd_dim = d - 1;
+  }
+
+  // Build loops inside-out: points innermost-first, then tiles.
+  StmtPtr current = std::move(body);
+  for (std::size_t k = d; k-- > 0;) {
+    const VarBounds& vb = bounds[tiled_dims + k];
+    ExprPtr lower = combine_bounds(vb.lower, true, names);
+    ExprPtr upper = combine_bounds(vb.upper, false, names);
+    if (!lower || !upper) {
+      // Unbounded loop variable: cannot generate; signal by returning the
+      // original nest untouched. (Callers treat this as "no transform".)
+      return nullptr;
+    }
+    StmtPtr loop = make_loop(point_names[k], std::move(lower),
+                             std::move(upper), std::move(current));
+    auto wrapper = std::make_unique<CompoundStmt>();
+    if (k == simd_dim && k != 0) {
+      wrapper->stmts.push_back(
+          std::make_unique<PragmaStmt>("#pragma omp simd"));
+    }
+    if (k == inner_parallel_point && k != 0) {
+      std::string text = "#pragma omp parallel for";
+      if (!options.schedule_clause.empty()) {
+        text += " " + options.schedule_clause;
+      }
+      wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
+    }
+    if (wrapper->stmts.empty()) {
+      current = std::move(loop);
+    } else {
+      wrapper->stmts.push_back(std::move(loop));
+      current = std::move(wrapper);
+    }
+  }
+  for (std::size_t k = tiled_dims; k-- > 0;) {
+    const VarBounds& vb = bounds[k];
+    ExprPtr lower = combine_bounds(vb.lower, true, names);
+    ExprPtr upper = combine_bounds(vb.upper, false, names);
+    if (!lower || !upper) return nullptr;
+    current = make_loop(tile_names[k], std::move(lower), std::move(upper),
+                        std::move(current));
+  }
+
+  auto result = std::make_unique<CompoundStmt>();
+  if (options.parallelize &&
+      (parallel_outermost ||
+       (inner_parallel_point == 0 && tiled_dims == 0))) {
+    std::string text = "#pragma omp parallel for";
+    if (!options.schedule_clause.empty()) {
+      text += " " + options.schedule_clause;
+    }
+    result->stmts.push_back(std::make_unique<PragmaStmt>(text));
+  }
+  result->stmts.push_back(std::move(current));
+  return result;
+}
+
+}  // namespace purec::poly

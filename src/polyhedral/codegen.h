@@ -1,0 +1,63 @@
+// Loop code generation for a transformed scop (the CLooG counterpart):
+// produces a new AST loop nest scanning the transformed domain, with
+// rectangular tiling of the permutable band, `floord`/`ceild`/min/max
+// bounds, OpenMP pragma on the outermost parallel loop, and (SICA mode) a
+// SIMD pragma on the innermost parallel loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/stmt.h"
+#include "polyhedral/model.h"
+#include "polyhedral/schedule.h"
+
+namespace purec::poly {
+
+struct CodegenOptions {
+  bool parallelize = true;
+  /// Tile the permutable band when its size is >= 2.
+  bool tile = true;
+  std::int64_t tile_size = 32;
+  /// SICA mode: emit `#pragma omp simd` on the innermost parallel point
+  /// loop (the vectorization PluTo-SICA enforces).
+  bool simd = false;
+  /// Extra clause appended to the parallel pragma, e.g.
+  /// "schedule(dynamic,1)" (the satellite fix in §4.3.3).
+  std::string schedule_clause;
+};
+
+/// The helper macros the generated code depends on; the chain prepends
+/// this once per output file (PluTo does the same with floord/ceild).
+[[nodiscard]] const std::string& codegen_prelude();
+
+/// How the generator rewrote the scop's iterators: original iterator j
+/// equals `iterator_replacement[j]` (an affine combination over `names`).
+/// The chain reuses this to fix up iterators inside reinserted pure calls
+/// (paper Listing 8: `dot(... A[t1] ...)`).
+struct IteratorSubstitution {
+  std::vector<std::string> names;             // generated variable names
+  std::vector<IntVec> iterator_replacement;   // one row per old iterator
+};
+
+/// Generates the transformed loop nest. The returned compound statement
+/// contains the pragmas and loops and is a drop-in replacement for the
+/// scop's original outermost ForStmt. Returns nullptr when bounds cannot
+/// be derived (callers leave the original nest untouched).
+[[nodiscard]] StmtPtr generate_code(const Scop& scop,
+                                    const Transform& transform,
+                                    const CodegenOptions& options,
+                                    IteratorSubstitution* substitution_out =
+                                        nullptr);
+
+/// Replaces occurrences of the old iterator identifiers in `stmt` with
+/// their affine replacements (exposed for the chain's call reinsertion).
+void apply_iterator_substitution(StmtPtr& stmt,
+                                 const std::vector<std::string>& old_names,
+                                 const IteratorSubstitution& substitution);
+void apply_iterator_substitution(ExprPtr& expr,
+                                 const std::vector<std::string>& old_names,
+                                 const IteratorSubstitution& substitution);
+
+}  // namespace purec::poly

@@ -1,0 +1,107 @@
+// Linear constraint systems over integer variables and Fourier-Motzkin
+// elimination: the decision core of the dependence analyzer and the bound
+// generator of the loop code generator (mini-ISL + mini-CLooG bound math).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "polyhedral/linalg.h"
+
+namespace purec::poly {
+
+enum class ConstraintKind : std::uint8_t {
+  Equality,    // coeffs . x + constant == 0
+  Inequality,  // coeffs . x + constant >= 0
+};
+
+/// One affine constraint over a fixed-dimension variable space.
+struct Constraint {
+  ConstraintKind kind = ConstraintKind::Inequality;
+  IntVec coeffs;            // one per variable
+  std::int64_t constant = 0;
+
+  [[nodiscard]] static Constraint eq(IntVec coeffs, std::int64_t constant) {
+    return Constraint{ConstraintKind::Equality, std::move(coeffs), constant};
+  }
+  [[nodiscard]] static Constraint ge(IntVec coeffs, std::int64_t constant) {
+    return Constraint{ConstraintKind::Inequality, std::move(coeffs), constant};
+  }
+
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& var_names) const;
+};
+
+/// A loop bound extracted from a constraint system for code generation:
+///   lower:  var >= ceild(expr, divisor)
+///   upper:  var <= floord(expr, divisor)
+/// where expr is affine over earlier variables (+ constant).
+struct VarBound {
+  IntVec coeffs;  // over all variables; entries at or after `var` are 0
+  std::int64_t constant = 0;
+  std::int64_t divisor = 1;  // > 0
+};
+
+struct VarBounds {
+  std::vector<VarBound> lower;
+  std::vector<VarBound> upper;
+};
+
+/// Conjunction of affine constraints over `dimensions()` variables.
+/// Variables are identified positionally; callers keep their own name map.
+class ConstraintSystem {
+ public:
+  explicit ConstraintSystem(std::size_t dimensions)
+      : dimensions_(dimensions) {}
+
+  [[nodiscard]] std::size_t dimensions() const noexcept { return dimensions_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+
+  void add(Constraint c);
+  void add_equality(IntVec coeffs, std::int64_t constant);
+  void add_inequality(IntVec coeffs, std::int64_t constant);
+
+  /// Appends `extra` fresh dimensions (coefficients default to 0 in
+  /// existing constraints).
+  void extend_dimensions(std::size_t extra);
+
+  /// Rational emptiness test via Gaussian elimination of equalities
+  /// followed by Fourier-Motzkin elimination of all variables. Also applies
+  /// the GCD integrality test to equalities, so "empty" is exact for the
+  /// systems the dependence tester builds; "non-empty" is conservative
+  /// (rational solution may or may not be integral), which is the safe
+  /// direction for dependence analysis.
+  [[nodiscard]] bool is_empty() const;
+
+  /// Eliminates variable `var` by Fourier-Motzkin, returning the projected
+  /// system (same dimension count; `var`'s coefficients become 0).
+  [[nodiscard]] ConstraintSystem eliminate(std::size_t var) const;
+
+  /// If the system forces `coeffs . x + constant` to a single value,
+  /// returns it. Used to extract constant dependence distances.
+  [[nodiscard]] std::optional<std::int64_t> forced_value(
+      const IntVec& coeffs, std::int64_t constant) const;
+
+  /// True if the system plus the extra inequality is satisfiable.
+  [[nodiscard]] bool satisfiable_with(const Constraint& extra) const;
+
+  /// Derives loop bounds for variables [0, n) assuming generation order
+  /// var 0 outermost .. var n-1 innermost: bounds of var k reference only
+  /// vars < k (plus parameters living at indices >= n, which are never
+  /// eliminated). Returns one VarBounds per generated variable.
+  [[nodiscard]] std::vector<VarBounds> derive_bounds(
+      std::size_t loop_vars) const;
+
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& var_names) const;
+
+ private:
+  std::size_t dimensions_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace purec::poly

@@ -1,0 +1,188 @@
+#include "polyhedral/dependence.h"
+
+#include <sstream>
+
+#include "support/rational.h"
+
+namespace purec::poly {
+
+std::string_view to_string(DependenceKind kind) noexcept {
+  switch (kind) {
+    case DependenceKind::Flow: return "flow";
+    case DependenceKind::Anti: return "anti";
+    case DependenceKind::Output: return "output";
+  }
+  return "?";
+}
+
+std::string Dependence::to_string(const Scop& scop) const {
+  std::ostringstream out;
+  out << purec::poly::to_string(kind) << " dep on " << array << " S"
+      << src_stmt << " -> S" << dst_stmt << " at level " << level;
+  out << " distance (";
+  for (std::size_t i = 0; i < distance.size(); ++i) {
+    if (i != 0) out << ", ";
+    if (distance[i]) {
+      out << *distance[i];
+    } else {
+      out << "*";
+    }
+  }
+  out << ")";
+  (void)scop;
+  return std::move(out).str();
+}
+
+namespace {
+
+/// Builds the base dependence system over [src iters (d), dst iters (d),
+/// params (p)]: both domains + subscript equalities.
+[[nodiscard]] ConstraintSystem base_system(const Scop& scop,
+                                           const Access& src,
+                                           const Access& dst) {
+  const std::size_t d = scop.depth();
+  const std::size_t p = scop.parameters.size();
+  const std::size_t dims = 2 * d + p;
+  ConstraintSystem sys(dims);
+
+  // Source domain: coefficients over [iters, params] -> [src, ..., params].
+  for (const Constraint& c : scop.domain.constraints()) {
+    IntVec coeffs(dims, 0);
+    for (std::size_t i = 0; i < d; ++i) coeffs[i] = c.coeffs[i];
+    for (std::size_t i = 0; i < p; ++i) coeffs[2 * d + i] = c.coeffs[d + i];
+    sys.add(Constraint{c.kind, std::move(coeffs), c.constant});
+  }
+  // Destination domain -> [_, dst, params].
+  for (const Constraint& c : scop.domain.constraints()) {
+    IntVec coeffs(dims, 0);
+    for (std::size_t i = 0; i < d; ++i) coeffs[d + i] = c.coeffs[i];
+    for (std::size_t i = 0; i < p; ++i) coeffs[2 * d + i] = c.coeffs[d + i];
+    sys.add(Constraint{c.kind, std::move(coeffs), c.constant});
+  }
+  // Subscript equality per dimension: sub_src(i) == sub_dst(i').
+  for (std::size_t s = 0; s < src.subscripts.size(); ++s) {
+    const AffineForm& a = src.subscripts[s];
+    const AffineForm& b = dst.subscripts[s];
+    IntVec coeffs(dims, 0);
+    for (std::size_t i = 0; i < d; ++i) coeffs[i] = a.coeffs[i];
+    for (std::size_t i = 0; i < d; ++i) {
+      coeffs[d + i] = checked_sub(coeffs[d + i], b.coeffs[i]);
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      coeffs[2 * d + i] =
+          checked_sub(a.coeffs[d + i], b.coeffs[d + i]);
+    }
+    sys.add_equality(std::move(coeffs),
+                     checked_sub(a.constant, b.constant));
+  }
+  return sys;
+}
+
+/// Adds level-l precedence: src_k == dst_k for k < l, src_l + 1 <= dst_l.
+void add_carried_constraints(ConstraintSystem& sys, std::size_t d,
+                             std::size_t level) {
+  for (std::size_t k = 0; k + 1 < level; ++k) {
+    IntVec eq(sys.dimensions(), 0);
+    eq[k] = 1;
+    eq[d + k] = -1;
+    sys.add_equality(std::move(eq), 0);
+  }
+  IntVec lt(sys.dimensions(), 0);
+  lt[level - 1] = -1;
+  lt[d + level - 1] = 1;
+  sys.add_inequality(std::move(lt), -1);  // dst - src - 1 >= 0
+}
+
+void add_equal_constraints(ConstraintSystem& sys, std::size_t d) {
+  for (std::size_t k = 0; k < d; ++k) {
+    IntVec eq(sys.dimensions(), 0);
+    eq[k] = 1;
+    eq[d + k] = -1;
+    sys.add_equality(std::move(eq), 0);
+  }
+}
+
+[[nodiscard]] DependenceKind classify(AccessKind src, AccessKind dst) {
+  if (src == AccessKind::Write && dst == AccessKind::Read) {
+    return DependenceKind::Flow;
+  }
+  if (src == AccessKind::Read && dst == AccessKind::Write) {
+    return DependenceKind::Anti;
+  }
+  return DependenceKind::Output;
+}
+
+}  // namespace
+
+std::vector<Dependence> analyze_dependences(const Scop& scop) {
+  std::vector<Dependence> deps;
+  const std::size_t d = scop.depth();
+
+  for (std::size_t si = 0; si < scop.statements.size(); ++si) {
+    for (std::size_t ti = 0; ti < scop.statements.size(); ++ti) {
+      const ScopStatement& S = scop.statements[si];
+      const ScopStatement& T = scop.statements[ti];
+      for (const Access& a : S.accesses) {
+        for (const Access& b : T.accesses) {
+          if (a.array != b.array) continue;
+          if (a.kind == AccessKind::Read && b.kind == AccessKind::Read) {
+            continue;
+          }
+          if (a.subscripts.size() != b.subscripts.size()) continue;
+
+          const ConstraintSystem base = base_system(scop, a, b);
+
+          // Carried levels 1..d.
+          for (std::size_t level = 1; level <= d; ++level) {
+            ConstraintSystem sys = base;
+            add_carried_constraints(sys, d, level);
+            if (sys.is_empty()) continue;
+            Dependence dep;
+            dep.src_stmt = si;
+            dep.dst_stmt = ti;
+            dep.array = a.array;
+            dep.kind = classify(a.kind, b.kind);
+            dep.level = level;
+            dep.polyhedron = sys;
+            for (std::size_t k = 0; k < d; ++k) {
+              IntVec diff(sys.dimensions(), 0);
+              diff[k] = -1;
+              diff[d + k] = 1;
+              dep.distance.push_back(sys.forced_value(diff, 0));
+            }
+            deps.push_back(std::move(dep));
+          }
+
+          // Loop-independent (same iteration, textual order).
+          if (S.position < T.position ||
+              (S.position == T.position && si < ti)) {
+            ConstraintSystem sys = base;
+            add_equal_constraints(sys, d);
+            if (!sys.is_empty()) {
+              Dependence dep;
+              dep.src_stmt = si;
+              dep.dst_stmt = ti;
+              dep.array = a.array;
+              dep.kind = classify(a.kind, b.kind);
+              dep.level = d + 1;
+              dep.polyhedron = sys;
+              dep.distance.assign(d, std::optional<std::int64_t>(0));
+              deps.push_back(std::move(dep));
+            }
+          }
+        }
+      }
+    }
+  }
+  return deps;
+}
+
+bool level_is_parallel(const std::vector<Dependence>& deps, std::size_t level,
+                       std::size_t depth) {
+  for (const Dependence& dep : deps) {
+    if (dep.loop_carried(depth) && dep.level == level) return false;
+  }
+  return true;
+}
+
+}  // namespace purec::poly

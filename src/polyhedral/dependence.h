@@ -1,0 +1,53 @@
+// Exact affine dependence analysis over an extracted Scop (the ISL/candl
+// counterpart). For every pair of accesses to the same array with at least
+// one write, a dependence polyhedron is built per carrying level and tested
+// for emptiness with Fourier-Motzkin; constant distance vectors are
+// recovered where they exist.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "polyhedral/constraint.h"
+#include "polyhedral/model.h"
+
+namespace purec::poly {
+
+enum class DependenceKind : std::uint8_t {
+  Flow,    // RAW: write -> read
+  Anti,    // WAR: read -> write
+  Output,  // WAW: write -> write
+};
+
+[[nodiscard]] std::string_view to_string(DependenceKind kind) noexcept;
+
+struct Dependence {
+  std::size_t src_stmt = 0;
+  std::size_t dst_stmt = 0;
+  std::string array;
+  DependenceKind kind = DependenceKind::Flow;
+  /// 1-based loop level carrying the dependence; depth+1 means
+  /// loop-independent (within one iteration, between body statements).
+  std::size_t level = 0;
+  /// Per-dimension distance (target - source) when constant.
+  std::vector<std::optional<std::int64_t>> distance;
+  /// The dependence polyhedron over [src iters, dst iters, params]; kept
+  /// for schedule-legality tests.
+  ConstraintSystem polyhedron{0};
+
+  [[nodiscard]] bool loop_carried(std::size_t depth) const noexcept {
+    return level <= depth;
+  }
+  [[nodiscard]] std::string to_string(const Scop& scop) const;
+};
+
+/// All dependences of the scop, split by level.
+[[nodiscard]] std::vector<Dependence> analyze_dependences(const Scop& scop);
+
+/// Convenience queries used by the scheduler and tests.
+[[nodiscard]] bool level_is_parallel(const std::vector<Dependence>& deps,
+                                     std::size_t level, std::size_t depth);
+
+}  // namespace purec::poly

@@ -1,0 +1,169 @@
+#include "polyhedral/linalg.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/rational.h"
+
+namespace purec::poly {
+
+IntMat IntMat::identity(std::size_t n) {
+  IntMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+IntVec IntMat::row(std::size_t r) const {
+  IntVec out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = at(r, c);
+  return out;
+}
+
+void IntMat::set_row(std::size_t r, const IntVec& values) {
+  if (values.size() != cols_) {
+    throw std::invalid_argument("IntMat::set_row: size mismatch");
+  }
+  for (std::size_t c = 0; c < cols_; ++c) at(r, c) = values[c];
+}
+
+IntMat IntMat::multiply(const IntMat& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("IntMat::multiply: dimension mismatch");
+  }
+  IntMat out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < other.cols_; ++j) {
+      std::int64_t sum = 0;
+      for (std::size_t k = 0; k < cols_; ++k) {
+        sum = checked_add(sum, checked_mul(at(i, k), other.at(k, j)));
+      }
+      out.at(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+IntVec IntMat::apply(const IntVec& v) const {
+  if (v.size() != cols_) {
+    throw std::invalid_argument("IntMat::apply: dimension mismatch");
+  }
+  IntVec out(rows_, 0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::int64_t sum = 0;
+    for (std::size_t k = 0; k < cols_; ++k) {
+      sum = checked_add(sum, checked_mul(at(i, k), v[k]));
+    }
+    out[i] = sum;
+  }
+  return out;
+}
+
+std::int64_t IntMat::determinant() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("determinant of non-square matrix");
+  }
+  const std::size_t n = rows_;
+  if (n == 0) return 1;
+  // Bareiss fraction-free elimination.
+  IntMat m = *this;
+  std::int64_t sign = 1;
+  std::int64_t prev = 1;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    if (m.at(k, k) == 0) {
+      std::size_t pivot = k + 1;
+      while (pivot < n && m.at(pivot, k) == 0) ++pivot;
+      if (pivot == n) return 0;
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(m.at(k, c), m.at(pivot, c));
+      }
+      sign = -sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      for (std::size_t j = k + 1; j < n; ++j) {
+        const std::int64_t num = checked_sub(
+            checked_mul(m.at(i, j), m.at(k, k)),
+            checked_mul(m.at(i, k), m.at(k, j)));
+        m.at(i, j) = num / prev;  // divides exactly in Bareiss
+      }
+      m.at(i, k) = 0;
+    }
+    prev = m.at(k, k);
+  }
+  return checked_mul(sign, m.at(n - 1, n - 1));
+}
+
+IntMat IntMat::inverse_unimodular() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("inverse of non-square matrix");
+  }
+  const std::int64_t det = determinant();
+  if (det != 1 && det != -1) {
+    throw std::domain_error(
+        "inverse_unimodular requires |det| == 1, got det = " +
+        std::to_string(det));
+  }
+  const std::size_t n = rows_;
+  // Adjugate via cofactors (n <= 4 in practice for loop nests).
+  IntMat inv(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // Minor M_ji (note the transpose for the adjugate).
+      IntMat minor(n - 1, n - 1);
+      std::size_t mr = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == j) continue;
+        std::size_t mc = 0;
+        for (std::size_t c = 0; c < n; ++c) {
+          if (c == i) continue;
+          minor.at(mr, mc) = at(r, c);
+          ++mc;
+        }
+        ++mr;
+      }
+      std::int64_t cof = (n == 1) ? 1 : minor.determinant();
+      if ((i + j) % 2 == 1) cof = -cof;
+      inv.at(i, j) = checked_mul(cof, det);  // det is ±1
+    }
+  }
+  return inv;
+}
+
+std::string IntMat::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out << "[";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (j != 0) out << " ";
+      out << at(i, j);
+    }
+    out << "]\n";
+  }
+  return std::move(out).str();
+}
+
+std::int64_t vector_gcd(const IntVec& v) {
+  std::int64_t g = 0;
+  for (std::int64_t x : v) g = std::gcd(g, x < 0 ? -x : x);
+  return g;
+}
+
+void normalize_by_gcd(IntVec& v) {
+  const std::int64_t g = vector_gcd(v);
+  if (g > 1) {
+    for (std::int64_t& x : v) x /= g;
+  }
+}
+
+std::int64_t dot(const IntVec& a, const IntVec& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dot: dimension mismatch");
+  }
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum = checked_add(sum, checked_mul(a[i], b[i]));
+  }
+  return sum;
+}
+
+}  // namespace purec::poly

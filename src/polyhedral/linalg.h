@@ -1,0 +1,66 @@
+// Small exact integer linear algebra for the polyhedral engine: vectors,
+// matrices, determinants and unimodular inverses. Everything is checked
+// int64 — see support/rational.h for the overflow policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace purec::poly {
+
+using IntVec = std::vector<std::int64_t>;
+
+/// Row-major dense integer matrix. Sized at construction; rows() x cols().
+class IntMat {
+ public:
+  IntMat() = default;
+  IntMat(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  [[nodiscard]] static IntMat identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] std::int64_t& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::int64_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] IntVec row(std::size_t r) const;
+  void set_row(std::size_t r, const IntVec& values);
+
+  [[nodiscard]] IntMat multiply(const IntMat& other) const;
+  [[nodiscard]] IntVec apply(const IntVec& v) const;  // this * v
+
+  /// Determinant via fraction-free Bareiss elimination (exact).
+  [[nodiscard]] std::int64_t determinant() const;
+
+  /// Inverse of a unimodular matrix (|det| == 1); throws std::domain_error
+  /// otherwise. The result is integral by construction.
+  [[nodiscard]] IntMat inverse_unimodular() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const IntMat& a, const IntMat& b) noexcept {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int64_t> data_;
+};
+
+/// gcd of all entries (0 if all zero).
+[[nodiscard]] std::int64_t vector_gcd(const IntVec& v);
+
+/// Divides every entry by the gcd (no-op for the zero vector).
+void normalize_by_gcd(IntVec& v);
+
+[[nodiscard]] std::int64_t dot(const IntVec& a, const IntVec& b);
+
+}  // namespace purec::poly

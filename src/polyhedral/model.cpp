@@ -1,0 +1,522 @@
+#include "polyhedral/model.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "ast/walk.h"
+#include "support/rational.h"
+
+namespace purec::poly {
+
+std::string AffineForm::to_string(
+    const std::vector<std::string>& names) const {
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    if (coeffs[i] == 0) continue;
+    if (!first) out << (coeffs[i] > 0 ? " + " : " - ");
+    const std::int64_t a =
+        (!first && coeffs[i] < 0) ? -coeffs[i] : coeffs[i];
+    if (a != 1) out << a << "*";
+    out << (i < names.size() ? names[i] : "x" + std::to_string(i));
+    first = false;
+  }
+  if (first) {
+    out << constant;
+  } else if (constant != 0) {
+    out << (constant > 0 ? " + " : " - ")
+        << (constant > 0 ? constant : -constant);
+  }
+  return std::move(out).str();
+}
+
+std::vector<std::string> Scop::space_names() const {
+  std::vector<std::string> names = iterators;
+  names.insert(names.end(), parameters.begin(), parameters.end());
+  return names;
+}
+
+namespace {
+
+/// Incremental affine-expression builder over a named space. Parameters
+/// are discovered on the fly (any identifier that is not an iterator).
+class AffineBuilder {
+ public:
+  explicit AffineBuilder(const std::vector<std::string>& iterators)
+      : iterators_(iterators) {}
+
+  [[nodiscard]] const std::vector<std::string>& parameters() const {
+    return parameters_;
+  }
+
+  /// Converts an AST expression to an affine form; nullopt if non-affine.
+  [[nodiscard]] std::optional<AffineForm> build(const Expr& e) {
+    // Forms use a growable coeff vector: [iterators..., parameters...].
+    switch (e.kind()) {
+      case ExprKind::IntLiteral: {
+        AffineForm f;
+        f.coeffs.assign(space_size(), 0);
+        f.constant = static_cast<const IntLiteralExpr&>(e).value;
+        return f;
+      }
+      case ExprKind::Ident: {
+        const std::string& name = static_cast<const IdentExpr&>(e).name;
+        // index_of can grow the space (new parameter), so it must run
+        // before the coefficient vector is sized.
+        const std::size_t idx = index_of(name);
+        AffineForm f;
+        f.coeffs.assign(space_size(), 0);
+        f.coeffs[idx] = 1;
+        return f;
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        if (u.op == UnaryOp::Minus) {
+          auto inner = build(*u.operand);
+          if (!inner) return std::nullopt;
+          align(*inner);
+          for (auto& c : inner->coeffs) c = -c;
+          inner->constant = -inner->constant;
+          return inner;
+        }
+        if (u.op == UnaryOp::Plus) return build(*u.operand);
+        return std::nullopt;
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        if (b.op == BinaryOp::Add || b.op == BinaryOp::Sub) {
+          auto lhs = build(*b.lhs);
+          auto rhs = build(*b.rhs);
+          if (!lhs || !rhs) return std::nullopt;
+          align(*lhs);
+          align(*rhs);
+          for (std::size_t i = 0; i < lhs->coeffs.size(); ++i) {
+            lhs->coeffs[i] = (b.op == BinaryOp::Add)
+                                 ? checked_add(lhs->coeffs[i], rhs->coeffs[i])
+                                 : checked_sub(lhs->coeffs[i], rhs->coeffs[i]);
+          }
+          lhs->constant = (b.op == BinaryOp::Add)
+                              ? checked_add(lhs->constant, rhs->constant)
+                              : checked_sub(lhs->constant, rhs->constant);
+          return lhs;
+        }
+        if (b.op == BinaryOp::Mul) {
+          // One side must be a constant.
+          auto lhs = build(*b.lhs);
+          auto rhs = build(*b.rhs);
+          if (!lhs || !rhs) return std::nullopt;
+          align(*lhs);
+          align(*rhs);
+          const bool lhs_const = std::all_of(
+              lhs->coeffs.begin(), lhs->coeffs.end(),
+              [](std::int64_t c) { return c == 0; });
+          const bool rhs_const = std::all_of(
+              rhs->coeffs.begin(), rhs->coeffs.end(),
+              [](std::int64_t c) { return c == 0; });
+          if (!lhs_const && !rhs_const) return std::nullopt;
+          const std::int64_t k = lhs_const ? lhs->constant : rhs->constant;
+          AffineForm& var = lhs_const ? *rhs : *lhs;
+          for (auto& c : var.coeffs) c = checked_mul(c, k);
+          var.constant = checked_mul(var.constant, k);
+          return var;
+        }
+        return std::nullopt;
+      }
+      case ExprKind::Cast:
+        return build(*static_cast<const CastExpr&>(e).operand);
+      default:
+        return std::nullopt;
+    }
+  }
+
+  /// Grows a form to the current space size (parameters may have been
+  /// discovered after it was built).
+  void align(AffineForm& f) const { f.coeffs.resize(space_size(), 0); }
+
+  [[nodiscard]] std::size_t space_size() const {
+    return iterators_.size() + parameters_.size();
+  }
+
+ private:
+  [[nodiscard]] std::size_t index_of(const std::string& name) {
+    for (std::size_t i = 0; i < iterators_.size(); ++i) {
+      if (iterators_[i] == name) return i;
+    }
+    for (std::size_t i = 0; i < parameters_.size(); ++i) {
+      if (parameters_[i] == name) return iterators_.size() + i;
+    }
+    parameters_.push_back(name);
+    return iterators_.size() + parameters_.size() - 1;
+  }
+
+  const std::vector<std::string>& iterators_;
+  std::vector<std::string> parameters_;
+};
+
+struct LoopHeader {
+  std::string iterator;
+  const Expr* lower = nullptr;   // from init
+  const Expr* upper = nullptr;   // from cond
+  bool upper_inclusive = false;  // <= vs <
+  const Stmt* body = nullptr;
+};
+
+/// Matches `for (int i = L; i < U; ++i)` shapes; returns nullopt with a
+/// reason otherwise.
+[[nodiscard]] std::optional<LoopHeader> match_loop(const ForStmt& loop,
+                                                   std::string& reason) {
+  LoopHeader h;
+  // init: `int i = L` or `i = L`.
+  if (const auto* decl = stmt_cast<DeclStmt>(loop.init.get())) {
+    if (decl->decls.size() != 1 || !decl->decls[0].init) {
+      reason = "for-init must declare exactly one iterator";
+      return std::nullopt;
+    }
+    h.iterator = decl->decls[0].name;
+    h.lower = decl->decls[0].init.get();
+  } else if (const auto* es = stmt_cast<ExprStmt>(loop.init.get())) {
+    const auto* assign = expr_cast<AssignExpr>(es->expr.get());
+    const IdentExpr* ident =
+        assign ? expr_cast<IdentExpr>(assign->lhs.get()) : nullptr;
+    if (assign == nullptr || assign->op != AssignOp::Assign ||
+        ident == nullptr) {
+      reason = "for-init must be a simple iterator assignment";
+      return std::nullopt;
+    }
+    h.iterator = ident->name;
+    h.lower = assign->rhs.get();
+  } else {
+    reason = "for-init missing";
+    return std::nullopt;
+  }
+
+  // cond: `i < U` / `i <= U`.
+  const auto* cmp = expr_cast<BinaryExpr>(loop.cond.get());
+  if (cmp == nullptr ||
+      (cmp->op != BinaryOp::Less && cmp->op != BinaryOp::LessEqual)) {
+    reason = "for-condition must be i < U or i <= U";
+    return std::nullopt;
+  }
+  const auto* cond_ident = expr_cast<IdentExpr>(cmp->lhs.get());
+  if (cond_ident == nullptr || cond_ident->name != h.iterator) {
+    reason = "for-condition must test the loop iterator";
+    return std::nullopt;
+  }
+  h.upper = cmp->rhs.get();
+  h.upper_inclusive = (cmp->op == BinaryOp::LessEqual);
+
+  // inc: `i++`, `++i`, `i += 1`, `i = i + 1`.
+  bool inc_ok = false;
+  if (const auto* u = expr_cast<UnaryExpr>(loop.inc.get())) {
+    if ((u->op == UnaryOp::PostInc || u->op == UnaryOp::PreInc)) {
+      const auto* ident = expr_cast<IdentExpr>(u->operand.get());
+      inc_ok = ident != nullptr && ident->name == h.iterator;
+    }
+  } else if (const auto* a = expr_cast<AssignExpr>(loop.inc.get())) {
+    const auto* ident = expr_cast<IdentExpr>(a->lhs.get());
+    if (ident != nullptr && ident->name == h.iterator) {
+      if (a->op == AssignOp::AddAssign) {
+        const auto* one = expr_cast<IntLiteralExpr>(a->rhs.get());
+        inc_ok = one != nullptr && one->value == 1;
+      } else if (a->op == AssignOp::Assign) {
+        const auto* add = expr_cast<BinaryExpr>(a->rhs.get());
+        if (add != nullptr && add->op == BinaryOp::Add) {
+          const auto* base = expr_cast<IdentExpr>(add->lhs.get());
+          const auto* one = expr_cast<IntLiteralExpr>(add->rhs.get());
+          inc_ok = base != nullptr && base->name == h.iterator &&
+                   one != nullptr && one->value == 1;
+        }
+      }
+    }
+  }
+  if (!inc_ok) {
+    reason = "for-increment must advance the iterator by exactly 1";
+    return std::nullopt;
+  }
+  h.body = loop.body.get();
+  return h;
+}
+
+/// Unwraps a compound of exactly one statement.
+[[nodiscard]] const Stmt* sole_statement(const Stmt* s) {
+  const auto* block = stmt_cast<CompoundStmt>(s);
+  if (block == nullptr) return s;
+  const Stmt* found = nullptr;
+  for (const StmtPtr& child : block->stmts) {
+    if (child->kind() == StmtKind::Null ||
+        child->kind() == StmtKind::Pragma) {
+      continue;
+    }
+    if (found != nullptr) return nullptr;  // more than one
+    found = child.get();
+  }
+  return found;
+}
+
+/// Extracts the access chain of an Index expression: base identifier and
+/// subscripts outermost-first. Returns false if the shape is not
+/// ident[e1][e2]...[ek].
+[[nodiscard]] bool flatten_index_chain(const Expr& e, std::string& base,
+                                       std::vector<const Expr*>& subscripts) {
+  const Expr* cursor = &e;
+  std::vector<const Expr*> rev;
+  while (const auto* idx = expr_cast<IndexExpr>(cursor)) {
+    rev.push_back(idx->index.get());
+    cursor = idx->base.get();
+  }
+  const auto* ident = expr_cast<IdentExpr>(cursor);
+  if (ident == nullptr) return false;
+  base = ident->name;
+  subscripts.assign(rev.rbegin(), rev.rend());
+  return true;
+}
+
+class Extractor {
+ public:
+  [[nodiscard]] ExtractionResult run(const ForStmt& root) {
+    ExtractionResult result;
+    Scop scop;
+    scop.root = &root;
+
+    // 1. Descend the perfect nest.
+    std::vector<LoopHeader> headers;
+    const ForStmt* current = &root;
+    for (;;) {
+      std::string reason;
+      auto header = match_loop(*current, reason);
+      if (!header) {
+        result.failure_reason = reason;
+        return result;
+      }
+      scop.iterators.push_back(header->iterator);
+      headers.push_back(*header);
+      if (scop.iterators.size() > 4) {
+        result.failure_reason = "loop nest deeper than 4";
+        return result;
+      }
+      const Stmt* body = sole_statement(header->body);
+      if (body != nullptr) {
+        if (const auto* inner = stmt_cast<ForStmt>(body)) {
+          current = inner;
+          continue;
+        }
+      }
+      break;  // innermost reached (possibly multiple statements)
+    }
+
+    // 2. Build the domain.
+    AffineBuilder builder(scop.iterators);
+    std::vector<Constraint> pending;
+    for (std::size_t level = 0; level < headers.size(); ++level) {
+      const LoopHeader& h = headers[level];
+      auto lower = builder.build(*h.lower);
+      auto upper = builder.build(*h.upper);
+      if (!lower || !upper) {
+        result.failure_reason =
+            "non-affine bound for iterator " + h.iterator;
+        return result;
+      }
+      builder.align(*lower);
+      builder.align(*upper);
+      // i - L >= 0
+      Constraint lo = Constraint::ge(IntVec(builder.space_size(), 0), 0);
+      lo.coeffs[level] = 1;
+      for (std::size_t i = 0; i < lower->coeffs.size(); ++i) {
+        lo.coeffs[i] = checked_sub(lo.coeffs[i], lower->coeffs[i]);
+      }
+      lo.constant = -lower->constant;
+      // U - i - (1 if exclusive) >= 0
+      Constraint up = Constraint::ge(IntVec(builder.space_size(), 0), 0);
+      up.coeffs[level] = -1;
+      for (std::size_t i = 0; i < upper->coeffs.size(); ++i) {
+        up.coeffs[i] = checked_add(up.coeffs[i], upper->coeffs[i]);
+      }
+      up.constant = upper->constant - (h.upper_inclusive ? 0 : 1);
+      pending.push_back(std::move(lo));
+      pending.push_back(std::move(up));
+    }
+
+    // 3. Extract statements & accesses from the innermost body.
+    std::vector<const Stmt*> body_stmts;
+    const Stmt* innermost_body = headers.back().body;
+    if (const auto* block = stmt_cast<CompoundStmt>(innermost_body)) {
+      for (const StmtPtr& child : block->stmts) {
+        if (child->kind() == StmtKind::Null ||
+            child->kind() == StmtKind::Pragma) {
+          continue;
+        }
+        body_stmts.push_back(child.get());
+      }
+    } else {
+      body_stmts.push_back(innermost_body);
+    }
+
+    // Scalars written in the nest (they carry dependences).
+    std::set<std::string> written_scalars;
+    for (const Stmt* s : body_stmts) {
+      if (const auto* es = stmt_cast<ExprStmt>(s)) {
+        if (const auto* a = expr_cast<AssignExpr>(es->expr.get())) {
+          if (const auto* ident = expr_cast<IdentExpr>(a->lhs.get())) {
+            written_scalars.insert(ident->name);
+          }
+        }
+      }
+    }
+
+    std::size_t position = 0;
+    for (const Stmt* s : body_stmts) {
+      const auto* es = stmt_cast<ExprStmt>(s);
+      const AssignExpr* assign =
+          es ? expr_cast<AssignExpr>(es->expr.get()) : nullptr;
+      if (assign == nullptr) {
+        result.failure_reason =
+            "loop body statement is not a plain assignment";
+        return result;
+      }
+      ScopStatement stmt;
+      stmt.ast = s;
+      stmt.position = position++;
+
+      if (!add_access(*assign->lhs, AccessKind::Write, builder, scop,
+                      written_scalars, stmt, result.failure_reason)) {
+        return result;
+      }
+      // Compound assignment reads its target too.
+      if (assign->op != AssignOp::Assign) {
+        if (!add_access(*assign->lhs, AccessKind::Read, builder, scop,
+                        written_scalars, stmt, result.failure_reason)) {
+          return result;
+        }
+      }
+      if (!collect_reads(*assign->rhs, builder, scop, written_scalars, stmt,
+                         result.failure_reason)) {
+        return result;
+      }
+      scop.statements.push_back(std::move(stmt));
+    }
+
+    // 4. Finalize: parameters are now known; pad all forms & constraints.
+    scop.parameters = builder.parameters();
+    const std::size_t space = builder.space_size();
+    scop.domain = ConstraintSystem(space);
+    for (Constraint& c : pending) {
+      c.coeffs.resize(space, 0);
+      scop.domain.add(std::move(c));
+    }
+    for (ScopStatement& stmt : scop.statements) {
+      for (Access& a : stmt.accesses) {
+        for (AffineForm& f : a.subscripts) f.coeffs.resize(space, 0);
+      }
+    }
+    result.scop = std::move(scop);
+    return result;
+  }
+
+ private:
+  bool add_access(const Expr& e, AccessKind kind, AffineBuilder& builder,
+                  Scop& scop, const std::set<std::string>& written_scalars,
+                  ScopStatement& stmt, std::string& failure) {
+    (void)scop;
+    if (const auto* ident = expr_cast<IdentExpr>(&e)) {
+      // Scalar access. Only track it if it is written in the nest —
+      // read-only scalars are parameters/constants.
+      if (kind == AccessKind::Write ||
+          written_scalars.count(ident->name) != 0) {
+        Access a;
+        a.kind = kind;
+        a.array = ident->name;
+        stmt.accesses.push_back(std::move(a));
+      }
+      return true;
+    }
+    std::string base;
+    std::vector<const Expr*> subscripts;
+    if (!flatten_index_chain(e, base, subscripts)) {
+      failure = "unsupported access shape (expected ident[aff]...[aff])";
+      return false;
+    }
+    Access a;
+    a.kind = kind;
+    a.array = base;
+    for (const Expr* sub : subscripts) {
+      auto form = builder.build(*sub);
+      if (!form) {
+        failure = "non-affine subscript on array " + base;
+        return false;
+      }
+      a.subscripts.push_back(std::move(*form));
+    }
+    stmt.accesses.push_back(std::move(a));
+    return true;
+  }
+
+  bool collect_reads(const Expr& e, AffineBuilder& builder, Scop& scop,
+                     const std::set<std::string>& written_scalars,
+                     ScopStatement& stmt, std::string& failure) {
+    switch (e.kind()) {
+      case ExprKind::Index:
+        return add_access(e, AccessKind::Read, builder, scop,
+                          written_scalars, stmt, failure);
+      case ExprKind::Ident:
+        return add_access(e, AccessKind::Read, builder, scop,
+                          written_scalars, stmt, failure);
+      case ExprKind::IntLiteral:
+      case ExprKind::FloatLiteral:
+      case ExprKind::CharLiteral:
+      case ExprKind::StringLiteral:
+        return true;
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        if (u.op == UnaryOp::Deref || u.op == UnaryOp::AddrOf ||
+            u.op == UnaryOp::PreInc || u.op == UnaryOp::PostInc ||
+            u.op == UnaryOp::PreDec || u.op == UnaryOp::PostDec) {
+          failure = "unsupported operator in loop body";
+          return false;
+        }
+        return collect_reads(*u.operand, builder, scop, written_scalars,
+                             stmt, failure);
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        return collect_reads(*b.lhs, builder, scop, written_scalars, stmt,
+                             failure) &&
+               collect_reads(*b.rhs, builder, scop, written_scalars, stmt,
+                             failure);
+      }
+      case ExprKind::Conditional: {
+        const auto& c = static_cast<const ConditionalExpr&>(e);
+        return collect_reads(*c.cond, builder, scop, written_scalars, stmt,
+                             failure) &&
+               collect_reads(*c.then_expr, builder, scop, written_scalars,
+                             stmt, failure) &&
+               collect_reads(*c.else_expr, builder, scop, written_scalars,
+                             stmt, failure);
+      }
+      case ExprKind::Cast:
+        return collect_reads(*static_cast<const CastExpr&>(e).operand,
+                             builder, scop, written_scalars, stmt, failure);
+      case ExprKind::Sizeof:
+        return true;
+      case ExprKind::Call:
+        failure = "function call left in loop body (not substituted)";
+        return false;
+      case ExprKind::Assign:
+        failure = "nested assignment in loop body expression";
+        return false;
+      case ExprKind::Member:
+        failure = "struct member access in loop body";
+        return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+ExtractionResult extract_scop(const ForStmt& loop) {
+  Extractor extractor;
+  return extractor.run(loop);
+}
+
+}  // namespace purec::poly

@@ -1,0 +1,82 @@
+// The polyhedral program model and its extraction from AST loop nests
+// (the Clan/OpenScop counterpart in the paper's chain).
+//
+// Scope of the model (documented restriction vs. full PluTo): perfectly
+// nested `for` loops of depth <= 4, unit step, bounds affine in outer
+// iterators and symbolic parameters, body = a sequence of assignment
+// statements whose subscripts are affine. Pure function calls have already
+// been substituted by `tmpConst_*` identifiers when extraction runs, which
+// is exactly why the paper's chain can feed these nests to PluTo.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/stmt.h"
+#include "polyhedral/constraint.h"
+#include "support/diagnostics.h"
+
+namespace purec::poly {
+
+/// Affine form over [iterators..., parameters..., 1]. Positional: the
+/// owning Scop defines the variable order.
+struct AffineForm {
+  IntVec coeffs;             // size = iterators + parameters
+  std::int64_t constant = 0;
+
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& names) const;
+};
+
+enum class AccessKind : std::uint8_t { Read, Write };
+
+struct Access {
+  AccessKind kind = AccessKind::Read;
+  std::string array;                  // base variable name
+  std::vector<AffineForm> subscripts; // empty for scalars
+};
+
+/// One statement instance set: the (shared, rectangular-or-affine) domain
+/// is stored on the Scop; each statement has its accesses and its textual
+/// position inside the innermost body.
+struct ScopStatement {
+  const Stmt* ast = nullptr;   // original AST statement (not owned)
+  std::vector<Access> accesses;
+  std::size_t position = 0;    // textual order in the body
+};
+
+/// A static control part: one perfectly nested loop band.
+struct Scop {
+  std::vector<std::string> iterators;   // outermost first
+  std::vector<std::string> parameters;  // symbolic sizes
+  /// Domain over [iterators..., parameters...]; one shared domain because
+  /// the nest is perfect.
+  ConstraintSystem domain{0};
+  std::vector<ScopStatement> statements;
+  const ForStmt* root = nullptr;        // original outermost loop
+
+  [[nodiscard]] std::size_t depth() const noexcept {
+    return iterators.size();
+  }
+  [[nodiscard]] std::vector<std::string> space_names() const;
+};
+
+/// Extraction outcome. `failure_reason` is set when the nest does not fit
+/// the model (the chain then leaves the loop untouched, like PluTo would).
+struct ExtractionResult {
+  std::optional<Scop> scop;
+  std::string failure_reason;
+
+  [[nodiscard]] bool ok() const noexcept { return scop.has_value(); }
+};
+
+/// Extracts the polyhedral model from `loop`. `known_scalars` lists names
+/// that must be treated as scalar memory (they are read AND written in the
+/// nest); every other bare identifier read is treated as a parameter or
+/// substituted constant.
+[[nodiscard]] ExtractionResult extract_scop(const ForStmt& loop);
+
+}  // namespace purec::poly

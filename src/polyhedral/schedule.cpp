@@ -1,0 +1,245 @@
+#include "polyhedral/schedule.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/rational.h"
+
+namespace purec::poly {
+
+bool Transform::is_identity() const {
+  return matrix == IntMat::identity(matrix.rows());
+}
+
+bool Transform::any_parallel() const {
+  return std::any_of(parallel.begin(), parallel.end(),
+                     [](bool b) { return b; });
+}
+
+std::size_t Transform::outermost_parallel() const {
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    if (parallel[i]) return i;
+  }
+  return npos;
+}
+
+namespace {
+
+/// Builds the constraint "h.(dst - src) + shift <= -1", i.e. the violation
+/// witness for weak (shift = 0) / strong (shift = -1 ... see callers)
+/// satisfaction, over the dependence polyhedron space
+/// [src (d), dst (d), params].
+[[nodiscard]] Constraint violation_constraint(const IntVec& h,
+                                              std::size_t depth,
+                                              std::size_t dims,
+                                              std::int64_t bound) {
+  // h.(dst - src) <= bound   <=>   -h.dst + h.src + bound >= 0
+  IntVec coeffs(dims, 0);
+  for (std::size_t k = 0; k < depth; ++k) {
+    coeffs[k] = h[k];
+    coeffs[depth + k] = -h[k];
+  }
+  return Constraint::ge(std::move(coeffs), bound);
+}
+
+}  // namespace
+
+bool weakly_satisfies(const IntVec& h, const Dependence& dep,
+                      std::size_t depth) {
+  // Violated iff there is a point with h.delta <= -1.
+  return !dep.polyhedron.satisfiable_with(
+      violation_constraint(h, depth, dep.polyhedron.dimensions(), -1));
+}
+
+bool strongly_satisfies(const IntVec& h, const Dependence& dep,
+                        std::size_t depth) {
+  // Strong iff no point with h.delta <= 0.
+  return !dep.polyhedron.satisfiable_with(
+      violation_constraint(h, depth, dep.polyhedron.dimensions(), 0));
+}
+
+namespace {
+
+/// Enumerates candidate hyperplanes with coefficients in [-1, 2], ordered
+/// by cost (sum of |coeffs|, then lexicographic), skipping the zero vector
+/// and non-primitive (gcd > 1) vectors.
+[[nodiscard]] std::vector<IntVec> candidate_hyperplanes(std::size_t d) {
+  std::vector<IntVec> out;
+  std::vector<std::int64_t> values = {0, 1, -1, 2};
+  IntVec current(d, 0);
+  std::vector<IntVec> all;
+  // Generate the full cross product (4^d, d <= 4 -> at most 256).
+  const std::size_t total = [&] {
+    std::size_t t = 1;
+    for (std::size_t i = 0; i < d; ++i) t *= values.size();
+    return t;
+  }();
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t c = code;
+    for (std::size_t i = 0; i < d; ++i) {
+      current[i] = values[c % values.size()];
+      c /= values.size();
+    }
+    if (std::all_of(current.begin(), current.end(),
+                    [](std::int64_t x) { return x == 0; })) {
+      continue;
+    }
+    if (vector_gcd(current) != 1) continue;
+    all.push_back(current);
+  }
+  std::sort(all.begin(), all.end(), [](const IntVec& a, const IntVec& b) {
+    const auto cost = [](const IntVec& v) {
+      std::int64_t negatives = 0;
+      std::int64_t sum = 0;
+      for (std::int64_t x : v) {
+        sum += x < 0 ? -x : x;
+        if (x < 0) ++negatives;
+      }
+      return std::pair(sum + negatives, 0);
+    };
+    const auto ca = cost(a);
+    const auto cb = cost(b);
+    if (ca != cb) return ca < cb;
+    // Prefer "earlier loop first": lexicographically larger leading
+    // coefficient pattern, i.e. (1,0) before (0,1).
+    return a > b;
+  });
+  return all;
+}
+
+/// Checks linear independence of `candidate` w.r.t. chosen rows via the
+/// rank of the stacked matrix (Bareiss on a copy).
+[[nodiscard]] bool independent(const std::vector<IntVec>& rows,
+                               const IntVec& candidate) {
+  const std::size_t d = candidate.size();
+  std::vector<std::vector<double>> m;
+  for (const IntVec& r : rows) {
+    m.emplace_back(r.begin(), r.end());
+  }
+  m.emplace_back(candidate.begin(), candidate.end());
+  // Gaussian elimination over doubles is fine for coefficients in [-2, 2].
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < d && rank < m.size(); ++col) {
+    std::size_t pivot = rank;
+    while (pivot < m.size() && std::abs(m[pivot][col]) < 1e-9) ++pivot;
+    if (pivot == m.size()) continue;
+    std::swap(m[rank], m[pivot]);
+    for (std::size_t r = 0; r < m.size(); ++r) {
+      if (r == rank || std::abs(m[r][col]) < 1e-9) continue;
+      const double f = m[r][col] / m[rank][col];
+      for (std::size_t c = col; c < d; ++c) m[r][c] -= f * m[rank][c];
+    }
+    ++rank;
+  }
+  return rank == m.size();
+}
+
+/// Completes a partial row set to a full-rank (unimodular if possible)
+/// matrix using unit vectors.
+void complete_with_units(std::vector<IntVec>& rows, std::size_t d) {
+  for (std::size_t i = 0; i < d && rows.size() < d; ++i) {
+    IntVec unit(d, 0);
+    unit[i] = 1;
+    if (independent(rows, unit)) rows.push_back(unit);
+  }
+}
+
+/// Parallel classification of transformed dimension `l` (0-based): no
+/// dependence admits h_0.delta == 0, ..., h_{l-1}.delta == 0,
+/// h_l.delta >= 1.
+[[nodiscard]] bool dimension_parallel(const std::vector<IntVec>& rows,
+                                      std::size_t l,
+                                      const std::vector<Dependence>& deps,
+                                      std::size_t depth) {
+  for (const Dependence& dep : deps) {
+    if (!dep.loop_carried(depth)) continue;
+    ConstraintSystem sys = dep.polyhedron;
+    const std::size_t dims = sys.dimensions();
+    for (std::size_t m = 0; m < l; ++m) {
+      IntVec eq(dims, 0);
+      for (std::size_t k = 0; k < depth; ++k) {
+        eq[k] = -rows[m][k];
+        eq[depth + k] = rows[m][k];
+      }
+      sys.add_equality(std::move(eq), 0);
+    }
+    IntVec ge(dims, 0);
+    for (std::size_t k = 0; k < depth; ++k) {
+      ge[k] = -rows[l][k];
+      ge[depth + k] = rows[l][k];
+    }
+    sys.add(Constraint::ge(std::move(ge), -1));  // h_l.delta >= 1
+    if (!sys.is_empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Transform compute_schedule(const Scop& scop,
+                           const std::vector<Dependence>& deps) {
+  const std::size_t d = scop.depth();
+  Transform out;
+
+  std::vector<const Dependence*> carried;
+  for (const Dependence& dep : deps) {
+    if (dep.loop_carried(d)) carried.push_back(&dep);
+  }
+
+  std::vector<IntVec> rows;
+  if (carried.empty()) {
+    // Fully parallel nest: identity, full band.
+    out.matrix = IntMat::identity(d);
+    out.band_size = d;
+    out.parallel.assign(d, true);
+    return out;
+  }
+
+  const std::vector<IntVec> candidates = candidate_hyperplanes(d);
+  bool band_open = true;
+  while (rows.size() < d && band_open) {
+    bool found = false;
+    for (const IntVec& h : candidates) {
+      if (!independent(rows, h)) continue;
+      bool ok = true;
+      for (const Dependence* dep : carried) {
+        if (!weakly_satisfies(h, *dep, d)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        rows.push_back(h);
+        found = true;
+        break;
+      }
+    }
+    if (!found) band_open = false;
+  }
+  out.band_size = rows.size();
+  complete_with_units(rows, d);
+
+  out.matrix = IntMat(d, d);
+  for (std::size_t r = 0; r < d; ++r) out.matrix.set_row(r, rows[r]);
+
+  // A transform must be invertible over the integers to generate code.
+  const std::int64_t det = out.matrix.determinant();
+  if (det != 1 && det != -1) {
+    out.matrix = IntMat::identity(d);
+    out.band_size = 0;
+    rows.clear();
+    for (std::size_t i = 0; i < d; ++i) {
+      IntVec unit(d, 0);
+      unit[i] = 1;
+      rows.push_back(unit);
+    }
+  }
+
+  out.parallel.assign(d, false);
+  for (std::size_t l = 0; l < d; ++l) {
+    out.parallel[l] = dimension_parallel(rows, l, deps, d);
+  }
+  return out;
+}
+
+}  // namespace purec::poly

@@ -1,0 +1,53 @@
+// Pluto-style schedule search (bounded): finds a unimodular transformation
+// whose rows weakly satisfy all dependences (a fully permutable band that
+// can be rectangularly tiled), then classifies each transformed dimension
+// as parallel or sequential.
+//
+// The search space is the small-coefficient hyperplanes that cover the
+// classical transformations on depth <= 4 nests: identity, permutation, and
+// skewing (e.g. the (1,0)/(1,1) time-skew of Fig. 2). This is the subset of
+// PluTo's algorithm the paper's evaluation exercises.
+#pragma once
+
+#include <vector>
+
+#include "polyhedral/dependence.h"
+#include "polyhedral/linalg.h"
+#include "polyhedral/model.h"
+
+namespace purec::poly {
+
+struct Transform {
+  /// New iterators as rows over old iterators: c = matrix * i.
+  IntMat matrix;
+  /// Size of the leading fully-permutable band (tilable prefix).
+  std::size_t band_size = 0;
+  /// parallel[l]: transformed dimension l carries no dependence once
+  /// dimensions 0..l-1 are fixed.
+  std::vector<bool> parallel;
+
+  [[nodiscard]] bool is_identity() const;
+  [[nodiscard]] bool any_parallel() const;
+  /// Index of the outermost parallel dimension, or npos.
+  [[nodiscard]] std::size_t outermost_parallel() const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Computes a legal transformation for the scop. Always succeeds: the
+/// fallback is the identity schedule with a conservative (possibly empty)
+/// band and parallel flags derived from the dependences.
+[[nodiscard]] Transform compute_schedule(const Scop& scop,
+                                         const std::vector<Dependence>& deps);
+
+/// True iff hyperplane h (coeffs over the scop's iterators) weakly
+/// satisfies dependence `dep`: h.(dst - src) >= 0 everywhere on the
+/// dependence polyhedron.
+[[nodiscard]] bool weakly_satisfies(const IntVec& h, const Dependence& dep,
+                                    std::size_t depth);
+
+/// True iff h strongly satisfies `dep`: h.(dst - src) >= 1 everywhere.
+[[nodiscard]] bool strongly_satisfies(const IntVec& h, const Dependence& dep,
+                                      std::size_t depth);
+
+}  // namespace purec::poly

@@ -1,0 +1,50 @@
+#include "preproc/include_stripper.h"
+
+#include <sstream>
+
+#include "support/string_utils.h"
+
+namespace purec {
+
+namespace {
+
+[[nodiscard]] bool is_system_include(std::string_view line) {
+  std::string_view t = trim(line);
+  if (t.empty() || t.front() != '#') return false;
+  t.remove_prefix(1);
+  t = trim(t);
+  if (!starts_with(t, "include")) return false;
+  t.remove_prefix(7);
+  t = trim(t);
+  return !t.empty() && t.front() == '<';
+}
+
+}  // namespace
+
+StrippedSource strip_system_includes(const std::string& source) {
+  StrippedSource out;
+  std::ostringstream kept;
+  for (std::string_view line : split_lines(source)) {
+    if (is_system_include(line)) {
+      out.system_includes.emplace_back(line);
+      // Keep the line count stable for diagnostics: leave an empty line.
+      kept << "\n";
+    } else {
+      kept << line << "\n";
+    }
+  }
+  out.text = std::move(kept).str();
+  return out;
+}
+
+std::string restore_system_includes(
+    const std::string& source, const std::vector<std::string>& system_includes,
+    const std::vector<std::string>& extra_includes) {
+  std::ostringstream out;
+  for (const std::string& inc : system_includes) out << inc << "\n";
+  for (const std::string& inc : extra_includes) out << inc << "\n";
+  out << source;
+  return std::move(out).str();
+}
+
+}  // namespace purec

@@ -1,0 +1,329 @@
+#include "preproc/mini_cpp.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/string_utils.h"
+
+namespace purec {
+
+namespace {
+
+constexpr int kMaxExpansionDepth = 32;
+constexpr int kMaxIncludeDepth = 16;
+
+/// Extracts the identifier starting at `i` (which must satisfy
+/// is_ident_char and not be a digit).
+[[nodiscard]] std::string_view ident_at(std::string_view s, std::size_t i) {
+  std::size_t end = i;
+  while (end < s.size() && is_ident_char(s[end])) ++end;
+  return s.substr(i, end - i);
+}
+
+}  // namespace
+
+void MiniPreprocessor::add_include_file(std::string name,
+                                        std::string content) {
+  include_files_[std::move(name)] = std::move(content);
+}
+
+void MiniPreprocessor::define(std::string name, std::string replacement) {
+  Macro m;
+  m.body = std::move(replacement);
+  macros_[std::move(name)] = std::move(m);
+}
+
+bool MiniPreprocessor::active() const {
+  for (const Conditional& c : conditionals_) {
+    if (!c.active_branch) return false;
+  }
+  return true;
+}
+
+std::string MiniPreprocessor::preprocess(const std::string& source) {
+  std::vector<std::string> out;
+  // Merge continuation lines first.
+  std::string merged;
+  merged.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '\\' && i + 1 < source.size() && source[i + 1] == '\n') {
+      ++i;
+      continue;
+    }
+    merged.push_back(source[i]);
+  }
+  for (std::string_view line : split_lines(merged)) {
+    process_line(line, out, 0);
+  }
+  if (!conditionals_.empty()) {
+    diags_.error({}, "preproc", "unterminated #if block at end of file");
+  }
+  std::ostringstream joined;
+  for (const std::string& l : out) joined << l << "\n";
+  return std::move(joined).str();
+}
+
+void MiniPreprocessor::process_line(std::string_view line,
+                                    std::vector<std::string>& out, int depth) {
+  std::string_view trimmed = trim(line);
+  if (!trimmed.empty() && trimmed.front() == '#') {
+    handle_directive(trimmed, out, depth);
+    return;
+  }
+  if (!active()) return;
+  out.push_back(expand(line, 0));
+}
+
+void MiniPreprocessor::handle_directive(std::string_view line,
+                                        std::vector<std::string>& out,
+                                        int depth) {
+  std::string_view rest = trim(line.substr(1));
+  const std::string_view directive = ident_at(rest, 0);
+  std::string_view args = trim(rest.substr(directive.size()));
+
+  if (directive == "ifdef" || directive == "ifndef") {
+    const std::string name(ident_at(args, 0));
+    bool cond = is_defined(name);
+    if (directive == "ifndef") cond = !cond;
+    const bool parent_active = active();
+    conditionals_.push_back(Conditional{cond, parent_active && cond});
+    return;
+  }
+  if (directive == "else") {
+    if (conditionals_.empty()) {
+      diags_.error({}, "preproc", "#else without matching #ifdef");
+      return;
+    }
+    Conditional& c = conditionals_.back();
+    const bool parent_active = [&] {
+      for (std::size_t i = 0; i + 1 < conditionals_.size(); ++i) {
+        if (!conditionals_[i].active_branch) return false;
+      }
+      return true;
+    }();
+    c.active_branch = parent_active && !c.taken;
+    c.taken = true;
+    return;
+  }
+  if (directive == "endif") {
+    if (conditionals_.empty()) {
+      diags_.error({}, "preproc", "#endif without matching #ifdef");
+      return;
+    }
+    conditionals_.pop_back();
+    return;
+  }
+
+  if (!active()) return;
+
+  if (directive == "define") {
+    const std::string_view name = ident_at(args, 0);
+    if (name.empty()) {
+      diags_.error({}, "preproc", "#define without a macro name");
+      return;
+    }
+    std::string_view after = args.substr(name.size());
+    Macro m;
+    if (!after.empty() && after.front() == '(') {
+      m.function_like = true;
+      const std::size_t close = after.find(')');
+      if (close == std::string_view::npos) {
+        diags_.error({}, "preproc",
+                     "unterminated parameter list in #define " +
+                         std::string(name));
+        return;
+      }
+      for (std::string_view p : split(after.substr(1, close - 1), ',')) {
+        p = trim(p);
+        if (!p.empty()) m.params.emplace_back(p);
+      }
+      m.body = std::string(trim(after.substr(close + 1)));
+    } else {
+      m.body = std::string(trim(after));
+    }
+    macros_[std::string(name)] = std::move(m);
+    return;
+  }
+  if (directive == "undef") {
+    macros_.erase(std::string(ident_at(args, 0)));
+    return;
+  }
+  if (directive == "include") {
+    if (!args.empty() && args.front() == '"') {
+      const std::size_t close = args.find('"', 1);
+      if (close == std::string_view::npos) {
+        diags_.error({}, "preproc", "unterminated #include filename");
+        return;
+      }
+      const std::string name(args.substr(1, close - 1));
+      const auto it = include_files_.find(name);
+      if (it == include_files_.end()) {
+        diags_.error({}, "preproc", "cannot resolve #include \"" + name +
+                                        "\" (no such virtual file)");
+        return;
+      }
+      if (depth >= kMaxIncludeDepth) {
+        diags_.error({}, "preproc", "#include nesting too deep at " + name);
+        return;
+      }
+      for (std::string_view inc_line : split_lines(it->second)) {
+        process_line(inc_line, out, depth + 1);
+      }
+      return;
+    }
+    // A `<...>` include surviving to this point was NOT stripped by
+    // PC-PrePro; keep it verbatim (the real GCC sees it later).
+    out.push_back(std::string(line));
+    return;
+  }
+  // #pragma and anything unknown passes through for later passes.
+  out.push_back(std::string(line));
+}
+
+std::string MiniPreprocessor::expand(std::string_view line, int depth) const {
+  if (depth > kMaxExpansionDepth) {
+    diags_.error({}, "preproc", "macro expansion too deep (recursive macro?)");
+    return std::string(line);
+  }
+  std::string out;
+  out.reserve(line.size());
+  bool changed = false;
+
+  std::size_t i = 0;
+  bool in_string = false;
+  bool in_char = false;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_string) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < line.size()) {
+        out.push_back(line[i + 1]);
+        i += 2;
+        continue;
+      }
+      if (c == '"') in_string = false;
+      ++i;
+      continue;
+    }
+    if (in_char) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < line.size()) {
+        out.push_back(line[i + 1]);
+        i += 2;
+        continue;
+      }
+      if (c == '\'') in_char = false;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '\'') {
+      in_char = true;
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (is_ident_char(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      const std::string_view name = ident_at(line, i);
+      const auto it = macros_.find(name);
+      if (it == macros_.end()) {
+        out.append(name);
+        i += name.size();
+        continue;
+      }
+      const Macro& m = it->second;
+      if (!m.function_like) {
+        out.append(m.body);
+        changed = true;
+        i += name.size();
+        continue;
+      }
+      // Function-like: need an argument list right after (whitespace ok).
+      std::size_t j = i + name.size();
+      while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+      if (j >= line.size() || line[j] != '(') {
+        out.append(name);
+        i += name.size();
+        continue;
+      }
+      // Collect balanced arguments.
+      int balance = 1;
+      std::size_t k = j + 1;
+      std::vector<std::string> call_args;
+      std::string current;
+      bool ok = false;
+      while (k < line.size()) {
+        const char a = line[k];
+        if (a == '(') ++balance;
+        if (a == ')') {
+          --balance;
+          if (balance == 0) {
+            ok = true;
+            break;
+          }
+        }
+        if (a == ',' && balance == 1) {
+          call_args.push_back(std::string(trim(current)));
+          current.clear();
+        } else {
+          current.push_back(a);
+        }
+        ++k;
+      }
+      if (!ok) {
+        diags_.error({}, "preproc",
+                     "unterminated macro invocation of " + std::string(name));
+        out.append(std::string_view(line.substr(i)));
+        return out;
+      }
+      if (!trim(current).empty() || !call_args.empty()) {
+        call_args.push_back(std::string(trim(current)));
+      }
+      if (call_args.size() != m.params.size()) {
+        diags_.error({}, "preproc",
+                     "macro " + std::string(name) + " expects " +
+                         std::to_string(m.params.size()) + " arguments, got " +
+                         std::to_string(call_args.size()));
+      }
+      // Substitute parameters by identifier match.
+      std::string body;
+      std::size_t b = 0;
+      while (b < m.body.size()) {
+        const char bc = m.body[b];
+        if (is_ident_char(bc) &&
+            !std::isdigit(static_cast<unsigned char>(bc))) {
+          const std::string_view pn = ident_at(m.body, b);
+          bool substituted = false;
+          for (std::size_t pi = 0;
+               pi < m.params.size() && pi < call_args.size(); ++pi) {
+            if (pn == m.params[pi]) {
+              body += "(" + call_args[pi] + ")";
+              substituted = true;
+              break;
+            }
+          }
+          if (!substituted) body.append(pn);
+          b += pn.size();
+        } else {
+          body.push_back(bc);
+          ++b;
+        }
+      }
+      out.append(body);
+      changed = true;
+      i = k + 1;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  if (changed) return expand(out, depth + 1);
+  return out;
+}
+
+}  // namespace purec

@@ -1,0 +1,59 @@
+// Miniature C preprocessor standing in for GCC-E in the chain. Supports the
+// directives the evaluation codes need: object- and function-like #define,
+// #undef, #include "..." (through a virtual file map), and
+// #ifdef/#ifndef/#else/#endif. `#pragma` lines pass through untouched —
+// they are the chain's transport for scop markers and OpenMP annotations.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace purec {
+
+class MiniPreprocessor {
+ public:
+  explicit MiniPreprocessor(DiagnosticEngine& diags) : diags_(diags) {}
+
+  /// Registers a virtual file for `#include "name"`.
+  void add_include_file(std::string name, std::string content);
+
+  /// Pre-defines an object-like macro (like `-D`).
+  void define(std::string name, std::string replacement);
+
+  /// Runs the preprocessor over `source` and returns the expanded text.
+  [[nodiscard]] std::string preprocess(const std::string& source);
+
+  [[nodiscard]] bool is_defined(const std::string& name) const {
+    return macros_.count(name) != 0;
+  }
+
+ private:
+  struct Macro {
+    bool function_like = false;
+    std::vector<std::string> params;
+    std::string body;
+  };
+
+  void process_line(std::string_view line, std::vector<std::string>& out,
+                    int depth);
+  void handle_directive(std::string_view line, std::vector<std::string>& out,
+                        int depth);
+  [[nodiscard]] std::string expand(std::string_view line, int depth) const;
+
+  [[nodiscard]] bool active() const;
+
+  DiagnosticEngine& diags_;
+  std::map<std::string, Macro, std::less<>> macros_;
+  std::map<std::string, std::string, std::less<>> include_files_;
+  // Conditional stack: each entry is {branch_taken, currently_active}.
+  struct Conditional {
+    bool taken;
+    bool active_branch;
+  };
+  std::vector<Conditional> conditionals_;
+};
+
+}  // namespace purec

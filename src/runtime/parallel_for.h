@@ -1,0 +1,43 @@
+// parallel_for with OpenMP-style schedules. This is the runtime the bench
+// harness uses to execute the loop structures the chain generates, with
+// the exact schedule semantics the paper compares:
+//   static         — contiguous equal chunks (omp `schedule(static)`)
+//   dynamic(chunk) — work-stealing from a shared counter
+//                    (omp `schedule(dynamic,chunk)`, the §4.3.3 fix)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "runtime/thread_pool.h"
+
+namespace purec::rt {
+
+enum class Schedule { Static, Dynamic };
+
+struct ForOptions {
+  Schedule schedule = Schedule::Static;
+  std::int64_t chunk = 1;  // dynamic chunk size
+};
+
+/// Runs `body(i)` for i in [begin, end) across the pool.
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body,
+                  const ForOptions& options = {});
+
+/// Block variant: `body(chunk_begin, chunk_end)` — lets kernels keep their
+/// inner loops intact (no per-iteration std::function call).
+void parallel_for_blocked(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    const ForOptions& options = {});
+
+/// Sum-reduction over [begin, end): each thread accumulates privately,
+/// partial sums are combined at the barrier (OpenMP `reduction(+:...)`).
+[[nodiscard]] double parallel_reduce_sum(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::function<double(std::int64_t)>& body,
+    const ForOptions& options = {});
+
+}  // namespace purec::rt

@@ -1,0 +1,61 @@
+#include "runtime/thread_pool.h"
+
+namespace purec::rt {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  if (worker_count == 0) worker_count = 1;
+  workers_.reserve(worker_count - 1);
+  for (std::size_t i = 1; i < worker_count; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& task) {
+  if (workers_.empty()) {
+    task(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    task_ = &task;
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  task(0);
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace purec::rt

@@ -1,0 +1,49 @@
+// A persistent worker pool — the execution substrate standing in for the
+// OpenMP runtime in the paper's measurements. Threads are created once and
+// parked between parallel regions so that per-region overhead stays
+// comparable to a warm OpenMP pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace purec::rt {
+
+class ThreadPool {
+ public:
+  /// Creates `worker_count` workers (>= 1). Workers above the hardware
+  /// concurrency are allowed (the paper's 64-core sweeps oversubscribe
+  /// this machine; see EXPERIMENTS.md).
+  explicit ThreadPool(std::size_t worker_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size() + 1;  // workers + the calling thread
+  }
+
+  /// Runs `task(worker_index)` on every worker AND the calling thread
+  /// (index 0), returning when all are done. Exceptions thrown by tasks
+  /// terminate (tasks are expected to be noexcept compute kernels).
+  void run_on_all(const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace purec::rt

@@ -1,0 +1,63 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+#include <utility>
+
+#include "support/source_buffer.h"
+
+namespace purec {
+
+std::string_view to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(Severity severity, SourceLocation loc,
+                              std::string pass, std::string message) {
+  if (severity == Severity::Error) ++errors_;
+  if (severity == Severity::Warning) ++warnings_;
+  diags_.push_back(
+      Diagnostic{severity, loc, std::move(pass), std::move(message)});
+}
+
+bool DiagnosticEngine::has_error_containing(std::string_view needle) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::Error &&
+        d.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string DiagnosticEngine::format(const SourceBuffer* buffer) const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags_) {
+    if (buffer != nullptr) out << buffer->name() << ":";
+    out << to_string(d.location) << ": " << to_string(d.severity) << " ["
+        << d.pass << "] " << d.message << "\n";
+    if (buffer != nullptr && d.location.valid()) {
+      if (auto line = buffer->line(d.location.line)) {
+        out << "    " << *line << "\n    ";
+        for (std::uint32_t i = 1; i < d.location.column; ++i) out << ' ';
+        out << "^\n";
+      }
+    }
+  }
+  return std::move(out).str();
+}
+
+void DiagnosticEngine::clear() noexcept {
+  diags_.clear();
+  errors_ = 0;
+  warnings_ = 0;
+}
+
+}  // namespace purec

@@ -1,0 +1,70 @@
+// Diagnostic engine shared by all compiler-chain passes. User-source errors
+// are reported here (not via exceptions); internal invariant violations use
+// exceptions/assertions per the Core Guidelines split between "caller bug"
+// and "bad input".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace purec {
+
+class SourceBuffer;
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] std::string_view to_string(Severity severity) noexcept;
+
+/// One reported problem. `pass` names the stage that produced it
+/// ("lexer", "parser", "purity", ...) so chained-tool output stays readable.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLocation location;
+  std::string pass;
+  std::string message;
+};
+
+/// Collects diagnostics for one run of the chain. Cheap to pass by
+/// reference through all stages; never throws on report.
+class DiagnosticEngine {
+ public:
+  void report(Severity severity, SourceLocation loc, std::string pass,
+              std::string message);
+
+  void error(SourceLocation loc, std::string pass, std::string message) {
+    report(Severity::Error, loc, std::move(pass), std::move(message));
+  }
+  void warning(SourceLocation loc, std::string pass, std::string message) {
+    report(Severity::Warning, loc, std::move(pass), std::move(message));
+  }
+  void note(SourceLocation loc, std::string pass, std::string message) {
+    report(Severity::Note, loc, std::move(pass), std::move(message));
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t error_count() const noexcept { return errors_; }
+  [[nodiscard]] std::size_t warning_count() const noexcept { return warnings_; }
+  [[nodiscard]] bool has_errors() const noexcept { return errors_ != 0; }
+
+  /// True if any error message contains `needle` (used heavily by tests).
+  [[nodiscard]] bool has_error_containing(std::string_view needle) const;
+
+  /// Renders all diagnostics; with a buffer, includes the offending source
+  /// line and a caret.
+  [[nodiscard]] std::string format(const SourceBuffer* buffer = nullptr) const;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+}  // namespace purec

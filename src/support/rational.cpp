@@ -1,0 +1,96 @@
+#include "support/rational.h"
+
+namespace purec {
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) throw ArithmeticOverflow();
+  return r;
+}
+
+std::int64_t checked_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) throw ArithmeticOverflow();
+  return r;
+}
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) throw ArithmeticOverflow();
+  return r;
+}
+
+std::int64_t checked_neg(std::int64_t a) { return checked_sub(0, a); }
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw std::invalid_argument("floor_div by zero");
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw std::invalid_argument("ceil_div by zero");
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+Rational::Rational(std::int64_t num) : num_(num), den_(1) {}
+
+Rational::Rational(std::int64_t num, std::int64_t den)
+    : num_(num), den_(den) {
+  if (den == 0) throw std::invalid_argument("Rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = checked_neg(num_);
+    den_ = checked_neg(den_);
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+Rational Rational::operator-() const {
+  return Rational(checked_neg(num_), den_);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(
+      checked_add(checked_mul(num_, o.den_), checked_mul(o.num_, den_)),
+      checked_mul(den_, o.den_));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(checked_mul(num_, o.num_), checked_mul(den_, o.den_));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::invalid_argument("Rational division by zero");
+  return Rational(checked_mul(num_, o.den_), checked_mul(den_, o.num_));
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  // a.num/a.den < b.num/b.den  <=>  a.num*b.den < b.num*a.den (dens > 0).
+  return checked_mul(a.num_, b.den_) < checked_mul(b.num_, a.den_);
+}
+
+bool operator<=(const Rational& a, const Rational& b) {
+  return checked_mul(a.num_, b.den_) <= checked_mul(b.num_, a.den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace purec

@@ -1,0 +1,86 @@
+// Exact rational arithmetic over int64 with overflow checking. The
+// polyhedral engine's Fourier-Motzkin elimination needs exact arithmetic;
+// silent overflow would turn "dependence exists" into "no dependence" and
+// miscompile user loops, so every operation checks.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace purec {
+
+/// Thrown when exact arithmetic would overflow int64. Callers in the
+/// polyhedral engine treat this as "analysis failed, assume dependence".
+class ArithmeticOverflow : public std::runtime_error {
+ public:
+  ArithmeticOverflow() : std::runtime_error("purec: int64 overflow in exact arithmetic") {}
+};
+
+[[nodiscard]] std::int64_t checked_add(std::int64_t a, std::int64_t b);
+[[nodiscard]] std::int64_t checked_sub(std::int64_t a, std::int64_t b);
+[[nodiscard]] std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+[[nodiscard]] std::int64_t checked_neg(std::int64_t a);
+
+/// floor(a/b) with sign-correct semantics (b != 0). This matches the
+/// `floord` helper PluTo emits into generated code.
+[[nodiscard]] std::int64_t floor_div(std::int64_t a, std::int64_t b);
+/// ceil(a/b) with sign-correct semantics (b != 0); PluTo's `ceild`.
+[[nodiscard]] std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// Always-normalized rational: gcd(num, den) == 1, den > 0, 0 == 0/1.
+class Rational {
+ public:
+  constexpr Rational() noexcept = default;
+  Rational(std::int64_t num);  // NOLINT(google-explicit-constructor) --
+                               // implicit int->Rational is the whole point.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] std::int64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] bool is_zero() const noexcept { return num_ == 0; }
+  [[nodiscard]] bool is_integer() const noexcept { return den_ == 1; }
+  [[nodiscard]] int sign() const noexcept {
+    return num_ == 0 ? 0 : (num_ > 0 ? 1 : -1);
+  }
+
+  /// floor of the rational as an integer.
+  [[nodiscard]] std::int64_t floor() const { return floor_div(num_, den_); }
+  [[nodiscard]] std::int64_t ceil() const { return ceil_div(num_, den_); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;  // throws on /0
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator<=(const Rational& a, const Rational& b);
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return b <= a;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace purec

@@ -1,0 +1,39 @@
+// Source locations and ranges used by every stage of the purec chain.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace purec {
+
+/// A position inside a source buffer. Lines and columns are 1-based;
+/// `offset` is the 0-based byte offset, which is what the lexer actually
+/// tracks — line/column exist for human-readable diagnostics.
+struct SourceLocation {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+  std::uint32_t offset = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return line != 0; }
+
+  friend constexpr auto operator<=>(const SourceLocation& a,
+                                    const SourceLocation& b) noexcept {
+    return a.offset <=> b.offset;
+  }
+  friend constexpr bool operator==(const SourceLocation&,
+                                   const SourceLocation&) noexcept = default;
+};
+
+/// Half-open byte range [begin, end) inside one buffer.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return begin.valid(); }
+};
+
+/// "file.c:12:3" formatting for diagnostics.
+[[nodiscard]] std::string to_string(const SourceLocation& loc);
+
+}  // namespace purec

@@ -1,0 +1,38 @@
+// Small string helpers shared across passes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace purec {
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep);
+
+/// Split into lines, tolerating both "\n" and "\r\n"; the terminators are
+/// not included in the pieces.
+[[nodiscard]] std::vector<std::string_view> split_lines(std::string_view s);
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Replace every occurrence of `from` in `s` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s,
+                                      std::string_view from,
+                                      std::string_view to);
+
+/// True for [A-Za-z0-9_].
+[[nodiscard]] constexpr bool is_ident_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+}  // namespace purec

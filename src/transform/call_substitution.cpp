@@ -1,0 +1,46 @@
+#include "transform/call_substitution.h"
+
+#include "ast/walk.h"
+
+namespace purec {
+
+std::vector<SubstitutedCall> substitute_pure_calls(
+    ForStmt& loop, const std::set<std::string>& pure_functions,
+    std::size_t& counter) {
+  std::vector<SubstitutedCall> out;
+  for_each_expr_slot(loop, [&](ExprPtr& slot) -> bool {
+    auto* call = expr_cast<CallExpr>(slot.get());
+    if (call == nullptr) return false;
+    const std::string name = call->callee_name();
+    if (name.empty() || pure_functions.count(name) == 0) return false;
+    SubstitutedCall record;
+    record.placeholder = "tmpConst_" + name + "_" + std::to_string(counter++);
+    record.original = std::move(slot);
+    auto ident = std::make_unique<IdentExpr>(record.placeholder);
+    ident->loc = record.original->loc;
+    slot = std::move(ident);
+    out.push_back(std::move(record));
+    return true;  // the call (including its arguments) is gone from the tree
+  });
+  return out;
+}
+
+std::size_t reinsert_pure_calls(Stmt& root,
+                                const std::vector<SubstitutedCall>& calls) {
+  std::size_t replaced = 0;
+  for_each_expr_slot(root, [&](ExprPtr& slot) -> bool {
+    const auto* ident = expr_cast<IdentExpr>(slot.get());
+    if (ident == nullptr) return false;
+    for (const SubstitutedCall& c : calls) {
+      if (ident->name == c.placeholder) {
+        slot = c.original->clone();
+        ++replaced;
+        return true;
+      }
+    }
+    return false;
+  });
+  return replaced;
+}
+
+}  // namespace purec

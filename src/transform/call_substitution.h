@@ -1,0 +1,35 @@
+// Pure-call substitution (§3.3): before the polyhedral transformer runs,
+// calls to pure functions inside a marked loop are replaced by unique
+// placeholder identifiers (`tmpConst_<fn>_<n>`) so the loop looks like a
+// plain affine nest; after transformation the calls are reinserted with
+// the loop's (possibly renamed) iterators.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/stmt.h"
+
+namespace purec {
+
+struct SubstitutedCall {
+  std::string placeholder;  // tmpConst_<fn>_<n>
+  ExprPtr original;         // the call expression (owned)
+};
+
+/// Replaces every call to a function in `pure_functions` inside `loop`'s
+/// body/condition/increment with a fresh placeholder identifier.
+/// `counter` provides unique suffixes across multiple loops of one file.
+[[nodiscard]] std::vector<SubstitutedCall> substitute_pure_calls(
+    ForStmt& loop, const std::set<std::string>& pure_functions,
+    std::size_t& counter);
+
+/// Puts substituted calls back, replacing each placeholder identifier with
+/// (a clone of) its original call. Works on any statement tree — both for
+/// undoing a failed transformation on the original loop and for finishing
+/// a generated loop nest. Returns the number of placeholders replaced.
+std::size_t reinsert_pure_calls(Stmt& root,
+                                const std::vector<SubstitutedCall>& calls);
+
+}  // namespace purec

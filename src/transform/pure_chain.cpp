@@ -1,0 +1,358 @@
+#include "transform/pure_chain.h"
+
+#include <functional>
+
+#include "ast/walk.h"
+#include "emit/c_printer.h"
+#include "lexer/lexer.h"
+#include "parser/parser.h"
+#include "polyhedral/dependence.h"
+#include "polyhedral/model.h"
+#include "polyhedral/schedule.h"
+#include "preproc/include_stripper.h"
+#include "preproc/mini_cpp.h"
+#include "sema/symbols.h"
+#include "support/rational.h"
+#include "transform/call_substitution.h"
+#include "transform/pure_inliner.h"
+
+namespace purec {
+
+namespace {
+
+/// Finds the owning slot of `target` anywhere under `root` (compound
+/// children, if branches, loop bodies). Returns nullptr if absent.
+StmtPtr* find_stmt_slot(CompoundStmt& root, const Stmt* target) {
+  StmtPtr* found = nullptr;
+  std::function<void(StmtPtr&)> visit = [&](StmtPtr& slot) {
+    if (found != nullptr || !slot) return;
+    if (slot.get() == target) {
+      found = &slot;
+      return;
+    }
+    switch (slot->kind()) {
+      case StmtKind::Compound:
+        for (StmtPtr& child : static_cast<CompoundStmt&>(*slot).stmts) {
+          visit(child);
+        }
+        return;
+      case StmtKind::If: {
+        auto& n = static_cast<IfStmt&>(*slot);
+        visit(n.then_stmt);
+        if (n.else_stmt) visit(n.else_stmt);
+        return;
+      }
+      case StmtKind::For: {
+        auto& n = static_cast<ForStmt&>(*slot);
+        if (n.body) visit(n.body);
+        return;
+      }
+      case StmtKind::While:
+        visit(static_cast<WhileStmt&>(*slot).body);
+        return;
+      case StmtKind::DoWhile:
+        visit(static_cast<DoWhileStmt&>(*slot).body);
+        return;
+      default:
+        return;
+    }
+  };
+  for (StmtPtr& child : root.stmts) visit(child);
+  return found;
+}
+
+/// Finds the compound statement that directly owns `target`.
+CompoundStmt* find_owning_compound(Stmt& s, const Stmt* target) {
+  if (auto* block = stmt_cast<CompoundStmt>(&s)) {
+    for (StmtPtr& child : block->stmts) {
+      if (child.get() == target) return block;
+    }
+    for (StmtPtr& child : block->stmts) {
+      if (CompoundStmt* hit = find_owning_compound(*child, target)) {
+        return hit;
+      }
+    }
+    return nullptr;
+  }
+  switch (s.kind()) {
+    case StmtKind::If: {
+      auto& n = static_cast<IfStmt&>(s);
+      if (CompoundStmt* hit = find_owning_compound(*n.then_stmt, target)) {
+        return hit;
+      }
+      return n.else_stmt ? find_owning_compound(*n.else_stmt, target)
+                         : nullptr;
+    }
+    case StmtKind::For: {
+      auto& n = static_cast<ForStmt&>(s);
+      return n.body ? find_owning_compound(*n.body, target) : nullptr;
+    }
+    case StmtKind::While:
+      return find_owning_compound(*static_cast<WhileStmt&>(s).body, target);
+    case StmtKind::DoWhile:
+      return find_owning_compound(*static_cast<DoWhileStmt&>(s).body, target);
+    default:
+      return nullptr;
+  }
+}
+
+/// Inserts `#pragma scop` / `#pragma endscop` around each candidate loop.
+void mark_scops(TranslationUnit& tu,
+                const std::vector<ScopCandidate>& candidates) {
+  for (const ScopCandidate& candidate : candidates) {
+    FunctionDecl* fn = tu.find_function(candidate.function->name);
+    if (fn == nullptr || !fn->body) continue;
+    CompoundStmt* block = find_owning_compound(*fn->body, candidate.loop);
+    if (block == nullptr) continue;
+    for (std::size_t i = 0; i < block->stmts.size(); ++i) {
+      if (block->stmts[i].get() != candidate.loop) continue;
+      block->stmts.insert(block->stmts.begin() + i + 1,
+                          std::make_unique<PragmaStmt>("#pragma endscop"));
+      block->stmts.insert(block->stmts.begin() + i,
+                          std::make_unique<PragmaStmt>("#pragma scop"));
+      break;
+    }
+  }
+}
+
+/// Removes the scop marker pragmas again (the polyhedral step consumes
+/// candidates directly; the markers are the PC-CC artifact).
+void scrub_scop_markers(Stmt& s) {
+  if (auto* block = stmt_cast<CompoundStmt>(&s)) {
+    for (auto it = block->stmts.begin(); it != block->stmts.end();) {
+      const auto* pragma = stmt_cast<PragmaStmt>(it->get());
+      if (pragma != nullptr && (pragma->text == "#pragma scop" ||
+                                pragma->text == "#pragma endscop")) {
+        it = block->stmts.erase(it);
+      } else {
+        scrub_scop_markers(**it);
+        ++it;
+      }
+    }
+    return;
+  }
+  switch (s.kind()) {
+    case StmtKind::If: {
+      auto& n = static_cast<IfStmt&>(s);
+      scrub_scop_markers(*n.then_stmt);
+      if (n.else_stmt) scrub_scop_markers(*n.else_stmt);
+      return;
+    }
+    case StmtKind::For: {
+      auto& n = static_cast<ForStmt&>(s);
+      if (n.body) scrub_scop_markers(*n.body);
+      return;
+    }
+    case StmtKind::While:
+      scrub_scop_markers(*static_cast<WhileStmt&>(s).body);
+      return;
+    case StmtKind::DoWhile:
+      scrub_scop_markers(*static_cast<DoWhileStmt&>(s).body);
+      return;
+    default:
+      return;
+  }
+}
+
+void unmark_scops(TranslationUnit& tu) {
+  for (FunctionDecl* fn : tu.functions()) {
+    if (fn->body) scrub_scop_markers(*fn->body);
+  }
+}
+
+}  // namespace
+
+ChainArtifacts run_pure_chain(const std::string& source,
+                              const ChainOptions& options) {
+  ChainArtifacts artifacts;
+  DiagnosticEngine& diags = artifacts.diagnostics;
+
+  // ---- PC-PrePro ----------------------------------------------------------
+  StrippedSource stripped = strip_system_includes(source);
+  artifacts.stripped = stripped.text;
+
+  // ---- GCC-E (mini) -------------------------------------------------------
+  MiniPreprocessor cpp(diags);
+  for (const auto& [name, content] : options.virtual_includes) {
+    cpp.add_include_file(name, content);
+  }
+  for (const auto& [name, value] : options.defines) {
+    cpp.define(name, value);
+  }
+  artifacts.preprocessed = cpp.preprocess(stripped.text);
+  if (diags.has_errors()) return artifacts;
+
+  // ---- PC-CC: parse + purity verification + scop detection ----------------
+  SourceBuffer buffer =
+      SourceBuffer::from_string(artifacts.preprocessed, "<chain>");
+  TranslationUnit tu = parse(buffer, diags);
+  if (diags.has_errors()) return artifacts;
+
+  // Extension pre-pass (§3.3 future work): inline expression-bodied pure
+  // functions before verification + scop detection. A scratch purity run
+  // supplies the hashset; the authoritative run happens below on the
+  // (possibly) rewritten AST.
+  if (options.inline_pure_expressions) {
+    DiagnosticEngine scratch;
+    const SymbolTable scratch_symbols = SymbolTable::build(tu, scratch);
+    PurityOptions scratch_options = options.purity;
+    scratch_options.listing5_violation_is_error = false;
+    PurityChecker scratch_checker(tu, scratch_symbols, scratch,
+                                  scratch_options);
+    const PurityResult scratch_purity = scratch_checker.check();
+    artifacts.inlined_calls =
+        inline_pure_expression_functions(tu, scratch_purity.pure_functions);
+  }
+
+  const SymbolTable symbols = SymbolTable::build(tu, diags);
+  PurityChecker checker(tu, symbols, diags, options.purity);
+  const PurityResult purity = checker.check();
+  if (diags.has_errors()) return artifacts;
+
+  mark_scops(tu, purity.scop_loops);
+  artifacts.marked = print_c(tu, PrintOptions{PureHandling::Keep, 2});
+  unmark_scops(tu);
+
+  // ---- polycc: substitution + polyhedral transformation -------------------
+  std::size_t placeholder_counter = 0;
+  std::vector<std::vector<SubstitutedCall>> all_substitutions;
+  for (const ScopCandidate& candidate : purity.scop_loops) {
+    auto* loop = const_cast<ForStmt*>(candidate.loop);
+    all_substitutions.push_back(substitute_pure_calls(
+        *loop, purity.pure_functions, placeholder_counter));
+  }
+  artifacts.substituted = print_c(tu, PrintOptions{PureHandling::Keep, 2});
+
+  for (std::size_t idx = 0; idx < purity.scop_loops.size(); ++idx) {
+    const ScopCandidate& candidate = purity.scop_loops[idx];
+    std::vector<SubstitutedCall>& calls = all_substitutions[idx];
+    auto* loop = const_cast<ForStmt*>(candidate.loop);
+
+    ScopReport report;
+    report.function = candidate.function->name;
+    report.line = candidate.loop->loc.line;
+    report.contains_calls = candidate.contains_calls;
+    report.substituted_calls = calls.size();
+
+    const auto undo = [&] {
+      reinsert_pure_calls(*loop, calls);
+      artifacts.scops.push_back(report);
+    };
+
+    poly::IteratorSubstitution iter_subst;
+    StmtPtr generated;
+    std::vector<std::string> scop_iterators;
+    try {
+      poly::ExtractionResult extraction = poly::extract_scop(*loop);
+      if (!extraction.ok()) {
+        report.failure_reason = extraction.failure_reason;
+        undo();
+        continue;
+      }
+      const poly::Scop& scop = *extraction.scop;
+      scop_iterators = scop.iterators;
+      report.extracted = true;
+      report.depth = scop.depth();
+
+      const std::vector<poly::Dependence> deps =
+          poly::analyze_dependences(scop);
+      report.dependences = deps.size();
+
+      const poly::Transform transform = poly::compute_schedule(scop, deps);
+      report.skewed = !transform.is_identity();
+
+      poly::CodegenOptions cg;
+      cg.parallelize = options.parallelize;
+      cg.tile = options.tile;
+      cg.tile_size = options.tile_size;
+      cg.simd = (options.mode == TransformMode::PlutoSica);
+      cg.schedule_clause = options.schedule_clause;
+
+      generated = poly::generate_code(scop, transform, cg, &iter_subst);
+      if (generated) {
+        report.parallelized =
+            options.parallelize && transform.any_parallel();
+        report.tiled = options.tile && transform.band_size >= 2 &&
+                       options.tile_size > 1;
+      }
+    } catch (const ArithmeticOverflow&) {
+      // Exact analysis would overflow int64 (gigantic bounds or
+      // coefficients). The safe answer is "don't transform".
+      report.failure_reason = "analysis overflow (bounds too large)";
+      undo();
+      continue;
+    }
+    if (!generated) {
+      report.failure_reason = "codegen could not derive loop bounds";
+      undo();
+      continue;
+    }
+
+    // Reinsert the substituted calls inside the generated nest, then map
+    // their arguments onto the new iterators (Listing 8: dot(...A[t1]...)).
+    for (SubstitutedCall& call : calls) {
+      apply_iterator_substitution(call.original, scop_iterators, iter_subst);
+    }
+    reinsert_pure_calls(*generated, calls);
+
+    // Swap the generated nest into the function body.
+    FunctionDecl* fn = tu.find_function(candidate.function->name);
+    StmtPtr* slot = fn != nullptr && fn->body
+                        ? find_stmt_slot(*fn->body, candidate.loop)
+                        : nullptr;
+    if (slot == nullptr) {
+      report.failure_reason = "could not locate loop in function body";
+      report.parallelized = false;
+      report.tiled = false;
+      undo();
+      continue;
+    }
+    *slot = std::move(generated);
+    report.transformed = true;
+    artifacts.scops.push_back(report);
+  }
+
+  artifacts.transformed = print_c(tu, PrintOptions{PureHandling::Keep, 2});
+
+  // Extension: mark allocation-free verified pure functions for GCC's
+  // __attribute__((pure)) in the lowered output. (malloc/calloc/free
+  // users are excluded — the attribute's contract forbids observable
+  // state changes.)
+  if (options.emit_gcc_attributes) {
+    for (FunctionDecl* fn : tu.functions()) {
+      if (!fn->is_pure || purity.pure_functions.count(fn->name) == 0) {
+        continue;
+      }
+      bool allocates = false;
+      if (fn->body) {
+        for_each_expr(static_cast<const Stmt&>(*fn->body),
+                      [&](const Expr& e) {
+                        const auto* call = expr_cast<CallExpr>(&e);
+                        if (call == nullptr) return;
+                        const std::string callee = call->callee_name();
+                        if (callee == "malloc" || callee == "calloc" ||
+                            callee == "free") {
+                          allocates = true;
+                        }
+                      });
+      }
+      fn->annotate_gcc_pure = !allocates;
+    }
+  }
+
+  // ---- PC-PosPro: lower pure, restore system includes ---------------------
+  const std::string lowered =
+      print_c(tu, PrintOptions{PureHandling::Lower, 2});
+  std::vector<std::string> extra;
+  bool uses_omp = false;
+  for (const ScopReport& r : artifacts.scops) {
+    if (r.parallelized) uses_omp = true;
+  }
+  if (uses_omp) extra.push_back("#include <omp.h>");
+  artifacts.final_source = restore_system_includes(
+      poly::codegen_prelude() + lowered, stripped.system_includes, extra);
+  artifacts.ok = !diags.has_errors();
+  return artifacts;
+}
+
+}  // namespace purec

@@ -1,0 +1,90 @@
+// The complete compiler chain of the paper's Fig. 1:
+//
+//   C file -> PC-PrePro (strip system includes) -> GCC-E (mini cpp)
+//          -> PC-CC (parse, purity verification, scop marking)
+//          -> polycc (call substitution, polyhedral transform, OpenMP
+//             pragma insertion, call reinsertion)
+//          -> PC-PosPro (restore includes, lower `pure` to plain C)
+//          -> (system GCC compiles the result)
+//
+// Every stage's output text is captured in ChainArtifacts so examples and
+// tests can show the source evolving exactly like the paper's figure.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "polyhedral/codegen.h"
+#include "purity/purity_checker.h"
+#include "support/diagnostics.h"
+
+namespace purec {
+
+enum class TransformMode {
+  /// Plain PluTo: tiling + OpenMP parallelization.
+  Pluto,
+  /// PluTo-SICA: additionally emits SIMD pragmas on the innermost parallel
+  /// loop (the vectorization/cache mode of §2.2).
+  PlutoSica,
+};
+
+struct ChainOptions {
+  TransformMode mode = TransformMode::Pluto;
+  bool parallelize = true;
+  bool tile = true;
+  std::int64_t tile_size = 32;
+  /// Extra OpenMP schedule clause, e.g. "schedule(dynamic,1)" (§4.3.3).
+  std::string schedule_clause;
+  /// Extension (§3.3 future work): inline expression-bodied pure functions
+  /// into the loops before the polyhedral step, so the transformer sees
+  /// the real array accesses instead of tmpConst placeholders. Off by
+  /// default — the default chain reproduces the paper exactly.
+  bool inline_pure_expressions = false;
+  /// Extension: annotate verified allocation-free pure functions with
+  /// GCC's `__attribute__((pure))` in the lowered output, turning the
+  /// paper's *checked* guarantee into the backend compiler's *unchecked*
+  /// optimization hint (§2.1). Off by default.
+  bool emit_gcc_attributes = false;
+  PurityOptions purity;
+  /// Virtual files for `#include "..."` resolution.
+  std::map<std::string, std::string> virtual_includes;
+  /// Predefined object-like macros (like -D NAME=VALUE).
+  std::map<std::string, std::string> defines;
+};
+
+/// Per-scop outcome for reporting/tests.
+struct ScopReport {
+  std::string function;
+  std::uint32_t line = 0;            // of the outermost loop
+  bool contains_calls = false;
+  std::size_t substituted_calls = 0;
+  bool extracted = false;
+  std::string failure_reason;        // when !extracted or codegen failed
+  std::size_t depth = 0;
+  std::size_t dependences = 0;
+  bool transformed = false;
+  bool parallelized = false;
+  bool tiled = false;
+  bool skewed = false;               // non-identity transform
+};
+
+struct ChainArtifacts {
+  bool ok = false;
+  std::string stripped;      // after PC-PrePro
+  std::string preprocessed;  // after mini GCC-E
+  std::string marked;        // after PC-CC (#pragma scop markers, pure kept)
+  std::string substituted;   // pure calls replaced by tmpConst_* (pure kept)
+  std::string transformed;   // after polycc (pure kept)
+  std::string final_source;  // compilable C: lowered, includes restored
+  std::vector<ScopReport> scops;
+  /// Call sites inlined by the inline_pure_expressions extension.
+  std::size_t inlined_calls = 0;
+  DiagnosticEngine diagnostics;
+};
+
+/// Runs the whole chain on C source text.
+[[nodiscard]] ChainArtifacts run_pure_chain(const std::string& source,
+                                            const ChainOptions& options = {});
+
+}  // namespace purec

@@ -1,0 +1,181 @@
+// AST invariants: clone fidelity, walk coverage, slot replacement, type
+// model behavior.
+#include <gtest/gtest.h>
+
+#include "ast/walk.h"
+#include "emit/c_printer.h"
+#include "lexer/lexer.h"
+#include "parser/parser.h"
+#include "test_sources.h"
+
+namespace purec {
+namespace {
+
+ExprPtr parse_expr(const std::string& text) {
+  SourceBuffer buf = SourceBuffer::from_string(text);
+  DiagnosticEngine diags;
+  Parser parser(lex(buf, diags), diags);
+  ExprPtr e = parser.parse_standalone_expression();
+  EXPECT_FALSE(diags.has_errors()) << diags.format(&buf);
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Clone
+// ---------------------------------------------------------------------------
+
+class CloneRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CloneRoundTrip, ClonePrintsIdentically) {
+  ExprPtr original = parse_expr(GetParam());
+  ExprPtr copy = original->clone();
+  EXPECT_EQ(print_c(*original), print_c(*copy));
+  // Deep copy: mutating the clone must not affect the original.
+  const std::string before = print_c(*original);
+  for_each_expr(*copy, [](Expr& e) {
+    if (auto* ident = expr_cast<IdentExpr>(&e)) ident->name = "mutated";
+  });
+  EXPECT_EQ(print_c(*original), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CloneRoundTrip,
+    ::testing::Values("a + b * c", "f(x, y[2], *p)", "(pure int*)g",
+                      "a ? b : c", "x = y += z", "sizeof(int[4])",
+                      "s.field->next", "-(-a)", "a && b || !c",
+                      "arr[i][j] * 2 - k % 3"));
+
+TEST(Clone, StatementTreeDeepCopy) {
+  SourceBuffer buf = SourceBuffer::from_string(testsrc::kMatmul);
+  DiagnosticEngine diags;
+  TranslationUnit tu = parse(buf, diags);
+  ASSERT_FALSE(diags.has_errors());
+  FunctionDecl* dot = tu.find_function("dot");
+  ASSERT_NE(dot, nullptr);
+  StmtPtr copy = dot->body->clone();
+  EXPECT_EQ(print_c(*dot->body), print_c(*copy));
+}
+
+// ---------------------------------------------------------------------------
+// Walk coverage
+// ---------------------------------------------------------------------------
+
+TEST(Walk, VisitsEveryExpressionNode) {
+  ExprPtr e = parse_expr("f(a + b, c[d], e ? g : h)");
+  std::size_t count = 0;
+  for_each_expr(static_cast<const Expr&>(*e),
+                [&](const Expr&) { ++count; });
+  // call, callee ident, (a+b), a, b, c[d], c, d, ?:, e, g, h = 12
+  EXPECT_EQ(count, 12u);
+}
+
+TEST(Walk, VisitsStatementsPreOrder) {
+  SourceBuffer buf = SourceBuffer::from_string(
+      "void f(int n) {\n"
+      "  if (n > 0) { n--; } else { n++; }\n"
+      "  while (n < 5) n++;\n"
+      "  do n--; while (n > 0);\n"
+      "  for (int i = 0; i < n; i++) ;\n"
+      "}\n");
+  DiagnosticEngine diags;
+  TranslationUnit tu = parse(buf, diags);
+  const FunctionDecl* fn = tu.find_function("f");
+  std::map<StmtKind, int> counts;
+  for_each_stmt(static_cast<const Stmt&>(*fn->body),
+                [&](const Stmt& s) { counts[s.kind()]++; });
+  EXPECT_EQ(counts[StmtKind::If], 1);
+  EXPECT_EQ(counts[StmtKind::While], 1);
+  EXPECT_EQ(counts[StmtKind::DoWhile], 1);
+  EXPECT_EQ(counts[StmtKind::For], 1);
+  EXPECT_GE(counts[StmtKind::Compound], 3);
+}
+
+TEST(Walk, SlotReplacementSwapsSubtree) {
+  ExprPtr e = parse_expr("a + f(b)");
+  for_each_expr_slot(e, [](ExprPtr& slot) -> bool {
+    if (expr_cast<CallExpr>(slot.get()) != nullptr) {
+      slot = std::make_unique<IntLiteralExpr>(42);
+      return true;
+    }
+    return false;
+  });
+  EXPECT_EQ(print_c(*e), "a + 42");
+}
+
+TEST(Walk, SlotCallbackReturnFalseDescends) {
+  ExprPtr e = parse_expr("f(g(h(x)))");
+  std::size_t calls_seen = 0;
+  for_each_expr_slot(e, [&](ExprPtr& slot) -> bool {
+    if (expr_cast<CallExpr>(slot.get()) != nullptr) ++calls_seen;
+    return false;  // keep descending
+  });
+  EXPECT_EQ(calls_seen, 3u);
+}
+
+TEST(Walk, ExprWalkReachesForHeaders) {
+  SourceBuffer buf = SourceBuffer::from_string(
+      "void f() { for (int i = lo(); i < hi(); i += 1) ; }\n");
+  DiagnosticEngine diags;
+  TranslationUnit tu = parse(buf, diags);
+  const FunctionDecl* fn = tu.find_function("f");
+  std::set<std::string> callees;
+  for_each_expr(static_cast<const Stmt&>(*fn->body), [&](const Expr& e) {
+    if (const auto* call = expr_cast<CallExpr>(&e)) {
+      callees.insert(call->callee_name());
+    }
+  });
+  EXPECT_EQ(callees, (std::set<std::string>{"lo", "hi"}));
+}
+
+// ---------------------------------------------------------------------------
+// Type model
+// ---------------------------------------------------------------------------
+
+TEST(TypeModel, Equality) {
+  const TypePtr f1 = Type::make_pointer(Type::make_builtin(BuiltinKind::Float));
+  const TypePtr f2 = Type::make_pointer(Type::make_builtin(BuiltinKind::Float));
+  const TypePtr fp =
+      Type::make_pointer(Type::make_builtin(BuiltinKind::Float), false, true);
+  EXPECT_TRUE(f1->equals(*f2));
+  EXPECT_FALSE(f1->equals(*fp));  // pure differs
+}
+
+TEST(TypeModel, AnyLevelPure) {
+  const TypePtr inner_pure = Type::make_pointer(
+      Type::make_builtin(BuiltinKind::Int, false, true));
+  EXPECT_TRUE(inner_pure->any_level_pure());
+  const TypePtr plain =
+      Type::make_pointer(Type::make_builtin(BuiltinKind::Int));
+  EXPECT_FALSE(plain->any_level_pure());
+}
+
+TEST(TypeModel, WithPureDoesNotMutateOriginal) {
+  const TypePtr base = Type::make_pointer(Type::make_builtin(BuiltinKind::Int));
+  const TypePtr pure = base->with_pure(true);
+  EXPECT_FALSE(base->is_pure);
+  EXPECT_TRUE(pure->is_pure);
+  EXPECT_EQ(base->pointee.get(), pure->pointee.get());  // shared level
+}
+
+TEST(TypeModel, ToStringShapes) {
+  EXPECT_EQ(Type::make_builtin(BuiltinKind::Float)->to_string(), "float");
+  EXPECT_EQ(
+      Type::make_pointer(Type::make_builtin(BuiltinKind::Int))->to_string(),
+      "int*");
+  EXPECT_EQ(Type::make_array(Type::make_builtin(BuiltinKind::Int), 8)
+                ->to_string(),
+            "int[8]");
+  EXPECT_EQ(Type::make_struct("point")->to_string(), "struct point");
+}
+
+TEST(TypeModel, IntegerFloatClassification) {
+  EXPECT_TRUE(Type::make_builtin(BuiltinKind::UInt)->is_integer());
+  EXPECT_TRUE(Type::make_builtin(BuiltinKind::Double)->is_floating());
+  EXPECT_TRUE(Type::make_builtin(BuiltinKind::Char)->is_arithmetic());
+  EXPECT_FALSE(Type::make_builtin(BuiltinKind::Void)->is_arithmetic());
+  EXPECT_FALSE(
+      Type::make_pointer(Type::make_builtin(BuiltinKind::Int))->is_integer());
+}
+
+}  // namespace
+}  // namespace purec

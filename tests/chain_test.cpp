@@ -1,0 +1,243 @@
+// Tests of the full Fig. 1 compiler chain: stage artifacts, call
+// substitution/reinsertion, pragma insertion, and the lowered final source.
+#include <gtest/gtest.h>
+
+#include "emit/c_printer.h"
+#include "parser/parser.h"
+#include "purity/purity_checker.h"
+#include "transform/call_substitution.h"
+#include "transform/pure_chain.h"
+#include "test_sources.h"
+
+namespace purec {
+namespace {
+
+TEST(Chain, MatmulRunsCleanly) {
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul);
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+}
+
+TEST(Chain, MatmulMarkedArtifactHasScopPragmas) {
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul);
+  ASSERT_TRUE(a.ok);
+  EXPECT_NE(a.marked.find("#pragma scop"), std::string::npos);
+  EXPECT_NE(a.marked.find("#pragma endscop"), std::string::npos);
+  // Markers are an intermediate artifact only.
+  EXPECT_EQ(a.final_source.find("#pragma scop"), std::string::npos);
+}
+
+TEST(Chain, MatmulSubstitutedArtifactHasPlaceholder) {
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul);
+  ASSERT_TRUE(a.ok);
+  EXPECT_NE(a.substituted.find("tmpConst_dot_"), std::string::npos);
+  // And the final source must NOT leak placeholders.
+  EXPECT_EQ(a.final_source.find("tmpConst_"), std::string::npos)
+      << a.final_source;
+}
+
+TEST(Chain, MatmulFinalSourceIsParallelizedAndLowered) {
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul);
+  ASSERT_TRUE(a.ok);
+  EXPECT_NE(a.final_source.find("#pragma omp parallel for"),
+            std::string::npos);
+  // Lowered: no `pure` keyword anywhere, params became const (Listing 8).
+  EXPECT_EQ(a.final_source.find("pure "), std::string::npos);
+  EXPECT_NE(a.final_source.find("const float* a"), std::string::npos);
+  // The reinserted call uses the renamed iterators.
+  EXPECT_NE(a.final_source.find("dot("), std::string::npos);
+  EXPECT_NE(a.final_source.find("A[t1]"), std::string::npos)
+      << a.final_source;
+}
+
+TEST(Chain, MatmulScopReport) {
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul);
+  ASSERT_TRUE(a.ok);
+  bool main_scop = false;
+  for (const ScopReport& r : a.scops) {
+    if (r.function == "main") {
+      main_scop = true;
+      EXPECT_TRUE(r.extracted) << r.failure_reason;
+      EXPECT_TRUE(r.transformed);
+      EXPECT_TRUE(r.parallelized);
+      EXPECT_EQ(r.depth, 2u);
+      EXPECT_EQ(r.substituted_calls, 1u);
+    }
+  }
+  EXPECT_TRUE(main_scop);
+}
+
+TEST(Chain, PurityErrorStopsChain) {
+  ChainArtifacts a = run_pure_chain(
+      "int g;\n"
+      "pure int f(int a) { g = a; return a; }\n");
+  EXPECT_FALSE(a.ok);
+  EXPECT_TRUE(a.diagnostics.has_error_containing("global"));
+  EXPECT_TRUE(a.final_source.empty());
+}
+
+TEST(Chain, Listing5IsRejectedByChain) {
+  ChainArtifacts a = run_pure_chain(testsrc::kListing5);
+  EXPECT_FALSE(a.ok);
+  EXPECT_TRUE(a.diagnostics.has_error_containing("Listing 5"));
+}
+
+TEST(Chain, Listing6AliasSlipsThrough) {
+  // §3.4: the alias evasion is NOT caught — pinned behavior.
+  ChainArtifacts a = run_pure_chain(testsrc::kListing6);
+  EXPECT_TRUE(a.ok) << a.diagnostics.format();
+  EXPECT_NE(a.final_source.find("#pragma omp parallel for"),
+            std::string::npos);
+}
+
+TEST(Chain, SystemIncludesAreRestored) {
+  const std::string src = std::string("#include <stdio.h>\n") +
+                          "#include <stdlib.h>\n" + testsrc::kMatmul;
+  ChainArtifacts a = run_pure_chain(src);
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  EXPECT_EQ(a.stripped.find("<stdio.h>"), std::string::npos);
+  EXPECT_NE(a.final_source.find("#include <stdio.h>"), std::string::npos);
+  EXPECT_NE(a.final_source.find("#include <stdlib.h>"), std::string::npos);
+  // OpenMP header added because a loop was parallelized.
+  EXPECT_NE(a.final_source.find("#include <omp.h>"), std::string::npos);
+}
+
+TEST(Chain, PreludeMacrosPresent) {
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul);
+  ASSERT_TRUE(a.ok);
+  EXPECT_NE(a.final_source.find("#define floord"), std::string::npos);
+  EXPECT_NE(a.final_source.find("#define ceild"), std::string::npos);
+}
+
+TEST(Chain, MallocInitLoopGetsParallelized) {
+  // §4.3.1: the allocation loop is parallelized because malloc is seeded
+  // pure — the accidental speedup the paper reports.
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmulWithInit);
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  EXPECT_NE(a.final_source.find("#pragma omp parallel for"),
+            std::string::npos);
+  EXPECT_NE(a.final_source.find("malloc"), std::string::npos);
+}
+
+TEST(Chain, SatelliteUsesScheduleClause) {
+  ChainOptions options;
+  options.schedule_clause = "schedule(dynamic,1)";
+  ChainArtifacts a = run_pure_chain(testsrc::kSatellite, options);
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  EXPECT_NE(a.final_source.find(
+                "#pragma omp parallel for schedule(dynamic,1)"),
+            std::string::npos);
+}
+
+TEST(Chain, SicaModeEmitsSimd) {
+  ChainOptions options;
+  options.mode = TransformMode::PlutoSica;
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul, options);
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  EXPECT_NE(a.final_source.find("#pragma omp simd"), std::string::npos);
+}
+
+TEST(Chain, EllAndHeatTransform) {
+  for (const char* src : {testsrc::kEll, testsrc::kHeat}) {
+    ChainArtifacts a = run_pure_chain(src);
+    ASSERT_TRUE(a.ok) << a.diagnostics.format();
+    EXPECT_NE(a.final_source.find("#pragma omp parallel for"),
+              std::string::npos)
+        << a.final_source;
+  }
+}
+
+TEST(Chain, ParallelizationCanBeDisabled) {
+  ChainOptions options;
+  options.parallelize = false;
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul, options);
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.final_source.find("#pragma omp parallel"), std::string::npos);
+}
+
+TEST(Chain, VirtualIncludeAndDefines) {
+  ChainOptions options;
+  options.virtual_includes["size.h"] = "#define N 16\n";
+  ChainArtifacts a = run_pure_chain(
+      "#include \"size.h\"\n"
+      "float* v;\n"
+      "void f() { for (int i = 0; i < N; i++) v[i] = 1.0f; }\n",
+      options);
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  EXPECT_NE(a.preprocessed.find("i < 16"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Call substitution unit behavior
+// ---------------------------------------------------------------------------
+
+struct LoopFixture {
+  SourceBuffer buf;
+  DiagnosticEngine diags;
+  TranslationUnit tu;
+  ForStmt* loop = nullptr;
+
+  explicit LoopFixture(const std::string& src)
+      : buf(SourceBuffer::from_string(src)), tu(parse(buf, diags)) {
+    for (FunctionDecl* fn : tu.functions()) {
+      if (!fn->body) continue;
+      for (StmtPtr& s : fn->body->stmts) {
+        if (auto* f = stmt_cast<ForStmt>(s.get())) loop = f;
+      }
+    }
+  }
+};
+
+TEST(CallSubstitution, ReplaceAndRestoreRoundTrip) {
+  LoopFixture fx(
+      "pure float g(int i);\n"
+      "float* v;\n"
+      "void k(int n) { for (int i = 0; i < n; i++) v[i] = g(i) + g(i + 1); }\n");
+  ASSERT_NE(fx.loop, nullptr);
+  const std::string before = print_c(*fx.loop);
+
+  std::size_t counter = 0;
+  std::set<std::string> pure = {"g"};
+  auto calls = substitute_pure_calls(*fx.loop, pure, counter);
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].placeholder, "tmpConst_g_0");
+  EXPECT_EQ(calls[1].placeholder, "tmpConst_g_1");
+  const std::string substituted = print_c(*fx.loop);
+  EXPECT_NE(substituted.find("tmpConst_g_0"), std::string::npos);
+  EXPECT_EQ(substituted.find("g("), std::string::npos);
+
+  const std::size_t restored = reinsert_pure_calls(*fx.loop, calls);
+  EXPECT_EQ(restored, 2u);
+  EXPECT_EQ(print_c(*fx.loop), before);
+}
+
+TEST(CallSubstitution, OnlyPureCallsSubstituted) {
+  LoopFixture fx(
+      "pure float g(int i);\n"
+      "float h(int i);\n"
+      "float* v;\n"
+      "void k(int n) { for (int i = 0; i < n; i++) v[i] = g(i) + h(i); }\n");
+  std::size_t counter = 0;
+  std::set<std::string> pure = {"g"};
+  auto calls = substitute_pure_calls(*fx.loop, pure, counter);
+  EXPECT_EQ(calls.size(), 1u);
+  const std::string text = print_c(*fx.loop);
+  EXPECT_NE(text.find("h(i)"), std::string::npos);
+  EXPECT_EQ(text.find("g(i)"), std::string::npos);
+}
+
+TEST(CallSubstitution, NestedCallSubstitutedAsWhole) {
+  LoopFixture fx(
+      "pure float g(float x);\n"
+      "pure float f(float x);\n"
+      "float* v;\n"
+      "void k(int n) { for (int i = 0; i < n; i++) v[i] = g(f(1.0f)); }\n");
+  std::size_t counter = 0;
+  std::set<std::string> pure = {"g", "f"};
+  auto calls = substitute_pure_calls(*fx.loop, pure, counter);
+  // The outer call is replaced wholesale; the inner call travels with it.
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].placeholder, "tmpConst_g_0");
+}
+
+}  // namespace
+}  // namespace purec

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "polyhedral/constraint.h"
+
+namespace purec::poly {
+namespace {
+
+// Space helper: n variables.
+ConstraintSystem make(std::size_t n) { return ConstraintSystem(n); }
+
+TEST(ConstraintSystem, EmptyOfContradictoryConstants) {
+  ConstraintSystem sys = make(1);
+  sys.add_inequality({1}, 0);    // x >= 0
+  sys.add_inequality({-1}, -1);  // x <= -1
+  EXPECT_TRUE(sys.is_empty());
+}
+
+TEST(ConstraintSystem, NonEmptyInterval) {
+  ConstraintSystem sys = make(1);
+  sys.add_inequality({1}, 0);    // x >= 0
+  sys.add_inequality({-1}, 10);  // x <= 10
+  EXPECT_FALSE(sys.is_empty());
+}
+
+TEST(ConstraintSystem, EqualityPropagation) {
+  ConstraintSystem sys = make(2);
+  sys.add_equality({1, -1}, 0);   // x == y
+  sys.add_inequality({1, 0}, 0);  // x >= 0
+  sys.add_inequality({0, -1}, -5);  // y <= -5
+  EXPECT_TRUE(sys.is_empty());
+}
+
+TEST(ConstraintSystem, GcdTestDetectsIntegerInfeasibility) {
+  // 2x == 1 has rational solutions but no integer ones.
+  ConstraintSystem sys = make(1);
+  sys.add_equality({2}, -1);
+  EXPECT_TRUE(sys.is_empty());
+}
+
+TEST(ConstraintSystem, TwoDimensionalDiamond) {
+  // |x| + |y| <= 3 around origin encoded as 4 half-planes; non-empty.
+  ConstraintSystem sys = make(2);
+  sys.add_inequality({1, 1}, 3);
+  sys.add_inequality({1, -1}, 3);
+  sys.add_inequality({-1, 1}, 3);
+  sys.add_inequality({-1, -1}, 3);
+  EXPECT_FALSE(sys.is_empty());
+  // Now force x >= 5: empty.
+  sys.add_inequality({1, 0}, -5);
+  EXPECT_TRUE(sys.is_empty());
+}
+
+TEST(ConstraintSystem, EliminationProjects) {
+  // { 0 <= x <= 5, x == y } eliminated x -> 0 <= y <= 5.
+  ConstraintSystem sys = make(2);
+  sys.add_inequality({1, 0}, 0);
+  sys.add_inequality({-1, 0}, 5);
+  sys.add_equality({1, -1}, 0);
+  ConstraintSystem projected = sys.eliminate(0);
+  // y <= -1 must now be infeasible.
+  EXPECT_FALSE(projected.is_empty());
+  projected.add_inequality({0, -1}, -6);  // y >= 6
+  EXPECT_TRUE(projected.is_empty());
+}
+
+TEST(ConstraintSystem, SatisfiableWith) {
+  ConstraintSystem sys = make(1);
+  sys.add_inequality({1}, 0);    // x >= 0
+  sys.add_inequality({-1}, 10);  // x <= 10
+  EXPECT_TRUE(sys.satisfiable_with(Constraint::ge({1}, -5)));   // x >= 5
+  EXPECT_FALSE(sys.satisfiable_with(Constraint::ge({1}, -11))); // x >= 11
+}
+
+TEST(ConstraintSystem, ForcedValueDetectsConstant) {
+  // x - y == 1 with both in [0, 10]: x - y forced to 1.
+  ConstraintSystem sys = make(2);
+  sys.add_equality({1, -1}, -1);  // x - y - 1 == 0
+  sys.add_inequality({1, 0}, 0);
+  sys.add_inequality({-1, 0}, 10);
+  sys.add_inequality({0, 1}, 0);
+  sys.add_inequality({0, -1}, 10);
+  const auto forced = sys.forced_value({1, -1}, 0);
+  ASSERT_TRUE(forced.has_value());
+  EXPECT_EQ(*forced, 1);
+}
+
+TEST(ConstraintSystem, ForcedValueNulloptWhenFree) {
+  ConstraintSystem sys = make(2);
+  sys.add_inequality({1, 0}, 0);
+  sys.add_inequality({-1, 0}, 10);
+  sys.add_inequality({0, 1}, 0);
+  sys.add_inequality({0, -1}, 10);
+  EXPECT_FALSE(sys.forced_value({1, -1}, 0).has_value());
+}
+
+TEST(ConstraintSystem, DeriveBoundsRectangle) {
+  // 0 <= x <= N-1, 0 <= y <= M-1 over vars [x, y, N, M].
+  ConstraintSystem sys = make(4);
+  sys.add_inequality({1, 0, 0, 0}, 0);
+  sys.add_inequality({-1, 0, 1, 0}, -1);
+  sys.add_inequality({0, 1, 0, 0}, 0);
+  sys.add_inequality({0, -1, 0, 1}, -1);
+  const auto bounds = sys.derive_bounds(2);
+  ASSERT_EQ(bounds.size(), 2u);
+  ASSERT_EQ(bounds[0].lower.size(), 1u);
+  ASSERT_EQ(bounds[0].upper.size(), 1u);
+  EXPECT_EQ(bounds[0].lower[0].constant, 0);
+  EXPECT_EQ(bounds[0].upper[0].coeffs[2], 1);  // N
+  EXPECT_EQ(bounds[0].upper[0].constant, -1);
+  EXPECT_EQ(bounds[1].lower[0].constant, 0);
+  EXPECT_EQ(bounds[1].upper[0].coeffs[3], 1);  // M
+}
+
+TEST(ConstraintSystem, DeriveBoundsTriangle) {
+  // 0 <= x <= 9, x <= y <= 9 over vars [x, y]: y's lower bound mentions x.
+  ConstraintSystem sys = make(2);
+  sys.add_inequality({1, 0}, 0);
+  sys.add_inequality({-1, 0}, 9);
+  sys.add_inequality({-1, 1}, 0);  // y >= x
+  sys.add_inequality({0, -1}, 9);
+  const auto bounds = sys.derive_bounds(2);
+  bool y_lower_mentions_x = false;
+  for (const VarBound& b : bounds[1].lower) {
+    if (b.coeffs[0] == 1) y_lower_mentions_x = true;
+  }
+  EXPECT_TRUE(y_lower_mentions_x);
+}
+
+TEST(ConstraintSystem, DeriveBoundsWithDivisor) {
+  // 0 <= x <= N-1, tile containment 4t <= x <= 4t+3 over vars [t, x, N]
+  // (N is a parameter): the tile counter's upper bound is floord(N-1, 4),
+  // i.e. a bound with divisor 4. (With constant bounds the gcd
+  // normalization folds the division — hence the symbolic N here.)
+  ConstraintSystem sys = make(3);
+  sys.add_inequality({0, 1, 0}, 0);    // x >= 0
+  sys.add_inequality({0, -1, 1}, -1);  // x <= N - 1
+  sys.add_inequality({-4, 1, 0}, 0);   // x - 4t >= 0
+  sys.add_inequality({4, -1, 0}, 3);   // 4t + 3 - x >= 0
+  const auto bounds = sys.derive_bounds(2);
+  bool divisor_found = false;
+  for (const VarBound& b : bounds[0].lower) {
+    if (b.divisor == 4) divisor_found = true;
+  }
+  for (const VarBound& b : bounds[0].upper) {
+    if (b.divisor == 4) divisor_found = true;
+  }
+  EXPECT_TRUE(divisor_found);
+}
+
+TEST(ConstraintSystem, ExtendDimensions) {
+  ConstraintSystem sys = make(1);
+  sys.add_inequality({1}, 0);
+  sys.extend_dimensions(2);
+  EXPECT_EQ(sys.dimensions(), 3u);
+  EXPECT_EQ(sys.constraints()[0].coeffs.size(), 3u);
+}
+
+TEST(ConstraintSystem, ToStringReadable) {
+  ConstraintSystem sys = make(2);
+  sys.add_inequality({1, -2}, 3);
+  const std::string s = sys.to_string({"i", "j"});
+  EXPECT_NE(s.find("i - 2*j + 3 >= 0"), std::string::npos) << s;
+}
+
+// Property sweep: 1-D integer intervals [a, b] are empty iff a > b.
+class IntervalProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(IntervalProperty, EmptinessMatchesInterval) {
+  const auto [a, b] = GetParam();
+  ConstraintSystem sys = make(1);
+  sys.add_inequality({1}, -a);  // x >= a
+  sys.add_inequality({-1}, b);  // x <= b
+  EXPECT_EQ(sys.is_empty(), a > b) << "a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntervalProperty,
+    ::testing::Values(std::pair(0, 0), std::pair(0, 10), std::pair(5, 4),
+                      std::pair(-3, -3), std::pair(-3, -4), std::pair(-5, 5),
+                      std::pair(7, 6), std::pair(100, 1000)));
+
+}  // namespace
+}  // namespace purec::poly

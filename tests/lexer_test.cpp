@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "lexer/lexer.h"
+#include "support/diagnostics.h"
+
+namespace purec {
+namespace {
+
+std::vector<Token> lex_ok(const std::string& text) {
+  SourceBuffer buf = SourceBuffer::from_string(text);
+  DiagnosticEngine diags;
+  std::vector<Token> tokens = Lexer(buf, diags).lex_all();
+  EXPECT_FALSE(diags.has_errors()) << diags.format(&buf);
+  return tokens;
+}
+
+std::vector<TokenKind> kinds_of(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokens) {
+    if (!t.is(TokenKind::EndOfFile)) out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = lex_ok("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::EndOfFile));
+}
+
+TEST(Lexer, PureIsAKeyword) {
+  const auto tokens = lex_ok("pure int x;");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::KwPure));
+  EXPECT_TRUE(tokens[1].is(TokenKind::KwInt));
+  EXPECT_TRUE(tokens[2].is(TokenKind::Identifier));
+  EXPECT_EQ(tokens[2].text, "x");
+}
+
+TEST(Lexer, PurelyIsAnIdentifier) {
+  const auto tokens = lex_ok("purely pureX Xpure");
+  EXPECT_TRUE(tokens[0].is(TokenKind::Identifier));
+  EXPECT_TRUE(tokens[1].is(TokenKind::Identifier));
+  EXPECT_TRUE(tokens[2].is(TokenKind::Identifier));
+}
+
+TEST(Lexer, AllKeywords) {
+  const auto tokens = lex_ok(
+      "auto break case char const continue default do double else enum "
+      "extern float for goto if inline int long register restrict return "
+      "short signed sizeof static struct switch typedef union unsigned "
+      "void volatile while pure");
+  const auto kinds = kinds_of(tokens);
+  ASSERT_EQ(kinds.size(), 35u);
+  for (TokenKind k : kinds) {
+    EXPECT_NE(k, TokenKind::Identifier)
+        << "keyword lexed as identifier";
+  }
+  EXPECT_EQ(kinds.back(), TokenKind::KwPure);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto tokens = lex_ok("0 42 0x1F 100u 7L 9ull");
+  const auto kinds = kinds_of(tokens);
+  ASSERT_EQ(kinds.size(), 6u);
+  for (TokenKind k : kinds) EXPECT_EQ(k, TokenKind::IntegerLiteral);
+}
+
+TEST(Lexer, FloatLiterals) {
+  const auto tokens = lex_ok("0.0 3.14f 1e10 2.5e-3 .5 1.f");
+  const auto kinds = kinds_of(tokens);
+  ASSERT_EQ(kinds.size(), 6u);
+  for (TokenKind k : kinds) EXPECT_EQ(k, TokenKind::FloatLiteral);
+}
+
+TEST(Lexer, CharAndStringLiterals) {
+  const auto tokens = lex_ok(R"('a' '\n' "hello" "a\"b")");
+  const auto kinds = kinds_of(tokens);
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(kinds[0], TokenKind::CharLiteral);
+  EXPECT_EQ(kinds[1], TokenKind::CharLiteral);
+  EXPECT_EQ(kinds[2], TokenKind::StringLiteral);
+  EXPECT_EQ(kinds[3], TokenKind::StringLiteral);
+}
+
+TEST(Lexer, MultiCharOperators) {
+  const auto tokens =
+      lex_ok("++ -- -> <<= >>= ... && || == != <= >= << >> += -=");
+  const auto kinds = kinds_of(tokens);
+  const std::vector<TokenKind> expected = {
+      TokenKind::PlusPlus,     TokenKind::MinusMinus,
+      TokenKind::Arrow,        TokenKind::LessLessEqual,
+      TokenKind::GreaterGreaterEqual, TokenKind::Ellipsis,
+      TokenKind::AmpAmp,       TokenKind::PipePipe,
+      TokenKind::EqualEqual,   TokenKind::ExclaimEqual,
+      TokenKind::LessEqual,    TokenKind::GreaterEqual,
+      TokenKind::LessLess,     TokenKind::GreaterGreater,
+      TokenKind::PlusEqual,    TokenKind::MinusEqual,
+  };
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto tokens = lex_ok("a // line comment\nb /* block */ c");
+  const auto kinds = kinds_of(tokens);
+  ASSERT_EQ(kinds.size(), 3u);
+}
+
+TEST(Lexer, BlockCommentSpanningLines) {
+  const auto tokens = lex_ok("a /* one\ntwo\nthree */ b");
+  ASSERT_EQ(kinds_of(tokens).size(), 2u);
+}
+
+TEST(Lexer, UnterminatedBlockCommentReportsError) {
+  SourceBuffer buf = SourceBuffer::from_string("a /* oops");
+  DiagnosticEngine diags;
+  (void)Lexer(buf, diags).lex_all();
+  EXPECT_TRUE(diags.has_error_containing("unterminated block comment"));
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  SourceBuffer buf = SourceBuffer::from_string("\"abc");
+  DiagnosticEngine diags;
+  (void)Lexer(buf, diags).lex_all();
+  EXPECT_TRUE(diags.has_error_containing("unterminated string"));
+}
+
+TEST(Lexer, InvalidCharacterReportsErrorAndContinues) {
+  SourceBuffer buf = SourceBuffer::from_string("a $ b");
+  DiagnosticEngine diags;
+  const auto tokens = Lexer(buf, diags).lex_all();
+  EXPECT_TRUE(diags.has_error_containing("invalid character"));
+  // a, <invalid>, b, eof
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[2].is(TokenKind::Identifier));
+}
+
+TEST(Lexer, HashLineIsOneToken) {
+  // Tokens view into the buffer, so keep it alive while inspecting text.
+  SourceBuffer buf =
+      SourceBuffer::from_string("#pragma omp parallel for\nint x;");
+  DiagnosticEngine diags;
+  const auto tokens = Lexer(buf, diags).lex_all();
+  ASSERT_FALSE(diags.has_errors());
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::HashLine));
+  EXPECT_EQ(tokens[0].text, "#pragma omp parallel for");
+  EXPECT_TRUE(tokens[1].is(TokenKind::KwInt));
+}
+
+TEST(Lexer, HashLineContinuation) {
+  const auto tokens = lex_ok("#define M(a) \\\n  (a+1)\nint x;");
+  EXPECT_TRUE(tokens[0].is(TokenKind::HashLine));
+  EXPECT_TRUE(tokens[1].is(TokenKind::KwInt));
+}
+
+TEST(Lexer, SourceLocationsAreAccurate) {
+  const auto tokens = lex_ok("int\n  x;");
+  EXPECT_EQ(tokens[0].location().line, 1u);
+  EXPECT_EQ(tokens[0].location().column, 1u);
+  EXPECT_EQ(tokens[1].location().line, 2u);
+  EXPECT_EQ(tokens[1].location().column, 3u);
+}
+
+TEST(Lexer, TokensEndWithEof) {
+  const auto tokens = lex_ok("x");
+  EXPECT_TRUE(tokens.back().is(TokenKind::EndOfFile));
+}
+
+struct OperatorCase {
+  const char* text;
+  TokenKind kind;
+};
+
+class LexerOperatorTest : public ::testing::TestWithParam<OperatorCase> {};
+
+TEST_P(LexerOperatorTest, SingleOperatorRoundTrip) {
+  const auto& param = GetParam();
+  const auto tokens = lex_ok(param.text);
+  ASSERT_EQ(tokens.size(), 2u) << param.text;
+  EXPECT_EQ(tokens[0].kind, param.kind);
+  EXPECT_EQ(tokens[0].text, param.text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, LexerOperatorTest,
+    ::testing::Values(
+        OperatorCase{"(", TokenKind::LParen},
+        OperatorCase{")", TokenKind::RParen},
+        OperatorCase{"{", TokenKind::LBrace},
+        OperatorCase{"}", TokenKind::RBrace},
+        OperatorCase{"[", TokenKind::LBracket},
+        OperatorCase{"]", TokenKind::RBracket},
+        OperatorCase{";", TokenKind::Semicolon},
+        OperatorCase{",", TokenKind::Comma},
+        OperatorCase{".", TokenKind::Dot},
+        OperatorCase{"+", TokenKind::Plus},
+        OperatorCase{"-", TokenKind::Minus},
+        OperatorCase{"*", TokenKind::Star},
+        OperatorCase{"/", TokenKind::Slash},
+        OperatorCase{"%", TokenKind::Percent},
+        OperatorCase{"&", TokenKind::Amp},
+        OperatorCase{"|", TokenKind::Pipe},
+        OperatorCase{"^", TokenKind::Caret},
+        OperatorCase{"~", TokenKind::Tilde},
+        OperatorCase{"!", TokenKind::Exclaim},
+        OperatorCase{"<", TokenKind::Less},
+        OperatorCase{">", TokenKind::Greater},
+        OperatorCase{"?", TokenKind::Question},
+        OperatorCase{":", TokenKind::Colon},
+        OperatorCase{"=", TokenKind::Equal},
+        OperatorCase{"*=", TokenKind::StarEqual},
+        OperatorCase{"/=", TokenKind::SlashEqual},
+        OperatorCase{"%=", TokenKind::PercentEqual},
+        OperatorCase{"&=", TokenKind::AmpEqual},
+        OperatorCase{"|=", TokenKind::PipeEqual},
+        OperatorCase{"^=", TokenKind::CaretEqual}));
+
+}  // namespace
+}  // namespace purec

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "polyhedral/linalg.h"
+
+namespace purec::poly {
+namespace {
+
+TEST(IntMat, IdentityAndMultiply) {
+  IntMat id = IntMat::identity(3);
+  IntMat m(3, 3);
+  std::int64_t v = 1;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m.at(i, j) = v++;
+  EXPECT_EQ(id.multiply(m), m);
+  EXPECT_EQ(m.multiply(id), m);
+}
+
+TEST(IntMat, Apply) {
+  IntMat m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 0;
+  m.at(1, 1) = 1;
+  const IntVec r = m.apply({3, 4});
+  EXPECT_EQ(r, (IntVec{7, 4}));
+}
+
+TEST(IntMat, Determinant2x2) {
+  IntMat m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 3;
+  m.at(1, 1) = 4;
+  EXPECT_EQ(m.determinant(), -2);
+}
+
+TEST(IntMat, Determinant3x3) {
+  IntMat m(3, 3);
+  const std::int64_t vals[3][3] = {{2, 0, 1}, {1, 1, 0}, {0, 3, 1}};
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m.at(i, j) = vals[i][j];
+  // det = 2*(1*1-0*3) - 0 + 1*(1*3-1*0) = 2 + 3 = 5
+  EXPECT_EQ(m.determinant(), 5);
+}
+
+TEST(IntMat, DeterminantSingular) {
+  IntMat m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 2;
+  m.at(1, 1) = 4;
+  EXPECT_EQ(m.determinant(), 0);
+}
+
+TEST(IntMat, DeterminantNeedsPivotSwap) {
+  IntMat m(2, 2);
+  m.at(0, 0) = 0;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 0;
+  EXPECT_EQ(m.determinant(), -1);
+}
+
+TEST(IntMat, InverseUnimodularSkew) {
+  // The classic skew [[1,0],[1,1]] has inverse [[1,0],[-1,1]].
+  IntMat skew(2, 2);
+  skew.at(0, 0) = 1;
+  skew.at(1, 0) = 1;
+  skew.at(1, 1) = 1;
+  const IntMat inv = skew.inverse_unimodular();
+  EXPECT_EQ(inv.at(0, 0), 1);
+  EXPECT_EQ(inv.at(0, 1), 0);
+  EXPECT_EQ(inv.at(1, 0), -1);
+  EXPECT_EQ(inv.at(1, 1), 1);
+  EXPECT_EQ(skew.multiply(inv), IntMat::identity(2));
+}
+
+TEST(IntMat, InverseOfNonUnimodularThrows) {
+  IntMat m(2, 2);
+  m.at(0, 0) = 2;
+  m.at(1, 1) = 1;
+  EXPECT_THROW((void)m.inverse_unimodular(), std::domain_error);
+}
+
+class UnimodularRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnimodularRoundTrip, InverseTimesSelfIsIdentity) {
+  // Build a unimodular matrix as a product of shears parameterized by the
+  // test index; the inverse must reproduce the identity exactly.
+  const int seed = GetParam();
+  IntMat m = IntMat::identity(3);
+  IntMat shear1 = IntMat::identity(3);
+  shear1.at(1, 0) = seed % 3 - 1;
+  IntMat shear2 = IntMat::identity(3);
+  shear2.at(2, 1) = (seed / 3) % 3 - 1;
+  IntMat shear3 = IntMat::identity(3);
+  shear3.at(0, 2) = (seed / 9) % 3 - 1;
+  m = shear1.multiply(shear2).multiply(shear3);
+  ASSERT_EQ(std::abs(m.determinant()), 1);
+  EXPECT_EQ(m.multiply(m.inverse_unimodular()), IntMat::identity(3));
+  EXPECT_EQ(m.inverse_unimodular().multiply(m), IntMat::identity(3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shears, UnimodularRoundTrip,
+                         ::testing::Range(0, 27));
+
+TEST(VectorOps, Gcd) {
+  EXPECT_EQ(vector_gcd({4, 6, 8}), 2);
+  EXPECT_EQ(vector_gcd({3, 5}), 1);
+  EXPECT_EQ(vector_gcd({0, 0}), 0);
+  EXPECT_EQ(vector_gcd({-4, 6}), 2);
+}
+
+TEST(VectorOps, NormalizeByGcd) {
+  IntVec v = {4, -6, 8};
+  normalize_by_gcd(v);
+  EXPECT_EQ(v, (IntVec{2, -3, 4}));
+  IntVec zero = {0, 0};
+  normalize_by_gcd(zero);
+  EXPECT_EQ(zero, (IntVec{0, 0}));
+}
+
+TEST(VectorOps, Dot) {
+  EXPECT_EQ(dot({1, 2, 3}, {4, 5, 6}), 32);
+  EXPECT_THROW((void)dot({1}, {1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace purec::poly

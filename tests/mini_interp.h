@@ -1,0 +1,240 @@
+// A tiny AST interpreter for the restricted loop language the polyhedral
+// code generator emits. Used by tests to execute original and transformed
+// loop nests and compare results — the strongest possible check that a
+// transformation (skewing, tiling) is semantics-preserving.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ast/expr.h"
+#include "ast/stmt.h"
+
+namespace purec::testinterp {
+
+/// Execution environment: integer scalars (loop vars, parameters) and
+/// flat double arrays with an optional row width for 2-D indexing.
+class MiniInterp {
+ public:
+  std::map<std::string, std::int64_t> ints;
+  struct Array {
+    std::vector<double> data;
+    std::size_t cols = 0;  // 0 = 1-D
+  };
+  std::map<std::string, Array> arrays;
+
+  void run(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Compound:
+        for (const StmtPtr& child : static_cast<const CompoundStmt&>(s).stmts)
+          run(*child);
+        return;
+      case StmtKind::Pragma:
+      case StmtKind::Null:
+        return;
+      case StmtKind::Decl: {
+        for (const VarDecl& d : static_cast<const DeclStmt&>(s).decls) {
+          ints[d.name] = d.init ? eval_int(*d.init) : 0;
+        }
+        return;
+      }
+      case StmtKind::Expr:
+        (void)eval(*static_cast<const ExprStmt&>(s).expr);
+        return;
+      case StmtKind::If: {
+        const auto& n = static_cast<const IfStmt&>(s);
+        if (eval(*n.cond) != 0.0) {
+          run(*n.then_stmt);
+        } else if (n.else_stmt) {
+          run(*n.else_stmt);
+        }
+        return;
+      }
+      case StmtKind::For: {
+        const auto& n = static_cast<const ForStmt&>(s);
+        if (n.init) run(*n.init);
+        while (!n.cond || eval(*n.cond) != 0.0) {
+          if (n.body) run(*n.body);
+          if (n.inc) (void)eval(*n.inc);
+          if (!n.cond) break;
+        }
+        return;
+      }
+      default:
+        throw std::runtime_error("MiniInterp: unsupported statement");
+    }
+  }
+
+  [[nodiscard]] std::int64_t eval_int(const Expr& e) {
+    return static_cast<std::int64_t>(std::llround(eval(e)));
+  }
+
+  [[nodiscard]] double eval(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::IntLiteral:
+        return static_cast<double>(
+            static_cast<const IntLiteralExpr&>(e).value);
+      case ExprKind::FloatLiteral:
+        return static_cast<const FloatLiteralExpr&>(e).value;
+      case ExprKind::Ident: {
+        const auto& name = static_cast<const IdentExpr&>(e).name;
+        const auto it = ints.find(name);
+        if (it == ints.end()) {
+          throw std::runtime_error("MiniInterp: unknown scalar " + name);
+        }
+        return static_cast<double>(it->second);
+      }
+      case ExprKind::Index:
+        return *array_slot(e);
+      case ExprKind::Cast:
+        return eval(*static_cast<const CastExpr&>(e).operand);
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        switch (u.op) {
+          case UnaryOp::Minus:
+            return -eval(*u.operand);
+          case UnaryOp::Plus:
+            return eval(*u.operand);
+          case UnaryOp::Not:
+            return eval(*u.operand) == 0.0 ? 1.0 : 0.0;
+          case UnaryOp::PostInc:
+          case UnaryOp::PreInc: {
+            const auto& name =
+                static_cast<const IdentExpr&>(*u.operand).name;
+            return static_cast<double>(ints[name]++);
+          }
+          case UnaryOp::PostDec:
+          case UnaryOp::PreDec: {
+            const auto& name =
+                static_cast<const IdentExpr&>(*u.operand).name;
+            return static_cast<double>(ints[name]--);
+          }
+          default:
+            throw std::runtime_error("MiniInterp: unsupported unary op");
+        }
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        const double lhs = eval(*b.lhs);
+        const double rhs = eval(*b.rhs);
+        switch (b.op) {
+          case BinaryOp::Add: return lhs + rhs;
+          case BinaryOp::Sub: return lhs - rhs;
+          case BinaryOp::Mul: return lhs * rhs;
+          case BinaryOp::Div: return lhs / rhs;
+          case BinaryOp::Rem:
+            return static_cast<double>(static_cast<std::int64_t>(lhs) %
+                                       static_cast<std::int64_t>(rhs));
+          case BinaryOp::Less: return lhs < rhs ? 1.0 : 0.0;
+          case BinaryOp::Greater: return lhs > rhs ? 1.0 : 0.0;
+          case BinaryOp::LessEqual: return lhs <= rhs ? 1.0 : 0.0;
+          case BinaryOp::GreaterEqual: return lhs >= rhs ? 1.0 : 0.0;
+          case BinaryOp::Equal: return lhs == rhs ? 1.0 : 0.0;
+          case BinaryOp::NotEqual: return lhs != rhs ? 1.0 : 0.0;
+          case BinaryOp::LogicalAnd:
+            return (lhs != 0.0 && rhs != 0.0) ? 1.0 : 0.0;
+          case BinaryOp::LogicalOr:
+            return (lhs != 0.0 || rhs != 0.0) ? 1.0 : 0.0;
+          default:
+            throw std::runtime_error("MiniInterp: unsupported binary op");
+        }
+      }
+      case ExprKind::Conditional: {
+        const auto& c = static_cast<const ConditionalExpr&>(e);
+        return eval(*c.cond) != 0.0 ? eval(*c.then_expr)
+                                    : eval(*c.else_expr);
+      }
+      case ExprKind::Assign: {
+        const auto& a = static_cast<const AssignExpr&>(e);
+        const double rhs = eval(*a.rhs);
+        double* slot = lvalue_slot(*a.lhs);
+        switch (a.op) {
+          case AssignOp::Assign: *slot = rhs; break;
+          case AssignOp::AddAssign: *slot += rhs; break;
+          case AssignOp::SubAssign: *slot -= rhs; break;
+          case AssignOp::MulAssign: *slot *= rhs; break;
+          case AssignOp::DivAssign: *slot /= rhs; break;
+          default:
+            throw std::runtime_error("MiniInterp: unsupported assign op");
+        }
+        // Integer scalars must stay integral.
+        sync_int(*a.lhs, *slot);
+        return *slot;
+      }
+      case ExprKind::Call: {
+        const auto& call = static_cast<const CallExpr&>(e);
+        const std::string name = call.callee_name();
+        const auto arg = [&](std::size_t i) { return eval(*call.args[i]); };
+        const auto iarg = [&](std::size_t i) {
+          return eval_int(*call.args[i]);
+        };
+        if (name == "floord") {
+          const std::int64_t n = iarg(0);
+          const std::int64_t d = iarg(1);
+          std::int64_t q = n / d;
+          if ((n % d != 0) && ((n < 0) != (d < 0))) --q;
+          return static_cast<double>(q);
+        }
+        if (name == "ceild") {
+          const std::int64_t n = iarg(0);
+          const std::int64_t d = iarg(1);
+          std::int64_t q = n / d;
+          if ((n % d != 0) && ((n < 0) == (d < 0))) ++q;
+          return static_cast<double>(q);
+        }
+        if (name == "purec_max") return std::max(arg(0), arg(1));
+        if (name == "purec_min") return std::min(arg(0), arg(1));
+        throw std::runtime_error("MiniInterp: unknown call " + name);
+      }
+      default:
+        throw std::runtime_error("MiniInterp: unsupported expression");
+    }
+  }
+
+ private:
+  double* array_slot(const Expr& e) {
+    const auto& idx = static_cast<const IndexExpr&>(e);
+    // 2-D: base is itself an IndexExpr.
+    if (idx.base->kind() == ExprKind::Index) {
+      const auto& outer = static_cast<const IndexExpr&>(*idx.base);
+      const auto& name = static_cast<const IdentExpr&>(*outer.base).name;
+      Array& arr = arrays.at(name);
+      const std::int64_t i = eval_int(*outer.index);
+      const std::int64_t j = eval_int(*idx.index);
+      return &arr.data.at(static_cast<std::size_t>(i) * arr.cols +
+                          static_cast<std::size_t>(j));
+    }
+    const Expr* base = idx.base.get();
+    while (base->kind() == ExprKind::Cast) {
+      base = static_cast<const CastExpr&>(*base).operand.get();
+    }
+    const auto& name = static_cast<const IdentExpr&>(*base).name;
+    Array& arr = arrays.at(name);
+    return &arr.data.at(static_cast<std::size_t>(eval_int(*idx.index)));
+  }
+
+  double* lvalue_slot(const Expr& e) {
+    if (e.kind() == ExprKind::Index) return array_slot(e);
+    if (e.kind() == ExprKind::Ident) {
+      const auto& name = static_cast<const IdentExpr&>(e).name;
+      scratch_ = static_cast<double>(ints[name]);
+      return &scratch_;
+    }
+    throw std::runtime_error("MiniInterp: unsupported lvalue");
+  }
+
+  void sync_int(const Expr& lhs, double value) {
+    if (lhs.kind() == ExprKind::Ident) {
+      ints[static_cast<const IdentExpr&>(lhs).name] =
+          static_cast<std::int64_t>(std::llround(value));
+    }
+  }
+
+  double scratch_ = 0.0;
+};
+
+}  // namespace purec::testinterp

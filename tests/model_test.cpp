@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "polyhedral/model.h"
+#include "support/diagnostics.h"
+
+namespace purec::poly {
+namespace {
+
+/// Parses `src` and extracts the scop of the first for-loop in `fn_name`.
+ExtractionResult extract_from(const std::string& src,
+                              const std::string& fn_name) {
+  SourceBuffer buf = SourceBuffer::from_string(src);
+  DiagnosticEngine diags;
+  TranslationUnit tu = parse(buf, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.format(&buf);
+  const FunctionDecl* fn = tu.find_function(fn_name);
+  EXPECT_NE(fn, nullptr);
+  const ForStmt* loop = nullptr;
+  for (const StmtPtr& s : fn->body->stmts) {
+    if (const auto* f = stmt_cast<ForStmt>(s.get())) {
+      loop = f;
+      break;
+    }
+  }
+  EXPECT_NE(loop, nullptr);
+  static std::vector<std::unique_ptr<TranslationUnit>> keep_alive;
+  keep_alive.push_back(std::make_unique<TranslationUnit>(std::move(tu)));
+  return extract_scop(*loop);
+}
+
+TEST(ScopExtraction, RectangularNest) {
+  auto r = extract_from(
+      "float** C;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = 0; j < m; j++)\n"
+      "      C[i][j] = 0.0f;\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  const Scop& scop = *r.scop;
+  EXPECT_EQ(scop.iterators, (std::vector<std::string>{"i", "j"}));
+  EXPECT_EQ(scop.parameters, (std::vector<std::string>{"n", "m"}));
+  ASSERT_EQ(scop.statements.size(), 1u);
+  ASSERT_EQ(scop.statements[0].accesses.size(), 1u);
+  const Access& w = scop.statements[0].accesses[0];
+  EXPECT_EQ(w.kind, AccessKind::Write);
+  EXPECT_EQ(w.array, "C");
+  ASSERT_EQ(w.subscripts.size(), 2u);
+  EXPECT_EQ(w.subscripts[0].coeffs[0], 1);  // i
+  EXPECT_EQ(w.subscripts[1].coeffs[1], 1);  // j
+}
+
+TEST(ScopExtraction, InclusiveBound) {
+  auto r = extract_from(
+      "float* v;\n"
+      "void k(int n) { for (int i = 0; i <= n; i++) v[i] = 1.0f; }\n", "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  // Domain must contain i == n: check via emptiness of {i == n}.
+  ConstraintSystem sys = r.scop->domain;
+  sys.add_equality({1, -1}, 0);  // i - n == 0
+  EXPECT_FALSE(sys.is_empty());
+}
+
+TEST(ScopExtraction, AffineBoundsWithOffsets) {
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) { for (int i = 1; i < n - 1; i++) a[i] = a[i]; }\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  // i == 0 must be outside the domain.
+  ConstraintSystem sys = r.scop->domain;
+  sys.add_equality({1, 0}, 0);  // i == 0
+  EXPECT_TRUE(sys.is_empty());
+}
+
+TEST(ScopExtraction, TriangularDomain) {
+  auto r = extract_from(
+      "float** L;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = 0; j <= i; j++)\n"
+      "      L[i][j] = 1.0f;\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  // (i=0, j=1) outside the triangle.
+  ConstraintSystem sys = r.scop->domain;
+  sys.add_equality({1, 0, 0}, 0);
+  sys.add_equality({0, 1, 0}, -1);
+  EXPECT_TRUE(sys.is_empty());
+}
+
+TEST(ScopExtraction, ReadsAndWritesClassified) {
+  auto r = extract_from(
+      "float* a; float* b;\n"
+      "void k(int n) { for (int i = 1; i < n; i++) a[i] = b[i - 1] + a[i]; }\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  const auto& accs = r.scop->statements[0].accesses;
+  std::size_t writes = 0;
+  std::size_t reads = 0;
+  for (const Access& a : accs) {
+    (a.kind == AccessKind::Write ? writes : reads)++;
+  }
+  EXPECT_EQ(writes, 1u);
+  EXPECT_EQ(reads, 2u);
+  // b[i-1] subscript has constant -1.
+  bool found = false;
+  for (const Access& a : accs) {
+    if (a.array == "b") {
+      ASSERT_EQ(a.subscripts.size(), 1u);
+      EXPECT_EQ(a.subscripts[0].constant, -1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScopExtraction, SubstitutedPlaceholderIsParameterRead) {
+  // `tmpConst_dot_0` (post-substitution shape) must be treated as a
+  // constant, not as scalar memory that carries dependences.
+  auto r = extract_from(
+      "float** C;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = 0; j < n; j++)\n"
+      "      C[i][j] = tmpConst_dot_0;\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  ASSERT_EQ(r.scop->statements[0].accesses.size(), 1u);  // only the write
+}
+
+TEST(ScopExtraction, MultiStatementBody) {
+  auto r = extract_from(
+      "float* a; float* b;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    a[i] = 1.0f;\n"
+      "    b[i] = a[i];\n"
+      "  }\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  ASSERT_EQ(r.scop->statements.size(), 2u);
+  EXPECT_EQ(r.scop->statements[0].position, 0u);
+  EXPECT_EQ(r.scop->statements[1].position, 1u);
+}
+
+TEST(ScopExtraction, CompoundAssignAddsReadOfTarget) {
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) { for (int i = 0; i < n; i++) a[i] += 1.0f; }\n", "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  const auto& accs = r.scop->statements[0].accesses;
+  ASSERT_EQ(accs.size(), 2u);
+  EXPECT_EQ(accs[0].kind, AccessKind::Write);
+  EXPECT_EQ(accs[1].kind, AccessKind::Read);
+}
+
+TEST(ScopExtraction, LinearizedSubscript) {
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = 0; j < n; j++)\n"
+      "      a[i * 64 + j] = 0.0f;\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  const Access& w = r.scop->statements[0].accesses[0];
+  ASSERT_EQ(w.subscripts.size(), 1u);
+  EXPECT_EQ(w.subscripts[0].coeffs[0], 64);
+  EXPECT_EQ(w.subscripts[0].coeffs[1], 1);
+}
+
+// --- Rejections ------------------------------------------------------------
+
+TEST(ScopExtraction, RejectsNonUnitStep) {
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) { for (int i = 0; i < n; i += 2) a[i] = 0.0f; }\n",
+      "k");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.failure_reason.find("increment"), std::string::npos);
+}
+
+TEST(ScopExtraction, RejectsNonAffineSubscript) {
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) { for (int i = 0; i < n; i++) a[i * i] = 0.0f; }\n",
+      "k");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.failure_reason.find("non-affine"), std::string::npos);
+}
+
+TEST(ScopExtraction, RejectsIndirectAddressing) {
+  auto r = extract_from(
+      "float* a; int* idx;\n"
+      "void k(int n) { for (int i = 0; i < n; i++) a[idx[i]] = 0.0f; }\n",
+      "k");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ScopExtraction, RejectsRemainingCall) {
+  auto r = extract_from(
+      "float* a; float f(int i);\n"
+      "void k(int n) { for (int i = 0; i < n; i++) a[i] = f(i); }\n", "k");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.failure_reason.find("call"), std::string::npos);
+}
+
+TEST(ScopExtraction, RejectsNonAffineBound) {
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) { for (int i = 0; i < n * n; i++) a[i] = 0.0f; }\n",
+      "k");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.failure_reason.find("bound"), std::string::npos);
+}
+
+TEST(ScopExtraction, RejectsDecrementLoop) {
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) { for (int i = n; i > 0; i--) a[i] = 0.0f; }\n", "k");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AffineForm, ToString) {
+  AffineForm f;
+  f.coeffs = {1, -2, 0};
+  f.constant = 3;
+  EXPECT_EQ(f.to_string({"i", "j", "n"}), "i - 2*j + 3");
+  AffineForm zero;
+  zero.coeffs = {0};
+  EXPECT_EQ(zero.to_string({"i"}), "0");
+}
+
+}  // namespace
+}  // namespace purec::poly

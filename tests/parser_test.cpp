@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include "ast/walk.h"
+#include "emit/c_printer.h"
+#include "lexer/lexer.h"
+#include "parser/parser.h"
+#include "support/diagnostics.h"
+#include "test_sources.h"
+
+namespace purec {
+namespace {
+
+TranslationUnit parse_ok(const std::string& text) {
+  SourceBuffer buf = SourceBuffer::from_string(text);
+  DiagnosticEngine diags;
+  TranslationUnit tu = parse(buf, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.format(&buf);
+  return tu;
+}
+
+ExprPtr parse_expr(const std::string& text) {
+  SourceBuffer buf = SourceBuffer::from_string(text);
+  DiagnosticEngine diags;
+  Parser parser(lex(buf, diags), diags);
+  ExprPtr e = parser.parse_standalone_expression();
+  EXPECT_FALSE(diags.has_errors()) << diags.format(&buf);
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+TEST(Parser, GlobalVariables) {
+  TranslationUnit tu = parse_ok("int x; float y = 1.5f; int *p, **pp;");
+  const auto globals = tu.globals();
+  ASSERT_EQ(globals.size(), 4u);
+  EXPECT_EQ(globals[0]->var.name, "x");
+  EXPECT_EQ(globals[1]->var.name, "y");
+  ASSERT_NE(globals[1]->var.init, nullptr);
+  EXPECT_TRUE(globals[2]->var.type->is_pointer());
+  EXPECT_TRUE(globals[3]->var.type->pointee->is_pointer());
+}
+
+TEST(Parser, FunctionPrototypeAndDefinition) {
+  TranslationUnit tu = parse_ok(
+      "int add(int a, int b);\n"
+      "int add(int a, int b) { return a + b; }\n");
+  const auto fns = tu.functions();
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_FALSE(fns[0]->is_definition());
+  EXPECT_TRUE(fns[1]->is_definition());
+  EXPECT_EQ(tu.find_function("add"), fns[1]);
+}
+
+TEST(Parser, Listing1PureDeclaration) {
+  // Paper Listing 1: first pure marks the function, second the pointer.
+  TranslationUnit tu = parse_ok("pure int* func(pure int* p1, int p2);");
+  const FunctionDecl* fn = tu.find_function("func");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->is_pure);
+  EXPECT_TRUE(fn->returns_pure_pointer);
+  ASSERT_EQ(fn->params.size(), 2u);
+  EXPECT_TRUE(fn->params[0].type->is_pointer());
+  EXPECT_TRUE(fn->params[0].type->any_level_pure());
+  EXPECT_FALSE(fn->params[1].type->any_level_pure());
+}
+
+TEST(Parser, PureLocalPointerDeclaration) {
+  TranslationUnit tu = parse_ok(
+      "void f(int* q) { pure int* p; int* r; }");
+  const FunctionDecl* fn = tu.find_function("f");
+  ASSERT_NE(fn, nullptr);
+  const auto* decl0 = stmt_cast<DeclStmt>(fn->body->stmts[0].get());
+  const auto* decl1 = stmt_cast<DeclStmt>(fn->body->stmts[1].get());
+  ASSERT_NE(decl0, nullptr);
+  ASSERT_NE(decl1, nullptr);
+  EXPECT_TRUE(decl0->decls[0].type->any_level_pure());
+  EXPECT_FALSE(decl1->decls[0].type->any_level_pure());
+}
+
+TEST(Parser, PureCastExpression) {
+  TranslationUnit tu = parse_ok(
+      "int* g;\n"
+      "void f() { pure int* p = (pure int*)g; }");
+  const FunctionDecl* fn = tu.find_function("f");
+  const auto* decl = stmt_cast<DeclStmt>(fn->body->stmts[0].get());
+  ASSERT_NE(decl, nullptr);
+  const auto* cast = expr_cast<CastExpr>(decl->decls[0].init.get());
+  ASSERT_NE(cast, nullptr);
+  EXPECT_TRUE(cast->target_type->any_level_pure());
+}
+
+TEST(Parser, ArrayDeclarations) {
+  TranslationUnit tu = parse_ok("void f() { int a[100]; float b[4][8]; }");
+  const FunctionDecl* fn = tu.find_function("f");
+  const auto* d0 = stmt_cast<DeclStmt>(fn->body->stmts[0].get());
+  ASSERT_TRUE(d0->decls[0].type->is_array());
+  EXPECT_EQ(d0->decls[0].type->array_size, 100);
+  const auto* d1 = stmt_cast<DeclStmt>(fn->body->stmts[1].get());
+  ASSERT_TRUE(d1->decls[0].type->is_array());
+  EXPECT_EQ(d1->decls[0].type->array_size, 4);
+  EXPECT_EQ(d1->decls[0].type->element->array_size, 8);
+}
+
+TEST(Parser, TypedefAndUse) {
+  TranslationUnit tu = parse_ok(
+      "typedef float real;\n"
+      "real square(real x) { return x * x; }\n");
+  const FunctionDecl* fn = tu.find_function("square");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->return_type->kind, TypeKind::Named);
+  EXPECT_EQ(fn->return_type->name, "real");
+}
+
+TEST(Parser, StructDefinitionAndMemberAccess) {
+  TranslationUnit tu = parse_ok(
+      "struct point { int x; int y; };\n"
+      "int get(struct point* p) { return p->x + (*p).y; }\n");
+  const FunctionDecl* fn = tu.find_function("get");
+  ASSERT_NE(fn, nullptr);
+  bool found_arrow = false;
+  bool found_dot = false;
+  for_each_expr(*fn->body, [&](const Expr& e) {
+    if (const auto* m = expr_cast<MemberExpr>(&e)) {
+      (m->is_arrow ? found_arrow : found_dot) = true;
+    }
+  });
+  EXPECT_TRUE(found_arrow);
+  EXPECT_TRUE(found_dot);
+}
+
+TEST(Parser, VariadicPrototype) {
+  TranslationUnit tu = parse_ok("int printf(const char* fmt, ...);");
+  const FunctionDecl* fn = tu.find_function("printf");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->is_variadic);
+}
+
+TEST(Parser, TopLevelHashLinesPreserved) {
+  TranslationUnit tu = parse_ok("#pragma scop\nint x;\n#pragma endscop\n");
+  ASSERT_EQ(tu.items.size(), 3u);
+  EXPECT_NE(std::get_if<std::string>(&tu.items[0].node), nullptr);
+  EXPECT_NE(std::get_if<std::string>(&tu.items[2].node), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+TEST(Parser, ForLoopWithDeclInit) {
+  TranslationUnit tu = parse_ok(
+      "void f(int n) { for (int i = 0; i < n; ++i) { } }");
+  const FunctionDecl* fn = tu.find_function("f");
+  const auto* loop = stmt_cast<ForStmt>(fn->body->stmts[0].get());
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->init->kind(), StmtKind::Decl);
+  ASSERT_NE(loop->cond, nullptr);
+  ASSERT_NE(loop->inc, nullptr);
+}
+
+TEST(Parser, NestedLoops) {
+  TranslationUnit tu = parse_ok(
+      "void f(int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = 0; j < n; j++)\n"
+      "      ;\n"
+      "}");
+  const FunctionDecl* fn = tu.find_function("f");
+  std::size_t loops = 0;
+  for_each_stmt(*fn->body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::For) ++loops;
+  });
+  EXPECT_EQ(loops, 2u);
+}
+
+TEST(Parser, IfElseChain) {
+  TranslationUnit tu = parse_ok(
+      "int f(int x) { if (x > 0) return 1; else if (x < 0) return -1; "
+      "else return 0; }");
+  const FunctionDecl* fn = tu.find_function("f");
+  const auto* outer = stmt_cast<IfStmt>(fn->body->stmts[0].get());
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(outer->else_stmt, nullptr);
+  EXPECT_EQ(outer->else_stmt->kind(), StmtKind::If);
+}
+
+TEST(Parser, WhileAndDoWhile) {
+  TranslationUnit tu = parse_ok(
+      "void f(int n) { while (n > 0) n--; do { n++; } while (n < 10); }");
+  const FunctionDecl* fn = tu.find_function("f");
+  EXPECT_EQ(fn->body->stmts[0]->kind(), StmtKind::While);
+  EXPECT_EQ(fn->body->stmts[1]->kind(), StmtKind::DoWhile);
+}
+
+TEST(Parser, BreakContinueReturn) {
+  TranslationUnit tu = parse_ok(
+      "void f() { for (int i = 0; i < 3; i++) { if (i) break; continue; } "
+      "return; }");
+  EXPECT_NE(tu.find_function("f"), nullptr);
+}
+
+TEST(Parser, PragmaInsideFunction) {
+  TranslationUnit tu = parse_ok(
+      "void f(int n) {\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < n; i++) ;\n"
+      "}");
+  const FunctionDecl* fn = tu.find_function("f");
+  const auto* pragma = stmt_cast<PragmaStmt>(fn->body->stmts[0].get());
+  ASSERT_NE(pragma, nullptr);
+  EXPECT_EQ(pragma->text, "#pragma omp parallel for");
+}
+
+TEST(Parser, ErrorRecoveryContinuesAfterBadStatement) {
+  SourceBuffer buf = SourceBuffer::from_string(
+      "void f() { int x = ; int y = 2; }\nint g() { return 1; }");
+  DiagnosticEngine diags;
+  TranslationUnit tu = parse(buf, diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(tu.find_function("g"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Expressions — precedence and shapes
+// ---------------------------------------------------------------------------
+
+TEST(Parser, MultiplicationBindsTighterThanAddition) {
+  ExprPtr e = parse_expr("a + b * c");
+  const auto* add = expr_cast<BinaryExpr>(e.get());
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->op, BinaryOp::Add);
+  const auto* mul = expr_cast<BinaryExpr>(add->rhs.get());
+  ASSERT_NE(mul, nullptr);
+  EXPECT_EQ(mul->op, BinaryOp::Mul);
+}
+
+TEST(Parser, AssignmentIsRightAssociative) {
+  ExprPtr e = parse_expr("a = b = c");
+  const auto* outer = expr_cast<AssignExpr>(e.get());
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NE(expr_cast<AssignExpr>(outer->rhs.get()), nullptr);
+}
+
+TEST(Parser, SubtractionIsLeftAssociative) {
+  ExprPtr e = parse_expr("a - b - c");
+  const auto* outer = expr_cast<BinaryExpr>(e.get());
+  ASSERT_NE(outer, nullptr);
+  const auto* inner = expr_cast<BinaryExpr>(outer->lhs.get());
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->op, BinaryOp::Sub);
+}
+
+TEST(Parser, ConditionalExpression) {
+  ExprPtr e = parse_expr("a ? b : c ? d : e");
+  const auto* outer = expr_cast<ConditionalExpr>(e.get());
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NE(expr_cast<ConditionalExpr>(outer->else_expr.get()), nullptr);
+}
+
+TEST(Parser, CallWithArguments) {
+  ExprPtr e = parse_expr("dot(a, b, 64)");
+  const auto* call = expr_cast<CallExpr>(e.get());
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->callee_name(), "dot");
+  EXPECT_EQ(call->args.size(), 3u);
+}
+
+TEST(Parser, ChainedIndexAndCall) {
+  ExprPtr e = parse_expr("A[i][j]");
+  const auto* outer = expr_cast<IndexExpr>(e.get());
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NE(expr_cast<IndexExpr>(outer->base.get()), nullptr);
+}
+
+TEST(Parser, UnaryOperators) {
+  ExprPtr e = parse_expr("-*p");
+  const auto* neg = expr_cast<UnaryExpr>(e.get());
+  ASSERT_NE(neg, nullptr);
+  EXPECT_EQ(neg->op, UnaryOp::Minus);
+  const auto* deref = expr_cast<UnaryExpr>(neg->operand.get());
+  ASSERT_NE(deref, nullptr);
+  EXPECT_EQ(deref->op, UnaryOp::Deref);
+}
+
+TEST(Parser, SizeofBothForms) {
+  ExprPtr e1 = parse_expr("sizeof(int)");
+  const auto* s1 = expr_cast<SizeofExpr>(e1.get());
+  ASSERT_NE(s1, nullptr);
+  EXPECT_NE(s1->of_type, nullptr);
+
+  ExprPtr e2 = parse_expr("sizeof x");
+  const auto* s2 = expr_cast<SizeofExpr>(e2.get());
+  ASSERT_NE(s2, nullptr);
+  EXPECT_NE(s2->operand, nullptr);
+}
+
+TEST(Parser, CastVsParenthesizedExpression) {
+  ExprPtr cast = parse_expr("(float)x");
+  EXPECT_NE(expr_cast<CastExpr>(cast.get()), nullptr);
+  ExprPtr paren = parse_expr("(x)");
+  EXPECT_NE(expr_cast<IdentExpr>(paren.get()), nullptr);
+}
+
+TEST(Parser, MallocSizeofIdiom) {
+  ExprPtr e = parse_expr("(int*)malloc(3 * sizeof(int))");
+  const auto* cast = expr_cast<CastExpr>(e.get());
+  ASSERT_NE(cast, nullptr);
+  const auto* call = expr_cast<CallExpr>(cast->operand.get());
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->callee_name(), "malloc");
+}
+
+TEST(Parser, CompoundAssignment) {
+  ExprPtr e = parse_expr("res += mult(a[i], b[i])");
+  const auto* assign = expr_cast<AssignExpr>(e.get());
+  ASSERT_NE(assign, nullptr);
+  EXPECT_EQ(assign->op, AssignOp::AddAssign);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's full listings parse
+// ---------------------------------------------------------------------------
+
+TEST(Parser, PaperMatmulParses) {
+  TranslationUnit tu = parse_ok(testsrc::kMatmul);
+  EXPECT_NE(tu.find_function("mult"), nullptr);
+  EXPECT_NE(tu.find_function("dot"), nullptr);
+  EXPECT_NE(tu.find_function("main"), nullptr);
+  EXPECT_TRUE(tu.find_function("dot")->is_pure);
+}
+
+TEST(Parser, PaperListing2Parses) {
+  TranslationUnit tu = parse_ok(testsrc::kListing2);
+  const FunctionDecl* fn = tu.find_function("func2");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->is_pure);
+  EXPECT_TRUE(fn->is_definition());
+}
+
+TEST(Parser, PaperListing5And6Parse) {
+  (void)parse_ok(testsrc::kListing5);
+  (void)parse_ok(testsrc::kListing6);
+}
+
+TEST(Parser, AllFixturesParse) {
+  for (const char* src :
+       {testsrc::kHeat, testsrc::kTimeStencil, testsrc::kEll,
+        testsrc::kSatellite, testsrc::kMatmulWithInit}) {
+    SourceBuffer buf = SourceBuffer::from_string(src);
+    DiagnosticEngine diags;
+    (void)parse(buf, diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.format(&buf);
+  }
+}
+
+// Round-trip property: parse -> print -> parse -> print must be a fixpoint.
+class ParserRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRoundTripTest, PrintParsePrintIsStable) {
+  SourceBuffer buf = SourceBuffer::from_string(GetParam());
+  DiagnosticEngine diags;
+  TranslationUnit tu = parse(buf, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.format(&buf);
+  const std::string once = print_c(tu);
+
+  SourceBuffer buf2 = SourceBuffer::from_string(once);
+  DiagnosticEngine diags2;
+  TranslationUnit tu2 = parse(buf2, diags2);
+  ASSERT_FALSE(diags2.has_errors()) << diags2.format(&buf2) << "\n" << once;
+  EXPECT_EQ(print_c(tu2), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, ParserRoundTripTest,
+    ::testing::Values(testsrc::kMatmul, testsrc::kListing2Valid,
+                      testsrc::kListing5, testsrc::kListing6, testsrc::kHeat,
+                      testsrc::kTimeStencil, testsrc::kEll,
+                      testsrc::kSatellite, testsrc::kMatmulWithInit));
+
+}  // namespace
+}  // namespace purec

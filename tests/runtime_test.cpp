@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+
+namespace purec::rt {
+namespace {
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  int calls = 0;
+  pool.run_on_all([&](std::size_t index) {
+    EXPECT_EQ(index, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, AllWorkersParticipate) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::mutex mutex;
+  std::set<std::size_t> seen;
+  pool.run_on_all([&](std::size_t index) {
+    std::lock_guard lock(mutex);
+    seen.insert(index);
+  });
+  EXPECT_EQ(seen, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.run_on_all([&](std::size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 300);
+}
+
+TEST(ThreadPool, ZeroRequestBecomesOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnceStatic) {
+  ThreadPool pool(5);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000,
+               [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnceDynamic) {
+  ThreadPool pool(5);
+  std::vector<std::atomic<int>> hits(997);  // prime: ragged chunks
+  parallel_for(pool, 0, 997, [&](std::int64_t i) { hits[i].fetch_add(1); },
+               {Schedule::Dynamic, 7});
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(3);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&](std::int64_t) { ++calls; });
+  parallel_for(pool, 7, 3, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(pool, 10, 20, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  ThreadPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, 0, 3, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForBlocked, ChunksArePartition) {
+  ThreadPool pool(6);
+  std::mutex mutex;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  parallel_for_blocked(pool, 0, 101,
+                       [&](std::int64_t b, std::int64_t e) {
+                         std::lock_guard lock(mutex);
+                         chunks.push_back({b, e});
+                       });
+  std::sort(chunks.begin(), chunks.end());
+  std::int64_t expected_begin = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_LT(b, e);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, 101);
+}
+
+TEST(ParallelForBlocked, DynamicChunkSizeRespected) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::int64_t> sizes;
+  parallel_for_blocked(
+      pool, 0, 100,
+      [&](std::int64_t b, std::int64_t e) {
+        std::lock_guard lock(mutex);
+        sizes.push_back(e - b);
+      },
+      {Schedule::Dynamic, 8});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i], 8);
+  }
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::int64_t{0}),
+            100);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_reduce_sum
+// ---------------------------------------------------------------------------
+
+TEST(ParallelReduce, SumOfIntegers) {
+  ThreadPool pool(8);
+  const double sum = parallel_reduce_sum(
+      pool, 1, 1001, [](std::int64_t i) { return static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(sum, 500500.0);
+}
+
+TEST(ParallelReduce, MatchesSequentialForDynamic) {
+  ThreadPool pool(8);
+  const auto f = [](std::int64_t i) {
+    return 1.0 / static_cast<double>(i + 1);
+  };
+  double expected = 0.0;
+  for (int i = 0; i < 5000; ++i) expected += f(i);
+  const double sum =
+      parallel_reduce_sum(pool, 0, 5000, f, {Schedule::Dynamic, 64});
+  EXPECT_NEAR(sum, expected, 1e-9);
+}
+
+TEST(ParallelReduce, EmptyRangeIsZero) {
+  ThreadPool pool(4);
+  EXPECT_EQ(parallel_reduce_sum(pool, 3, 3,
+                                [](std::int64_t) { return 1.0; }),
+            0.0);
+}
+
+// Thread-count sweep property: the result never depends on the pool size.
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, ReductionInvariantUnderThreadCount) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  const double sum = parallel_reduce_sum(
+      pool, 0, 4096, [](std::int64_t i) {
+        return static_cast<double>((i * 37 + 11) % 101);
+      });
+  double expected = 0.0;
+  for (int i = 0; i < 4096; ++i) expected += (i * 37 + 11) % 101;
+  EXPECT_DOUBLE_EQ(sum, expected);
+}
+
+TEST_P(ThreadSweep, StaticChunksNeverOverlap) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  std::vector<std::atomic<int>> hits(777);
+  parallel_for(pool, 0, 777, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ThreadSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 24, 32, 64));
+
+}  // namespace
+}  // namespace purec::rt

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "ast/walk.h"
+#include "parser/parser.h"
+#include "sema/symbols.h"
+#include "support/diagnostics.h"
+
+namespace purec {
+namespace {
+
+struct Fixture {
+  SourceBuffer buffer;
+  DiagnosticEngine diags;
+  TranslationUnit tu;
+  SymbolTable table;
+
+  explicit Fixture(const std::string& src)
+      : buffer(SourceBuffer::from_string(src)),
+        tu(parse(buffer, diags)),
+        table(SymbolTable::build(tu, diags)) {}
+};
+
+/// Finds the resolution of the IdentExpr named `name` inside `fn`.
+const Symbol* find_symbol(const Fixture& f, const std::string& fn_name,
+                          const std::string& name) {
+  const FunctionDecl* fn = f.tu.find_function(fn_name);
+  if (fn == nullptr || !fn->body) return nullptr;
+  const FunctionScopeInfo* scope = f.table.scope_for(*fn);
+  if (scope == nullptr) return nullptr;
+  const Symbol* found = nullptr;
+  for_each_expr(static_cast<const Stmt&>(*fn->body),
+                [&](const Expr& e) {
+                  const auto* ident = expr_cast<IdentExpr>(&e);
+                  if (ident != nullptr && ident->name == name &&
+                      found == nullptr) {
+                    found = scope->resolve(*ident);
+                  }
+                });
+  return found;
+}
+
+TEST(Sema, ClassifiesLocalParamGlobal) {
+  Fixture f(
+      "int g;\n"
+      "int fn(int p) { int loc = g + p; return loc; }\n");
+  ASSERT_FALSE(f.diags.has_errors());
+  const Symbol* loc = find_symbol(f, "fn", "loc");
+  const Symbol* p = find_symbol(f, "fn", "p");
+  const Symbol* g = find_symbol(f, "fn", "g");
+  ASSERT_NE(loc, nullptr);
+  ASSERT_NE(p, nullptr);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(loc->kind, SymbolKind::Local);
+  EXPECT_EQ(p->kind, SymbolKind::Param);
+  EXPECT_EQ(g->kind, SymbolKind::Global);
+}
+
+TEST(Sema, InnerScopeShadowsOuter) {
+  Fixture f(
+      "int fn() {\n"
+      "  int x = 1;\n"
+      "  { float x = 2.0f; x = 3.0f; }\n"
+      "  return x;\n"
+      "}\n");
+  const FunctionDecl* fn = f.tu.find_function("fn");
+  const FunctionScopeInfo* scope = f.table.scope_for(*fn);
+  // The `x = 3.0f` write resolves to the float local.
+  const Symbol* inner = nullptr;
+  for_each_expr(static_cast<const Stmt&>(*fn->body), [&](const Expr& e) {
+    const auto* assign = expr_cast<AssignExpr>(&e);
+    if (assign == nullptr) return;
+    const auto* ident = expr_cast<IdentExpr>(assign->lhs.get());
+    if (ident != nullptr) inner = scope->resolve(*ident);
+  });
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(inner->type, nullptr);
+  EXPECT_TRUE(inner->type->is_floating());
+}
+
+TEST(Sema, ForLoopIteratorScopedToLoop) {
+  Fixture f(
+      "int fn(int n) {\n"
+      "  for (int i = 0; i < n; i++) { n += i; }\n"
+      "  return n;\n"
+      "}\n");
+  const Symbol* i = find_symbol(f, "fn", "i");
+  ASSERT_NE(i, nullptr);
+  EXPECT_EQ(i->kind, SymbolKind::Local);
+}
+
+TEST(Sema, UnknownIdentifierIsUnknown) {
+  Fixture f("int fn() { return external_thing; }\n");
+  const Symbol* sym = find_symbol(f, "fn", "external_thing");
+  ASSERT_NE(sym, nullptr);
+  EXPECT_EQ(sym->kind, SymbolKind::Unknown);
+}
+
+TEST(Sema, FunctionNameResolvesToFunction) {
+  Fixture f(
+      "int helper(int a) { return a; }\n"
+      "int fn() { return helper(1); }\n");
+  const Symbol* sym = find_symbol(f, "fn", "helper");
+  ASSERT_NE(sym, nullptr);
+  EXPECT_EQ(sym->kind, SymbolKind::Function);
+  ASSERT_NE(sym->function, nullptr);
+  EXPECT_EQ(sym->function->name, "helper");
+}
+
+TEST(Sema, RedefinitionReported) {
+  Fixture f(
+      "int fn() { return 1; }\n"
+      "int fn() { return 2; }\n");
+  EXPECT_TRUE(f.diags.has_error_containing("redefinition"));
+}
+
+TEST(Sema, ConflictingPurityReported) {
+  Fixture f(
+      "pure int fn(int a);\n"
+      "int fn(int a) { return a; }\n");
+  EXPECT_TRUE(f.diags.has_error_containing("conflicting purity"));
+}
+
+TEST(Sema, PrototypeThenDefinitionPrefersDefinition) {
+  Fixture f(
+      "int fn(int a);\n"
+      "int fn(int a) { return a; }\n");
+  EXPECT_FALSE(f.diags.has_errors());
+  EXPECT_TRUE(f.table.find_function("fn")->is_definition());
+}
+
+TEST(Sema, LvalueRootThroughIndexAndDeref) {
+  Fixture f(
+      "void fn(int* p, int** q) {\n"
+      "  p[3] = 1;\n"
+      "  *p = 2;\n"
+      "  q[1][2] = 3;\n"
+      "}\n");
+  const FunctionDecl* fn = f.tu.find_function("fn");
+  const FunctionScopeInfo* scope = f.table.scope_for(*fn);
+  std::vector<std::string> roots;
+  for_each_expr(static_cast<const Stmt&>(*fn->body), [&](const Expr& e) {
+    const auto* assign = expr_cast<AssignExpr>(&e);
+    if (assign == nullptr) return;
+    const Symbol* root = scope->lvalue_root(*assign->lhs);
+    ASSERT_NE(root, nullptr);
+    roots.push_back(root->name);
+  });
+  EXPECT_EQ(roots, (std::vector<std::string>{"p", "p", "q"}));
+}
+
+TEST(Sema, ParamPointerTypeVisible) {
+  Fixture f("void fn(pure int* p) { int x = p[0]; }\n");
+  const Symbol* p = find_symbol(f, "fn", "p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, SymbolKind::Param);
+  ASSERT_NE(p->type, nullptr);
+  EXPECT_TRUE(p->type->is_pointer());
+  EXPECT_TRUE(p->type->any_level_pure());
+}
+
+}  // namespace
+}  // namespace purec

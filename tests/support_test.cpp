@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/rational.h"
+#include "support/source_buffer.h"
+#include "support/string_utils.h"
+
+namespace purec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SourceBuffer
+// ---------------------------------------------------------------------------
+
+TEST(SourceBuffer, LineIndexing) {
+  SourceBuffer buf = SourceBuffer::from_string("abc\ndef\n\nxyz");
+  EXPECT_EQ(buf.line_count(), 4u);
+  EXPECT_EQ(buf.line(1), "abc");
+  EXPECT_EQ(buf.line(2), "def");
+  EXPECT_EQ(buf.line(3), "");
+  EXPECT_EQ(buf.line(4), "xyz");
+  EXPECT_FALSE(buf.line(0).has_value());
+  EXPECT_FALSE(buf.line(5).has_value());
+}
+
+TEST(SourceBuffer, LocationForOffset) {
+  SourceBuffer buf = SourceBuffer::from_string("ab\ncd");
+  const SourceLocation a = buf.location_for_offset(0);
+  EXPECT_EQ(a.line, 1u);
+  EXPECT_EQ(a.column, 1u);
+  const SourceLocation d = buf.location_for_offset(4);
+  EXPECT_EQ(d.line, 2u);
+  EXPECT_EQ(d.column, 2u);
+}
+
+TEST(SourceBuffer, OffsetPastEndClamps) {
+  SourceBuffer buf = SourceBuffer::from_string("ab");
+  const SourceLocation end = buf.location_for_offset(100);
+  EXPECT_EQ(end.line, 1u);
+  EXPECT_EQ(end.column, 3u);
+}
+
+TEST(SourceBuffer, EmptyBuffer) {
+  SourceBuffer buf = SourceBuffer::from_string("");
+  EXPECT_EQ(buf.line_count(), 0u);
+  EXPECT_EQ(buf.location_for_offset(0).line, 1u);
+}
+
+TEST(SourceBuffer, CRLFLines) {
+  SourceBuffer buf = SourceBuffer::from_string("ab\r\ncd\r\n");
+  EXPECT_EQ(buf.line(1), "ab");
+  EXPECT_EQ(buf.line(2), "cd");
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(Diagnostics, CountsBySeverity) {
+  DiagnosticEngine diags;
+  diags.error({1, 1, 0}, "t", "first");
+  diags.warning({2, 1, 0}, "t", "second");
+  diags.note({3, 1, 0}, "t", "third");
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.warning_count(), 1u);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, HasErrorContaining) {
+  DiagnosticEngine diags;
+  diags.error({1, 1, 0}, "purity", "call to impure function 'foo'");
+  EXPECT_TRUE(diags.has_error_containing("impure function"));
+  EXPECT_FALSE(diags.has_error_containing("not present"));
+}
+
+TEST(Diagnostics, FormatIncludesCaret) {
+  SourceBuffer buf = SourceBuffer::from_string("int x = $;", "f.c");
+  DiagnosticEngine diags;
+  diags.error(buf.location_for_offset(8), "lexer", "invalid character '$'");
+  const std::string text = diags.format(&buf);
+  EXPECT_NE(text.find("f.c:1:9"), std::string::npos);
+  EXPECT_NE(text.find("int x = $;"), std::string::npos);
+  EXPECT_NE(text.find("^"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine diags;
+  diags.error({}, "t", "x");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+// ---------------------------------------------------------------------------
+// String utilities
+// ---------------------------------------------------------------------------
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtils, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtils, SplitLines) {
+  const auto lines = split_lines("a\nb\r\nc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(StringUtils, ReplaceAll) {
+  EXPECT_EQ(replace_all("aXbXc", "X", "YY"), "aYYbYYc");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("abc", "z", "y"), "abc");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("#include <x>", "#include"));
+  EXPECT_FALSE(starts_with("inc", "#include"));
+  EXPECT_TRUE(ends_with("file.c", ".c"));
+  EXPECT_FALSE(ends_with("c", ".c"));
+}
+
+// ---------------------------------------------------------------------------
+// Checked arithmetic + Rational
+// ---------------------------------------------------------------------------
+
+TEST(Checked, AddOverflowThrows) {
+  EXPECT_THROW(checked_add(INT64_MAX, 1), ArithmeticOverflow);
+  EXPECT_EQ(checked_add(2, 3), 5);
+}
+
+TEST(Checked, MulOverflowThrows) {
+  EXPECT_THROW(checked_mul(INT64_MAX, 2), ArithmeticOverflow);
+  EXPECT_EQ(checked_mul(-4, 5), -20);
+}
+
+TEST(Checked, FloorCeilDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ(Rational(0, 5), Rational(0));
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(1, 2);
+  const Rational b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+  EXPECT_THROW(Rational(1) / Rational(0), std::invalid_argument);
+}
+
+class RationalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalPropertyTest, AdditionCommutesAndAssociates) {
+  const int seed = GetParam();
+  const Rational a(seed * 3 - 7, (seed % 5) + 1);
+  const Rational b(11 - seed, (seed % 3) + 2);
+  const Rational c(seed, 7);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RationalPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace purec

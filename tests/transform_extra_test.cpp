@@ -1,0 +1,184 @@
+// Extra chain coverage: every evaluation fixture through every chain mode,
+// semantic checks of generated code via the mini interpreter, and the
+// intermediate-artifact contracts.
+#include <gtest/gtest.h>
+
+#include "emit/c_printer.h"
+#include "mini_interp.h"
+#include "parser/parser.h"
+#include "transform/pure_chain.h"
+#include "test_sources.h"
+
+namespace purec {
+namespace {
+
+using testinterp::MiniInterp;
+
+// Every fixture x every mode must run cleanly and keep the function
+// signatures intact (downstream callers do not change).
+struct ModeCase {
+  const char* name;
+  const char* source;
+  TransformMode mode;
+  bool parallelize;
+};
+
+class AllFixturesAllModes : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(AllFixturesAllModes, ChainSucceeds) {
+  const ModeCase& param = GetParam();
+  ChainOptions options;
+  options.mode = param.mode;
+  options.parallelize = param.parallelize;
+  ChainArtifacts a = run_pure_chain(param.source, options);
+  ASSERT_TRUE(a.ok) << param.name << "\n" << a.diagnostics.format();
+  // The final source must reparse as C with the pure keyword fully
+  // lowered away.
+  EXPECT_EQ(a.final_source.find("pure "), std::string::npos) << param.name;
+  SourceBuffer buf = SourceBuffer::from_string(a.final_source);
+  DiagnosticEngine diags;
+  (void)parse(buf, diags);
+  EXPECT_FALSE(diags.has_errors())
+      << param.name << "\n"
+      << diags.format(&buf) << "\n"
+      << a.final_source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllFixturesAllModes,
+    ::testing::Values(
+        ModeCase{"matmul_pluto", testsrc::kMatmul, TransformMode::Pluto,
+                 true},
+        ModeCase{"matmul_sica", testsrc::kMatmul, TransformMode::PlutoSica,
+                 true},
+        ModeCase{"matmul_seq", testsrc::kMatmul, TransformMode::Pluto,
+                 false},
+        ModeCase{"heat_pluto", testsrc::kHeat, TransformMode::Pluto, true},
+        ModeCase{"heat_sica", testsrc::kHeat, TransformMode::PlutoSica,
+                 true},
+        ModeCase{"ell_pluto", testsrc::kEll, TransformMode::Pluto, true},
+        ModeCase{"satellite_pluto", testsrc::kSatellite,
+                 TransformMode::Pluto, true},
+        ModeCase{"stencil_pluto", testsrc::kTimeStencil,
+                 TransformMode::Pluto, true},
+        ModeCase{"init_pluto", testsrc::kMatmulWithInit,
+                 TransformMode::Pluto, true}),
+    [](const ::testing::TestParamInfo<ModeCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Semantic equivalence of a transformed loop, interpreter-executed.
+// ---------------------------------------------------------------------------
+
+/// Extracts the first for-loop of function `fn` from parsed `source`.
+const ForStmt* first_loop(const TranslationUnit& tu, const char* fn_name) {
+  const FunctionDecl* fn = tu.find_function(fn_name);
+  if (fn == nullptr || !fn->body) return nullptr;
+  for (const StmtPtr& s : fn->body->stmts) {
+    if (const auto* f = stmt_cast<ForStmt>(s.get())) return f;
+  }
+  return nullptr;
+}
+
+TEST(ChainSemantics, TransformedHeatLoopComputesSameValues) {
+  // The heat i/j nest (no calls after treating `stencil` scop-internally
+  // is complex, so use the inlined-style variant here): transform a
+  // Jacobi step and execute both versions.
+  const char* src =
+      "float** cur; float** nxt;\n"
+      "void step(int n) {\n"
+      "  for (int i = 1; i < n - 1; i++)\n"
+      "    for (int j = 1; j < n - 1; j++)\n"
+      "      nxt[i][j] = 0.25f * (cur[i - 1][j] + cur[i + 1][j] +\n"
+      "                           cur[i][j - 1] + cur[i][j + 1]);\n"
+      "}\n";
+  ChainArtifacts a = run_pure_chain(src);
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+
+  // Parse original and transformed, pull out the `step` loop from each.
+  SourceBuffer orig_buf = SourceBuffer::from_string(src);
+  SourceBuffer gen_buf = SourceBuffer::from_string(a.transformed);
+  DiagnosticEngine diags;
+  TranslationUnit orig_tu = parse(orig_buf, diags);
+  TranslationUnit gen_tu = parse(gen_buf, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.format();
+  const ForStmt* orig_loop = first_loop(orig_tu, "step");
+  ASSERT_NE(orig_loop, nullptr);
+  const FunctionDecl* gen_fn = gen_tu.find_function("step");
+  ASSERT_NE(gen_fn, nullptr);
+
+  const auto fresh = [&] {
+    MiniInterp interp;
+    interp.ints["n"] = 20;
+    MiniInterp::Array grid;
+    grid.cols = 20;
+    grid.data.resize(400);
+    for (std::size_t i = 0; i < 400; ++i) {
+      grid.data[i] = 0.125 * static_cast<double>((i * 11 + 3) % 29);
+    }
+    interp.arrays["cur"] = grid;
+    MiniInterp::Array out;
+    out.cols = 20;
+    out.data.assign(400, 0.0);
+    interp.arrays["nxt"] = out;
+    return interp;
+  };
+
+  MiniInterp reference = fresh();
+  reference.run(*orig_loop);
+  MiniInterp subject = fresh();
+  subject.run(*gen_fn->body);  // whole transformed body
+
+  for (std::size_t i = 0; i < 400; ++i) {
+    ASSERT_NEAR(subject.arrays["nxt"].data[i],
+                reference.arrays["nxt"].data[i], 1e-9)
+        << "cell " << i << "\n"
+        << a.transformed;
+  }
+}
+
+TEST(ChainSemantics, MarkedArtifactBalancedMarkers) {
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul);
+  ASSERT_TRUE(a.ok);
+  std::size_t opens = 0;
+  std::size_t closes = 0;
+  std::size_t pos = 0;
+  while ((pos = a.marked.find("#pragma scop", pos)) != std::string::npos) {
+    ++opens;
+    pos += 1;
+  }
+  pos = 0;
+  while ((pos = a.marked.find("#pragma endscop", pos)) !=
+         std::string::npos) {
+    ++closes;
+    pos += 1;
+  }
+  EXPECT_EQ(opens, closes);
+  EXPECT_GT(opens, 0u);
+}
+
+TEST(ChainSemantics, TransformedStageStillHasPureKeyword) {
+  // Lowering happens only at PC-PosPro; the intermediate stages keep the
+  // keyword (they are inputs to chain-internal passes, like the paper's
+  // intermediate files).
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul);
+  ASSERT_TRUE(a.ok);
+  EXPECT_NE(a.marked.find("pure "), std::string::npos);
+  EXPECT_NE(a.transformed.find("pure "), std::string::npos);
+  EXPECT_EQ(a.final_source.find("pure "), std::string::npos);
+}
+
+TEST(ChainSemantics, ScopReportsCoverAllCandidates) {
+  ChainArtifacts a = run_pure_chain(testsrc::kMatmul);
+  ASSERT_TRUE(a.ok);
+  // matmul fixture: the main i/j nest + the reduction loop inside dot.
+  EXPECT_EQ(a.scops.size(), 2u);
+  for (const ScopReport& r : a.scops) {
+    EXPECT_FALSE(r.function.empty());
+    EXPECT_GT(r.line, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace purec
