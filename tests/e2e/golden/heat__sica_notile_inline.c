@@ -1,0 +1,19 @@
+#ifndef PUREC_POLY_HELPERS
+#define PUREC_POLY_HELPERS
+#define floord(n, d) (((n) < 0) ? -((-(n) + (d) - 1) / (d)) : (n) / (d))
+#define ceild(n, d) floord((n) + (d) - 1, (d))
+#define purec_max(a, b) (((a) > (b)) ? (a) : (b))
+#define purec_min(a, b) (((a) < (b)) ? (a) : (b))
+#endif
+float** cur;
+float** nxt;
+float stencil(float* const *g, int i, int j)
+{
+  return 0.25f * (g[i - 1][j] + g[i + 1][j] + g[i][j - 1] + g[i][j + 1]);
+}
+void step(int n)
+{
+  for (int i = 1; i < n - 1; i++)
+    for (int j = 1; j < n - 1; j++)
+      nxt[i][j] = 0.25f * (((float* const *)cur)[i - 1][j] + ((float* const *)cur)[i + 1][j] + ((float* const *)cur)[i][j - 1] + ((float* const *)cur)[i][j + 1]);
+}

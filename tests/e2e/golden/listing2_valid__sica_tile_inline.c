@@ -1,0 +1,21 @@
+#ifndef PUREC_POLY_HELPERS
+#define PUREC_POLY_HELPERS
+#define floord(n, d) (((n) < 0) ? -((-(n) + (d) - 1) / (d)) : (n) / (d))
+#define ceild(n, d) floord((n) + (d) - 1, (d))
+#define purec_max(a, b) (((a) > (b)) ? (a) : (b))
+#define purec_min(a, b) (((a) < (b)) ? (a) : (b))
+#endif
+int* globalPtr;
+int* func2(const int* p1, int p2);
+int* func2(const int* p1, int p2)
+{
+  int a = p2;
+  int b = a + 42;
+  int* c = (int*)malloc(3 * sizeof(int));
+  const int* ptr = p1;
+  const int* extPtr2;
+  extPtr2 = (const int*)globalPtr;
+  const int* extPtr3;
+  extPtr3 = (const int*)func2(p1, p2);
+  return c;
+}

@@ -1,0 +1,19 @@
+#ifndef PUREC_POLY_HELPERS
+#define PUREC_POLY_HELPERS
+#define floord(n, d) (((n) < 0) ? -((-(n) + (d) - 1) / (d)) : (n) / (d))
+#define ceild(n, d) floord((n) + (d) - 1, (d))
+#define purec_max(a, b) (((a) > (b)) ? (a) : (b))
+#define purec_min(a, b) (((a) < (b)) ? (a) : (b))
+#endif
+void smooth(float* a, int steps, int n)
+{
+  {
+    for (int t1t = purec_max(0, ceild(-n - 29, 32)); t1t <= purec_min(floord(steps - 1, 32), floord(steps + n - 3, 32)); t1t++)
+      for (int t2t = purec_max(0, t1t); t2t <= purec_min(floord(steps + n - 3, 32), floord(32 * t1t + n + 29, 32)); t2t++)
+        for (int t1 = purec_max(purec_max(0, 32 * t1t), 32 * t2t - n + 2); t1 <= purec_min(purec_min(steps - 1, 32 * t1t + 31), 32 * t2t + 30); t1++)
+          for (int t2 = purec_max(t1 + 1, 32 * t2t); t2 <= purec_min(t1 + n - 2, 32 * t2t + 31); t2++)
+          {
+            a[-t1 + t2] = 0.33f * (a[-t1 + t2 - 1] + a[-t1 + t2] + a[-t1 + t2 + 1]);
+          }
+  }
+}

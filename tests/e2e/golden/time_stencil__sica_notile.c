@@ -1,0 +1,17 @@
+#ifndef PUREC_POLY_HELPERS
+#define PUREC_POLY_HELPERS
+#define floord(n, d) (((n) < 0) ? -((-(n) + (d) - 1) / (d)) : (n) / (d))
+#define ceild(n, d) floord((n) + (d) - 1, (d))
+#define purec_max(a, b) (((a) > (b)) ? (a) : (b))
+#define purec_min(a, b) (((a) < (b)) ? (a) : (b))
+#endif
+void smooth(float* a, int steps, int n)
+{
+  {
+    for (int t1 = 0; t1 <= steps - 1; t1++)
+      for (int t2 = t1 + 1; t2 <= t1 + n - 2; t2++)
+      {
+        a[-t1 + t2] = 0.33f * (a[-t1 + t2 - 1] + a[-t1 + t2] + a[-t1 + t2 + 1]);
+      }
+  }
+}

@@ -1,0 +1,234 @@
+// End-to-end differential harness over the full purecc chain.
+//
+// For every fixture in tests/test_sources.h and every paper listing in
+// assets/c/, and for every transform configuration (pluto|sica × tiling
+// on/off × --inline-pure on/off):
+//
+//   1. Golden: the emitted C is byte-compared against a checked-in file
+//      under tests/e2e/golden/. Regenerate with PUREC_UPDATE_GOLDEN=1.
+//   2. Differential: runnable fixtures are compiled with the host gcc
+//      (-fopenmp; skipped when gcc is unavailable) in a serial reference
+//      configuration and in every parallel configuration, and the printed
+//      checksums must match exactly.
+//
+// Fixtures the chain must reject (Listing 2's invalid operations, Listing
+// 5's write-target argument) pin the rejection in every configuration.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "e2e/e2e_fixtures.h"
+#include "transform/pure_chain.h"
+
+#ifndef PUREC_REPO_DIR
+#error "build must define PUREC_REPO_DIR (the repository root)"
+#endif
+
+namespace purec::e2e {
+namespace {
+
+struct Config {
+  const char* name;
+  TransformMode mode;
+  bool tile;
+  bool inline_pure;
+};
+
+constexpr std::array<Config, 8> kConfigs = {{
+    {"pluto_tile", TransformMode::Pluto, true, false},
+    {"pluto_notile", TransformMode::Pluto, false, false},
+    {"pluto_tile_inline", TransformMode::Pluto, true, true},
+    {"pluto_notile_inline", TransformMode::Pluto, false, true},
+    {"sica_tile", TransformMode::PlutoSica, true, false},
+    {"sica_notile", TransformMode::PlutoSica, false, false},
+    {"sica_tile_inline", TransformMode::PlutoSica, true, true},
+    {"sica_notile_inline", TransformMode::PlutoSica, false, true},
+}};
+
+ChainOptions options_for(const Config& config) {
+  ChainOptions options;
+  options.mode = config.mode;
+  options.tile = config.tile;
+  options.inline_pure_expressions = config.inline_pure;
+  return options;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+std::string chain_source_of(const Fixture& fixture) {
+  if (!fixture.chain_source_is_path) return fixture.chain_source;
+  const std::string path =
+      std::string(PUREC_REPO_DIR) + "/" + fixture.chain_source;
+  std::string text = read_file(path);
+  EXPECT_FALSE(text.empty()) << "cannot read asset " << path;
+  return text;
+}
+
+std::string golden_path(const Fixture& fixture, const Config& config) {
+  return std::string(PUREC_REPO_DIR) + "/tests/e2e/golden/" + fixture.name +
+         "__" + config.name + ".c";
+}
+
+bool update_golden() {
+  const char* env = std::getenv("PUREC_UPDATE_GOLDEN");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Single-quotes a path for safe interpolation into a popen command line
+/// (TempDir may contain spaces or shell metacharacters).
+std::string shell_quote(const std::string& path) {
+  return "'" + path + "'";
+}
+
+bool gcc_available() {
+  FILE* p = popen("gcc --version > /dev/null 2>&1 && echo yes", "r");
+  if (p == nullptr) return false;
+  std::array<char, 16> buf{};
+  const bool ok = fgets(buf.data(), buf.size(), p) != nullptr &&
+                  std::string(buf.data()).find("yes") == 0;
+  pclose(p);
+  return ok;
+}
+
+/// Compiles `source` with gcc -fopenmp and runs it; returns stdout+stderr.
+/// Returns an empty string (with test failures recorded) when the compile
+/// or run fails.
+std::string compile_and_run(const std::string& source,
+                            const std::string& tag) {
+  const std::string dir = ::testing::TempDir();
+  const std::string c_path = dir + "/purec_e2e_" + tag + ".c";
+  const std::string bin_path = dir + "/purec_e2e_" + tag + ".bin";
+  {
+    std::ofstream out(c_path);
+    out << source;
+  }
+  const std::string compile_cmd = "gcc -O2 -fopenmp -o " + shell_quote(bin_path) +
+                                  " " + shell_quote(c_path) + " -lm 2>&1";
+  FILE* compile = popen(compile_cmd.c_str(), "r");
+  EXPECT_NE(compile, nullptr);
+  if (compile == nullptr) return {};
+  std::string compile_output;
+  std::array<char, 256> buf{};
+  while (fgets(buf.data(), buf.size(), compile) != nullptr) {
+    compile_output += buf.data();
+  }
+  const int compile_rc = pclose(compile);
+  EXPECT_EQ(compile_rc, 0) << "gcc failed:\n"
+                           << compile_output << "\nsource:\n"
+                           << source;
+  if (compile_rc != 0) return {};
+
+  FILE* run = popen((shell_quote(bin_path) + " 2>&1").c_str(), "r");
+  EXPECT_NE(run, nullptr);
+  if (run == nullptr) return {};
+  std::string output;
+  while (fgets(buf.data(), buf.size(), run) != nullptr) {
+    output += buf.data();
+  }
+  EXPECT_EQ(pclose(run), 0) << "binary failed:\n" << output;
+  return output;
+}
+
+class E2EChainTest : public ::testing::TestWithParam<Fixture> {};
+
+TEST_P(E2EChainTest, GoldenEmittedC) {
+  const Fixture& fixture = GetParam();
+  const std::string source = chain_source_of(fixture);
+  ASSERT_FALSE(source.empty());
+
+  for (const Config& config : kConfigs) {
+    SCOPED_TRACE(config.name);
+    const ChainArtifacts artifacts =
+        run_pure_chain(source, options_for(config));
+    if (!fixture.ok_with(config.inline_pure)) {
+      EXPECT_FALSE(artifacts.ok)
+          << fixture.name << " must be rejected in this configuration";
+      EXPECT_TRUE(artifacts.diagnostics.has_errors());
+      continue;
+    }
+    ASSERT_TRUE(artifacts.ok) << artifacts.diagnostics.format();
+    ASSERT_FALSE(artifacts.final_source.empty());
+
+    const std::string path = golden_path(fixture, config);
+    if (update_golden()) {
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << artifacts.final_source;
+      continue;
+    }
+    const std::string golden = read_file(path);
+    ASSERT_FALSE(golden.empty())
+        << "missing golden " << path
+        << " — regenerate with PUREC_UPDATE_GOLDEN=1 ctest -R e2e";
+    EXPECT_EQ(artifacts.final_source, golden)
+        << "emitted C drifted from " << path
+        << " — if intentional, regenerate with PUREC_UPDATE_GOLDEN=1";
+  }
+}
+
+TEST_P(E2EChainTest, SerialVsParallelDifferential) {
+  const Fixture& fixture = GetParam();
+  if (fixture.runnable == nullptr) {
+    if (!fixture.expect_ok) {
+      // The rejection (pinned per config above) is this fixture's whole
+      // end-to-end contract: no parallel binary may exist.
+      const ChainArtifacts artifacts =
+          run_pure_chain(chain_source_of(fixture));
+      EXPECT_FALSE(artifacts.ok);
+      return;
+    }
+    GTEST_SKIP() << fixture.name << " has no runnable variant";
+  }
+  if (!gcc_available()) GTEST_SKIP() << "no system gcc";
+
+  // Serial reference: no parallelization, no tiling. Fixtures the default
+  // chain rejects (Listing 5) only have an inlined serial form.
+  ChainOptions serial_options;
+  serial_options.parallelize = false;
+  serial_options.tile = false;
+  serial_options.inline_pure_expressions = !fixture.expect_ok;
+  const ChainArtifacts serial =
+      run_pure_chain(fixture.runnable, serial_options);
+  ASSERT_TRUE(serial.ok) << serial.diagnostics.format();
+  const std::string reference =
+      compile_and_run(serial.final_source, std::string(fixture.name) + "_ref");
+  ASSERT_FALSE(reference.empty()) << "serial reference produced no output";
+
+  for (const Config& config : kConfigs) {
+    SCOPED_TRACE(config.name);
+    const ChainArtifacts parallel =
+        run_pure_chain(fixture.runnable, options_for(config));
+    if (!fixture.ok_with(config.inline_pure)) {
+      EXPECT_FALSE(parallel.ok)
+          << fixture.name << " must be rejected in this configuration";
+      continue;
+    }
+    ASSERT_TRUE(parallel.ok) << parallel.diagnostics.format();
+    const std::string output = compile_and_run(
+        parallel.final_source,
+        std::string(fixture.name) + "_" + config.name);
+    EXPECT_EQ(output, reference)
+        << "parallel binary diverged from serial reference\n"
+        << parallel.final_source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFixtures, E2EChainTest, ::testing::ValuesIn(all_fixtures()),
+    [](const ::testing::TestParamInfo<Fixture>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace purec::e2e

@@ -1,13 +1,24 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "lexer/lexer.h"
 #include "support/diagnostics.h"
 
 namespace purec {
 namespace {
 
+/// Tokens hold string_views into their SourceBuffer, so the helper parks
+/// every lexed buffer here; it must outlive the returned tokens.
+const SourceBuffer& keep_alive(std::string text) {
+  static std::vector<std::unique_ptr<SourceBuffer>> buffers;
+  buffers.push_back(std::make_unique<SourceBuffer>(
+      SourceBuffer::from_string(std::move(text))));
+  return *buffers.back();
+}
+
 std::vector<Token> lex_ok(const std::string& text) {
-  SourceBuffer buf = SourceBuffer::from_string(text);
+  const SourceBuffer& buf = keep_alive(text);
   DiagnosticEngine diags;
   std::vector<Token> tokens = Lexer(buf, diags).lex_all();
   EXPECT_FALSE(diags.has_errors()) << diags.format(&buf);

@@ -1,0 +1,181 @@
+// Exit-status and usage coverage for the purecc command-line driver. The
+// binary under test is passed in via the PURECC_BIN environment variable
+// (set by CTest); the test skips when it is absent so the suite can run
+// even if the examples are not built.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+const char* kInputProgram = R"(
+float* v;
+
+pure float twice(float x) {
+  return x + x;
+}
+
+void fill(int n) {
+  for (int i = 0; i < n; i++) {
+    v[i] = twice((float)i);
+  }
+}
+)";
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+std::string purecc_bin() {
+  const char* env = std::getenv("PURECC_BIN");
+  return env != nullptr ? env : "";
+}
+
+/// Single-quotes a path for safe interpolation into the shell command
+/// (TempDir may contain spaces or shell metacharacters).
+std::string shell_quote(const std::string& path) {
+  return "'" + path + "'";
+}
+
+/// Runs `purecc <args>` through the shell; returns exit code and output.
+RunResult run_purecc(const std::string& args) {
+  RunResult result;
+  const std::string cmd = shell_quote(purecc_bin()) + " " + args + " 2>&1";
+  FILE* p = popen(cmd.c_str(), "r");
+  if (p == nullptr) return result;
+  std::array<char, 256> buf{};
+  while (fgets(buf.data(), buf.size(), p) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = pclose(p);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class PureccCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (purecc_bin().empty()) {
+      GTEST_SKIP() << "PURECC_BIN not set (examples not built?)";
+    }
+    input_path_ = ::testing::TempDir() + "/purecc_cli_input.c";
+    std::ofstream out(input_path_);
+    out << kInputProgram;
+  }
+
+  std::string input_path_;
+};
+
+TEST_F(PureccCliTest, NoArgumentsPrintsUsage) {
+  const RunResult r = run_purecc("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST_F(PureccCliTest, UnknownFlagPrintsUsage) {
+  const RunResult r = run_purecc("--bogus " + shell_quote(input_path_));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(PureccCliTest, FlagMissingValuePrintsUsage) {
+  for (const char* flag : {"-o", "--mode", "--tile", "--schedule",
+                           "--stage"}) {
+    const RunResult r = run_purecc(flag);
+    EXPECT_EQ(r.exit_code, 2) << flag;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << flag;
+  }
+}
+
+TEST_F(PureccCliTest, BadModePrintsUsage) {
+  const RunResult r = run_purecc("--mode polly " + shell_quote(input_path_));
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST_F(PureccCliTest, MissingInputFileFailsCleanly) {
+  const RunResult r = run_purecc("/nonexistent/input.c");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+TEST_F(PureccCliTest, SecondPositionalArgumentPrintsUsage) {
+  const RunResult r = run_purecc(shell_quote(input_path_) + " " + shell_quote(input_path_));
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST_F(PureccCliTest, VerificationFailureExitsOne) {
+  const std::string bad_path = ::testing::TempDir() + "/purecc_cli_bad.c";
+  {
+    std::ofstream out(bad_path);
+    out << "int g;\npure int f(int a) { g = a; return a; }\n";
+  }
+  const RunResult r = run_purecc(shell_quote(bad_path));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_FALSE(r.output.empty());
+}
+
+TEST_F(PureccCliTest, DefaultRunEmitsParallelC) {
+  const RunResult r = run_purecc(shell_quote(input_path_));
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("#pragma omp parallel for"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("pure "), std::string::npos)
+      << "output must be lowered to plain C:\n"
+      << r.output;
+}
+
+TEST_F(PureccCliTest, EveryStageNameIsAccepted) {
+  for (const char* stage : {"stripped", "preprocessed", "marked",
+                            "substituted", "transformed"}) {
+    const RunResult r =
+        run_purecc(std::string("--stage ") + stage + " " + shell_quote(input_path_));
+    EXPECT_EQ(r.exit_code, 0) << stage << ": " << r.output;
+    EXPECT_FALSE(r.output.empty()) << stage;
+  }
+}
+
+TEST_F(PureccCliTest, UnknownStageNamePrintsUsage) {
+  const RunResult r = run_purecc("--stage lowered " + shell_quote(input_path_));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(PureccCliTest, OutputFileRoundTrip) {
+  const std::string out_path = ::testing::TempDir() + "/purecc_cli_out.c";
+  std::remove(out_path.c_str());
+
+  const RunResult direct = run_purecc(shell_quote(input_path_));
+  ASSERT_EQ(direct.exit_code, 0);
+
+  const RunResult filed = run_purecc("-o " + shell_quote(out_path) + " " + shell_quote(input_path_));
+  ASSERT_EQ(filed.exit_code, 0) << filed.output;
+  EXPECT_TRUE(filed.output.empty()) << "with -o, stdout must stay clean";
+
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.good()) << "-o did not create " << out_path;
+  std::string written((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(written, direct.output)
+      << "-o file must hold exactly what stdout prints";
+}
+
+TEST_F(PureccCliTest, UnwritableOutputFailsCleanly) {
+  const RunResult r =
+      run_purecc("-o /nonexistent/dir/out.c " + shell_quote(input_path_));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot write"), std::string::npos);
+}
+
+TEST_F(PureccCliTest, ReportGoesToStderr) {
+  const RunResult r = run_purecc("--report " + shell_quote(input_path_));
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("purecc:"), std::string::npos) << r.output;
+}
+
+}  // namespace

@@ -137,12 +137,12 @@ TEST(StringUtils, StartsEndsWith) {
 // ---------------------------------------------------------------------------
 
 TEST(Checked, AddOverflowThrows) {
-  EXPECT_THROW(checked_add(INT64_MAX, 1), ArithmeticOverflow);
+  EXPECT_THROW((void)checked_add(INT64_MAX, 1), ArithmeticOverflow);
   EXPECT_EQ(checked_add(2, 3), 5);
 }
 
 TEST(Checked, MulOverflowThrows) {
-  EXPECT_THROW(checked_mul(INT64_MAX, 2), ArithmeticOverflow);
+  EXPECT_THROW((void)checked_mul(INT64_MAX, 2), ArithmeticOverflow);
   EXPECT_EQ(checked_mul(-4, 5), -20);
 }
 
