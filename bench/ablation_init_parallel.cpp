@@ -18,7 +18,7 @@ using purec::apps::run_matmul;
 
 MatmulConfig config() {
   MatmulConfig c;
-  c.n = purec::bench::full_scale() ? 4096 : 1536;
+  c.n = purec::bench::scaled_size(4096, 1536, 256);
   return c;
 }
 

@@ -17,7 +17,7 @@ using purec::apps::run_matmul;
 
 void BM_tile_size(benchmark::State& state) {
   MatmulConfig config;
-  config.n = purec::bench::full_scale() ? 2048 : 896;
+  config.n = purec::bench::scaled_size(2048, 896, 256);
   config.tile = static_cast<int>(state.range(0));
   purec::rt::ThreadPool pool(8);
   for (auto _ : state) {

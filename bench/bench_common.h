@@ -4,6 +4,8 @@
 //
 // Environment knobs:
 //   PUREC_FULL=1         paper-scale problem sizes (4096^2 matrices, ...)
+//   PUREC_SMOKE=1        CI-sized problems: correctness-of-harness runs
+//                        only, numbers are meaningless (set by bench-smoke)
 //   PUREC_REPS=<n>       repetitions per configuration (paper: 20)
 //   PUREC_MAX_THREADS=<n> clamp the thread ladder (default: full 1..64)
 #pragma once
@@ -21,6 +23,21 @@ namespace purec::bench {
 [[nodiscard]] inline bool full_scale() {
   const char* env = std::getenv("PUREC_FULL");
   return env != nullptr && env[0] == '1';
+}
+
+/// bench-smoke clamp: shrink problem sizes so a one-repetition pass over
+/// every harness finishes in seconds (the fig8/fig9 satellite scenes
+/// otherwise dominate at ~23 s each). PUREC_FULL wins when both are set.
+[[nodiscard]] inline bool smoke_scale() {
+  if (full_scale()) return false;
+  const char* env = std::getenv("PUREC_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Problem-size ladder helper: full-scale / default / smoke.
+[[nodiscard]] inline int scaled_size(int full, int normal, int smoke) {
+  if (full_scale()) return full;
+  return smoke_scale() ? smoke : normal;
 }
 
 [[nodiscard]] inline int repetitions() {

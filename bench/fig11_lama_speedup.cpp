@@ -18,11 +18,9 @@ using purec::apps::run_ell;
 
 EllConfig config(Compiler compiler) {
   EllConfig c;
-  if (purec::bench::full_scale()) {
-    c.rows = 217918;
-    c.avg_row_nnz = 53;
-    c.repetitions = 100;
-  }
+  c.rows = purec::bench::scaled_size(217918 /* Boeing/pwtk */, c.rows, 8000);
+  c.avg_row_nnz = purec::bench::scaled_size(53, c.avg_row_nnz, 16);
+  c.repetitions = purec::bench::scaled_size(100, c.repetitions, 5);
   c.compiler = compiler;
   return c;
 }

@@ -21,7 +21,7 @@ using purec::apps::run_matmul;
 
 MatmulConfig config(Compiler compiler) {
   MatmulConfig c;
-  c.n = purec::bench::full_scale() ? 4096 : 896;
+  c.n = purec::bench::scaled_size(4096, 896, 256);
   c.compiler = compiler;
   return c;
 }

@@ -22,11 +22,11 @@ using purec::apps::run_satellite;
 
 SatelliteConfig config() {
   SatelliteConfig c;
-  if (purec::bench::full_scale()) {
-    c.width = 1354;   // MODIS granule cross-track width
-    c.height = 2030;  // along-track
-    c.bands = 8;
-  }
+  // full: MODIS granule (cross-track × along-track); smoke: just enough
+  // pixels to exercise the imbalance machinery.
+  c.width = purec::bench::scaled_size(1354, c.width, 96);
+  c.height = purec::bench::scaled_size(2030, c.height, 96);
+  c.bands = purec::bench::scaled_size(8, c.bands, 4);
   return c;
 }
 

@@ -17,11 +17,9 @@ using purec::apps::run_satellite;
 
 SatelliteConfig config() {
   SatelliteConfig c;
-  if (purec::bench::full_scale()) {
-    c.width = 1354;
-    c.height = 2030;
-    c.bands = 8;
-  }
+  c.width = purec::bench::scaled_size(1354, c.width, 96);
+  c.height = purec::bench::scaled_size(2030, c.height, 96);
+  c.bands = purec::bench::scaled_size(8, c.bands, 4);
   return c;
 }
 

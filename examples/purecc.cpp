@@ -8,7 +8,11 @@
 //     --schedule <clause>  extra OpenMP clause, e.g. "schedule(dynamic,1)"
 //     --no-parallel        verify + lower only, no OpenMP pragmas
 //     --inline-pure        §3.3 extension: inline expression-bodied pure fns
-//     --gcc-attributes     annotate lowered pure fns with __attribute__((pure))
+//     --infer-pure         infer purity of unannotated functions via
+//                          call-graph effect analysis (keyword-free C
+//                          parallelizes like its annotated twin)
+//     --gcc-attributes     annotate lowered pure functions with
+//                          __attribute__((pure))
 //     --stage <name>       print an intermediate stage instead of the final
 //                          output: stripped|preprocessed|marked|substituted|
 //                          transformed
@@ -28,7 +32,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-o out.c] [--mode pluto|sica] [--tile N]\n"
                "          [--schedule CLAUSE] [--no-parallel] "
-               "[--inline-pure]\n"
+               "[--inline-pure] [--infer-pure]\n"
                "          [--gcc-attributes] [--stage NAME] [--report] "
                "input.c\n",
                argv0);
@@ -76,6 +80,8 @@ int main(int argc, char** argv) {
       options.parallelize = false;
     } else if (arg == "--inline-pure") {
       options.inline_pure_expressions = true;
+    } else if (arg == "--infer-pure") {
+      options.infer_purity = true;
     } else if (arg == "--gcc-attributes") {
       options.emit_gcc_attributes = true;
     } else if (arg == "--stage") {
@@ -135,13 +141,21 @@ int main(int argc, char** argv) {
   }
 
   if (report) {
+    if (options.infer_purity) {
+      std::fprintf(stderr, "purecc: %s\n",
+                   artifacts.inference.summary().c_str());
+    }
     for (const purec::ScopReport& r : artifacts.scops) {
+      std::string inferred;
+      if (options.infer_purity) {
+        inferred = " inferred=" + std::to_string(r.inferred_calls);
+      }
       std::fprintf(stderr,
-                   "purecc: %s:%u depth=%zu calls=%zu deps=%zu "
+                   "purecc: %s:%u depth=%zu calls=%zu%s deps=%zu "
                    "transformed=%d parallel=%d tiled=%d%s%s\n",
                    r.function.c_str(), r.line, r.depth,
-                   r.substituted_calls, r.dependences, r.transformed,
-                   r.parallelized, r.tiled,
+                   r.substituted_calls, inferred.c_str(), r.dependences,
+                   r.transformed, r.parallelized, r.tiled,
                    r.failure_reason.empty() ? "" : " reason=",
                    r.failure_reason.c_str());
     }

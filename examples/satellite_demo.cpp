@@ -52,6 +52,7 @@ int main() {
   }
   std::printf(
       "\nThe static rows split the hazy (expensive) bottom of the scene\n"
-      "unevenly; dynamic scheduling keeps all threads busy (paper §4.3.3).\n");
+      "unevenly; dynamic scheduling keeps all threads busy (paper "
+      "§4.3.3).\n");
   return 0;
 }

@@ -129,7 +129,9 @@ RunResult run_satellite(SatelliteVariant variant,
     case SatelliteVariant::AutoStatic: {
       rt::parallel_for_blocked(
           pool, 0, pixels,
-          [&](std::int64_t b, std::int64_t e) { process_range(cube, out, b, e); },
+          [&](std::int64_t b, std::int64_t e) {
+            process_range(cube, out, b, e);
+          },
           {rt::Schedule::Static, 1});
       break;
     }
@@ -139,7 +141,9 @@ RunResult run_satellite(SatelliteVariant variant,
       rt::ForOptions options{rt::Schedule::Dynamic, config.width};
       rt::parallel_for_blocked(
           pool, 0, pixels,
-          [&](std::int64_t b, std::int64_t e) { process_range(cube, out, b, e); },
+          [&](std::int64_t b, std::int64_t e) {
+            process_range(cube, out, b, e);
+          },
           options);
       break;
     }
@@ -148,7 +152,9 @@ RunResult run_satellite(SatelliteVariant variant,
       rt::ForOptions options{rt::Schedule::Dynamic, 4 * config.width};
       rt::parallel_for_blocked(
           pool, 0, pixels,
-          [&](std::int64_t b, std::int64_t e) { process_range(cube, out, b, e); },
+          [&](std::int64_t b, std::int64_t e) {
+            process_range(cube, out, b, e);
+          },
           options);
       break;
     }

@@ -133,8 +133,8 @@ ExprPtr AssignExpr::clone() const {
 }
 
 ExprPtr ConditionalExpr::clone() const {
-  auto e = std::make_unique<ConditionalExpr>(cond->clone(), then_expr->clone(),
-                                             else_expr->clone());
+  auto e = std::make_unique<ConditionalExpr>(
+      cond->clone(), then_expr->clone(), else_expr->clone());
   e->loc = loc;
   return e;
 }
@@ -143,7 +143,8 @@ ExprPtr CallExpr::clone() const {
   std::vector<ExprPtr> cloned_args;
   cloned_args.reserve(args.size());
   for (const ExprPtr& a : args) cloned_args.push_back(a->clone());
-  auto e = std::make_unique<CallExpr>(callee->clone(), std::move(cloned_args));
+  auto e =
+      std::make_unique<CallExpr>(callee->clone(), std::move(cloned_args));
   e->loc = loc;
   return e;
 }

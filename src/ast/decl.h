@@ -35,7 +35,9 @@ class FunctionDecl {
   std::unique_ptr<CompoundStmt> body;  // null for prototypes
   SourceLocation loc;
 
-  [[nodiscard]] bool is_definition() const noexcept { return body != nullptr; }
+  [[nodiscard]] bool is_definition() const noexcept {
+    return body != nullptr;
+  }
 };
 
 struct StructField {
@@ -84,7 +86,8 @@ class TranslationUnit {
   [[nodiscard]] std::vector<FunctionDecl*> functions();
   [[nodiscard]] std::vector<const FunctionDecl*> functions() const;
   /// Definition of `name` if present, else the first prototype, else null.
-  [[nodiscard]] const FunctionDecl* find_function(std::string_view name) const;
+  [[nodiscard]] const FunctionDecl* find_function(
+      std::string_view name) const;
   [[nodiscard]] FunctionDecl* find_function(std::string_view name);
   /// All file-scope variables.
   [[nodiscard]] std::vector<const GlobalVarDecl*> globals() const;

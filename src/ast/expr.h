@@ -151,7 +151,10 @@ class BinaryExpr final : public Expr {
     return ExprKind::Binary;
   }
   BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
-      : Expr(static_kind()), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+      : Expr(static_kind()),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
   [[nodiscard]] ExprPtr clone() const override;
 
   BinaryOp op;
@@ -165,7 +168,10 @@ class AssignExpr final : public Expr {
     return ExprKind::Assign;
   }
   AssignExpr(AssignOp op, ExprPtr lhs, ExprPtr rhs)
-      : Expr(static_kind()), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+      : Expr(static_kind()),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
   [[nodiscard]] ExprPtr clone() const override;
 
   AssignOp op;
@@ -196,7 +202,9 @@ class CallExpr final : public Expr {
     return ExprKind::Call;
   }
   CallExpr(ExprPtr callee, std::vector<ExprPtr> args)
-      : Expr(static_kind()), callee(std::move(callee)), args(std::move(args)) {}
+      : Expr(static_kind()),
+        callee(std::move(callee)),
+        args(std::move(args)) {}
   [[nodiscard]] ExprPtr clone() const override;
 
   /// Callee name when the callee is a plain identifier (the usual case in

@@ -53,9 +53,13 @@ struct VarDecl {
   TypePtr type;
   ExprPtr init;  // may be null
   SourceLocation loc;
+  /// Block-scope `static`: the variable persists across calls, so it is
+  /// shared state, not function-local storage.
+  bool is_static = false;
 
   [[nodiscard]] VarDecl clone() const {
-    return VarDecl{name, type, init ? init->clone() : nullptr, loc};
+    return VarDecl{name, type, init ? init->clone() : nullptr, loc,
+                   is_static};
   }
 };
 
@@ -88,7 +92,8 @@ class ExprStmt final : public Stmt {
   [[nodiscard]] static constexpr StmtKind static_kind() noexcept {
     return StmtKind::Expr;
   }
-  explicit ExprStmt(ExprPtr expr) : Stmt(static_kind()), expr(std::move(expr)) {}
+  explicit ExprStmt(ExprPtr expr)
+      : Stmt(static_kind()), expr(std::move(expr)) {}
   [[nodiscard]] StmtPtr clone() const override;
 
   ExprPtr expr;

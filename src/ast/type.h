@@ -59,12 +59,14 @@ class Type {
   std::string name;                       // Struct tag / typedef name
 
   // -- factories ----------------------------------------------------------
-  [[nodiscard]] static TypePtr make_builtin(BuiltinKind kind, bool is_const = false,
-                                       bool is_pure = false);
-  [[nodiscard]] static TypePtr make_pointer(TypePtr pointee, bool is_const = false,
-                                       bool is_pure = false);
+  [[nodiscard]] static TypePtr make_builtin(BuiltinKind kind,
+                                            bool is_const = false,
+                                            bool is_pure = false);
+  [[nodiscard]] static TypePtr make_pointer(TypePtr pointee,
+                                            bool is_const = false,
+                                            bool is_pure = false);
   [[nodiscard]] static TypePtr make_array(TypePtr element,
-                                     std::optional<std::int64_t> size);
+                                          std::optional<std::int64_t> size);
   [[nodiscard]] static TypePtr make_struct(std::string tag);
   [[nodiscard]] static TypePtr make_named(std::string typedef_name);
 

@@ -122,9 +122,8 @@ void walk_stmt_exprs(StmtT& s, const Fn& fn) {
       return;
     }
     case StmtKind::For: {
-      auto& n = static_cast<
-          std::conditional_t<std::is_const_v<StmtT>, const ForStmt, ForStmt>&>(
-          s);
+      auto& n = static_cast<std::conditional_t<std::is_const_v<StmtT>,
+                                               const ForStmt, ForStmt>&>(s);
       if (n.init) walk_stmt_exprs<StmtT, ExprT>(*n.init, fn);
       if (n.cond) walk_expr<ExprT>(*n.cond, fn);
       if (n.inc) walk_expr<ExprT>(*n.inc, fn);
@@ -182,9 +181,8 @@ void walk_stmts(StmtT& s, const Fn& fn) {
       return;
     }
     case StmtKind::For: {
-      auto& n = static_cast<
-          std::conditional_t<std::is_const_v<StmtT>, const ForStmt, ForStmt>&>(
-          s);
+      auto& n = static_cast<std::conditional_t<std::is_const_v<StmtT>,
+                                               const ForStmt, ForStmt>&>(s);
       if (n.init) walk_stmts(*n.init, fn);
       if (n.body) walk_stmts(*n.body, fn);
       return;
@@ -353,19 +351,22 @@ void walk_stmt_slot(StmtPtr& slot, const StmtSlotFn& fn) {
 
 }  // namespace
 
-void for_each_expr(const Expr& e, const std::function<void(const Expr&)>& fn) {
+void for_each_expr(const Expr& e,
+                   const std::function<void(const Expr&)>& fn) {
   walk_expr<const Expr>(e, fn);
 }
 void for_each_expr(Expr& e, const std::function<void(Expr&)>& fn) {
   walk_expr<Expr>(e, fn);
 }
-void for_each_expr(const Stmt& s, const std::function<void(const Expr&)>& fn) {
+void for_each_expr(const Stmt& s,
+                   const std::function<void(const Expr&)>& fn) {
   walk_stmt_exprs<const Stmt, const Expr>(s, fn);
 }
 void for_each_expr(Stmt& s, const std::function<void(Expr&)>& fn) {
   walk_stmt_exprs<Stmt, Expr>(s, fn);
 }
-void for_each_stmt(const Stmt& s, const std::function<void(const Stmt&)>& fn) {
+void for_each_stmt(const Stmt& s,
+                   const std::function<void(const Stmt&)>& fn) {
   walk_stmts<const Stmt>(s, fn);
 }
 void for_each_stmt(Stmt& s, const std::function<void(Stmt&)>& fn) {
@@ -379,6 +380,20 @@ void for_each_expr_slot(ExprPtr& e, const ExprSlotFn& fn) {
 }
 void for_each_stmt_slot(StmtPtr& root, const StmtSlotFn& fn) {
   walk_stmt_slot(root, fn);
+}
+
+void for_each_call(const Stmt& s,
+                   const std::function<void(const CallExpr&)>& fn) {
+  for_each_expr(s, [&fn](const Expr& e) {
+    if (const auto* call = expr_cast<CallExpr>(&e)) fn(*call);
+  });
+}
+
+const Expr* strip_casts(const Expr* e) {
+  while (const auto* cast = expr_cast<CastExpr>(e)) {
+    e = cast->operand.get();
+  }
+  return e;
 }
 
 }  // namespace purec

@@ -24,6 +24,14 @@ void for_each_expr(Stmt& s, const std::function<void(Expr&)>& fn);
 void for_each_stmt(const Stmt& s, const std::function<void(const Stmt&)>& fn);
 void for_each_stmt(Stmt& s, const std::function<void(Stmt&)>& fn);
 
+/// Visits every call expression reachable from `s`, pre-order. Convenience
+/// over for_each_expr for the call-graph/effect passes.
+void for_each_call(const Stmt& s,
+                   const std::function<void(const CallExpr&)>& fn);
+
+/// Strips casts off an expression (parens are not materialized by the AST).
+[[nodiscard]] const Expr* strip_casts(const Expr* e);
+
 /// Mutating traversal over every owning expression slot under `s`.
 /// The callback may replace the pointed-to expression; returning `true`
 /// means "do not descend into this slot's (possibly new) children".

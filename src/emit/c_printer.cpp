@@ -154,7 +154,7 @@ class Printer {
     return t;
   }
 
-  // -- expressions -----------------------------------------------------------
+  // -- expressions ---------------------------------------------------------
 
   void expr(const Expr& e, int parent_precedence = 0) {
     const int prec = precedence(e);
@@ -206,7 +206,8 @@ class Printer {
           // `- -x` must not merge into `--x`.
           if (n.op == UnaryOp::Minus &&
               n.operand->kind() == ExprKind::Unary &&
-              static_cast<const UnaryExpr&>(*n.operand).op == UnaryOp::Minus) {
+              static_cast<const UnaryExpr&>(*n.operand).op ==
+                  UnaryOp::Minus) {
             out_ << " ";
           }
           expr(*n.operand, 80);
@@ -328,6 +329,7 @@ class Printer {
         for (std::size_t i = 0; i < n.decls.size(); ++i) {
           const VarDecl& d = n.decls[i];
           if (i != 0) out_ << " ";
+          if (d.is_static) out_ << "static ";
           out_ << pure_aware_declaration(d.type, d.name);
           if (d.init) {
             out_ << " = ";
@@ -515,8 +517,8 @@ class Printer {
                 expr(*node->var.init, 10);
               }
               out_ << ";\n";
-            } else if constexpr (std::is_same_v<T,
-                                                std::unique_ptr<StructDecl>>) {
+            } else if constexpr (std::is_same_v<
+                                     T, std::unique_ptr<StructDecl>>) {
               out_ << "struct " << node->tag << " {\n";
               for (const StructField& f : node->fields) {
                 out_ << "  " << pure_aware_declaration(f.type, f.name)

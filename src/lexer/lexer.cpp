@@ -97,7 +97,9 @@ Token Lexer::next() {
 
   const char c = peek();
   if (is_ident_start(c)) return lex_identifier_or_keyword(begin);
-  if (is_digit(c) || (c == '.' && is_digit(peek(1)))) return lex_number(begin);
+  if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+    return lex_number(begin);
+  }
   if (c == '\'') return lex_char_literal(begin);
   if (c == '"') return lex_string_literal(begin);
   if (c == '#') return lex_hash_line(begin);
@@ -146,7 +148,7 @@ Token Lexer::lex_number(std::uint32_t begin) {
     while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
       ++pos_;
     }
-    if (peek() == 'f' || peek() == 'F') {  // e.g. "1f" is not valid C, flag it
+    if (peek() == 'f' || peek() == 'F') {  // "1f" is not valid C, flag it
       diags_.error(buffer_.location_for_offset(pos_), "lexer",
                    "invalid 'f' suffix on integer literal");
       ++pos_;
@@ -245,43 +247,68 @@ Token Lexer::lex_punctuation(std::uint32_t begin) {
       }
       return make_token(TokenKind::Dot, begin);
     case '+':
-      if (peek() == '+') { ++pos_; return make_token(TokenKind::PlusPlus, begin); }
-      return make_token(two('=', TokenKind::PlusEqual, TokenKind::Plus), begin);
+      if (peek() == '+') {
+        ++pos_;
+        return make_token(TokenKind::PlusPlus, begin);
+      }
+      return make_token(two('=', TokenKind::PlusEqual, TokenKind::Plus),
+                        begin);
     case '-':
-      if (peek() == '-') { ++pos_; return make_token(TokenKind::MinusMinus, begin); }
-      if (peek() == '>') { ++pos_; return make_token(TokenKind::Arrow, begin); }
-      return make_token(two('=', TokenKind::MinusEqual, TokenKind::Minus), begin);
+      if (peek() == '-') {
+        ++pos_;
+        return make_token(TokenKind::MinusMinus, begin);
+      }
+      if (peek() == '>') {
+        ++pos_;
+        return make_token(TokenKind::Arrow, begin);
+      }
+      return make_token(two('=', TokenKind::MinusEqual, TokenKind::Minus),
+                        begin);
     case '*':
-      return make_token(two('=', TokenKind::StarEqual, TokenKind::Star), begin);
+      return make_token(two('=', TokenKind::StarEqual, TokenKind::Star),
+                        begin);
     case '/':
-      return make_token(two('=', TokenKind::SlashEqual, TokenKind::Slash), begin);
+      return make_token(two('=', TokenKind::SlashEqual, TokenKind::Slash),
+                        begin);
     case '%':
-      return make_token(two('=', TokenKind::PercentEqual, TokenKind::Percent), begin);
+      return make_token(
+          two('=', TokenKind::PercentEqual, TokenKind::Percent), begin);
     case '&':
-      if (peek() == '&') { ++pos_; return make_token(TokenKind::AmpAmp, begin); }
+      if (peek() == '&') {
+        ++pos_;
+        return make_token(TokenKind::AmpAmp, begin);
+      }
       return make_token(two('=', TokenKind::AmpEqual, TokenKind::Amp), begin);
     case '|':
-      if (peek() == '|') { ++pos_; return make_token(TokenKind::PipePipe, begin); }
-      return make_token(two('=', TokenKind::PipeEqual, TokenKind::Pipe), begin);
+      if (peek() == '|') {
+        ++pos_;
+        return make_token(TokenKind::PipePipe, begin);
+      }
+      return make_token(two('=', TokenKind::PipeEqual, TokenKind::Pipe),
+                        begin);
     case '^':
-      return make_token(two('=', TokenKind::CaretEqual, TokenKind::Caret), begin);
+      return make_token(two('=', TokenKind::CaretEqual, TokenKind::Caret),
+                        begin);
     case '!':
-      return make_token(two('=', TokenKind::ExclaimEqual, TokenKind::Exclaim), begin);
+      return make_token(
+          two('=', TokenKind::ExclaimEqual, TokenKind::Exclaim), begin);
     case '=':
-      return make_token(two('=', TokenKind::EqualEqual, TokenKind::Equal), begin);
+      return make_token(two('=', TokenKind::EqualEqual, TokenKind::Equal),
+                        begin);
     case '<':
       if (peek() == '<') {
         ++pos_;
         return make_token(
             two('=', TokenKind::LessLessEqual, TokenKind::LessLess), begin);
       }
-      return make_token(two('=', TokenKind::LessEqual, TokenKind::Less), begin);
+      return make_token(two('=', TokenKind::LessEqual, TokenKind::Less),
+                        begin);
     case '>':
       if (peek() == '>') {
         ++pos_;
-        return make_token(
-            two('=', TokenKind::GreaterGreaterEqual, TokenKind::GreaterGreater),
-            begin);
+        return make_token(two('=', TokenKind::GreaterGreaterEqual,
+                              TokenKind::GreaterGreater),
+                          begin);
       }
       return make_token(two('=', TokenKind::GreaterEqual, TokenKind::Greater),
                         begin);

@@ -201,7 +201,8 @@ bool Parser::at_declaration_start() const {
     case TokenKind::Identifier:
       // A typedef name followed by something that looks like a declarator.
       return typedef_names_.count(t.text) != 0 &&
-             (peek(1).is(TokenKind::Identifier) || peek(1).is(TokenKind::Star));
+             (peek(1).is(TokenKind::Identifier) ||
+              peek(1).is(TokenKind::Star));
     default:
       return false;
   }
@@ -252,7 +253,10 @@ Parser::DeclSpecifiers Parser::parse_decl_specifiers() {
       case TokenKind::KwChar: base = BuiltinKind::Char; advance(); continue;
       case TokenKind::KwInt: base = BuiltinKind::Int; advance(); continue;
       case TokenKind::KwFloat: base = BuiltinKind::Float; advance(); continue;
-      case TokenKind::KwDouble: base = BuiltinKind::Double; advance(); continue;
+      case TokenKind::KwDouble:
+        base = BuiltinKind::Double;
+        advance();
+        continue;
       case TokenKind::KwStruct:
       case TokenKind::KwUnion: {
         advance();
@@ -656,6 +660,7 @@ StmtPtr Parser::parse_declaration_statement() {
       v.name = d.name;
       v.type = d.type;
       v.loc = d.loc;
+      v.is_static = specs.is_static;
       if (accept(TokenKind::Equal)) v.init = parse_assignment();
       stmt->decls.push_back(std::move(v));
     }
@@ -864,7 +869,8 @@ ExprPtr Parser::parse_unary() {
     case TokenKind::Star: {
       advance();
       auto e =
-          std::make_unique<UnaryExpr>(UnaryOp::Deref, parse_cast_expression());
+          std::make_unique<UnaryExpr>(UnaryOp::Deref,
+                                      parse_cast_expression());
       e->loc = loc;
       return e;
     }
@@ -925,7 +931,8 @@ ExprPtr Parser::parse_postfix() {
     if (at(TokenKind::Dot) || at(TokenKind::Arrow)) {
       const bool arrow = advance().is(TokenKind::Arrow);
       const Token& member = expect(TokenKind::Identifier, "member name");
-      auto n = std::make_unique<MemberExpr>(std::move(e), member.str(), arrow);
+      auto n =
+          std::make_unique<MemberExpr>(std::move(e), member.str(), arrow);
       n->loc = loc;
       e = std::move(n);
       continue;

@@ -27,7 +27,8 @@ struct Constraint {
     return Constraint{ConstraintKind::Equality, std::move(coeffs), constant};
   }
   [[nodiscard]] static Constraint ge(IntVec coeffs, std::int64_t constant) {
-    return Constraint{ConstraintKind::Inequality, std::move(coeffs), constant};
+    return Constraint{ConstraintKind::Inequality, std::move(coeffs),
+                      constant};
   }
 
   [[nodiscard]] std::string to_string(
@@ -56,7 +57,9 @@ class ConstraintSystem {
   explicit ConstraintSystem(std::size_t dimensions)
       : dimensions_(dimensions) {}
 
-  [[nodiscard]] std::size_t dimensions() const noexcept { return dimensions_; }
+  [[nodiscard]] std::size_t dimensions() const noexcept {
+    return dimensions_;
+  }
   [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
     return constraints_;
   }

@@ -94,7 +94,8 @@ class AffineBuilder {
           for (std::size_t i = 0; i < lhs->coeffs.size(); ++i) {
             lhs->coeffs[i] = (b.op == BinaryOp::Add)
                                  ? checked_add(lhs->coeffs[i], rhs->coeffs[i])
-                                 : checked_sub(lhs->coeffs[i], rhs->coeffs[i]);
+                                 : checked_sub(lhs->coeffs[i],
+                                               rhs->coeffs[i]);
           }
           lhs->constant = (b.op == BinaryOp::Add)
                               ? checked_add(lhs->constant, rhs->constant)

@@ -38,7 +38,8 @@ StrippedSource strip_system_includes(const std::string& source) {
 }
 
 std::string restore_system_includes(
-    const std::string& source, const std::vector<std::string>& system_includes,
+    const std::string& source,
+    const std::vector<std::string>& system_includes,
     const std::vector<std::string>& extra_includes) {
   std::ostringstream out;
   for (const std::string& inc : system_includes) out << inc << "\n";

@@ -22,7 +22,8 @@ struct StrippedSource {
 /// paper re-adds them before the final GCC compile). `extra_includes` lets
 /// the chain append e.g. `#include <omp.h>` and the floord/ceild helpers.
 [[nodiscard]] std::string restore_system_includes(
-    const std::string& source, const std::vector<std::string>& system_includes,
+    const std::string& source,
+    const std::vector<std::string>& system_includes,
     const std::vector<std::string>& extra_includes = {});
 
 }  // namespace purec

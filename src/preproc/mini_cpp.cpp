@@ -64,7 +64,8 @@ std::string MiniPreprocessor::preprocess(const std::string& source) {
 }
 
 void MiniPreprocessor::process_line(std::string_view line,
-                                    std::vector<std::string>& out, int depth) {
+                                    std::vector<std::string>& out,
+                                    int depth) {
   std::string_view trimmed = trim(line);
   if (!trimmed.empty() && trimmed.front() == '#') {
     handle_directive(trimmed, out, depth);
@@ -182,7 +183,8 @@ void MiniPreprocessor::handle_directive(std::string_view line,
 
 std::string MiniPreprocessor::expand(std::string_view line, int depth) const {
   if (depth > kMaxExpansionDepth) {
-    diags_.error({}, "preproc", "macro expansion too deep (recursive macro?)");
+    diags_.error({}, "preproc",
+                 "macro expansion too deep (recursive macro?)");
     return std::string(line);
   }
   std::string out;
@@ -287,7 +289,8 @@ std::string MiniPreprocessor::expand(std::string_view line, int depth) const {
       if (call_args.size() != m.params.size()) {
         diags_.error({}, "preproc",
                      "macro " + std::string(name) + " expects " +
-                         std::to_string(m.params.size()) + " arguments, got " +
+                         std::to_string(m.params.size()) +
+                         " arguments, got " +
                          std::to_string(call_args.size()));
       }
       // Substitute parameters by identifier match.

@@ -1,0 +1,489 @@
+#include "purity/effects.h"
+
+#include <map>
+#include <vector>
+
+#include "ast/walk.h"
+
+namespace purec {
+
+namespace {
+
+/// Provenance lattice for local pointers, strongest first. Heap: every
+/// source is malloc/calloc (free is legal). LocalStorage: every source is
+/// function-local memory (writes are thread-invisible). Foreign: anything
+/// else — the pointer may reach caller or global memory.
+enum class Provenance : std::uint8_t { Heap, LocalStorage, Foreign };
+
+[[nodiscard]] Provenance join(Provenance a, Provenance b) {
+  return a > b ? a : b;
+}
+
+/// One recorded assignment source for a local pointer.
+struct Source {
+  Provenance direct = Provenance::Foreign;
+  std::string local_ref;  // non-empty: provenance of that local, joined in
+};
+
+/// Computes per-local-pointer provenance by joining every assignment
+/// source (declaration initializers and bare reassignments), to a
+/// fixpoint so pointer-to-pointer chains resolve. Name-keyed: shadowed
+/// locals conflate, which only ever *lowers* the lattice value — safe.
+class ProvenanceMap {
+ public:
+  ProvenanceMap(const FunctionDecl& fn, const FunctionScopeInfo& scope) {
+    // Pass 1: classification sets. Must be complete before any classify()
+    // call so `&s` / array decay see statics declared later in the body.
+    for_each_stmt(*fn.body, [&](const Stmt& s) {
+      const auto* decl = stmt_cast<DeclStmt>(&s);
+      if (decl == nullptr) return;
+      for (const VarDecl& d : decl->decls) {
+        if (d.is_static) {
+          // Persistent across calls: shared state, never local storage.
+          statics_.insert(d.name);
+        } else if (d.type->is_array()) {
+          arrays_.insert(d.name);
+        }
+      }
+    });
+    // Pass 2: assignment sources.
+    for_each_stmt(*fn.body, [&](const Stmt& s) {
+      const auto* decl = stmt_cast<DeclStmt>(&s);
+      if (decl == nullptr) return;
+      for (const VarDecl& d : decl->decls) {
+        if (d.is_static) continue;
+        if (d.type->is_pointer() && d.init) {
+          sources_[d.name].push_back(classify(d.init.get(), scope));
+        }
+      }
+    });
+    const auto local_pointer_name =
+        [&scope](const Expr& lhs) -> const std::string* {
+      const auto* ident = expr_cast<IdentExpr>(strip_casts(&lhs));
+      const Symbol* sym = ident ? scope.resolve(*ident) : nullptr;
+      if (sym == nullptr || sym->kind != SymbolKind::Local) return nullptr;
+      if (sym->type == nullptr || !sym->type->is_pointer()) return nullptr;
+      return &ident->name;
+    };
+    for_each_expr(static_cast<const Stmt&>(*fn.body), [&](const Expr& e) {
+      if (const auto* assign = expr_cast<AssignExpr>(&e)) {
+        const std::string* name = local_pointer_name(*assign->lhs);
+        if (name == nullptr) return;
+        if (assign->op == AssignOp::Assign) {
+          sources_[*name].push_back(classify(assign->rhs.get(), scope));
+        } else {
+          // Compound mutation (p += k, ...): an interior pointer — still
+          // the same object (write-safe) but never free()-safe again.
+          sources_[*name].push_back(
+              Source{Provenance::LocalStorage, *name});
+        }
+        return;
+      }
+      if (const auto* unary = expr_cast<UnaryExpr>(&e)) {
+        if (unary->op != UnaryOp::PreInc && unary->op != UnaryOp::PreDec &&
+            unary->op != UnaryOp::PostInc &&
+            unary->op != UnaryOp::PostDec) {
+          return;
+        }
+        // p++ / p--: same interior-pointer demotion as p = p + 1.
+        if (const std::string* name = local_pointer_name(*unary->operand)) {
+          sources_[*name].push_back(
+              Source{Provenance::LocalStorage, *name});
+        }
+      }
+    });
+    solve();
+  }
+
+  /// Provenance of local variable `name` (arrays are LocalStorage; a
+  /// pointer with no recorded source is Foreign; statics are always
+  /// Foreign — their storage outlives the call).
+  [[nodiscard]] Provenance of(const std::string& name) const {
+    if (statics_.count(name) != 0) return Provenance::Foreign;
+    if (arrays_.count(name) != 0) return Provenance::LocalStorage;
+    const auto it = result_.find(name);
+    return it == result_.end() ? Provenance::Foreign : it->second;
+  }
+
+  /// Any same-named block-scope declaration carries `static`.
+  [[nodiscard]] bool is_static(const std::string& name) const {
+    return statics_.count(name) != 0;
+  }
+
+ private:
+  [[nodiscard]] Source classify(const Expr* rhs,
+                                const FunctionScopeInfo& scope) const {
+    const Expr* core = strip_casts(rhs);
+    if (const auto* call = expr_cast<CallExpr>(core)) {
+      const std::string callee = call->callee_name();
+      if (callee == "malloc" || callee == "calloc") {
+        return Source{Provenance::Heap, {}};
+      }
+      return Source{Provenance::Foreign, {}};
+    }
+    if (const auto* unary = expr_cast<UnaryExpr>(core)) {
+      if (unary->op == UnaryOp::AddrOf) {
+        const auto* target =
+            expr_cast<IdentExpr>(strip_casts(unary->operand.get()));
+        const Symbol* sym = target ? scope.resolve(*target) : nullptr;
+        if (sym != nullptr && sym->kind == SymbolKind::Local &&
+            statics_.count(sym->name) == 0) {
+          return Source{Provenance::LocalStorage, {}};
+        }
+      }
+      return Source{Provenance::Foreign, {}};
+    }
+    if (const auto* ident = expr_cast<IdentExpr>(core)) {
+      const Symbol* sym = scope.resolve(*ident);
+      if (sym != nullptr && sym->kind == SymbolKind::Local && sym->type &&
+          statics_.count(sym->name) == 0) {
+        if (sym->type->is_array()) {
+          return Source{Provenance::LocalStorage, {}};
+        }
+        if (sym->type->is_pointer()) {
+          // Inherits the referenced local's provenance (Heap stays Heap,
+          // so free(alias) keeps verifying, mirroring the §3.2 checker).
+          return Source{Provenance::Heap, ident->name};
+        }
+      }
+      return Source{Provenance::Foreign, {}};
+    }
+    if (const auto* bin = expr_cast<BinaryExpr>(core)) {
+      // Pointer arithmetic stays within the base object (defined C), so
+      // `buf + i` carries the pointer operand's provenance — capped at
+      // LocalStorage: an interior pointer is write-safe but never
+      // free()-safe, even off a malloc'ed base.
+      if (bin->op == BinaryOp::Add || bin->op == BinaryOp::Sub) {
+        Source side = classify(bin->lhs.get(), scope);
+        if (side.direct == Provenance::Foreign && side.local_ref.empty()) {
+          side = classify(bin->rhs.get(), scope);
+        }
+        side.direct = join(side.direct, Provenance::LocalStorage);
+        return side;
+      }
+      return Source{Provenance::Foreign, {}};
+    }
+    return Source{Provenance::Foreign, {}};
+  }
+
+  void solve() {
+    // Optimistic start (Heap), monotone demotion to fixpoint.
+    for (const auto& [name, srcs] : sources_) {
+      result_[name] = Provenance::Heap;
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, srcs] : sources_) {
+        Provenance p = Provenance::Heap;
+        for (const Source& src : srcs) {
+          Provenance s = src.direct;
+          if (!src.local_ref.empty()) {
+            // A pointer copied from another local: at best as strong as
+            // that local's provenance.
+            s = join(s, of(src.local_ref));
+          }
+          p = join(p, s);
+        }
+        if (p != result_[name]) {
+          result_[name] = p;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::map<std::string, std::vector<Source>> sources_;
+  std::map<std::string, Provenance> result_;
+  std::set<std::string> arrays_;
+  std::set<std::string> statics_;
+};
+
+class EffectScanner {
+ public:
+  EffectScanner(const FunctionDecl& fn, const FunctionScopeInfo& scope,
+                bool allow_malloc_free)
+      : fn_(fn),
+        scope_(scope),
+        allow_malloc_free_(allow_malloc_free),
+        provenance_(fn, scope) {}
+
+  [[nodiscard]] EffectSummary run() {
+    summary_.function = fn_.name;
+    if (fn_.is_variadic) {
+      impure(fn_.loc, "is variadic (effects of va_arg uses are opaque)");
+    }
+    collect_callee_idents();
+    for_each_expr(static_cast<const Stmt&>(*fn_.body),
+                  [this](const Expr& e) { scan_expr(e); });
+    return std::move(summary_);
+  }
+
+ private:
+  void impure(SourceLocation loc, std::string reason) {
+    if (!summary_.pure_locally) return;  // keep the first reason
+    summary_.pure_locally = false;
+    summary_.impurity_reason = std::move(reason);
+    summary_.impurity_loc = loc;
+  }
+
+  /// Callee identifiers must not be mistaken for global variable reads.
+  void collect_callee_idents() {
+    for_each_call(*fn_.body, [this](const CallExpr& call) {
+      if (const auto* ident = expr_cast<IdentExpr>(call.callee.get())) {
+        callee_idents_.insert(ident);
+      }
+    });
+  }
+
+  void scan_expr(const Expr& e) {
+    if (const auto* call = expr_cast<CallExpr>(&e)) {
+      scan_call(*call);
+      return;
+    }
+    if (const auto* assign = expr_cast<AssignExpr>(&e)) {
+      scan_write(*assign->lhs, assign->loc);
+      if (assign->op == AssignOp::Assign) scan_pointer_store(*assign);
+      return;
+    }
+    if (const auto* unary = expr_cast<UnaryExpr>(&e)) {
+      if (unary->op == UnaryOp::PreInc || unary->op == UnaryOp::PreDec ||
+          unary->op == UnaryOp::PostInc || unary->op == UnaryOp::PostDec) {
+        scan_write(*unary->operand, unary->loc);
+      }
+      return;
+    }
+    if (const auto* ident = expr_cast<IdentExpr>(&e)) {
+      if (callee_idents_.count(ident) != 0) return;
+      const Symbol* sym = scope_.resolve(*ident);
+      if (sym != nullptr && (sym->kind == SymbolKind::Global ||
+                             sym->kind == SymbolKind::Unknown)) {
+        summary_.global_reads.insert(ident->name);
+      }
+      return;
+    }
+  }
+
+  void scan_call(const CallExpr& call) {
+    const std::string name = call.callee_name();
+    if (name.empty()) {
+      summary_.has_indirect_call = true;
+      impure(call.loc, "calls through a function pointer");
+      return;
+    }
+    if (name == "malloc" || name == "calloc") {
+      summary_.allocates = true;
+      if (!allow_malloc_free_) summary_.callees.insert(name);
+      return;
+    }
+    if (name == "free") {
+      summary_.frees = true;
+      if (!allow_malloc_free_) summary_.callees.insert(name);
+      scan_free(call);
+      return;
+    }
+    summary_.callees.insert(name);
+  }
+
+  void scan_free(const CallExpr& call) {
+    if (call.args.size() != 1) {
+      impure(call.loc, "calls free() with the wrong arity");
+      return;
+    }
+    const auto* ident = expr_cast<IdentExpr>(strip_casts(call.args[0].get()));
+    const Symbol* sym = ident ? scope_.resolve(*ident) : nullptr;
+    if (sym == nullptr || sym->kind != SymbolKind::Local ||
+        provenance_.of(sym->name) != Provenance::Heap) {
+      impure(call.loc, "frees memory it did not allocate");
+    }
+  }
+
+  /// Static type of the slot an lvalue designates: the root's declared
+  /// type peeled once per index/deref level. Null when unresolvable
+  /// (members, casts) — callers must be conservative.
+  [[nodiscard]] TypePtr lvalue_slot_type(const Expr& lhs) const {
+    if (const auto* ident = expr_cast<IdentExpr>(&lhs)) {
+      const Symbol* sym = scope_.resolve(*ident);
+      return sym != nullptr ? sym->type : nullptr;
+    }
+    const TypePtr* base = nullptr;
+    TypePtr base_type;
+    if (const auto* index = expr_cast<IndexExpr>(&lhs)) {
+      base_type = lvalue_slot_type(*index->base);
+      base = &base_type;
+    } else if (const auto* unary = expr_cast<UnaryExpr>(&lhs)) {
+      if (unary->op != UnaryOp::Deref) return nullptr;
+      base_type = lvalue_slot_type(*unary->operand);
+      base = &base_type;
+    } else {
+      return nullptr;
+    }
+    if (*base == nullptr) return nullptr;
+    if ((*base)->is_array()) return (*base)->element;
+    if ((*base)->is_pointer()) return (*base)->pointee;
+    return nullptr;
+  }
+
+  /// The deep-write hole: local storage is writable, but once a *foreign
+  /// pointer* is stored into a pointer-typed slot of it, later writes
+  /// through that slot would reach caller/global memory while still
+  /// rooting at the local. Conservatively reject the store itself.
+  void scan_pointer_store(const AssignExpr& assign) {
+    const Symbol* root = scope_.lvalue_root(*assign.lhs);
+    if (root == nullptr || root->kind != SymbolKind::Local) return;
+    if (lvalue_shape(*assign.lhs) != LvalueShape::Through) return;
+    if (provenance_.of(root->name) == Provenance::Foreign) return;  // flagged
+    const TypePtr slot = lvalue_slot_type(*assign.lhs);
+    const bool slot_holds_pointer =
+        slot == nullptr || slot->is_pointer() || slot->is_array();
+    if (slot_holds_pointer && is_foreign_pointer_value(assign.rhs.get())) {
+      impure(assign.loc, "stores a caller/global pointer into local "
+                         "storage (writes through it would be untrackable)");
+    }
+  }
+
+  /// Could evaluating `rhs` yield a pointer into caller or global memory?
+  [[nodiscard]] bool is_foreign_pointer_value(const Expr* rhs) const {
+    const Expr* core = strip_casts(rhs);
+    if (const auto* call = expr_cast<CallExpr>(core)) {
+      const std::string callee = call->callee_name();
+      // Fresh heap memory is fine; any other call could return a foreign
+      // pointer (we have no return types for externals).
+      return callee != "malloc" && callee != "calloc";
+    }
+    if (const auto* unary = expr_cast<UnaryExpr>(core)) {
+      if (unary->op == UnaryOp::AddrOf) {
+        const auto* target =
+            expr_cast<IdentExpr>(strip_casts(unary->operand.get()));
+        const Symbol* sym = target ? scope_.resolve(*target) : nullptr;
+        return sym == nullptr || sym->kind != SymbolKind::Local ||
+               provenance_.is_static(sym->name);
+      }
+      // Deref is a load: handled by the Through-shape branch below.
+      // Every other unary operator yields a scalar value.
+      if (unary->op != UnaryOp::Deref) return false;
+    }
+    if (const auto* bin = expr_cast<BinaryExpr>(core)) {
+      // Pointer arithmetic carries the pointer operand's object; the
+      // comma operator's value is its right side. Comparisons, logic,
+      // and bit operations yield integers.
+      if (bin->op == BinaryOp::Add || bin->op == BinaryOp::Sub) {
+        return is_foreign_pointer_value(bin->lhs.get()) ||
+               is_foreign_pointer_value(bin->rhs.get());
+      }
+      if (bin->op == BinaryOp::Comma) {
+        return is_foreign_pointer_value(bin->rhs.get());
+      }
+      return false;
+    }
+    if (const auto* cond = expr_cast<ConditionalExpr>(core)) {
+      return is_foreign_pointer_value(cond->then_expr.get()) ||
+             is_foreign_pointer_value(cond->else_expr.get());
+    }
+    if (const auto* assign = expr_cast<AssignExpr>(core)) {
+      // The value of `p = q` is q.
+      return is_foreign_pointer_value(assign->rhs.get());
+    }
+    if (const auto* ident = expr_cast<IdentExpr>(core)) {
+      const Symbol* sym = scope_.resolve(*ident);
+      if (sym == nullptr) return true;
+      if (sym->type == nullptr ||
+          !(sym->type->is_pointer() || sym->type->is_array())) {
+        return false;  // scalar value
+      }
+      switch (sym->kind) {
+        case SymbolKind::Param:
+        case SymbolKind::Global:
+        case SymbolKind::Unknown:
+        case SymbolKind::Function:
+          return true;
+        case SymbolKind::Local:
+          return provenance_.is_static(sym->name) ||
+                 (sym->type->is_pointer() &&
+                  provenance_.of(sym->name) == Provenance::Foreign);
+      }
+    }
+    if (lvalue_shape(*core) == LvalueShape::Through) {
+      // A load out of some storage (p[i], *p, s.f): foreign if the loaded
+      // slot can hold a pointer and the storage itself is not local.
+      const Symbol* root = scope_.lvalue_root(*core);
+      if (root == nullptr) return true;
+      const TypePtr slot = lvalue_slot_type(*core);
+      if (slot != nullptr && !slot->is_pointer() && !slot->is_array()) {
+        return false;  // scalar load
+      }
+      if (root->kind == SymbolKind::Local) {
+        return provenance_.of(root->name) == Provenance::Foreign;
+      }
+      return true;
+    }
+    return false;  // literals, arithmetic: scalar values
+  }
+
+  void scan_write(const Expr& lhs, SourceLocation loc) {
+    const Symbol* root = scope_.lvalue_root(lhs);
+    if (root == nullptr) {
+      impure(loc, "has an assignment target the analysis cannot resolve");
+      return;
+    }
+    const LvalueShape shape = lvalue_shape(lhs);
+    switch (root->kind) {
+      case SymbolKind::Global:
+        summary_.writes_global = true;
+        impure(loc, "writes to global '" + root->name + "'");
+        return;
+      case SymbolKind::Unknown:
+        summary_.writes_global = true;
+        impure(loc, "writes to undeclared/external '" + root->name + "'");
+        return;
+      case SymbolKind::Function:
+        impure(loc, "assigns to function '" + root->name + "'");
+        return;
+      case SymbolKind::Param:
+        if (shape == LvalueShape::Through) {
+          summary_.writes_through_param = true;
+          impure(loc, "writes through parameter '" + root->name + "'");
+        }
+        // Bare: reassigning the by-value copy is invisible to the caller.
+        return;
+      case SymbolKind::Local:
+        if (provenance_.is_static(root->name)) {
+          impure(loc, "writes to static local '" + root->name +
+                          "' (state persists across calls)");
+          return;
+        }
+        if (shape == LvalueShape::Through &&
+            provenance_.of(root->name) == Provenance::Foreign) {
+          summary_.writes_unknown_pointer = true;
+          impure(loc, "writes through pointer '" + root->name +
+                          "' that may reference caller or global memory");
+        }
+        return;
+    }
+  }
+
+  const FunctionDecl& fn_;
+  const FunctionScopeInfo& scope_;
+  const bool allow_malloc_free_;
+  ProvenanceMap provenance_;
+  EffectSummary summary_;
+  std::set<const IdentExpr*> callee_idents_;
+};
+
+}  // namespace
+
+EffectSummary compute_effects(const FunctionDecl& fn,
+                              const FunctionScopeInfo& scope,
+                              bool allow_malloc_free) {
+  EffectSummary summary;
+  summary.function = fn.name;
+  if (!fn.is_definition()) {
+    summary.pure_locally = false;
+    summary.impurity_reason = "has no definition in this translation unit";
+    summary.impurity_loc = fn.loc;
+    return summary;
+  }
+  return EffectScanner(fn, scope, allow_malloc_free).run();
+}
+
+}  // namespace purec

@@ -1,0 +1,61 @@
+// Per-function effect summaries for purity inference.
+//
+// Where the paper's verifier (§3.2) checks *declared* pure functions
+// against the keyword's rules, this pass looks at an arbitrary unannotated
+// definition and answers: what could this body do that another thread
+// might observe? The summary is intraprocedural — callees are recorded by
+// name and resolved by the fixpoint in inference.cpp.
+//
+// The write rules are deliberately conservative. A store is locally
+// harmless only when its target provably lives in function-local storage:
+// a local scalar/array, or a pointer whose every assignment source is
+// fresh (malloc/calloc) or another local storage root. Anything that might
+// reach caller-owned or global memory is an effect.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "ast/decl.h"
+#include "sema/symbols.h"
+#include "support/source_location.h"
+
+namespace purec {
+
+struct EffectSummary {
+  std::string function;
+
+  /// No intraprocedural side-effects; call edges still pending.
+  bool pure_locally = true;
+  /// First local impurity, human-readable ("writes to global 'counter'").
+  /// Empty when pure_locally.
+  std::string impurity_reason;
+  SourceLocation impurity_loc;
+
+  /// Named callees (resolved against the call graph by inference).
+  std::set<std::string> callees;
+  /// Calls through a function pointer: unresolvable, pessimized.
+  bool has_indirect_call = false;
+
+  /// Globals the body reads directly. For an inferred-pure function these
+  /// become implicit call arguments in the Listing-5 scop rule: a loop
+  /// that writes one of them while calling the function is rejected.
+  std::set<std::string> global_reads;
+
+  /// Informational classification bits (diagnostics, tests).
+  bool writes_global = false;
+  bool writes_through_param = false;
+  bool writes_unknown_pointer = false;
+  bool allocates = false;
+  bool frees = false;
+};
+
+/// Computes the summary for one function definition. `scope` must be the
+/// symbol info for `fn`. Honors PurityOptions::allow_malloc_free via
+/// `allow_malloc_free` (when false, malloc/calloc/free count as external
+/// callees instead of local allocation).
+[[nodiscard]] EffectSummary compute_effects(const FunctionDecl& fn,
+                                            const FunctionScopeInfo& scope,
+                                            bool allow_malloc_free = true);
+
+}  // namespace purec

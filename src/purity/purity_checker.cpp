@@ -47,6 +47,9 @@ void PurityChecker::seed_pure_set() {
   for (const FunctionDecl* fn : tu_.functions()) {
     if (fn->is_pure) result_.pure_functions.insert(fn->name);
   }
+  // Inference-provided names (--infer-pure): trusted without the keyword.
+  result_.pure_functions.insert(options_.assume_pure.begin(),
+                                options_.assume_pure.end());
 }
 
 PurityResult PurityChecker::check() {
@@ -63,15 +66,6 @@ PurityResult PurityChecker::check() {
 
 namespace {
 
-/// Strips casts (and parens, which the AST does not materialize) off an
-/// expression.
-[[nodiscard]] const Expr* strip_casts(const Expr* e) {
-  while (const auto* cast = expr_cast<CastExpr>(e)) {
-    e = cast->operand.get();
-  }
-  return e;
-}
-
 /// True if the expression is (possibly under casts) a call to `name`.
 [[nodiscard]] bool is_call_to(const Expr* e, std::string_view name) {
   const auto* call = expr_cast<CallExpr>(strip_casts(e));
@@ -85,28 +79,6 @@ namespace {
     e = cast->operand.get();
   }
   return false;
-}
-
-/// The written-through "shape" of an lvalue: Bare (the variable itself) or
-/// Through (subscript / deref / member — i.e. writes to referenced storage).
-enum class LvalueShape { Bare, Through, Other };
-
-[[nodiscard]] LvalueShape lvalue_shape(const Expr& e) {
-  switch (e.kind()) {
-    case ExprKind::Ident:
-      return LvalueShape::Bare;
-    case ExprKind::Index:
-    case ExprKind::Member:
-      return LvalueShape::Through;
-    case ExprKind::Unary:
-      return static_cast<const UnaryExpr&>(e).op == UnaryOp::Deref
-                 ? LvalueShape::Through
-                 : LvalueShape::Other;
-    case ExprKind::Cast:
-      return lvalue_shape(*static_cast<const CastExpr&>(e).operand);
-    default:
-      return LvalueShape::Other;
-  }
 }
 
 /// Verifier for one pure function definition.
@@ -126,8 +98,8 @@ class FunctionVerifier {
 
  private:
   void error(SourceLocation loc, std::string message) {
-    diags_.error(loc, "purity",
-                 "in pure function '" + fn_.name + "': " + std::move(message));
+    diags_.error(loc, "purity", "in pure function '" + fn_.name +
+                                    "': " + std::move(message));
   }
 
   void check_parameters() {
@@ -164,6 +136,11 @@ class FunctionVerifier {
     const auto* decl = stmt_cast<DeclStmt>(&s);
     if (decl == nullptr) return;
     for (const VarDecl& d : decl->decls) {
+      if (d.is_static) {
+        error(d.loc, "static local '" + d.name +
+                         "' keeps state across calls (a pure function "
+                         "may not have persistent state)");
+      }
       if (d.init) check_capture(d.name, d.type, d.init.get(), d.loc);
     }
   }
@@ -367,19 +344,52 @@ namespace {
 class ScopScanner {
  public:
   ScopScanner(const FunctionScopeInfo& scope,
-              const std::set<std::string>& pure_set)
-      : scope_(scope), pure_set_(pure_set) {}
+              const std::set<std::string>& pure_set,
+              const std::map<std::string, std::set<std::string>>&
+                  assumed_global_reads)
+      : scope_(scope),
+        pure_set_(pure_set),
+        assumed_global_reads_(assumed_global_reads) {}
+
+  struct Listing5Violation {
+    std::string name;
+    SourceLocation loc;
+    /// The conflict came through an inferred function's global read, not a
+    /// literal call argument.
+    bool implicit_global = false;
+  };
 
   struct NestReport {
     bool all_calls_pure = true;
     bool contains_calls = false;
-    std::vector<std::pair<std::string, SourceLocation>> listing5_violations;
+    std::vector<Listing5Violation> listing5_violations;
   };
 
   [[nodiscard]] NestReport scan(const ForStmt& loop) {
     NestReport report;
     std::set<std::string> call_arg_roots;
+    std::set<std::string> implicit_global_roots;
     std::set<std::string> write_roots;
+    std::set<std::string> global_writes;
+
+    const auto record_write = [&](const Expr& lhs) {
+      const Symbol* root = scope_.lvalue_root(lhs);
+      if (root == nullptr) return;
+      const bool is_global = root->kind == SymbolKind::Global ||
+                             root->kind == SymbolKind::Unknown;
+      const LvalueShape shape = lvalue_shape(lhs);
+      if (shape == LvalueShape::Through) {
+        write_roots.insert(root->name);
+        // The inference-provenance rule matches globals only, so a local
+        // that shadows a global's name cannot trigger it.
+        if (is_global) global_writes.insert(root->name);
+      } else if (shape == LvalueShape::Bare && is_global) {
+        // Only the inference-provenance rule below sees these; the
+        // paper's argument rule stays name+Through based (its alias
+        // holes — Listing 6, pointer swaps — are pinned behavior).
+        global_writes.insert(root->name);
+      }
+    };
 
     for_each_expr(static_cast<const Stmt&>(loop), [&](const Expr& e) {
       if (const auto* call = expr_cast<CallExpr>(&e)) {
@@ -392,13 +402,27 @@ class ScopScanner {
         for (const ExprPtr& arg : call->args) {
           collect_pointer_roots(*arg, call_arg_roots);
         }
+        // Inference provenance: globals the callee reads behave like
+        // arguments of the call.
+        const auto reads = assumed_global_reads_.find(name);
+        if (reads != assumed_global_reads_.end()) {
+          implicit_global_roots.insert(reads->second.begin(),
+                                       reads->second.end());
+        }
         return;
       }
       if (const auto* assign = expr_cast<AssignExpr>(&e)) {
-        if (const Symbol* root = scope_.lvalue_root(*assign->lhs)) {
-          if (lvalue_shape(*assign->lhs) == LvalueShape::Through) {
-            write_roots.insert(root->name);
-          }
+        record_write(*assign->lhs);
+        return;
+      }
+      if (const auto* unary = expr_cast<UnaryExpr>(&e)) {
+        // a[i]++ is a write like a[i] = a[i] + 1: §3.4's "written in the
+        // same loop nest" includes increments. (Deliberate tightening
+        // over the seed, which only saw AssignExpr; pinned by test.)
+        if (unary->op == UnaryOp::PreInc || unary->op == UnaryOp::PreDec ||
+            unary->op == UnaryOp::PostInc ||
+            unary->op == UnaryOp::PostDec) {
+          record_write(*unary->operand);
         }
         return;
       }
@@ -406,7 +430,13 @@ class ScopScanner {
 
     for (const std::string& w : write_roots) {
       if (call_arg_roots.count(w) != 0) {
-        report.listing5_violations.push_back({w, loop.loc});
+        report.listing5_violations.push_back({w, loop.loc, false});
+      }
+    }
+    for (const std::string& w : global_writes) {
+      if (call_arg_roots.count(w) == 0 &&
+          implicit_global_roots.count(w) != 0) {
+        report.listing5_violations.push_back({w, loop.loc, true});
       }
     }
     return report;
@@ -428,6 +458,7 @@ class ScopScanner {
 
   const FunctionScopeInfo& scope_;
   const std::set<std::string>& pure_set_;
+  const std::map<std::string, std::set<std::string>>& assumed_global_reads_;
 };
 
 }  // namespace
@@ -435,7 +466,8 @@ class ScopScanner {
 void PurityChecker::detect_scops(const FunctionDecl& fn) {
   const FunctionScopeInfo* scope = symbols_.scope_for(fn);
   if (scope == nullptr) return;
-  ScopScanner scanner(*scope, result_.pure_functions);
+  ScopScanner scanner(*scope, result_.pure_functions,
+                      options_.assumed_global_reads);
 
   // Walk statements; at each outermost for-loop decide: mark, recurse, or
   // error. (An inner loop of a rejected nest may still be markable.)
@@ -449,17 +481,26 @@ void PurityChecker::detect_scops(const FunctionDecl& fn) {
               ScopCandidate{&fn, loop, report.contains_calls});
           inside_marked = true;
         } else if (!report.listing5_violations.empty()) {
-          for (const auto& [name, loc] : report.listing5_violations) {
+          for (const auto& v : report.listing5_violations) {
+            // Implicit-global roots may be scalars, not arrays.
+            const std::string what =
+                v.implicit_global
+                    ? "global '" + v.name +
+                          "' is read by an inferred-pure function called "
+                          "in the nest and written in the same loop nest "
+                          "(Listing 5 rule, inference provenance)"
+                    : "array '" + v.name +
+                          "' is passed to a pure function and written "
+                          "in the same loop nest (Listing 5 rule)";
             if (options_.listing5_violation_is_error) {
-              diags_.error(loc, "purity",
-                           "array '" + name +
-                               "' is passed to a pure function and written "
-                               "in the same loop nest (Listing 5 rule)");
+              diags_.error(v.loc, "purity", what);
             } else {
-              diags_.warning(loc, "purity",
-                             "skipping loop: array '" + name +
-                                 "' is both pure-call argument and write "
-                                 "target");
+              diags_.warning(v.loc, "purity",
+                             "skipping loop: '" + v.name +
+                                 "' is both pure-call " +
+                                 (v.implicit_global ? "global read"
+                                                    : "argument") +
+                                 " and write target");
             }
           }
           inside_marked = true;  // do not mark inner pieces of a bad nest

@@ -18,6 +18,7 @@
 //    detected — the paper documents this limitation and so do we.
 #pragma once
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -35,6 +36,17 @@ struct PurityOptions {
   /// Paper default: a Listing-5 violation is a hard error. When false the
   /// loop is silently skipped instead (useful for exploratory tooling).
   bool listing5_violation_is_error = true;
+  /// Unannotated functions assumed pure without verification, from the
+  /// inference subsystem (--infer-pure). Seeded into the hashset so their
+  /// call sites mark SCoPs and annotated callers may call them; the §3.2
+  /// verifier still runs on every *declared* pure function.
+  std::set<std::string> assume_pure;
+  /// For assumed-pure functions: globals they transitively read (inference
+  /// provenance). The Listing-5 rule treats these as implicit call
+  /// arguments — a nest that writes one of them while calling the function
+  /// is rejected, closing a hole annotation-only code leaves open via the
+  /// pure-cast promise.
+  std::map<std::string, std::set<std::string>> assumed_global_reads;
 };
 
 struct ScopCandidate {

@@ -12,11 +12,10 @@ namespace {
 /// body and records a resolution for every IdentExpr.
 class Resolver {
  public:
-  Resolver(const SymbolTable& table,
-           const std::map<std::string, const FunctionDecl*>& functions,
+  Resolver(const std::map<std::string, const FunctionDecl*>& functions,
            const std::map<std::string, const GlobalVarDecl*>& globals,
            FunctionScopeInfo& out)
-      : table_(table), functions_(functions), globals_(globals), out_(out) {}
+      : functions_(functions), globals_(globals), out_(out) {}
 
   void run(const FunctionDecl& fn) {
     push_scope();
@@ -75,9 +74,8 @@ class Resolver {
     switch (s.kind()) {
       case StmtKind::Compound: {
         push_scope();
-        for (const StmtPtr& child : static_cast<const CompoundStmt&>(s).stmts) {
-          visit_stmt(*child);
-        }
+        const auto& block = static_cast<const CompoundStmt&>(s);
+        for (const StmtPtr& child : block.stmts) visit_stmt(*child);
         pop_scope();
         return;
       }
@@ -133,7 +131,6 @@ class Resolver {
     }
   }
 
-  [[maybe_unused]] const SymbolTable& table_;
   const std::map<std::string, const FunctionDecl*>& functions_;
   const std::map<std::string, const GlobalVarDecl*>& globals_;
   FunctionScopeInfo& out_;
@@ -141,6 +138,24 @@ class Resolver {
 };
 
 }  // namespace
+
+LvalueShape lvalue_shape(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::Ident:
+      return LvalueShape::Bare;
+    case ExprKind::Index:
+    case ExprKind::Member:
+      return LvalueShape::Through;
+    case ExprKind::Unary:
+      return static_cast<const UnaryExpr&>(e).op == UnaryOp::Deref
+                 ? LvalueShape::Through
+                 : LvalueShape::Other;
+    case ExprKind::Cast:
+      return lvalue_shape(*static_cast<const CastExpr&>(e).operand);
+    default:
+      return LvalueShape::Other;
+  }
+}
 
 const Symbol* FunctionScopeInfo::lvalue_root(const Expr& e) const {
   const Expr* cursor = &e;
@@ -200,7 +215,7 @@ SymbolTable SymbolTable::build(const TranslationUnit& tu,
   for (const FunctionDecl* fn : tu.functions()) {
     if (!fn->is_definition()) continue;
     FunctionScopeInfo info;
-    Resolver resolver(table, table.functions_, table.globals_, info);
+    Resolver resolver(table.functions_, table.globals_, info);
     resolver.run(*fn);
     table.function_scopes_[fn] = std::move(info);
   }

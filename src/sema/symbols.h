@@ -29,6 +29,12 @@ struct Symbol {
   const FunctionDecl* function = nullptr;  // for kind == Function
 };
 
+/// The written-through "shape" of an lvalue: Bare (the variable itself) or
+/// Through (subscript / deref / member — i.e. writes to referenced storage).
+enum class LvalueShape : std::uint8_t { Bare, Through, Other };
+
+[[nodiscard]] LvalueShape lvalue_shape(const Expr& e);
+
 /// Per-function resolution map keyed by IdentExpr node. Nodes not present
 /// resolve to Unknown.
 class FunctionScopeInfo {
@@ -51,7 +57,8 @@ class SymbolTable {
  public:
   /// Builds symbol info for every function definition in `tu`.
   /// Re-declaration errors are reported to `diags`.
-  static SymbolTable build(const TranslationUnit& tu, DiagnosticEngine& diags);
+  static SymbolTable build(const TranslationUnit& tu,
+                           DiagnosticEngine& diags);
 
   [[nodiscard]] const FunctionScopeInfo* scope_for(
       const FunctionDecl& fn) const {
@@ -59,7 +66,8 @@ class SymbolTable {
     return it == function_scopes_.end() ? nullptr : &it->second;
   }
 
-  [[nodiscard]] const FunctionDecl* find_function(const std::string& n) const {
+  [[nodiscard]] const FunctionDecl* find_function(
+      const std::string& n) const {
     const auto it = functions_.find(n);
     return it == functions_.end() ? nullptr : it->second;
   }

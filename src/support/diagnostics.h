@@ -49,7 +49,9 @@ class DiagnosticEngine {
     return diags_;
   }
   [[nodiscard]] std::size_t error_count() const noexcept { return errors_; }
-  [[nodiscard]] std::size_t warning_count() const noexcept { return warnings_; }
+  [[nodiscard]] std::size_t warning_count() const noexcept {
+    return warnings_;
+  }
   [[nodiscard]] bool has_errors() const noexcept { return errors_ != 0; }
 
   /// True if any error message contains `needle` (used heavily by tests).
@@ -57,7 +59,8 @@ class DiagnosticEngine {
 
   /// Renders all diagnostics; with a buffer, includes the offending source
   /// line and a caret.
-  [[nodiscard]] std::string format(const SourceBuffer* buffer = nullptr) const;
+  [[nodiscard]] std::string format(
+      const SourceBuffer* buffer = nullptr) const;
 
   void clear() noexcept;
 

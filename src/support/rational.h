@@ -15,7 +15,8 @@ namespace purec {
 /// polyhedral engine treat this as "analysis failed, assume dependence".
 class ArithmeticOverflow : public std::runtime_error {
  public:
-  ArithmeticOverflow() : std::runtime_error("purec: int64 overflow in exact arithmetic") {}
+  ArithmeticOverflow()
+      : std::runtime_error("purec: int64 overflow in exact arithmetic") {}
 };
 
 [[nodiscard]] std::int64_t checked_add(std::int64_t a, std::int64_t b);
@@ -69,7 +70,9 @@ class Rational {
   }
   friend bool operator<(const Rational& a, const Rational& b);
   friend bool operator<=(const Rational& a, const Rational& b);
-  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>(const Rational& a, const Rational& b) {
+    return b < a;
+  }
   friend bool operator>=(const Rational& a, const Rational& b) {
     return b <= a;
   }

@@ -32,11 +32,13 @@ class SourceBuffer {
 
   /// The text of 1-based line `line` without its newline, or nullopt if out
   /// of range.
-  [[nodiscard]] std::optional<std::string_view> line(std::uint32_t line) const;
+  [[nodiscard]] std::optional<std::string_view> line(
+      std::uint32_t line) const;
 
   /// Full location (line/column) for a byte offset; offsets past the end
   /// clamp to the end of the buffer.
-  [[nodiscard]] SourceLocation location_for_offset(std::uint32_t offset) const;
+  [[nodiscard]] SourceLocation location_for_offset(
+      std::uint32_t offset) const;
 
  private:
   std::string name_;

@@ -30,7 +30,9 @@ struct SourceRange {
   SourceLocation begin;
   SourceLocation end;
 
-  [[nodiscard]] constexpr bool valid() const noexcept { return begin.valid(); }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return begin.valid();
+  }
 };
 
 /// "file.c:12:3" formatting for diagnostics.

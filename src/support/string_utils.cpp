@@ -54,7 +54,8 @@ std::vector<std::string_view> split_lines(std::string_view s) {
   return out;
 }
 
-std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
   std::string out;
   for (std::size_t i = 0; i < parts.size(); ++i) {
     if (i != 0) out += sep;

@@ -15,6 +15,7 @@ std::vector<SubstitutedCall> substitute_pure_calls(
     if (name.empty() || pure_functions.count(name) == 0) return false;
     SubstitutedCall record;
     record.placeholder = "tmpConst_" + name + "_" + std::to_string(counter++);
+    record.callee = name;
     record.original = std::move(slot);
     auto ident = std::make_unique<IdentExpr>(record.placeholder);
     ident->loc = record.original->loc;

@@ -15,6 +15,7 @@ namespace purec {
 
 struct SubstitutedCall {
   std::string placeholder;  // tmpConst_<fn>_<n>
+  std::string callee;       // the pure function being hidden
   ExprPtr original;         // the call expression (owned)
 };
 

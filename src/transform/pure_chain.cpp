@@ -197,6 +197,12 @@ ChainArtifacts run_pure_chain(const std::string& source,
     const SymbolTable scratch_symbols = SymbolTable::build(tu, scratch);
     PurityOptions scratch_options = options.purity;
     scratch_options.listing5_violation_is_error = false;
+    if (options.infer_purity) {
+      // Inferred-pure functions are inlining candidates too.
+      const InferenceResult pre_inline =
+          infer_purity(tu, scratch_symbols, options.purity);
+      scratch_options.assume_pure = pre_inline.inferred_pure;
+    }
     PurityChecker scratch_checker(tu, scratch_symbols, scratch,
                                   scratch_options);
     const PurityResult scratch_purity = scratch_checker.check();
@@ -205,7 +211,17 @@ ChainArtifacts run_pure_chain(const std::string& source,
   }
 
   const SymbolTable symbols = SymbolTable::build(tu, diags);
-  PurityChecker checker(tu, symbols, diags, options.purity);
+  PurityOptions purity_options = options.purity;
+  if (options.infer_purity) {
+    // Interprocedural inference over the (possibly inlined) AST seeds the
+    // checker: unannotated-but-provably-pure functions join the hashset,
+    // and their transitive global reads feed the Listing-5 rule.
+    artifacts.inference = infer_purity(tu, symbols, options.purity);
+    purity_options.assume_pure = artifacts.inference.inferred_pure;
+    purity_options.assumed_global_reads =
+        artifacts.inference.inferred_global_reads();
+  }
+  PurityChecker checker(tu, symbols, diags, purity_options);
   const PurityResult purity = checker.check();
   if (diags.has_errors()) return artifacts;
 
@@ -233,6 +249,11 @@ ChainArtifacts run_pure_chain(const std::string& source,
     report.line = candidate.loop->loc.line;
     report.contains_calls = candidate.contains_calls;
     report.substituted_calls = calls.size();
+    for (const SubstitutedCall& call : calls) {
+      if (artifacts.inference.inferred_pure.count(call.callee) != 0) {
+        ++report.inferred_calls;
+      }
+    }
 
     const auto undo = [&] {
       reinsert_pure_calls(*loop, calls);
@@ -325,16 +346,12 @@ ChainArtifacts run_pure_chain(const std::string& source,
       }
       bool allocates = false;
       if (fn->body) {
-        for_each_expr(static_cast<const Stmt&>(*fn->body),
-                      [&](const Expr& e) {
-                        const auto* call = expr_cast<CallExpr>(&e);
-                        if (call == nullptr) return;
-                        const std::string callee = call->callee_name();
-                        if (callee == "malloc" || callee == "calloc" ||
-                            callee == "free") {
-                          allocates = true;
-                        }
-                      });
+        for_each_call(*fn->body, [&](const CallExpr& call) {
+          const std::string callee = call.callee_name();
+          if (callee == "malloc" || callee == "calloc" || callee == "free") {
+            allocates = true;
+          }
+        });
       }
       fn->annotate_gcc_pure = !allocates;
     }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "polyhedral/codegen.h"
+#include "purity/inference.h"
 #include "purity/purity_checker.h"
 #include "support/diagnostics.h"
 
@@ -46,6 +47,14 @@ struct ChainOptions {
   /// paper's *checked* guarantee into the backend compiler's *unchecked*
   /// optimization hint (§2.1). Off by default.
   bool emit_gcc_attributes = false;
+  /// Extension (`purecc --infer-pure`): interprocedural purity inference.
+  /// Unannotated functions whose call-graph effect analysis proves them
+  /// side-effect free seed the checker's hashset, so plain keyword-free C
+  /// gets SCoP-marked, substituted, and parallelized like its annotated
+  /// twin. Annotated functions still go through the §3.2 verifier
+  /// (annotation + verifier win). Off by default — the default chain
+  /// reproduces the paper exactly.
+  bool infer_purity = false;
   PurityOptions purity;
   /// Virtual files for `#include "..."` resolution.
   std::map<std::string, std::string> virtual_includes;
@@ -67,6 +76,9 @@ struct ScopReport {
   bool parallelized = false;
   bool tiled = false;
   bool skewed = false;               // non-identity transform
+  /// Of the substituted calls, how many target functions whose purity was
+  /// *inferred* rather than declared (inference provenance).
+  std::size_t inferred_calls = 0;
 };
 
 struct ChainArtifacts {
@@ -80,6 +92,9 @@ struct ChainArtifacts {
   std::vector<ScopReport> scops;
   /// Call sites inlined by the inline_pure_expressions extension.
   std::size_t inlined_calls = 0;
+  /// Purity-inference provenance (populated only under infer_purity):
+  /// which functions were inferred pure, which were rejected and why.
+  InferenceResult inference;
   DiagnosticEngine diagnostics;
 };
 

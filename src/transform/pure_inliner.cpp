@@ -49,7 +49,9 @@ std::size_t inline_pure_expression_functions(
   // Collect inlinable definitions.
   std::map<std::string, const FunctionDecl*> inlinable;
   for (const FunctionDecl* fn : tu.functions()) {
-    if (!fn->is_pure || !fn->is_definition()) continue;
+    // Membership in the hashset is the authority, so inferred-pure
+    // functions (--infer-pure) inline exactly like annotated ones.
+    if (!fn->is_definition()) continue;
     if (pure_functions.count(fn->name) == 0) continue;
     if (expression_body(*fn) != nullptr) inlinable[fn->name] = fn;
   }

@@ -132,8 +132,10 @@ TEST(Walk, ExprWalkReachesForHeaders) {
 // ---------------------------------------------------------------------------
 
 TEST(TypeModel, Equality) {
-  const TypePtr f1 = Type::make_pointer(Type::make_builtin(BuiltinKind::Float));
-  const TypePtr f2 = Type::make_pointer(Type::make_builtin(BuiltinKind::Float));
+  const TypePtr f1 =
+      Type::make_pointer(Type::make_builtin(BuiltinKind::Float));
+  const TypePtr f2 =
+      Type::make_pointer(Type::make_builtin(BuiltinKind::Float));
   const TypePtr fp =
       Type::make_pointer(Type::make_builtin(BuiltinKind::Float), false, true);
   EXPECT_TRUE(f1->equals(*f2));
@@ -150,7 +152,8 @@ TEST(TypeModel, AnyLevelPure) {
 }
 
 TEST(TypeModel, WithPureDoesNotMutateOriginal) {
-  const TypePtr base = Type::make_pointer(Type::make_builtin(BuiltinKind::Int));
+  const TypePtr base =
+      Type::make_pointer(Type::make_builtin(BuiltinKind::Int));
   const TypePtr pure = base->with_pure(true);
   EXPECT_FALSE(base->is_pure);
   EXPECT_TRUE(pure->is_pure);

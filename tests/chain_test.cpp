@@ -191,7 +191,8 @@ TEST(CallSubstitution, ReplaceAndRestoreRoundTrip) {
   LoopFixture fx(
       "pure float g(int i);\n"
       "float* v;\n"
-      "void k(int n) { for (int i = 0; i < n; i++) v[i] = g(i) + g(i + 1); }\n");
+      "void k(int n)\n"
+      "{ for (int i = 0; i < n; i++) v[i] = g(i) + g(i + 1); }\n");
   ASSERT_NE(fx.loop, nullptr);
   const std::string before = print_c(*fx.loop);
 

@@ -36,6 +36,10 @@ struct Fixture {
   /// rule, and is handled honestly by the dependence analysis instead —
   /// pinned here as a feature, not a bug.
   bool expect_ok_inlined;
+  /// Run every configuration with --infer-pure: the fixture is
+  /// keyword-free and relies on interprocedural purity inference to
+  /// parallelize like its annotated twin.
+  bool infer = false;
 
   [[nodiscard]] bool ok_with(bool inline_pure) const {
     return inline_pure ? expect_ok_inlined : expect_ok;
@@ -320,6 +324,98 @@ int main() {
 }
 )";
 
+/// Keyword-free twin of kRunMatmul: identical program, no `pure` tokens.
+/// Only parallelizes under --infer-pure.
+inline constexpr const char* kRunMatmulPlain = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+float **A, **Bt, **C;
+
+float mult(float a, float b) {
+  return a * b;
+}
+
+float dot(float* a, float* b, int size) {
+  float res = 0.0f;
+  for (int i = 0; i < size; ++i)
+    res += mult(a[i], b[i]);
+  return res;
+}
+
+int main(int argc, char** argv) {
+  int n = 64;
+  A = (float**)malloc(n * sizeof(float*));
+  Bt = (float**)malloc(n * sizeof(float*));
+  C = (float**)malloc(n * sizeof(float*));
+  for (int i = 0; i < n; i++) {
+    A[i] = (float*)malloc(n * sizeof(float));
+    Bt[i] = (float*)malloc(n * sizeof(float));
+    C[i] = (float*)malloc(n * sizeof(float));
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      A[i][j] = (float)((i * 7 + j * 3) % 11) * 0.25f;
+      Bt[i][j] = (float)((i * 5 + j * 2) % 13) * 0.5f;
+      C[i][j] = 0.0f;
+    }
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      C[i][j] = dot(A[i], Bt[j], n);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      checksum += (double)C[i][j] * ((i + 2 * j) % 5);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
+/// Keyword-free twin of kRunHeat for the inference path.
+inline constexpr const char* kRunHeatPlain = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+float **cur, **nxt;
+
+float stencil(float** g, int i, int j) {
+  return 0.25f * (g[i - 1][j] + g[i + 1][j] + g[i][j - 1] + g[i][j + 1]);
+}
+
+void step(int n) {
+  for (int i = 1; i < n - 1; i++)
+    for (int j = 1; j < n - 1; j++)
+      nxt[i][j] = stencil(cur, i, j);
+}
+
+int main() {
+  int n = 64;
+  cur = (float**)malloc(n * sizeof(float*));
+  nxt = (float**)malloc(n * sizeof(float*));
+  for (int i = 0; i < n; i++) {
+    cur[i] = (float*)malloc(n * sizeof(float));
+    nxt[i] = (float*)malloc(n * sizeof(float));
+    for (int j = 0; j < n; j++) {
+      cur[i][j] = (float)((i * 13 + j * 7) % 19) * 0.125f;
+      nxt[i][j] = cur[i][j];
+    }
+  }
+  for (int s = 0; s < 4; s++) {
+    step(n);
+    float** t = cur;
+    cur = nxt;
+    nxt = t;
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      checksum += (double)cur[i][j] * ((i + 3 * j) % 7);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
 inline constexpr const char* kRunMatmulWithInit = R"(
 #include <stdio.h>
 #include <stdlib.h>
@@ -365,6 +461,10 @@ inline std::vector<Fixture> all_fixtures() {
       {"satellite", testsrc::kSatellite, false, kRunSatellite, true, true},
       {"matmul_with_init", testsrc::kMatmulWithInit, false,
        kRunMatmulWithInit, true, true},
+      {"matmul_plain", testsrc::kMatmulPlain, false, kRunMatmulPlain, true,
+       true, /*infer=*/true},
+      {"heat_plain", testsrc::kHeatPlain, false, kRunHeatPlain, true, true,
+       /*infer=*/true},
       {"asset_listing2_rules", "assets/c/listing2_rules.c", true, nullptr,
        false, false},
       {"asset_listing5_rejected", "assets/c/listing5_rejected.c", true,

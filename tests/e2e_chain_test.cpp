@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -50,11 +51,12 @@ constexpr std::array<Config, 8> kConfigs = {{
     {"sica_notile_inline", TransformMode::PlutoSica, false, true},
 }};
 
-ChainOptions options_for(const Config& config) {
+ChainOptions options_for(const Config& config, const Fixture& fixture) {
   ChainOptions options;
   options.mode = config.mode;
   options.tile = config.tile;
   options.inline_pure_expressions = config.inline_pure;
+  options.infer_purity = fixture.infer;
   return options;
 }
 
@@ -101,11 +103,23 @@ bool gcc_available() {
   return ok;
 }
 
+/// Run-output cache keyed by the exact emitted C. Many configurations emit
+/// byte-identical programs (tiling that does not apply, --inline-pure with
+/// nothing to inline, the shared serial reference), and every chain run is
+/// deterministic — so one gcc compile+run per distinct source suffices.
+/// Cuts the harness's gcc invocations roughly in half as the corpus grows.
+std::map<std::string, std::string>& run_output_cache() {
+  static auto* cache = new std::map<std::string, std::string>();
+  return *cache;
+}
+
 /// Compiles `source` with gcc -fopenmp and runs it; returns stdout+stderr.
 /// Returns an empty string (with test failures recorded) when the compile
-/// or run fails.
+/// or run fails. Results are memoized on the source text.
 std::string compile_and_run(const std::string& source,
                             const std::string& tag) {
+  const auto cached = run_output_cache().find(source);
+  if (cached != run_output_cache().end()) return cached->second;
   const std::string dir = ::testing::TempDir();
   const std::string c_path = dir + "/purec_e2e_" + tag + ".c";
   const std::string bin_path = dir + "/purec_e2e_" + tag + ".bin";
@@ -113,8 +127,9 @@ std::string compile_and_run(const std::string& source,
     std::ofstream out(c_path);
     out << source;
   }
-  const std::string compile_cmd = "gcc -O2 -fopenmp -o " + shell_quote(bin_path) +
-                                  " " + shell_quote(c_path) + " -lm 2>&1";
+  const std::string compile_cmd = "gcc -O2 -fopenmp -o " +
+                                  shell_quote(bin_path) + " " +
+                                  shell_quote(c_path) + " -lm 2>&1";
   FILE* compile = popen(compile_cmd.c_str(), "r");
   EXPECT_NE(compile, nullptr);
   if (compile == nullptr) return {};
@@ -136,7 +151,11 @@ std::string compile_and_run(const std::string& source,
   while (fgets(buf.data(), buf.size(), run) != nullptr) {
     output += buf.data();
   }
-  EXPECT_EQ(pclose(run), 0) << "binary failed:\n" << output;
+  const int run_rc = pclose(run);
+  EXPECT_EQ(run_rc, 0) << "binary failed:\n" << output;
+  // Only successful runs are cacheable: a crashed binary must fail the
+  // exit-status assertion again in every configuration that hits it.
+  if (run_rc == 0) run_output_cache()[source] = output;
   return output;
 }
 
@@ -150,7 +169,7 @@ TEST_P(E2EChainTest, GoldenEmittedC) {
   for (const Config& config : kConfigs) {
     SCOPED_TRACE(config.name);
     const ChainArtifacts artifacts =
-        run_pure_chain(source, options_for(config));
+        run_pure_chain(source, options_for(config, fixture));
     if (!fixture.ok_with(config.inline_pure)) {
       EXPECT_FALSE(artifacts.ok)
           << fixture.name << " must be rejected in this configuration";
@@ -198,17 +217,19 @@ TEST_P(E2EChainTest, SerialVsParallelDifferential) {
   serial_options.parallelize = false;
   serial_options.tile = false;
   serial_options.inline_pure_expressions = !fixture.expect_ok;
+  serial_options.infer_purity = fixture.infer;
   const ChainArtifacts serial =
       run_pure_chain(fixture.runnable, serial_options);
   ASSERT_TRUE(serial.ok) << serial.diagnostics.format();
   const std::string reference =
-      compile_and_run(serial.final_source, std::string(fixture.name) + "_ref");
+      compile_and_run(serial.final_source,
+                      std::string(fixture.name) + "_ref");
   ASSERT_FALSE(reference.empty()) << "serial reference produced no output";
 
   for (const Config& config : kConfigs) {
     SCOPED_TRACE(config.name);
     const ChainArtifacts parallel =
-        run_pure_chain(fixture.runnable, options_for(config));
+        run_pure_chain(fixture.runnable, options_for(config, fixture));
     if (!fixture.ok_with(config.inline_pure)) {
       EXPECT_FALSE(parallel.ok)
           << fixture.name << " must be rejected in this configuration";

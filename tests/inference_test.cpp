@@ -1,0 +1,648 @@
+// Tests of the interprocedural purity-inference subsystem: the call
+// graph (src/purity/callgraph.*), per-function effect summaries
+// (src/purity/effects.*), the SCC-aware fixpoint (src/purity/inference.*),
+// and the chain wiring behind ChainOptions::infer_purity.
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "purity/callgraph.h"
+#include "purity/effects.h"
+#include "purity/inference.h"
+#include "sema/symbols.h"
+#include "support/diagnostics.h"
+#include "test_sources.h"
+#include "transform/pure_chain.h"
+
+namespace purec {
+namespace {
+
+struct InferOutcome {
+  DiagnosticEngine diags;
+  std::unique_ptr<TranslationUnit> tu;
+  std::unique_ptr<SymbolTable> symbols;
+  InferenceResult result;
+};
+
+InferOutcome infer(const std::string& src, PurityOptions options = {}) {
+  InferOutcome out;
+  SourceBuffer buf = SourceBuffer::from_string(src);
+  out.tu = std::make_unique<TranslationUnit>(parse(buf, out.diags));
+  EXPECT_FALSE(out.diags.has_errors())
+      << "fixture must parse: " << out.diags.format(&buf);
+  out.symbols =
+      std::make_unique<SymbolTable>(SymbolTable::build(*out.tu, out.diags));
+  out.result = infer_purity(*out.tu, *out.symbols, options);
+  return out;
+}
+
+const FunctionPurity& purity_of(const InferOutcome& out,
+                                const std::string& name) {
+  const auto it = out.result.functions.find(name);
+  EXPECT_NE(it, out.result.functions.end()) << "no verdict for " << name;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Call graph
+// ---------------------------------------------------------------------------
+
+TEST(CallGraph, EdgesAndExternals) {
+  DiagnosticEngine diags;
+  SourceBuffer buf = SourceBuffer::from_string(
+      "int helper(int a) { return a + 1; }\n"
+      "int top(int a) { return helper(a) + printf_like(a); }\n");
+  TranslationUnit tu = parse(buf, diags);
+  ASSERT_FALSE(diags.has_errors());
+  const CallGraph graph = CallGraph::build(tu);
+
+  const CallGraphNode* top = graph.node("top");
+  ASSERT_NE(top, nullptr);
+  EXPECT_FALSE(top->is_external());
+  EXPECT_EQ(top->callees, (std::set<std::string>{"helper", "printf_like"}));
+
+  const CallGraphNode* ext = graph.node("printf_like");
+  ASSERT_NE(ext, nullptr);
+  EXPECT_TRUE(ext->is_external());
+}
+
+TEST(CallGraph, SccsComeCalleesFirstAndGroupCycles) {
+  DiagnosticEngine diags;
+  SourceBuffer buf = SourceBuffer::from_string(
+      "int is_odd(int n);\n"
+      "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }\n"
+      "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }\n"
+      "int driver(int n) { return is_even(n); }\n");
+  TranslationUnit tu = parse(buf, diags);
+  ASSERT_FALSE(diags.has_errors());
+  const CallGraph graph = CallGraph::build(tu);
+  const auto sccs = graph.sccs();
+
+  // The mutually recursive pair is one SCC, emitted before its caller.
+  std::size_t pair_index = sccs.size();
+  std::size_t driver_index = sccs.size();
+  for (std::size_t i = 0; i < sccs.size(); ++i) {
+    if (sccs[i].size() == 2) pair_index = i;
+    if (sccs[i].size() == 1 && sccs[i][0]->name == "driver") driver_index = i;
+  }
+  ASSERT_LT(pair_index, sccs.size());
+  ASSERT_LT(driver_index, sccs.size());
+  EXPECT_LT(pair_index, driver_index);
+  EXPECT_EQ(sccs[pair_index][0]->name, "is_even");
+  EXPECT_EQ(sccs[pair_index][1]->name, "is_odd");
+}
+
+// ---------------------------------------------------------------------------
+// Effect summaries
+// ---------------------------------------------------------------------------
+
+struct EffectsOutcome {
+  DiagnosticEngine diags;
+  std::unique_ptr<TranslationUnit> tu;
+  std::unique_ptr<SymbolTable> symbols;
+};
+
+EffectSummary effects_of(EffectsOutcome& out, const std::string& src,
+                         const std::string& name) {
+  SourceBuffer buf = SourceBuffer::from_string(src);
+  out.tu = std::make_unique<TranslationUnit>(parse(buf, out.diags));
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format(&buf);
+  out.symbols =
+      std::make_unique<SymbolTable>(SymbolTable::build(*out.tu, out.diags));
+  const FunctionDecl* fn = out.tu->find_function(name);
+  EXPECT_NE(fn, nullptr);
+  return compute_effects(*fn, *out.symbols->scope_for(*fn));
+}
+
+TEST(Effects, LocalComputationIsPure) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "float f(float* a, int n) { float r = 0.0f;\n"
+           "  for (int i = 0; i < n; i++) r += a[i];\n"
+           "  return r; }\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_TRUE(s.callees.empty());
+}
+
+TEST(Effects, WriteThroughParameterIsAnEffect) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "void f(int* a) { a[0] = 1; }\n", "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_TRUE(s.writes_through_param);
+  EXPECT_NE(s.impurity_reason.find("parameter 'a'"), std::string::npos);
+}
+
+TEST(Effects, GlobalWriteAndReadAreTracked) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "int counter; int bias;\n"
+           "int f(int a) { counter = a; return a + bias; }\n",
+      "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_TRUE(s.writes_global);
+  EXPECT_NE(s.impurity_reason.find("global 'counter'"), std::string::npos);
+  EXPECT_EQ(s.global_reads.count("bias"), 1u);
+}
+
+TEST(Effects, MallocedLocalIsWritableAndFreeable) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "int f(int n) {\n"
+           "  int* buf = (int*)malloc(n * sizeof(int));\n"
+           "  int* alias = buf;\n"
+           "  for (int i = 0; i < n; i++) buf[i] = i;\n"
+           "  int r = buf[0];\n"
+           "  free(alias);\n"
+           "  return r; }\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_TRUE(s.allocates);
+  EXPECT_TRUE(s.frees);
+}
+
+TEST(Effects, FreeingAParameterIsAnEffect) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "void f(int* p) { free(p); }\n", "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_NE(s.impurity_reason.find("frees memory"), std::string::npos);
+}
+
+TEST(Effects, IndirectCallIsAnEffect) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "int f(int* fp, int a) { return (*fp)(a); }\n", "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_TRUE(s.has_indirect_call);
+}
+
+TEST(Effects, WriteThroughForeignLocalPointerIsAnEffect) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "int g;\n"
+           "void f() { int* p = &g; *p = 1; }\n",
+      "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_TRUE(s.writes_unknown_pointer);
+}
+
+TEST(Effects, StoringForeignPointerIntoLocalStorageIsAnEffect) {
+  EffectsOutcome out;
+  // rows is local, but once it holds the caller's pointer, writes through
+  // rows[0] would reach caller memory while still rooting at a local.
+  const EffectSummary s = effects_of(
+      out, "void f(float* data) {\n"
+           "  float* rows[2];\n"
+           "  rows[0] = data;\n"
+           "  rows[0][0] = 1.0f; }\n",
+      "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_NE(s.impurity_reason.find("local storage"), std::string::npos);
+}
+
+TEST(Effects, StaticLocalStateIsAnEffect) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "int next() { static int c = 0; c = c + 1; return c; }\n",
+      "next");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_NE(s.impurity_reason.find("static local 'c'"), std::string::npos)
+      << s.impurity_reason;
+}
+
+TEST(Effects, ForeignPointerArithmeticCannotLaunderIntoLocalStorage) {
+  EffectsOutcome out;
+  // g + 1 is still the global object g; storing it into heap-provenance
+  // t and writing through t[0] would race with other threads.
+  const EffectSummary s = effects_of(
+      out, "float* g;\n"
+           "int f1(int n) {\n"
+           "  float** t = (float**)malloc(8);\n"
+           "  t[0] = g + 1;\n"
+           "  t[0][0] = 1.0f;\n"
+           "  free(t);\n"
+           "  return n; }\n",
+      "f1");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_NE(s.impurity_reason.find("local storage"), std::string::npos)
+      << s.impurity_reason;
+}
+
+TEST(Effects, DerefLoadedForeignPointerCannotLaunderIntoLocalStorage) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "float** gpp;\n"
+           "int f1(int n) {\n"
+           "  float** t = (float**)malloc(8);\n"
+           "  t[0] = *gpp;\n"
+           "  t[0][0] = 1.0f;\n"
+           "  free(t);\n"
+           "  return n; }\n",
+      "f1");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_NE(s.impurity_reason.find("local storage"), std::string::npos)
+      << s.impurity_reason;
+}
+
+TEST(Effects, PointerArithmeticOverLocalStorageStaysPure) {
+  EffectsOutcome out;
+  // A cursor into a local array is still local storage (defined C pointer
+  // arithmetic cannot leave the object).
+  const EffectSummary s = effects_of(
+      out, "int h(int n) {\n"
+           "  float buf[4];\n"
+           "  float* p = buf + 1;\n"
+           "  *p = 1.0f;\n"
+           "  return n; }\n",
+      "h");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+}
+
+TEST(Effects, InteriorPointerIntoHeapIsWritableButNotFreeable) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "int h(int n) {\n"
+           "  int* base = (int*)malloc(16);\n"
+           "  int* cur = base + 1;\n"
+           "  *cur = 1;\n"
+           "  free(cur);\n"
+           "  return n; }\n",
+      "h");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_NE(s.impurity_reason.find("frees memory"), std::string::npos)
+      << s.impurity_reason;
+}
+
+TEST(Effects, IncrementedHeapPointerIsNoLongerFreeable) {
+  EffectsOutcome out;
+  // p++ makes p an interior pointer: still write-safe, but free(p) would
+  // be undefined behavior — inference must not bless it.
+  const EffectSummary s = effects_of(
+      out, "int f(int n) {\n"
+           "  int* p = (int*)malloc(n * 4);\n"
+           "  p++;\n"
+           "  *p = 1;\n"
+           "  free(p);\n"
+           "  return n; }\n",
+      "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_NE(s.impurity_reason.find("frees memory"), std::string::npos)
+      << s.impurity_reason;
+}
+
+TEST(Effects, AliasToStaticLocalIsNotLocalStorage) {
+  EffectsOutcome out;
+  // Writing persistent static state through a pointer alias is exactly as
+  // impure as the direct write.
+  const EffectSummary s = effects_of(
+      out, "int counter() {\n"
+           "  static int c = 0;\n"
+           "  int* p = &c;\n"
+           "  *p = *p + 1;\n"
+           "  return *p; }\n",
+      "counter");
+  EXPECT_FALSE(s.pure_locally);
+
+  EffectsOutcome out2;
+  const EffectSummary s2 = effects_of(
+      out2, "int bump(int x) {\n"
+            "  static int tab[4];\n"
+            "  int* p = tab;\n"
+            "  p[x % 4]++;\n"
+            "  return p[x % 4]; }\n",
+      "bump");
+  EXPECT_FALSE(s2.pure_locally);
+}
+
+TEST(Effects, LocalArrayWritesAreInvisible) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out, "int f(int a) { int scratch[4]; scratch[0] = a;\n"
+           "  int* p = scratch; p[1] = a; return scratch[0] + p[1]; }\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint inference
+// ---------------------------------------------------------------------------
+
+TEST(Inference, InfersTheUnannotatedMatmulHelpers) {
+  auto out = infer(testsrc::kMatmulPlain);
+  EXPECT_EQ(out.result.inferred_pure,
+            (std::set<std::string>{"dot", "mult"}));
+  const FunctionPurity& main_purity = purity_of(out, "main");
+  EXPECT_FALSE(main_purity.pure);
+  EXPECT_NE(main_purity.reason.find("global 'C'"), std::string::npos);
+}
+
+TEST(Inference, MutuallyRecursivePairConverges) {
+  auto out = infer(
+      "int is_odd(int n);\n"
+      "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }\n"
+      "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }\n");
+  EXPECT_EQ(out.result.inferred_pure,
+            (std::set<std::string>{"is_even", "is_odd"}));
+}
+
+TEST(Inference, TransitiveImpurityCarriesTheRootCause) {
+  auto out = infer(
+      "int counter;\n"
+      "int bump(int a) { counter = a; return a; }\n"
+      "int wrap(int a) { return bump(a) + 1; }\n"
+      "int outer(int a) { return wrap(a) * 2; }\n");
+  EXPECT_TRUE(out.result.inferred_pure.empty());
+  EXPECT_NE(purity_of(out, "bump").reason.find("global 'counter'"),
+            std::string::npos);
+  const FunctionPurity& wrap_purity = purity_of(out, "wrap");
+  EXPECT_NE(wrap_purity.reason.find("'bump'"), std::string::npos);
+  EXPECT_NE(wrap_purity.reason.find("counter"), std::string::npos);
+  // Two hops out, the root cause is still cited.
+  EXPECT_NE(purity_of(out, "outer").reason.find("counter"),
+            std::string::npos);
+}
+
+TEST(Inference, ExternalCalleesArePessimized) {
+  auto out = infer(
+      "double mystery(double x);\n"
+      "double f(double x) { return mystery(x) + 1.0; }\n");
+  EXPECT_TRUE(out.result.inferred_pure.empty());
+  EXPECT_NE(purity_of(out, "f").reason.find("unknown external"),
+            std::string::npos);
+  EXPECT_NE(purity_of(out, "f").reason.find("mystery"), std::string::npos);
+}
+
+TEST(Inference, StandardSeedFunctionsStayPureCallees) {
+  auto out = infer(
+      "double f(double x) { return sin(x) + sqrt(x); }\n");
+  EXPECT_EQ(out.result.inferred_pure, (std::set<std::string>{"f"}));
+}
+
+TEST(Inference, TrustedPurePrototypeIsAPureCallee) {
+  auto out = infer(
+      "pure float ext_helper(float x);\n"
+      "float wrapper(float x) { return ext_helper(x) * 2.0f; }\n");
+  // The prototype's annotation is trusted (the paper's library-function
+  // rule), so the unannotated wrapper is inferable.
+  EXPECT_EQ(out.result.inferred_pure, (std::set<std::string>{"wrapper"}));
+}
+
+TEST(Inference, AnnotatedFunctionsAreAxiomaticNotInferred) {
+  auto out = infer(
+      "pure float mult(float a, float b) { return a * b; }\n"
+      "float twice(float a) { return mult(a, 2.0f); }\n");
+  const FunctionPurity& mult_purity = purity_of(out, "mult");
+  EXPECT_TRUE(mult_purity.pure);
+  EXPECT_TRUE(mult_purity.annotated);
+  EXPECT_FALSE(mult_purity.inferred);
+  EXPECT_EQ(out.result.inferred_pure, (std::set<std::string>{"twice"}));
+}
+
+TEST(Inference, GlobalReadsPropagateTransitively) {
+  auto out = infer(
+      "int table[16];\n"
+      "int look(int i) { return table[i]; }\n"
+      "int wrap(int i) { return look(i) + 1; }\n");
+  EXPECT_EQ(out.result.inferred_pure,
+            (std::set<std::string>{"look", "wrap"}));
+  const auto reads = out.result.inferred_global_reads();
+  ASSERT_EQ(reads.count("wrap"), 1u);
+  EXPECT_EQ(reads.at("wrap").count("table"), 1u);
+}
+
+TEST(Inference, SummaryNamesInferredAndRejected) {
+  auto out = infer(testsrc::kMatmulPlain);
+  const std::string summary = out.result.summary();
+  EXPECT_NE(summary.find("inferred pure: dot, mult"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("rejected: main"), std::string::npos) << summary;
+}
+
+// ---------------------------------------------------------------------------
+// Chain wiring (--infer-pure)
+// ---------------------------------------------------------------------------
+
+ChainOptions infer_options() {
+  ChainOptions options;
+  options.infer_purity = true;
+  return options;
+}
+
+TEST(InferChain, UnannotatedMatmulParallelizesLikeItsAnnotatedTwin) {
+  ChainArtifacts annotated = run_pure_chain(testsrc::kMatmul);
+  ChainArtifacts plain = run_pure_chain(testsrc::kMatmulPlain,
+                                        infer_options());
+  ASSERT_TRUE(annotated.ok) << annotated.diagnostics.format();
+  ASSERT_TRUE(plain.ok) << plain.diagnostics.format();
+
+  // Same scop structure, same transform outcome.
+  ASSERT_EQ(annotated.scops.size(), plain.scops.size());
+  for (std::size_t i = 0; i < annotated.scops.size(); ++i) {
+    EXPECT_EQ(annotated.scops[i].function, plain.scops[i].function);
+    EXPECT_EQ(annotated.scops[i].depth, plain.scops[i].depth);
+    EXPECT_EQ(annotated.scops[i].substituted_calls,
+              plain.scops[i].substituted_calls);
+    EXPECT_EQ(annotated.scops[i].parallelized, plain.scops[i].parallelized);
+    EXPECT_EQ(annotated.scops[i].tiled, plain.scops[i].tiled);
+  }
+
+  // Identical emitted C modulo the lowered `pure` tokens: the annotated
+  // twin lowers `pure` to `const` and keeps its (const float*) casts, the
+  // plain twin never had either.
+  auto normalize = [](std::string s) {
+    for (const char* token : {"const ", "(float*)"}) {
+      for (std::size_t pos; (pos = s.find(token)) != std::string::npos;) {
+        s.erase(pos, std::string(token).size());
+      }
+    }
+    return s;
+  };
+  EXPECT_EQ(normalize(annotated.final_source), normalize(plain.final_source));
+}
+
+TEST(InferChain, WithoutTheFlagThePlainTwinStaysSerial) {
+  ChainArtifacts plain = run_pure_chain(testsrc::kMatmulPlain);
+  ASSERT_TRUE(plain.ok) << plain.diagnostics.format();
+  // dot is opaque without inference: no scop marks, no OpenMP, inference
+  // provenance stays empty.
+  EXPECT_TRUE(plain.scops.empty());
+  EXPECT_EQ(plain.final_source.find("#pragma omp"), std::string::npos);
+  EXPECT_TRUE(plain.inference.functions.empty());
+}
+
+TEST(InferChain, ScopReportCarriesInferenceProvenance) {
+  ChainArtifacts plain = run_pure_chain(testsrc::kMatmulPlain,
+                                        infer_options());
+  ASSERT_TRUE(plain.ok);
+  EXPECT_EQ(plain.inference.inferred_pure,
+            (std::set<std::string>{"dot", "mult"}));
+  bool main_scop = false;
+  for (const ScopReport& r : plain.scops) {
+    if (r.function != "main") continue;
+    main_scop = true;
+    EXPECT_EQ(r.substituted_calls, 1u);
+    EXPECT_EQ(r.inferred_calls, 1u);
+    EXPECT_TRUE(r.parallelized);
+  }
+  EXPECT_TRUE(main_scop);
+}
+
+TEST(InferChain, AnnotationAndVerifierWinOverInference) {
+  // ext_helper has no definition: inference alone rejects any caller
+  // (extern pessimism). The trusted `pure` prototype + verifier win, so
+  // the annotated wrapper parallelizes even under --infer-pure...
+  const char* annotated_src =
+      "float out[64];\n"
+      "pure float ext_helper(float x);\n"
+      "pure float wrapper(pure float* a, int i)\n"
+      "{ return ext_helper(a[i]); }\n"
+      "void run(float* a) {\n"
+      "  for (int i = 0; i < 64; i++) out[i] = wrapper((pure float*)a, i);\n"
+      "}\n";
+  ChainArtifacts annotated = run_pure_chain(annotated_src, infer_options());
+  ASSERT_TRUE(annotated.ok) << annotated.diagnostics.format();
+  ASSERT_EQ(annotated.scops.size(), 1u);
+  EXPECT_TRUE(annotated.scops[0].parallelized);
+  EXPECT_EQ(annotated.scops[0].inferred_calls, 0u);
+
+  // ...while the keyword-free twin is rejected by inference (the wrapper
+  // never enters the hashset; the loop keeps its opaque call).
+  const char* plain_src =
+      "float out[64];\n"
+      "float ext_helper(float x);\n"
+      "float wrapper(float* a, int i) { return ext_helper(a[i]); }\n"
+      "void run(float* a) {\n"
+      "  for (int i = 0; i < 64; i++) out[i] = wrapper(a, i);\n"
+      "}\n";
+  ChainArtifacts plain = run_pure_chain(plain_src, infer_options());
+  ASSERT_TRUE(plain.ok) << plain.diagnostics.format();
+  EXPECT_TRUE(plain.scops.empty());
+  const FunctionPurity& wrapper_purity =
+      plain.inference.functions.at("wrapper");
+  EXPECT_FALSE(wrapper_purity.pure);
+  EXPECT_NE(wrapper_purity.reason.find("unknown external"),
+            std::string::npos);
+}
+
+TEST(InferChain, Listing5RuleAppliesToInferredCalls) {
+  // The unannotated Listing 5: without inference `func` is opaque and the
+  // loop is (trivially) skipped; with inference the call is pure, so the
+  // write-target-argument rule fires exactly like the annotated original.
+  const char* src =
+      "int func(int* a, int idx) { return a[idx - 1] + a[idx]; }\n"
+      "int main() {\n"
+      "  int array[100];\n"
+      "  for (int i = 1; i < 100; i++) { array[i] = func(array, i); }\n"
+      "  return 0;\n"
+      "}\n";
+  ChainArtifacts without = run_pure_chain(src);
+  EXPECT_TRUE(without.ok) << without.diagnostics.format();
+  ChainArtifacts with = run_pure_chain(src, infer_options());
+  EXPECT_FALSE(with.ok);
+  EXPECT_TRUE(with.diagnostics.has_error_containing("Listing 5"));
+}
+
+TEST(InferChain, IncrementOfReadGlobalRejectsTheNest) {
+  // G++ is a write too: the nest scanner must treat inc/dec like
+  // assignments when intersecting against inferred callees' global reads.
+  const char* src =
+      "int G;\n"
+      "int v2[64];\n"
+      "float v[64];\n"
+      "float g(int i) { return (float)(v2[i] * G); }\n"
+      "void run() {\n"
+      "  for (int i = 0; i < 64; i++) { G++; v[i] = g(i); }\n"
+      "}\n";
+  ChainArtifacts with = run_pure_chain(src, infer_options());
+  EXPECT_FALSE(with.ok);
+  EXPECT_TRUE(with.diagnostics.has_error_containing("inference provenance"))
+      << with.diagnostics.format();
+}
+
+TEST(InferChain, GlobalReadsAreNotLaunderedThroughAnnotatedWrappers) {
+  // g (unannotated) reads global G; annotated f wraps g. A nest that
+  // writes G while calling f must still be rejected — the annotation
+  // covers f's own body, not inference-derived provenance.
+  const char* src =
+      "int G;\n"
+      "float v[64];\n"
+      "float g(float x) { return x + (float)G; }\n"
+      "pure float f(float x) { return g(x); }\n"
+      "void run() {\n"
+      "  for (int i = 0; i < 64; i++) { G = i; v[i] = f(1.0f); }\n"
+      "}\n";
+  ChainArtifacts with = run_pure_chain(src, infer_options());
+  EXPECT_FALSE(with.ok);
+  EXPECT_TRUE(with.diagnostics.has_error_containing("inference provenance"))
+      << with.diagnostics.format();
+}
+
+TEST(InferChain, StaticLocalCounterIsNotInferredPure) {
+  const char* src =
+      "float v[64];\n"
+      "int next() { static int c = 0; c = c + 1; return c; }\n"
+      "void run() {\n"
+      "  for (int i = 0; i < 64; i++) v[i] = (float)next();\n"
+      "}\n";
+  ChainArtifacts with = run_pure_chain(src, infer_options());
+  ASSERT_TRUE(with.ok) << with.diagnostics.format();
+  // next is rejected, the loop keeps its opaque call, nothing marks.
+  EXPECT_TRUE(with.scops.empty());
+  EXPECT_FALSE(with.inference.functions.at("next").pure);
+  // And the emitted C keeps the `static` (it used to be dropped).
+  EXPECT_NE(with.final_source.find("static int c = 0;"), std::string::npos)
+      << with.final_source;
+}
+
+TEST(InferChain, LocalShadowOfReadGlobalDoesNotRejectTheNest) {
+  // The nest writes a LOCAL array named like the global the inferred
+  // callee reads; the provenance rule matches symbols, not names.
+  const char* src =
+      "int counter;\n"
+      "int get() { return counter; }\n"
+      "void k(float* v, int n) {\n"
+      "  float counter[4];\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    counter[i % 4] = v[i];\n"
+      "    v[i] = (float)get() + counter[i % 4];\n"
+      "  }\n"
+      "}\n";
+  ChainArtifacts with = run_pure_chain(src, infer_options());
+  EXPECT_TRUE(with.ok) << with.diagnostics.format();
+  EXPECT_FALSE(with.diagnostics.has_error_containing("inference provenance"))
+      << with.diagnostics.format();
+}
+
+TEST(InferChain, GlobalReadConflictRejectsTheNest) {
+  // f reads global `data`; the loop writes data while calling f. The
+  // annotated chain cannot see this (the pure cast is a programmer
+  // promise); inference provenance closes it.
+  const char* src =
+      "int data[100];\n"
+      "int f(int i) { return data[i]; }\n"
+      "void run() {\n"
+      "  for (int i = 1; i < 100; i++) data[i] = f(i - 1);\n"
+      "}\n";
+  ChainArtifacts with = run_pure_chain(src, infer_options());
+  EXPECT_FALSE(with.ok);
+  EXPECT_TRUE(with.diagnostics.has_error_containing("inference provenance"))
+      << with.diagnostics.format();
+}
+
+TEST(InferChain, InlineExtensionComposesWithInference) {
+  ChainOptions options = infer_options();
+  options.inline_pure_expressions = true;
+  ChainArtifacts plain = run_pure_chain(testsrc::kMatmulPlain, options);
+  ASSERT_TRUE(plain.ok) << plain.diagnostics.format();
+  // mult is expression-bodied and inferred pure: its call site inside dot
+  // inlines away (the definition itself remains, as in the annotated twin).
+  EXPECT_GE(plain.inlined_calls, 1u);
+  EXPECT_EQ(plain.final_source.find("mult(a["), std::string::npos)
+      << plain.final_source;
+  EXPECT_NE(plain.final_source.find("a[t1] * b[t1]"), std::string::npos)
+      << plain.final_source;
+}
+
+}  // namespace
+}  // namespace purec

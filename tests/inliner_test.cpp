@@ -29,7 +29,8 @@ TEST(PureInliner, InlinesSimpleExpressionFunction) {
   Fixture fx(
       "pure float mult(float a, float b) { return a * b; }\n"
       "float* v; float* w;\n"
-      "void k(int n) { for (int i = 0; i < n; i++) v[i] = mult(w[i], 2.0f); }\n");
+      "void k(int n)\n"
+      "{ for (int i = 0; i < n; i++) v[i] = mult(w[i], 2.0f); }\n");
   const std::size_t count =
       inline_pure_expression_functions(fx.tu, fx.purity.pure_functions);
   EXPECT_EQ(count, 1u);
@@ -72,7 +73,8 @@ TEST(PureInliner, NestedHelpersReachFixpoint) {
       "pure float half(float x) { return x * 0.5f; }\n"
       "pure float avg(float a, float b) { return half(a) + half(b); }\n"
       "float* v; float* w;\n"
-      "void k(int n) { for (int i = 0; i < n; i++) v[i] = avg(w[i], 1.0f); }\n");
+      "void k(int n)\n"
+      "{ for (int i = 0; i < n; i++) v[i] = avg(w[i], 1.0f); }\n");
   const std::size_t count =
       inline_pure_expression_functions(fx.tu, fx.purity.pure_functions);
   // avg at the call site + the two half() calls inside avg's body, plus
@@ -119,7 +121,8 @@ TEST(PureInlinerChain, ExtensionExposesRealAccesses) {
   ChainArtifacts a = run_pure_chain(
       "pure float mult(float a, float b) { return a * b; }\n"
       "float* v; float* w;\n"
-      "void k(int n) { for (int i = 0; i < n; i++) v[i] = mult(w[i], 2.0f); }\n",
+      "void k(int n)\n"
+      "{ for (int i = 0; i < n; i++) v[i] = mult(w[i], 2.0f); }\n",
       options);
   ASSERT_TRUE(a.ok) << a.diagnostics.format();
   EXPECT_EQ(a.inlined_calls, 1u);
@@ -186,7 +189,8 @@ TEST(PureInlinerChain, DefaultChainUnchanged) {
   ChainArtifacts a = run_pure_chain(
       "pure float mult(float a, float b) { return a * b; }\n"
       "float* v; float* w;\n"
-      "void k(int n) { for (int i = 0; i < n; i++) v[i] = mult(w[i], 2.0f); }\n");
+      "void k(int n)\n"
+      "{ for (int i = 0; i < n; i++) v[i] = mult(w[i], 2.0f); }\n");
   ASSERT_TRUE(a.ok);
   EXPECT_EQ(a.inlined_calls, 0u);
   EXPECT_NE(a.substituted.find("tmpConst_mult"), std::string::npos);

@@ -95,7 +95,8 @@ TEST(ScopExtraction, TriangularDomain) {
 TEST(ScopExtraction, ReadsAndWritesClassified) {
   auto r = extract_from(
       "float* a; float* b;\n"
-      "void k(int n) { for (int i = 1; i < n; i++) a[i] = b[i - 1] + a[i]; }\n",
+      "void k(int n)\n"
+      "{ for (int i = 1; i < n; i++) a[i] = b[i - 1] + a[i]; }\n",
       "k");
   ASSERT_TRUE(r.ok()) << r.failure_reason;
   const auto& accs = r.scop->statements[0].accesses;

@@ -98,7 +98,8 @@ TEST_P(StrideResidueSweep, ResidueClassesNeverMeet) {
   const auto [m, r] = GetParam();
   std::string src =
       "float* a;\n"
-      "void k(int n) { for (int i = 0; i < n; i++) a[M * i] = a[M * i + R]; }\n";
+      "void k(int n)\n"
+      "{ for (int i = 0; i < n; i++) a[M * i] = a[M * i + R]; }\n";
   src = replace_all(src, "M", std::to_string(m));
   src = replace_all(src, "R", std::to_string(r));
   Analyzed a = analyze(src);
@@ -111,7 +112,8 @@ TEST_P(StrideResidueSweep, ResidueClassesNeverMeet) {
 INSTANTIATE_TEST_SUITE_P(Cases, StrideResidueSweep,
                          ::testing::Values(StrideCase{2, 1}, StrideCase{3, 1},
                                            StrideCase{3, 2}, StrideCase{4, 1},
-                                           StrideCase{4, 3}, StrideCase{5, 2}),
+                                           StrideCase{4, 3},
+                                           StrideCase{5, 2}),
                          [](const auto& info) {
                            return "M" + std::to_string(info.param.m) + "R" +
                                   std::to_string(info.param.r);

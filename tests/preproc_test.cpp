@@ -90,7 +90,8 @@ TEST_F(MiniCppTest, FunctionMacro) {
 
 TEST_F(MiniCppTest, FunctionMacroTwoParams) {
   const std::string out =
-      cpp_.preprocess("#define IDX(i, j) ((i) * 64 + (j))\nint k = IDX(r, c);\n");
+      cpp_.preprocess(
+          "#define IDX(i, j) ((i) * 64 + (j))\nint k = IDX(r, c);\n");
   EXPECT_NE(out.find("(((r)) * 64 + ((c)))"), std::string::npos);
 }
 

@@ -105,7 +105,8 @@ TEST_F(PureccCliTest, MissingInputFileFailsCleanly) {
 }
 
 TEST_F(PureccCliTest, SecondPositionalArgumentPrintsUsage) {
-  const RunResult r = run_purecc(shell_quote(input_path_) + " " + shell_quote(input_path_));
+  const RunResult r =
+      run_purecc(shell_quote(input_path_) + " " + shell_quote(input_path_));
   EXPECT_EQ(r.exit_code, 2);
 }
 
@@ -134,14 +135,16 @@ TEST_F(PureccCliTest, EveryStageNameIsAccepted) {
   for (const char* stage : {"stripped", "preprocessed", "marked",
                             "substituted", "transformed"}) {
     const RunResult r =
-        run_purecc(std::string("--stage ") + stage + " " + shell_quote(input_path_));
+        run_purecc(std::string("--stage ") + stage + " " +
+                   shell_quote(input_path_));
     EXPECT_EQ(r.exit_code, 0) << stage << ": " << r.output;
     EXPECT_FALSE(r.output.empty()) << stage;
   }
 }
 
 TEST_F(PureccCliTest, UnknownStageNamePrintsUsage) {
-  const RunResult r = run_purecc("--stage lowered " + shell_quote(input_path_));
+  const RunResult r =
+      run_purecc("--stage lowered " + shell_quote(input_path_));
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("usage:"), std::string::npos);
 }
@@ -153,7 +156,9 @@ TEST_F(PureccCliTest, OutputFileRoundTrip) {
   const RunResult direct = run_purecc(shell_quote(input_path_));
   ASSERT_EQ(direct.exit_code, 0);
 
-  const RunResult filed = run_purecc("-o " + shell_quote(out_path) + " " + shell_quote(input_path_));
+  const RunResult filed =
+      run_purecc("-o " + shell_quote(out_path) + " " +
+                 shell_quote(input_path_));
   ASSERT_EQ(filed.exit_code, 0) << filed.output;
   EXPECT_TRUE(filed.output.empty()) << "with -o, stdout must stay clean";
 
@@ -176,6 +181,40 @@ TEST_F(PureccCliTest, ReportGoesToStderr) {
   const RunResult r = run_purecc("--report " + shell_quote(input_path_));
   ASSERT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("purecc:"), std::string::npos) << r.output;
+}
+
+TEST_F(PureccCliTest, InferPureParallelizesKeywordFreeInput) {
+  const std::string plain_path =
+      ::testing::TempDir() + "/purecc_cli_plain.c";
+  {
+    std::ofstream out(plain_path);
+    out << "float* v;\n"
+           "float twice(float x) {\n"
+           "  return x + x;\n"
+           "}\n"
+           "void fill(int n) {\n"
+           "  for (int i = 0; i < n; i++) {\n"
+           "    v[i] = twice((float)i);\n"
+           "  }\n"
+           "}\n";
+  }
+  // Without the flag the call is opaque: no OpenMP in the output.
+  const RunResult plain = run_purecc(shell_quote(plain_path));
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+  EXPECT_EQ(plain.output.find("#pragma omp"), std::string::npos);
+
+  // With --infer-pure the loop parallelizes and the report names the
+  // inference provenance.
+  const RunResult inferred =
+      run_purecc("--infer-pure --report " + shell_quote(plain_path));
+  ASSERT_EQ(inferred.exit_code, 0) << inferred.output;
+  EXPECT_NE(inferred.output.find("#pragma omp parallel for"),
+            std::string::npos)
+      << inferred.output;
+  EXPECT_NE(inferred.output.find("inferred pure: twice"), std::string::npos)
+      << inferred.output;
+  EXPECT_NE(inferred.output.find("inferred=1"), std::string::npos)
+      << inferred.output;
 }
 
 }  // namespace

@@ -36,6 +36,26 @@ TEST(Purity, PureFunctionMayCallPureFunction) {
   EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
 }
 
+TEST(Purity, Listing5RuleSeesIncrementWrites) {
+  // a[i]++ counts as "written in the same loop nest" (§3.4) exactly like
+  // a[i] = a[i] + 1 — the default chain rejects both.
+  auto out = check(
+      "pure int f(pure int* a, int i) { return a[i]; }\n"
+      "int k(int* a, int* b) {\n"
+      "  for (int i = 1; i < 64; i++) { a[i]++; b[i] = f(a, i); }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(out.diags.has_error_containing("Listing 5"))
+      << out.diags.format();
+}
+
+TEST(Purity, PureFunctionMayNotKeepStaticLocalState) {
+  auto out = check(
+      "pure int next(int a) { static int c = 0; c = c + a; return c; }\n");
+  EXPECT_TRUE(out.diags.has_error_containing("static local 'c'"))
+      << out.diags.format();
+}
+
 TEST(Purity, PureFunctionMayNotCallImpureFunction) {
   auto out = check(
       "void sideeffect();\n"

@@ -167,7 +167,8 @@ TEST(GccAttributes, AnnotatesAllocationFreePureFunctions) {
       "pure float mult(float a, float b) { return a * b; }\n"
       "pure int* mk(int n) { int* p = (int*)malloc(n); return p; }\n"
       "float* v;\n"
-      "void k(int n) { for (int i = 0; i < n; i++) v[i] = mult(1.0f, 2.0f); }\n",
+      "void k(int n)\n"
+      "{ for (int i = 0; i < n; i++) v[i] = mult(1.0f, 2.0f); }\n",
       options);
   ASSERT_TRUE(a.ok) << a.diagnostics.format();
   // mult: allocation-free -> annotated. mk: calls malloc -> NOT annotated

@@ -173,6 +173,47 @@ void filter(float* bands, float* out, int nbands, int npix) {
 }
 )";
 
+/// The keyword-free twin of kMatmul: no `pure` anywhere. Opaque to the
+/// paper's chain (dot is unverified, so the product loop never marks);
+/// under --infer-pure the call-graph effect analysis proves mult and dot
+/// pure and the loop parallelizes exactly like the annotated twin.
+inline constexpr const char* kMatmulPlain = R"(
+float **A, **Bt, **C;
+
+float mult(float a, float b) {
+  return a * b;
+}
+
+float dot(float* a, float* b, int size) {
+  float res = 0.0f;
+  for (int i = 0; i < size; ++i)
+    res += mult(a[i], b[i]);
+  return res;
+}
+
+int main(int argc, char** argv) {
+  for (int i = 0; i < 64; ++i)
+    for (int j = 0; j < 64; ++j)
+      C[i][j] = dot(A[i], Bt[j], 64);
+  return 0;
+}
+)";
+
+/// The keyword-free twin of kHeat for the inference path.
+inline constexpr const char* kHeatPlain = R"(
+float **cur, **nxt;
+
+float stencil(float** g, int i, int j) {
+  return 0.25f * (g[i - 1][j] + g[i + 1][j] + g[i][j - 1] + g[i][j + 1]);
+}
+
+void step(int n) {
+  for (int i = 1; i < n - 1; i++)
+    for (int j = 1; j < n - 1; j++)
+      nxt[i][j] = stencil(cur, i, j);
+}
+)";
+
 /// Matmul with the allocation loop included: reproduces the §4.3.1
 /// accidental parallelization of the malloc loop.
 inline constexpr const char* kMatmulWithInit = R"(
