@@ -5,7 +5,9 @@
 //     -o <file>            output file (default: stdout)
 //     --mode pluto|sica    transformer mode (default: pluto)
 //     --tile <n>           tile size (default 32; 0 disables tiling)
-//     --schedule <clause>  extra OpenMP clause, e.g. "schedule(dynamic,1)"
+//     --schedule <spec>    OpenMP schedule for emitted parallel pragmas:
+//                          static | dynamic[,N] | guided[,N] (N >= 1),
+//                          e.g. --schedule dynamic,1 or --schedule guided,8
 //     --no-parallel        verify + lower only, no OpenMP pragmas
 //     --inline-pure        §3.3 extension: inline expression-bodied pure fns
 //     --infer-pure         infer purity of unannotated functions via
@@ -21,6 +23,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -31,10 +34,11 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-o out.c] [--mode pluto|sica] [--tile N]\n"
-               "          [--schedule CLAUSE] [--no-parallel] "
-               "[--inline-pure] [--infer-pure]\n"
-               "          [--gcc-attributes] [--stage NAME] [--report] "
-               "input.c\n",
+               "          [--schedule static|dynamic[,N]|guided[,N]] "
+               "[--no-parallel]\n"
+               "          [--inline-pure] [--infer-pure] "
+               "[--gcc-attributes]\n"
+               "          [--stage NAME] [--report] input.c\n",
                argv0);
   return 2;
 }
@@ -75,7 +79,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--schedule") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
-      options.schedule_clause = v;
+      std::string error;
+      const std::optional<purec::ScheduleSpec> spec =
+          purec::ScheduleSpec::parse(v, &error);
+      if (!spec) {
+        std::fprintf(stderr, "purecc: invalid --schedule '%s': %s\n", v,
+                     error.c_str());
+        return 2;
+      }
+      options.schedule = *spec;
     } else if (arg == "--no-parallel") {
       options.parallelize = false;
     } else if (arg == "--inline-pure") {

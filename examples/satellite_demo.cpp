@@ -21,7 +21,7 @@ int main() {
       "    out[p] = retrieve_aod((pure float*)bands, nbands, p);\n"
       "}\n";
   purec::ChainOptions options;
-  options.schedule_clause = "schedule(dynamic,1)";
+  options.schedule = {purec::OmpScheduleKind::Dynamic, 1};
   purec::ChainArtifacts artifacts = purec::run_pure_chain(source, options);
   std::printf("generated filter loop:\n%s\n", artifacts.transformed.c_str());
 

@@ -112,8 +112,11 @@ const char* to_string(SatelliteVariant variant) noexcept {
   return "?";
 }
 
-RunResult run_satellite(SatelliteVariant variant,
-                        const SatelliteConfig& config, rt::ThreadPool& pool) {
+namespace {
+
+RunResult run_with_options(const SatelliteConfig& config,
+                           rt::ThreadPool* pool,
+                           const rt::ForOptions& options) {
   RunResult result;
   Cube cube;
   result.init_seconds = init_cube(cube, config);
@@ -122,46 +125,48 @@ RunResult run_satellite(SatelliteVariant variant,
   float* out = cube.aod.data();
 
   Timer timer;
-  switch (variant) {
-    case SatelliteVariant::Sequential:
-      process_range(cube, out, 0, pixels);
-      break;
-    case SatelliteVariant::AutoStatic: {
-      rt::parallel_for_blocked(
-          pool, 0, pixels,
-          [&](std::int64_t b, std::int64_t e) {
-            process_range(cube, out, b, e);
-          },
-          {rt::Schedule::Static, 1});
-      break;
-    }
-    case SatelliteVariant::AutoDynamic: {
-      // schedule(dynamic,1) over rows — the paper's manual fix of the
-      // generated pragma.
-      rt::ForOptions options{rt::Schedule::Dynamic, config.width};
-      rt::parallel_for_blocked(
-          pool, 0, pixels,
-          [&](std::int64_t b, std::int64_t e) {
-            process_range(cube, out, b, e);
-          },
-          options);
-      break;
-    }
-    case SatelliteVariant::HandDynamic: {
-      // Hand-tuned: dynamic with a 4-row chunk (less queue contention).
-      rt::ForOptions options{rt::Schedule::Dynamic, 4 * config.width};
-      rt::parallel_for_blocked(
-          pool, 0, pixels,
-          [&](std::int64_t b, std::int64_t e) {
-            process_range(cube, out, b, e);
-          },
-          options);
-      break;
-    }
+  if (pool == nullptr) {
+    process_range(cube, out, 0, pixels);
+  } else {
+    rt::parallel_for_blocked(
+        *pool, 0, pixels,
+        [&](std::int64_t b, std::int64_t e) {
+          process_range(cube, out, b, e);
+        },
+        options);
   }
   result.compute_seconds = timer.seconds();
   result.checksum = checksum(cube);
   return result;
+}
+
+}  // namespace
+
+RunResult run_satellite_schedule(const SatelliteConfig& config,
+                                 rt::ThreadPool& pool,
+                                 const rt::ForOptions& options) {
+  return run_with_options(config, &pool, options);
+}
+
+RunResult run_satellite(SatelliteVariant variant,
+                        const SatelliteConfig& config, rt::ThreadPool& pool) {
+  switch (variant) {
+    case SatelliteVariant::Sequential:
+      return run_with_options(config, nullptr, {});
+    case SatelliteVariant::AutoStatic:
+      // The chain's raw output: static partition of the pixel loop.
+      return run_with_options(config, &pool, {rt::Schedule::Static, 1});
+    case SatelliteVariant::AutoDynamic:
+      // schedule(dynamic,1) over rows — the paper's manual fix of the
+      // generated pragma.
+      return run_with_options(config, &pool,
+                              {rt::Schedule::Dynamic, config.width});
+    case SatelliteVariant::HandDynamic:
+      // Hand-tuned: dynamic with a 4-row chunk (less queue contention).
+      return run_with_options(config, &pool,
+                              {rt::Schedule::Dynamic, 4 * config.width});
+  }
+  return run_with_options(config, nullptr, {});
 }
 
 }  // namespace purec::apps

@@ -41,6 +41,13 @@ struct SatelliteConfig {
                                       const SatelliteConfig& config,
                                       rt::ThreadPool& pool);
 
+/// Runs the retrieval with an arbitrary runtime schedule (the
+/// --schedule sweep's entry point; the named variants above are fixed
+/// points of this). `options.chunk` counts pixels.
+[[nodiscard]] RunResult run_satellite_schedule(const SatelliteConfig& config,
+                                               rt::ThreadPool& pool,
+                                               const rt::ForOptions& options);
+
 [[nodiscard]] const char* to_string(SatelliteVariant variant) noexcept;
 
 }  // namespace purec::apps

@@ -294,9 +294,8 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
     }
     if (k == inner_parallel_point && k != 0) {
       std::string text = "#pragma omp parallel for";
-      if (!options.schedule_clause.empty()) {
-        text += " " + options.schedule_clause;
-      }
+      const std::string clause = options.schedule.clause();
+      if (!clause.empty()) text += " " + clause;
       wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
     }
     if (wrapper->stmts.empty()) {
@@ -320,9 +319,8 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
       (parallel_outermost ||
        (inner_parallel_point == 0 && tiled_dims == 0))) {
     std::string text = "#pragma omp parallel for";
-    if (!options.schedule_clause.empty()) {
-      text += " " + options.schedule_clause;
-    }
+    const std::string clause = options.schedule.clause();
+    if (!clause.empty()) text += " " + clause;
     result->stmts.push_back(std::make_unique<PragmaStmt>(text));
   }
   result->stmts.push_back(std::move(current));

@@ -12,6 +12,7 @@
 #include "ast/stmt.h"
 #include "polyhedral/model.h"
 #include "polyhedral/schedule.h"
+#include "support/omp_schedule.h"
 
 namespace purec::poly {
 
@@ -23,9 +24,11 @@ struct CodegenOptions {
   /// SICA mode: emit `#pragma omp simd` on the innermost parallel point
   /// loop (the vectorization PluTo-SICA enforces).
   bool simd = false;
-  /// Extra clause appended to the parallel pragma, e.g.
-  /// "schedule(dynamic,1)" (the satellite fix in §4.3.3).
-  std::string schedule_clause;
+  /// Schedule for the parallel pragma, normalized into clause text here
+  /// (e.g. schedule(dynamic,1), the satellite fix in §4.3.3). Default =
+  /// no clause. Parsed and validated at the boundary (ScheduleSpec::parse)
+  /// so malformed clauses can never reach the emitted pragma.
+  ScheduleSpec schedule;
 };
 
 /// The helper macros the generated code depends on; the chain prepends

@@ -1,0 +1,56 @@
+// A non-owning, non-allocating callable reference (the dispatch currency
+// of the runtime). `std::function` heap-allocates for captures beyond the
+// SBO and calls through two indirections; a FunctionRef is two words — the
+// callee object and a trampoline — so handing a region body to the pool
+// never allocates and the per-region cost is one indirect call.
+//
+// Lifetime contract: a FunctionRef does NOT extend the life of the
+// callable it references. It is only safe to use while the referenced
+// callable is alive — which is exactly the shape of a fork/join parallel
+// region, where the body outlives every worker's use of it.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace purec::rt {
+
+template <class Signature>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Null by default so pools can store one before a region is published;
+  /// invoking a null FunctionRef is undefined.
+  constexpr FunctionRef() noexcept = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function — call sites pass lambdas directly.
+  FunctionRef(F&& callable) noexcept
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(callable)))),
+        invoke_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+ private:
+  void* object_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace purec::rt

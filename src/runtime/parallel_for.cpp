@@ -1,7 +1,8 @@
+// Type-erased wrappers over the templated schedule core in
+// parallel_for.h. Each instantiates the shared core with a std::function
+// body — one indirect call per chunk (blocked) or iteration (indexed),
+// exactly the cost profile of the original non-template runtime.
 #include "runtime/parallel_for.h"
-
-#include <algorithm>
-#include <vector>
 
 namespace purec::rt {
 
@@ -9,92 +10,26 @@ void parallel_for_blocked(
     ThreadPool& pool, std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& body,
     const ForOptions& options) {
-  if (begin >= end) return;
-  const auto threads = static_cast<std::int64_t>(pool.worker_count());
-  const std::int64_t total = end - begin;
-
-  if (options.schedule == Schedule::Static) {
-    // Contiguous near-equal chunks, one per thread.
-    const std::int64_t base = total / threads;
-    const std::int64_t extra = total % threads;
-    pool.run_on_all([&](std::size_t worker) {
-      const auto w = static_cast<std::int64_t>(worker);
-      const std::int64_t my_begin =
-          begin + w * base + std::min<std::int64_t>(w, extra);
-      const std::int64_t my_size = base + (w < extra ? 1 : 0);
-      if (my_size > 0) body(my_begin, my_begin + my_size);
-    });
-    return;
-  }
-
-  // Dynamic: shared chunk counter.
-  const std::int64_t chunk = std::max<std::int64_t>(options.chunk, 1);
-  std::atomic<std::int64_t> next{begin};
-  pool.run_on_all([&](std::size_t) {
-    for (;;) {
-      const std::int64_t chunk_begin =
-          next.fetch_add(chunk, std::memory_order_relaxed);
-      if (chunk_begin >= end) return;
-      body(chunk_begin, std::min<std::int64_t>(chunk_begin + chunk, end));
-    }
-  });
+  detail::for_each_chunk(
+      pool, begin, end, options,
+      [&](std::size_t, std::int64_t b, std::int64_t e) { body(b, e); });
 }
 
 void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& body,
                   const ForOptions& options) {
-  parallel_for_blocked(
-      pool, begin, end,
-      [&](std::int64_t chunk_begin, std::int64_t chunk_end) {
-        for (std::int64_t i = chunk_begin; i < chunk_end; ++i) body(i);
-      },
-      options);
+  detail::for_each_chunk(pool, begin, end, options,
+                         [&](std::size_t, std::int64_t b, std::int64_t e) {
+                           for (std::int64_t i = b; i < e; ++i) body(i);
+                         });
 }
 
 double parallel_reduce_sum(ThreadPool& pool, std::int64_t begin,
                            std::int64_t end,
                            const std::function<double(std::int64_t)>& body,
                            const ForOptions& options) {
-  // One cache line per partial to avoid false sharing.
-  struct alignas(64) Partial {
-    double value = 0.0;
-  };
-  std::vector<Partial> partials(pool.worker_count());
-  if (options.schedule == Schedule::Static) {
-    const auto threads = static_cast<std::int64_t>(pool.worker_count());
-    const std::int64_t total = std::max<std::int64_t>(end - begin, 0);
-    const std::int64_t base = total / threads;
-    const std::int64_t extra = total % threads;
-    pool.run_on_all([&](std::size_t worker) {
-      const auto w = static_cast<std::int64_t>(worker);
-      const std::int64_t my_begin =
-          begin + w * base + std::min<std::int64_t>(w, extra);
-      const std::int64_t my_end = my_begin + base + (w < extra ? 1 : 0);
-      double acc = 0.0;
-      for (std::int64_t i = my_begin; i < my_end; ++i) acc += body(i);
-      partials[worker].value = acc;
-    });
-  } else {
-    const std::int64_t chunk = std::max<std::int64_t>(options.chunk, 1);
-    std::atomic<std::int64_t> next{begin};
-    pool.run_on_all([&](std::size_t worker) {
-      double acc = 0.0;
-      for (;;) {
-        const std::int64_t chunk_begin =
-            next.fetch_add(chunk, std::memory_order_relaxed);
-        if (chunk_begin >= end) break;
-        const std::int64_t chunk_end =
-            std::min<std::int64_t>(chunk_begin + chunk, end);
-        for (std::int64_t i = chunk_begin; i < chunk_end; ++i) {
-          acc += body(i);
-        }
-      }
-      partials[worker].value = acc;
-    });
-  }
-  double sum = 0.0;
-  for (const Partial& p : partials) sum += p.value;
-  return sum;
+  return parallel_reduce_sum<const std::function<double(std::int64_t)>&>(
+      pool, begin, end, body, options);
 }
 
 }  // namespace purec::rt

@@ -1,0 +1,89 @@
+#include "support/omp_schedule.h"
+
+#include "support/string_utils.h"
+
+namespace purec {
+
+const char* to_string(OmpScheduleKind kind) noexcept {
+  switch (kind) {
+    case OmpScheduleKind::Default: return "default";
+    case OmpScheduleKind::Static: return "static";
+    case OmpScheduleKind::Dynamic: return "dynamic";
+    case OmpScheduleKind::Guided: return "guided";
+  }
+  return "?";
+}
+
+std::string ScheduleSpec::clause() const {
+  if (kind == OmpScheduleKind::Default) return {};
+  std::string text = "schedule(";
+  text += to_string(kind);
+  if (chunk > 0) {
+    text += ',';
+    text += std::to_string(chunk);
+  }
+  text += ')';
+  return text;
+}
+
+namespace {
+
+std::optional<ScheduleSpec> fail(std::string* error, std::string reason) {
+  if (error != nullptr) *error = std::move(reason);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ScheduleSpec> ScheduleSpec::parse(std::string_view text,
+                                                std::string* error) {
+  std::string_view body = trim(text);
+  // Tolerate the full-clause spelling the seed accepted verbatim.
+  if (starts_with(body, "schedule(") && ends_with(body, ")")) {
+    body = trim(body.substr(9, body.size() - 10));
+  }
+  if (body.empty()) {
+    return fail(error, "expected static | dynamic[,N] | guided[,N]");
+  }
+
+  std::string_view kind_text = body;
+  std::string_view chunk_text;
+  const std::size_t comma = body.find(',');
+  if (comma != std::string_view::npos) {
+    kind_text = trim(body.substr(0, comma));
+    chunk_text = trim(body.substr(comma + 1));
+  }
+
+  ScheduleSpec spec;
+  if (kind_text == "static") {
+    spec.kind = OmpScheduleKind::Static;
+  } else if (kind_text == "dynamic") {
+    spec.kind = OmpScheduleKind::Dynamic;
+  } else if (kind_text == "guided") {
+    spec.kind = OmpScheduleKind::Guided;
+  } else {
+    return fail(error, "unknown schedule kind '" + std::string(kind_text) +
+                           "' (expected static, dynamic, or guided)");
+  }
+
+  if (comma != std::string_view::npos) {
+    if (chunk_text.empty() ||
+        chunk_text.find_first_not_of("0123456789") !=
+            std::string_view::npos) {
+      return fail(error, "chunk size '" + std::string(chunk_text) +
+                             "' is not a positive integer");
+    }
+    std::int64_t value = 0;
+    for (const char c : chunk_text) {
+      value = value * 10 + (c - '0');
+      if (value > 1'000'000'000) {
+        return fail(error, "chunk size out of range");
+      }
+    }
+    if (value == 0) return fail(error, "chunk size must be >= 1");
+    spec.chunk = value;
+  }
+  return spec;
+}
+
+}  // namespace purec

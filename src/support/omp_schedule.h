@@ -1,0 +1,48 @@
+// Parsed-and-validated OpenMP schedule selection, shared by the CLI, the
+// chain options, and polyhedral codegen. The seed passed free-text clause
+// strings through to the emitted pragma — any typo became uncompilable C.
+// A ScheduleSpec is kind × chunk, parsed once at the boundary and
+// normalized into clause text exactly once, in codegen.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace purec {
+
+enum class OmpScheduleKind {
+  Default,  // no schedule clause: the implementation's choice
+  Static,
+  Dynamic,
+  Guided,
+};
+
+struct ScheduleSpec {
+  OmpScheduleKind kind = OmpScheduleKind::Default;
+  std::int64_t chunk = 0;  // 0 = unspecified (no ",N" in the clause)
+
+  [[nodiscard]] bool empty() const noexcept {
+    return kind == OmpScheduleKind::Default;
+  }
+
+  /// The normalized pragma fragment: "" for Default, otherwise e.g.
+  /// "schedule(guided,8)" or "schedule(dynamic)".
+  [[nodiscard]] std::string clause() const;
+
+  /// Parses `static | dynamic[,N] | guided[,N]` (N a positive integer;
+  /// static also accepts ,N). A surrounding "schedule(...)" wrapper is
+  /// tolerated, so pasting a full OpenMP clause keeps working. Returns
+  /// nullopt on malformed input and, when `error` is non-null, stores a
+  /// one-line reason suitable for a CLI diagnostic.
+  [[nodiscard]] static std::optional<ScheduleSpec> parse(
+      std::string_view text, std::string* error = nullptr);
+
+  friend bool operator==(const ScheduleSpec&,
+                         const ScheduleSpec&) = default;
+};
+
+[[nodiscard]] const char* to_string(OmpScheduleKind kind) noexcept;
+
+}  // namespace purec

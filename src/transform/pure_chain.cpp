@@ -287,7 +287,7 @@ ChainArtifacts run_pure_chain(const std::string& source,
       cg.tile = options.tile;
       cg.tile_size = options.tile_size;
       cg.simd = (options.mode == TransformMode::PlutoSica);
-      cg.schedule_clause = options.schedule_clause;
+      cg.schedule = options.schedule;
 
       generated = poly::generate_code(scop, transform, cg, &iter_subst);
       if (generated) {

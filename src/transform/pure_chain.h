@@ -35,8 +35,9 @@ struct ChainOptions {
   bool parallelize = true;
   bool tile = true;
   std::int64_t tile_size = 32;
-  /// Extra OpenMP schedule clause, e.g. "schedule(dynamic,1)" (§4.3.3).
-  std::string schedule_clause;
+  /// OpenMP schedule for emitted parallel pragmas (§4.3.3's fix is
+  /// {Dynamic, 1}). Parsed/validated — see support/omp_schedule.h.
+  ScheduleSpec schedule;
   /// Extension (§3.3 future work): inline expression-bodied pure functions
   /// into the loops before the polyhedral step, so the transformer sees
   /// the real array accesses instead of tmpConst placeholders. Off by

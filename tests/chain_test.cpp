@@ -120,11 +120,21 @@ TEST(Chain, MallocInitLoopGetsParallelized) {
 
 TEST(Chain, SatelliteUsesScheduleClause) {
   ChainOptions options;
-  options.schedule_clause = "schedule(dynamic,1)";
+  options.schedule = {OmpScheduleKind::Dynamic, 1};
   ChainArtifacts a = run_pure_chain(testsrc::kSatellite, options);
   ASSERT_TRUE(a.ok) << a.diagnostics.format();
   EXPECT_NE(a.final_source.find(
                 "#pragma omp parallel for schedule(dynamic,1)"),
+            std::string::npos);
+}
+
+TEST(Chain, GuidedScheduleRoundTripsThroughChain) {
+  ChainOptions options;
+  options.schedule = *ScheduleSpec::parse("guided,8");
+  ChainArtifacts a = run_pure_chain(testsrc::kSatellite, options);
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  EXPECT_NE(a.final_source.find(
+                "#pragma omp parallel for schedule(guided,8)"),
             std::string::npos);
 }
 

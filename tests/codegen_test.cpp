@@ -330,11 +330,25 @@ TEST(Codegen, ScheduleClauseAppended) {
       "float* out;\n"
       "void k(int n) { for (int p = 0; p < n; p++) out[p] = 1.0f; }\n");
   CodegenOptions o = untiled();
-  o.schedule_clause = "schedule(dynamic,1)";
+  o.schedule = {OmpScheduleKind::Dynamic, 1};
   StmtPtr generated = generate_code(p.scop, p.transform, o);
   ASSERT_NE(generated, nullptr);
   EXPECT_NE(print_c(*generated)
                 .find("#pragma omp parallel for schedule(dynamic,1)"),
+            std::string::npos);
+}
+
+TEST(Codegen, GuidedScheduleNormalizedIntoPragma) {
+  Prepared p = prepare(
+      "float* out;\n"
+      "void k(int n) { for (int p = 0; p < n; p++) out[p] = 1.0f; }\n");
+  CodegenOptions o = untiled();
+  // The CLI grammar round-trip: "guided,8" parses, codegen normalizes.
+  o.schedule = *ScheduleSpec::parse("guided,8");
+  StmtPtr generated = generate_code(p.scop, p.transform, o);
+  ASSERT_NE(generated, nullptr);
+  EXPECT_NE(print_c(*generated)
+                .find("#pragma omp parallel for schedule(guided,8)"),
             std::string::npos);
 }
 

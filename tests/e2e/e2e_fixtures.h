@@ -40,6 +40,9 @@ struct Fixture {
   /// keyword-free and relies on interprocedural purity inference to
   /// parallelize like its annotated twin.
   bool infer = false;
+  /// --schedule spec applied in every configuration (nullptr = default).
+  /// Parsed through ScheduleSpec, exactly like the CLI.
+  const char* schedule = nullptr;
 
   [[nodiscard]] bool ok_with(bool inline_pure) const {
     return inline_pure ? expect_ok_inlined : expect_ok;
@@ -459,6 +462,11 @@ inline std::vector<Fixture> all_fixtures() {
        true},
       {"ell", testsrc::kEll, false, kRunEll, true, true},
       {"satellite", testsrc::kSatellite, false, kRunSatellite, true, true},
+      // purecc --schedule guided,8 end to end: the clause must round-trip
+      // through parse → chain → codegen into schedule(guided,8) in the
+      // golden C, and the guided binary must match the serial reference.
+      {"satellite_guided", testsrc::kSatellite, false, kRunSatellite, true,
+       true, /*infer=*/false, /*schedule=*/"guided,8"},
       {"matmul_with_init", testsrc::kMatmulWithInit, false,
        kRunMatmulWithInit, true, true},
       {"matmul_plain", testsrc::kMatmulPlain, false, kRunMatmulPlain, true,

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -57,6 +58,12 @@ ChainOptions options_for(const Config& config, const Fixture& fixture) {
   options.tile = config.tile;
   options.inline_pure_expressions = config.inline_pure;
   options.infer_purity = fixture.infer;
+  if (fixture.schedule != nullptr) {
+    const std::optional<ScheduleSpec> spec =
+        ScheduleSpec::parse(fixture.schedule);
+    EXPECT_TRUE(spec.has_value()) << fixture.schedule;
+    if (spec) options.schedule = *spec;
+  }
   return options;
 }
 

@@ -183,6 +183,38 @@ TEST_F(PureccCliTest, ReportGoesToStderr) {
   EXPECT_NE(r.output.find("purecc:"), std::string::npos) << r.output;
 }
 
+TEST_F(PureccCliTest, ScheduleSpecRoundTripsIntoPragma) {
+  const RunResult r =
+      run_purecc("--schedule guided,8 " + shell_quote(input_path_));
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("#pragma omp parallel for schedule(guided,8)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(PureccCliTest, FullClauseSpellingStillAccepted) {
+  // The seed's verbatim-clause spelling keeps working, normalized.
+  const RunResult r = run_purecc("--schedule 'schedule(dynamic,1)' " +
+                                 shell_quote(input_path_));
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("#pragma omp parallel for schedule(dynamic,1)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(PureccCliTest, MalformedScheduleRejectedWithDiagnostic) {
+  // The seed pasted any string verbatim into the pragma — "--schedule
+  // bogus" produced uncompilable C with exit 0. Now it must fail fast
+  // and say why.
+  for (const char* bad : {"bogus", "dynamic,0", "guided,-1", "dynamic,x"}) {
+    const RunResult r = run_purecc(std::string("--schedule '") + bad +
+                                   "' " + shell_quote(input_path_));
+    EXPECT_EQ(r.exit_code, 2) << bad;
+    EXPECT_NE(r.output.find("invalid --schedule"), std::string::npos)
+        << bad << ": " << r.output;
+  }
+}
+
 TEST_F(PureccCliTest, InferPureParallelizesKeywordFreeInput) {
   const std::string plain_path =
       ::testing::TempDir() + "/purecc_cli_plain.c";

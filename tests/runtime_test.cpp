@@ -127,6 +127,137 @@ TEST(ParallelForBlocked, DynamicChunkSizeRespected) {
             100);
 }
 
+TEST(ParallelForBlocked, GuidedChunksArePartitionAndShrink) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  parallel_for_blocked(
+      pool, 0, 1000,
+      [&](std::int64_t b, std::int64_t e) {
+        std::lock_guard lock(mutex);
+        chunks.push_back({b, e});
+      },
+      {Schedule::Guided, 4});
+  std::sort(chunks.begin(), chunks.end());
+  std::int64_t expected_begin = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_LT(b, e);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, 1000);
+  // Guided must not degenerate into per-minimum-chunk claims: the first
+  // claim takes remaining/threads = 250, so far fewer than 1000/4 chunks.
+  EXPECT_LT(chunks.size(), 250u);
+  // And no chunk below the floor except possibly the very last one.
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].second - chunks[i].first, 4);
+  }
+}
+
+TEST(ParallelForBlocked, StealingCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(5);
+  std::vector<std::atomic<int>> hits(997);  // prime: ragged chunks
+  parallel_for_blocked(
+      pool, 0, 997,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      {Schedule::Dynamic, 7, /*stealing=*/true});
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForBlocked, StealingDrainsImbalancedWork) {
+  // All the work is piled at the front of the range (worker 0's share in
+  // the initial partition); the range still must be fully drained, and a
+  // 1-pixel chunk forces many steals.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for_blocked(
+      pool, 0, 64,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      {Schedule::Dynamic, 1, /*stealing=*/true});
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Every schedule × pathological range shape: empty, negative, and a chunk
+// far larger than the range must all behave (no hang, no out-of-range
+// call, full coverage where the range is non-empty).
+struct ScheduleCase {
+  const char* name;
+  ForOptions options;
+};
+
+const ScheduleCase kScheduleCases[] = {
+    {"static", {Schedule::Static, 1}},
+    {"dynamic1", {Schedule::Dynamic, 1}},
+    {"dynamic8", {Schedule::Dynamic, 8}},
+    {"guided1", {Schedule::Guided, 1}},
+    {"guided16", {Schedule::Guided, 16}},
+    {"stealing", {Schedule::Dynamic, 4, true}},
+};
+
+class ScheduleEdgeCases : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(ScheduleEdgeCases, EmptyAndNegativeRangesAreNoops) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 5, 5, [&](std::int64_t) { ++calls; },
+               GetParam().options);
+  parallel_for(pool, 7, 3, [&](std::int64_t) { ++calls; },
+               GetParam().options);
+  parallel_for(pool, -3, -9, [&](std::int64_t) { ++calls; },
+               GetParam().options);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_P(ScheduleEdgeCases, ChunkLargerThanRange) {
+  ThreadPool pool(4);
+  ForOptions options = GetParam().options;
+  options.chunk = 1000;  // far larger than the 7-element range
+  std::vector<std::atomic<int>> hits(7);
+  parallel_for(pool, 0, 7, [&](std::int64_t i) { hits[i].fetch_add(1); },
+               options);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ScheduleEdgeCases, NegativeBeginCoversRange) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(pool, -10, 10, [&](std::int64_t i) { sum.fetch_add(i); },
+               GetParam().options);
+  EXPECT_EQ(sum.load(), -10);  // -10 + -9 + ... + 9
+}
+
+TEST_P(ScheduleEdgeCases, SingleWorkerPoolRunsEverything) {
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 0, 100, [&](std::int64_t i) { hits[i].fetch_add(1); },
+               GetParam().options);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ScheduleEdgeCases, OversubscribedPoolCoversRange) {
+  // More workers than this machine has hardware threads: the pool must
+  // still partition correctly and terminate (spin windows collapse so
+  // parked siblings release the cores).
+  const std::size_t workers =
+      std::max(2u, std::thread::hardware_concurrency()) * 4;
+  ThreadPool pool(workers);
+  std::vector<std::atomic<int>> hits(503);
+  parallel_for(pool, 0, 503, [&](std::int64_t i) { hits[i].fetch_add(1); },
+               GetParam().options);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ScheduleEdgeCases, ::testing::ValuesIn(kScheduleCases),
+    [](const ::testing::TestParamInfo<ScheduleCase>& info) {
+      return std::string(info.param.name);
+    });
+
 // ---------------------------------------------------------------------------
 // parallel_reduce_sum
 // ---------------------------------------------------------------------------
@@ -155,6 +286,43 @@ TEST(ParallelReduce, EmptyRangeIsZero) {
   EXPECT_EQ(parallel_reduce_sum(pool, 3, 3,
                                 [](std::int64_t) { return 1.0; }),
             0.0);
+}
+
+TEST(ParallelReduce, GuidedAndStealingCombineDeterministically) {
+  // Which worker runs which chunk is racy under guided and stealing, but
+  // the partial-sum combination must not care: with integer-valued terms
+  // (exact in double) every assignment yields the identical sum. Repeat
+  // to give the race room to vary.
+  ThreadPool pool(8);
+  const auto body = [](std::int64_t i) {
+    return static_cast<double>((i * 37 + 11) % 101);
+  };
+  double expected = 0.0;
+  for (int i = 0; i < 4096; ++i) expected += body(i);
+  for (const ForOptions& options :
+       {ForOptions{Schedule::Guided, 2},
+        ForOptions{Schedule::Dynamic, 16, /*stealing=*/true}}) {
+    for (int round = 0; round < 20; ++round) {
+      EXPECT_DOUBLE_EQ(parallel_reduce_sum(pool, 0, 4096, body, options),
+                       expected);
+    }
+  }
+}
+
+TEST(ParallelReduce, TypeErasedWrapperMatchesTemplate) {
+  // The std::function signatures must stay behaviorally identical to the
+  // templated core they wrap.
+  ThreadPool pool(4);
+  const std::function<double(std::int64_t)> erased = [](std::int64_t i) {
+    return static_cast<double>(i % 7);
+  };
+  const double via_wrapper =
+      parallel_reduce_sum(pool, 0, 1000, erased, {Schedule::Guided, 4});
+  const double via_template = parallel_reduce_sum(
+      pool, 0, 1000,
+      [](std::int64_t i) { return static_cast<double>(i % 7); },
+      {Schedule::Guided, 4});
+  EXPECT_DOUBLE_EQ(via_wrapper, via_template);
 }
 
 // Thread-count sweep property: the result never depends on the pool size.

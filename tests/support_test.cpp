@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.h"
+#include "support/omp_schedule.h"
 #include "support/rational.h"
 #include "support/source_buffer.h"
 #include "support/string_utils.h"
@@ -202,6 +203,52 @@ TEST_P(RationalPropertyTest, AdditionCommutesAndAssociates) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RationalPropertyTest,
                          ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------------
+// ScheduleSpec
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleSpec, ParsesEveryKind) {
+  EXPECT_EQ(*ScheduleSpec::parse("static"),
+            (ScheduleSpec{OmpScheduleKind::Static, 0}));
+  EXPECT_EQ(*ScheduleSpec::parse("dynamic"),
+            (ScheduleSpec{OmpScheduleKind::Dynamic, 0}));
+  EXPECT_EQ(*ScheduleSpec::parse("dynamic,1"),
+            (ScheduleSpec{OmpScheduleKind::Dynamic, 1}));
+  EXPECT_EQ(*ScheduleSpec::parse("guided,8"),
+            (ScheduleSpec{OmpScheduleKind::Guided, 8}));
+  EXPECT_EQ(*ScheduleSpec::parse("static,64"),
+            (ScheduleSpec{OmpScheduleKind::Static, 64}));
+}
+
+TEST(ScheduleSpec, ToleratesFullClauseSpellingAndSpace) {
+  // The seed accepted the whole clause verbatim; keep that shape working.
+  EXPECT_EQ(*ScheduleSpec::parse("schedule(dynamic,1)"),
+            (ScheduleSpec{OmpScheduleKind::Dynamic, 1}));
+  EXPECT_EQ(*ScheduleSpec::parse("  guided , 16 "),
+            (ScheduleSpec{OmpScheduleKind::Guided, 16}));
+}
+
+TEST(ScheduleSpec, ClauseNormalization) {
+  EXPECT_EQ(ScheduleSpec{}.clause(), "");
+  EXPECT_EQ((ScheduleSpec{OmpScheduleKind::Dynamic, 1}).clause(),
+            "schedule(dynamic,1)");
+  EXPECT_EQ((ScheduleSpec{OmpScheduleKind::Guided, 0}).clause(),
+            "schedule(guided)");
+  EXPECT_EQ(ScheduleSpec::parse("schedule(guided, 8)")->clause(),
+            "schedule(guided,8)");
+}
+
+TEST(ScheduleSpec, RejectsMalformedInput) {
+  std::string error;
+  for (const char* bad :
+       {"", "bogus", "dynamic,", "dynamic,0", "dynamic,-4", "guided,x",
+        "static,1,2", "schedule(dynamic,1", "dynamic,99999999999999999"}) {
+    error.clear();
+    EXPECT_FALSE(ScheduleSpec::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
 
 }  // namespace
 }  // namespace purec
