@@ -13,6 +13,12 @@
 //     --infer-pure         infer purity of unannotated functions via
 //                          call-graph effect analysis (keyword-free C
 //                          parallelizes like its annotated twin)
+//     --memoize            cache pure-call results: memoizable pure
+//                          functions (by-value scalar params, scalar
+//                          global snapshot) get thunks backed by a
+//                          sharded concurrent table in the output C
+//                          (PUREC_MEMO_SHARDS / PUREC_MEMO_CAP at run
+//                          time)
 //     --gcc-attributes     annotate lowered pure functions with
 //                          __attribute__((pure))
 //     --stage <name>       print an intermediate stage instead of the final
@@ -36,7 +42,7 @@ int usage(const char* argv0) {
                "usage: %s [-o out.c] [--mode pluto|sica] [--tile N]\n"
                "          [--schedule static|dynamic[,N]|guided[,N]] "
                "[--no-parallel]\n"
-               "          [--inline-pure] [--infer-pure] "
+               "          [--inline-pure] [--infer-pure] [--memoize] "
                "[--gcc-attributes]\n"
                "          [--stage NAME] [--report] input.c\n",
                argv0);
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
       options.inline_pure_expressions = true;
     } else if (arg == "--infer-pure") {
       options.infer_purity = true;
+    } else if (arg == "--memoize") {
+      options.memoize = true;
     } else if (arg == "--gcc-attributes") {
       options.emit_gcc_attributes = true;
     } else if (arg == "--stage") {
@@ -156,6 +164,12 @@ int main(int argc, char** argv) {
     if (options.infer_purity) {
       std::fprintf(stderr, "purecc: %s\n",
                    artifacts.inference.summary().c_str());
+    }
+    if (options.memoize) {
+      std::fprintf(stderr, "purecc: %s\n",
+                   artifacts.memoization.summary().c_str());
+      std::fprintf(stderr, "purecc: memoized %zu call site(s)\n",
+                   artifacts.memoized_calls);
     }
     for (const purec::ScopReport& r : artifacts.scops) {
       std::string inferred;

@@ -1,0 +1,76 @@
+// Memoizability analysis — the `--memoize` subsystem's front half.
+//
+// Purity (declared + verified, or inferred) certifies that a call's result
+// depends only on its inputs; memoization additionally needs those inputs
+// to be *enumerable as a bounded key*. A pure function is classified
+// memoizable when:
+//   * it has a definition in the unit (the thunk must call it and the
+//     analysis must see its whole transitive read set);
+//   * every parameter is a by-value arithmetic scalar — a pointer
+//     parameter has no statically known read extent, so its pointee
+//     cannot join the key;
+//   * it returns an arithmetic scalar that fits a 64-bit cache word
+//     (long double is rejected);
+//   * its transitive global-read set is a *bounded snapshot*: every read
+//     global is an arithmetic scalar (arrays/pointers would make the
+//     snapshot unbounded) and the set is small enough to key cheaply;
+//   * it is free of other nondeterminism: no allocation (addresses vary
+//     run to run and could leak into the scalar result via casts), no
+//     callee outside the analyzed closure or the standard seed set, and
+//     no call to a floating-point-environment-sensitive routine
+//     (rint & friends observe the dynamic rounding mode).
+//
+// Every rejected function keeps a human-readable reason, mirroring the
+// inference subsystem's provenance reporting.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/decl.h"
+#include "purity/purity_checker.h"
+#include "sema/symbols.h"
+
+namespace purec {
+
+struct MemoFunctionInfo {
+  std::string name;
+  bool memoizable = false;
+  /// Why the function cannot be memoized; empty when memoizable.
+  std::string reason;
+  SourceLocation loc;
+  /// Parameter types in declaration order (arithmetic scalars).
+  std::vector<TypePtr> param_types;
+  TypePtr return_type;
+  /// Scalar globals whose values join the key (transitive reads, sorted
+  /// by name so the key layout is deterministic).
+  std::vector<std::pair<std::string, TypePtr>> global_snapshot;
+};
+
+struct MemoizableResult {
+  /// Every pure function with a definition in the unit.
+  std::map<std::string, MemoFunctionInfo> functions;
+  /// Names classified memoizable, ready for the call-site rewrite.
+  std::set<std::string> memoizable;
+
+  /// One-line provenance, e.g.
+  /// "memoizable: mult; rejected: dot (parameter 'a' is a pointer ...)".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Upper bound on the global snapshot per function; beyond this the key
+/// build would rival small callee bodies in cost.
+inline constexpr std::size_t kMemoMaxGlobalSnapshot = 8;
+
+/// Classifies every defined function in `pure_functions`. Must run on the
+/// *pre-transformation* AST (it re-derives effect summaries through
+/// `symbols`, whose resolutions are keyed on the original nodes).
+[[nodiscard]] MemoizableResult classify_memoizable(
+    const TranslationUnit& tu, const SymbolTable& symbols,
+    const std::set<std::string>& pure_functions,
+    const PurityOptions& options = {});
+
+}  // namespace purec

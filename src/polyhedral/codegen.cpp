@@ -125,6 +125,17 @@ namespace {
 
 }  // namespace
 
+namespace {
+
+[[nodiscard]] std::int64_t substitution_constant(
+    const IteratorSubstitution& substitution, std::size_t j) {
+  return j < substitution.iterator_constant.size()
+             ? substitution.iterator_constant[j]
+             : 0;
+}
+
+}  // namespace
+
 void apply_iterator_substitution(ExprPtr& expr,
                                  const std::vector<std::string>& old_names,
                                  const IteratorSubstitution& substitution) {
@@ -133,7 +144,8 @@ void apply_iterator_substitution(ExprPtr& expr,
     if (ident == nullptr) return false;
     for (std::size_t j = 0; j < old_names.size(); ++j) {
       if (ident->name == old_names[j]) {
-        slot = affine_to_expr(substitution.iterator_replacement[j], 0,
+        slot = affine_to_expr(substitution.iterator_replacement[j],
+                              substitution_constant(substitution, j),
                               substitution.names);
         return true;  // do not descend into the replacement
       }
@@ -150,13 +162,27 @@ void apply_iterator_substitution(StmtPtr& stmt,
     if (ident == nullptr) return false;
     for (std::size_t j = 0; j < old_names.size(); ++j) {
       if (ident->name == old_names[j]) {
-        slot = affine_to_expr(substitution.iterator_replacement[j], 0,
+        slot = affine_to_expr(substitution.iterator_replacement[j],
+                              substitution_constant(substitution, j),
                               substitution.names);
         return true;
       }
     }
     return false;
   });
+}
+
+bool domain_is_imbalanced(const Scop& scop) {
+  const std::size_t d = scop.depth();
+  if (d < 2) return false;
+  for (const Constraint& c : scop.domain.constraints()) {
+    std::size_t coupled = 0;
+    for (std::size_t i = 0; i < d && i < c.coeffs.size(); ++i) {
+      if (c.coeffs[i] != 0) ++coupled;
+    }
+    if (coupled >= 2) return true;
+  }
+  return false;
 }
 
 StmtPtr generate_code(const Scop& scop, const Transform& transform,
@@ -230,14 +256,28 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
   const std::vector<VarBounds> bounds = sys.derive_bounds(loop_vars);
 
   // Statement body: original statements with iterators substituted by
-  // rows of Tinv over the new point iterators.
+  // rows of Tinv over the new point iterators. Strided levels fold their
+  // normalization back in: i_j = origin_j + stride_j * (Tinv row j).c,
+  // so the source expression the reader sees iterates the original
+  // values while the domain variable counts trips.
   std::vector<IntVec> replacement(d);
+  std::vector<std::int64_t> constants(d, 0);
   {
-    // i_j = row j of Tinv applied to c; expressed over `names`.
     for (std::size_t j = 0; j < d; ++j) {
+      const std::int64_t stride =
+          j < scop.strides.size() ? scop.strides[j] : 1;
       IntVec coeffs(names.size(), 0);
       for (std::size_t col = 0; col < d; ++col) {
-        coeffs[tiled_dims + col] = Tinv.at(j, col);
+        coeffs[tiled_dims + col] = checked_mul(stride, Tinv.at(j, col));
+      }
+      if (stride != 1 && j < scop.origins.size()) {
+        const AffineForm& origin = scop.origins[j];
+        for (std::size_t i = 0; i < p; ++i) {
+          if (d + i < origin.coeffs.size()) {
+            coeffs[loop_vars + i] = origin.coeffs[d + i];
+          }
+        }
+        constants[j] = origin.constant;
       }
       replacement[j] = std::move(coeffs);
     }
@@ -246,6 +286,7 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
   IteratorSubstitution substitution;
   substitution.names = names;
   substitution.iterator_replacement = replacement;
+  substitution.iterator_constant = constants;
   if (substitution_out != nullptr) *substitution_out = substitution;
 
   auto body = std::make_unique<CompoundStmt>();
@@ -254,6 +295,18 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
     apply_iterator_substitution(cloned, scop.iterators, substitution);
     body->stmts.push_back(std::move(cloned));
   }
+
+  // Effective schedule: the user's spec wins; with no spec, an
+  // imbalanced-looking domain (triangular inner trip counts) defaults to
+  // guided so early big chunks amortize claims and the fine tail absorbs
+  // the imbalance. Rectangular domains keep the implementation default.
+  ScheduleSpec schedule = options.schedule;
+  if (schedule.empty() && options.parallelize &&
+      domain_is_imbalanced(scop)) {
+    schedule.kind = OmpScheduleKind::Guided;
+    schedule.chunk = 4;
+  }
+  const std::string schedule_clause = schedule.clause();
 
   // Decide pragma placement.
   const std::size_t outer_parallel = transform.outermost_parallel();
@@ -294,8 +347,7 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
     }
     if (k == inner_parallel_point && k != 0) {
       std::string text = "#pragma omp parallel for";
-      const std::string clause = options.schedule.clause();
-      if (!clause.empty()) text += " " + clause;
+      if (!schedule_clause.empty()) text += " " + schedule_clause;
       wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
     }
     if (wrapper->stmts.empty()) {
@@ -319,8 +371,7 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
       (parallel_outermost ||
        (inner_parallel_point == 0 && tiled_dims == 0))) {
     std::string text = "#pragma omp parallel for";
-    const std::string clause = options.schedule.clause();
-    if (!clause.empty()) text += " " + clause;
+    if (!schedule_clause.empty()) text += " " + schedule_clause;
     result->stmts.push_back(std::make_unique<PragmaStmt>(text));
   }
   result->stmts.push_back(std::move(current));

@@ -35,13 +35,23 @@ struct CodegenOptions {
 /// this once per output file (PluTo does the same with floord/ceild).
 [[nodiscard]] const std::string& codegen_prelude();
 
+/// True when the (pre-tiling) domain couples two iterators in one bound —
+/// a triangular/trapezoidal nest whose inner trip count varies with the
+/// outer iterator. Such scops get `schedule(guided,N)` by default when the
+/// user passes no --schedule (static chunks would load-imbalance; see
+/// ROADMAP runtime follow-ups).
+[[nodiscard]] bool domain_is_imbalanced(const Scop& scop);
+
 /// How the generator rewrote the scop's iterators: original iterator j
-/// equals `iterator_replacement[j]` (an affine combination over `names`).
-/// The chain reuses this to fix up iterators inside reinserted pure calls
-/// (paper Listing 8: `dot(... A[t1] ...)`).
+/// equals `iterator_replacement[j]` (an affine combination over `names`)
+/// plus `iterator_constant[j]` (strided loops fold their lower bound into
+/// the replacement; empty means all zero). The chain reuses this to fix
+/// up iterators inside reinserted pure calls (paper Listing 8:
+/// `dot(... A[t1] ...)`).
 struct IteratorSubstitution {
   std::vector<std::string> names;             // generated variable names
   std::vector<IntVec> iterator_replacement;   // one row per old iterator
+  std::vector<std::int64_t> iterator_constant;
 };
 
 /// Generates the transformed loop nest. The returned compound statement

@@ -44,7 +44,19 @@ namespace {
 class AffineBuilder {
  public:
   explicit AffineBuilder(const std::vector<std::string>& iterators)
-      : iterators_(iterators) {}
+      : iterators_(iterators),
+        strides_(iterators.size(), 1),
+        origins_(iterators.size()) {}
+
+  /// Registers the stride normalization for level `level`: the source
+  /// iterator there sweeps `origin + stride * t_level`, so every later
+  /// reference to its name builds as that affine form instead of a unit
+  /// coefficient. `origin` must be affine over parameters only.
+  void set_iterator_map(std::size_t level, std::int64_t stride,
+                        AffineForm origin) {
+    strides_[level] = stride;
+    origins_[level] = std::move(origin);
+  }
 
   [[nodiscard]] const std::vector<std::string>& parameters() const {
     return parameters_;
@@ -67,7 +79,18 @@ class AffineBuilder {
         const std::size_t idx = index_of(name);
         AffineForm f;
         f.coeffs.assign(space_size(), 0);
-        f.coeffs[idx] = 1;
+        if (idx < iterators_.size() && strides_[idx] != 1) {
+          // Strided iterator: i = origin + stride * t. Origin positions
+          // are stable (parameters only ever append to the space).
+          const AffineForm& origin = origins_[idx];
+          for (std::size_t i = 0; i < origin.coeffs.size(); ++i) {
+            f.coeffs[i] = origin.coeffs[i];
+          }
+          f.constant = origin.constant;
+          f.coeffs[idx] = checked_add(f.coeffs[idx], strides_[idx]);
+        } else {
+          f.coeffs[idx] = 1;
+        }
         return f;
       }
       case ExprKind::Unary: {
@@ -153,6 +176,8 @@ class AffineBuilder {
 
   const std::vector<std::string>& iterators_;
   std::vector<std::string> parameters_;
+  std::vector<std::int64_t> strides_;
+  std::vector<AffineForm> origins_;
 };
 
 struct LoopHeader {
@@ -160,11 +185,13 @@ struct LoopHeader {
   const Expr* lower = nullptr;   // from init
   const Expr* upper = nullptr;   // from cond
   bool upper_inclusive = false;  // <= vs <
+  std::int64_t stride = 1;       // constant positive step
   const Stmt* body = nullptr;
 };
 
-/// Matches `for (int i = L; i < U; ++i)` shapes; returns nullopt with a
-/// reason otherwise.
+/// Matches `for (int i = L; i < U; i += K)` shapes (K a positive integer
+/// constant; ++/i+=1/i=i+K all accepted); returns nullopt with a reason
+/// otherwise.
 [[nodiscard]] std::optional<LoopHeader> match_loop(const ForStmt& loop,
                                                    std::string& reason) {
   LoopHeader h;
@@ -207,7 +234,7 @@ struct LoopHeader {
   h.upper = cmp->rhs.get();
   h.upper_inclusive = (cmp->op == BinaryOp::LessEqual);
 
-  // inc: `i++`, `++i`, `i += 1`, `i = i + 1`.
+  // inc: `i++`, `++i`, `i += K`, `i = i + K` (K a positive constant).
   bool inc_ok = false;
   if (const auto* u = expr_cast<UnaryExpr>(loop.inc.get())) {
     if ((u->op == UnaryOp::PostInc || u->op == UnaryOp::PreInc)) {
@@ -218,21 +245,28 @@ struct LoopHeader {
     const auto* ident = expr_cast<IdentExpr>(a->lhs.get());
     if (ident != nullptr && ident->name == h.iterator) {
       if (a->op == AssignOp::AddAssign) {
-        const auto* one = expr_cast<IntLiteralExpr>(a->rhs.get());
-        inc_ok = one != nullptr && one->value == 1;
+        const auto* step = expr_cast<IntLiteralExpr>(a->rhs.get());
+        if (step != nullptr && step->value >= 1) {
+          h.stride = step->value;
+          inc_ok = true;
+        }
       } else if (a->op == AssignOp::Assign) {
         const auto* add = expr_cast<BinaryExpr>(a->rhs.get());
         if (add != nullptr && add->op == BinaryOp::Add) {
           const auto* base = expr_cast<IdentExpr>(add->lhs.get());
-          const auto* one = expr_cast<IntLiteralExpr>(add->rhs.get());
-          inc_ok = base != nullptr && base->name == h.iterator &&
-                   one != nullptr && one->value == 1;
+          const auto* step = expr_cast<IntLiteralExpr>(add->rhs.get());
+          if (base != nullptr && base->name == h.iterator &&
+              step != nullptr && step->value >= 1) {
+            h.stride = step->value;
+            inc_ok = true;
+          }
         }
       }
     }
   }
   if (!inc_ok) {
-    reason = "for-increment must advance the iterator by exactly 1";
+    reason =
+        "for-increment must advance the iterator by a positive constant";
     return std::nullopt;
   }
   h.body = loop.body.get();
@@ -308,6 +342,8 @@ class Extractor {
 
     // 2. Build the domain.
     AffineBuilder builder(scop.iterators);
+    scop.strides.assign(headers.size(), 1);
+    scop.origins.assign(headers.size(), AffineForm{});
     std::vector<Constraint> pending;
     for (std::size_t level = 0; level < headers.size(); ++level) {
       const LoopHeader& h = headers[level];
@@ -320,21 +356,51 @@ class Extractor {
       }
       builder.align(*lower);
       builder.align(*upper);
-      // i - L >= 0
+      if (h.stride == 1) {
+        // i - L >= 0
+        Constraint lo = Constraint::ge(IntVec(builder.space_size(), 0), 0);
+        lo.coeffs[level] = 1;
+        for (std::size_t i = 0; i < lower->coeffs.size(); ++i) {
+          lo.coeffs[i] = checked_sub(lo.coeffs[i], lower->coeffs[i]);
+        }
+        lo.constant = -lower->constant;
+        // U - i - (1 if exclusive) >= 0
+        Constraint up = Constraint::ge(IntVec(builder.space_size(), 0), 0);
+        up.coeffs[level] = -1;
+        for (std::size_t i = 0; i < upper->coeffs.size(); ++i) {
+          up.coeffs[i] = checked_add(up.coeffs[i], upper->coeffs[i]);
+        }
+        up.constant = upper->constant - (h.upper_inclusive ? 0 : 1);
+        pending.push_back(std::move(lo));
+        pending.push_back(std::move(up));
+        continue;
+      }
+      // Non-unit stride: normalize to t >= 0 with i = L + stride*t. The
+      // level's domain variable is the trip count, so every bound stays
+      // affine; body accesses to i are rewritten by the builder's map.
+      for (std::size_t i = 0; i < scop.iterators.size(); ++i) {
+        if (i < lower->coeffs.size() && lower->coeffs[i] != 0) {
+          result.failure_reason = "strided iterator " + h.iterator +
+                                  " has a lower bound depending on an "
+                                  "enclosing iterator";
+          return result;
+        }
+      }
+      builder.set_iterator_map(level, h.stride, *lower);
+      scop.strides[level] = h.stride;
+      scop.origins[level] = *lower;
+      // t >= 0
       Constraint lo = Constraint::ge(IntVec(builder.space_size(), 0), 0);
       lo.coeffs[level] = 1;
-      for (std::size_t i = 0; i < lower->coeffs.size(); ++i) {
-        lo.coeffs[i] = checked_sub(lo.coeffs[i], lower->coeffs[i]);
-      }
-      lo.constant = -lower->constant;
-      // U - i - (1 if exclusive) >= 0
-      Constraint up = Constraint::ge(IntVec(builder.space_size(), 0), 0);
-      up.coeffs[level] = -1;
-      for (std::size_t i = 0; i < upper->coeffs.size(); ++i) {
-        up.coeffs[i] = checked_add(up.coeffs[i], upper->coeffs[i]);
-      }
-      up.constant = upper->constant - (h.upper_inclusive ? 0 : 1);
       pending.push_back(std::move(lo));
+      // U - L - stride*t - (1 if exclusive) >= 0
+      Constraint up = Constraint::ge(IntVec(builder.space_size(), 0), 0);
+      for (std::size_t i = 0; i < upper->coeffs.size(); ++i) {
+        up.coeffs[i] = checked_sub(upper->coeffs[i], lower->coeffs[i]);
+      }
+      up.coeffs[level] = checked_sub(up.coeffs[level], h.stride);
+      up.constant = checked_sub(upper->constant, lower->constant) -
+                    (h.upper_inclusive ? 0 : 1);
       pending.push_back(std::move(up));
     }
 
@@ -410,6 +476,7 @@ class Extractor {
         for (AffineForm& f : a.subscripts) f.coeffs.resize(space, 0);
       }
     }
+    for (AffineForm& origin : scop.origins) origin.coeffs.resize(space, 0);
     result.scop = std::move(scop);
     return result;
   }

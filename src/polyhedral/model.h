@@ -2,9 +2,11 @@
 // (the Clan/OpenScop counterpart in the paper's chain).
 //
 // Scope of the model (documented restriction vs. full PluTo): perfectly
-// nested `for` loops of depth <= 4, unit step, bounds affine in outer
-// iterators and symbolic parameters, body = a sequence of assignment
-// statements whose subscripts are affine. Pure function calls have already
+// nested `for` loops of depth <= 4, constant positive step (non-unit
+// strides are normalized to a unit-stride domain variable; see
+// Scop::strides/origins), bounds affine in outer iterators and symbolic
+// parameters, body = a sequence of assignment statements whose subscripts
+// are affine. Pure function calls have already
 // been substituted by `tmpConst_*` identifiers when extraction runs, which
 // is exactly why the paper's chain can feed these nests to PluTo.
 #pragma once
@@ -57,6 +59,14 @@ struct Scop {
   ConstraintSystem domain{0};
   std::vector<ScopStatement> statements;
   const ForStmt* root = nullptr;        // original outermost loop
+  /// Non-unit-stride normalization: source iterator i_j sweeps
+  /// `origins[j] + strides[j] * t_j` where t_j is the level-j domain
+  /// variable (t_j >= 0) and origins[j] is affine over parameters only.
+  /// Unit-stride levels keep the identity map (stride 1, zero origin),
+  /// so classic nests model exactly as before. Empty vectors (scops
+  /// built by hand in tests) mean all-identity.
+  std::vector<std::int64_t> strides;
+  std::vector<AffineForm> origins;
 
   [[nodiscard]] std::size_t depth() const noexcept {
     return iterators.size();

@@ -271,6 +271,10 @@ class EffectScanner {
       impure(call.loc, "calls through a function pointer");
       return;
     }
+    if (const ExternEffect* known = extern_effect(name)) {
+      scan_known_extern(call, name, *known);
+      return;
+    }
     if (name == "malloc" || name == "calloc") {
       summary_.allocates = true;
       if (!allow_malloc_free_) summary_.callees.insert(name);
@@ -283,6 +287,49 @@ class EffectScanner {
       return;
     }
     summary_.callees.insert(name);
+  }
+
+  /// A call modeled by the extern effect database is resolved here and
+  /// never becomes a pessimized callee edge. ReadOnly externs are free;
+  /// WritesArg0 externs are harmless exactly when their destination
+  /// provably targets function-local storage (same provenance reasoning
+  /// as direct stores).
+  void scan_known_extern(const CallExpr& call, const std::string& name,
+                         const ExternEffect& effect) {
+    summary_.extern_calls.insert(name);
+    if (effect.kind == ExternEffectKind::ReadOnly) return;
+    if (call.args.empty()) {
+      impure(call.loc, "calls '" + name + "' without a destination");
+      return;
+    }
+    if (name == "snprintf") {
+      // The arg0 write is bounded by arg1, but %n writes through a
+      // *later* pointer argument; the WritesArg0 model only holds for a
+      // literal format provably free of %n.
+      const auto* format =
+          call.args.size() >= 3
+              ? expr_cast<StringLiteralExpr>(strip_casts(call.args[2].get()))
+              : nullptr;
+      if (format == nullptr) {
+        impure(call.loc,
+               "calls 'snprintf' with a non-literal format string "
+               "(effects unknown)");
+        return;
+      }
+      if (format->spelling.find("%n") != std::string::npos) {
+        summary_.writes_unknown_pointer = true;
+        impure(call.loc,
+               "calls 'snprintf' with %n (writes through a format "
+               "argument)");
+        return;
+      }
+    }
+    if (is_foreign_pointer_value(call.args[0].get())) {
+      summary_.writes_unknown_pointer = true;
+      impure(call.loc, "calls '" + name +
+                           "' writing through a pointer that may "
+                           "reference caller or global memory");
+    }
   }
 
   void scan_free(const CallExpr& call) {
@@ -471,6 +518,19 @@ class EffectScanner {
 };
 
 }  // namespace
+
+const ExternEffect* extern_effect(const std::string& name) {
+  static const std::map<std::string, ExternEffect> kDatabase = {
+      {"memcpy", {ExternEffectKind::WritesArg0}},
+      {"memmove", {ExternEffectKind::WritesArg0}},
+      {"memset", {ExternEffectKind::WritesArg0}},
+      {"snprintf", {ExternEffectKind::WritesArg0}},
+      {"strlen", {ExternEffectKind::ReadOnly}},
+      {"memcmp", {ExternEffectKind::ReadOnly}},
+  };
+  const auto it = kDatabase.find(name);
+  return it == kDatabase.end() ? nullptr : &it->second;
+}
 
 EffectSummary compute_effects(const FunctionDecl& fn,
                               const FunctionScopeInfo& scope,

@@ -22,6 +22,26 @@
 
 namespace purec {
 
+/// Effect model of a known external (libc) function — the growth path
+/// beyond the all-pure seed hashset: inference no longer has to pessimize
+/// every extern it recognizes.
+enum class ExternEffectKind : std::uint8_t {
+  /// Reads its pointer arguments, writes nothing (strlen, memcmp).
+  ReadOnly,
+  /// Writes through argument 0 only — a bounded, caller-visible-iff-the-
+  /// destination-is-foreign write (memcpy, memset, memmove, snprintf).
+  /// Locally harmless when arg0 provably targets function-local storage.
+  WritesArg0,
+};
+
+struct ExternEffect {
+  ExternEffectKind kind;
+};
+
+/// Database lookup; nullptr when the function is not modeled (callers
+/// fall back to the pessimistic unknown-external rule).
+[[nodiscard]] const ExternEffect* extern_effect(const std::string& name);
+
 struct EffectSummary {
   std::string function;
 
@@ -41,6 +61,12 @@ struct EffectSummary {
   /// become implicit call arguments in the Listing-5 scop rule: a loop
   /// that writes one of them while calling the function is rejected.
   std::set<std::string> global_reads;
+
+  /// Database-modeled externs the body calls (resolved here, never
+  /// pessimized callee edges). Downstream analyses with stricter needs
+  /// than purity consult this — memoization rejects locale-sensitive
+  /// formatting (snprintf) that purity tolerates.
+  std::set<std::string> extern_calls;
 
   /// Informational classification bits (diagnostics, tests).
   bool writes_global = false;

@@ -1,0 +1,157 @@
+#include "runtime/memo_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace purec::rt {
+
+namespace {
+
+/// Ceiling on either knob: 2^24 slots (~512 MB of table) is already far
+/// beyond useful, and the clamp keeps absurd values ("-1" wraps to
+/// ULLONG_MAX through strtoull) from hanging floor_pow2 or driving the
+/// allocation into OOM territory.
+constexpr std::size_t kMaxKnob = std::size_t{1} << 24;
+
+[[nodiscard]] std::size_t floor_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p <= v / 2) p *= 2;
+  return p;
+}
+
+[[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed == 0) return fallback;
+  if (parsed > kMaxKnob) return kMaxKnob;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+MemoConfig MemoConfig::from_env() {
+  MemoConfig config;
+  config.shards = env_size("PUREC_MEMO_SHARDS", config.shards);
+  config.capacity = env_size("PUREC_MEMO_CAP", config.capacity);
+  return config;
+}
+
+void MemoKey::add_f64(double v) noexcept {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  add(bits);
+}
+
+void MemoKey::add_f32(float v) noexcept {
+  std::uint32_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  add(bits);
+}
+
+MemoCache::MemoCache(MemoConfig config) {
+  // Normalize: power-of-two shard and slot counts, at least one slot per
+  // shard. A capacity below the shard count collapses shards instead of
+  // rounding the capacity up (the knob is a *budget*).
+  std::size_t shards =
+      floor_pow2(std::min(config.shards == 0 ? 1 : config.shards, kMaxKnob));
+  std::size_t capacity =
+      std::min(config.capacity == 0 ? 1 : config.capacity, kMaxKnob);
+  if (capacity < shards) shards = floor_pow2(capacity);
+  const std::size_t per_shard = floor_pow2(capacity / shards);
+
+  shards_n_ = shards;
+  shard_mask_ = shards - 1;
+  slot_mask_ = per_shard - 1;
+  probe_window_ = kProbeWindow < per_shard ? kProbeWindow : per_shard;
+
+  shards_ = std::make_unique<Shard[]>(shards);
+  slot_storage_ = std::make_unique<Slot[]>(shards * per_shard);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_[s].slots = slot_storage_.get() + s * per_shard;
+  }
+}
+
+MemoCache::~MemoCache() = default;
+
+bool MemoCache::lookup(std::uint64_t key, std::uint64_t* value) noexcept {
+  Shard& shard = shard_for(key);
+  for (std::size_t i = 0; i < probe_window_; ++i) {
+    Slot& slot = shard.slots[(key + i) & slot_mask_];
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) continue;  // mid-write: treat as a (safe) mismatch
+    const std::uint64_t tag = slot.tag.load(std::memory_order_relaxed);
+    const std::uint64_t val = slot.value.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+    if (tag == key) {
+      *value = val;
+      slot.ref.store(1, std::memory_order_relaxed);
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (tag == 0) break;  // probe window never re-opens holes past here
+  }
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void MemoCache::store(std::uint64_t key, std::uint64_t value) noexcept {
+  Shard& shard = shard_for(key);
+
+  const auto publish = [&](Slot& slot, bool evicting) {
+    std::uint64_t s1 = slot.seq.load(std::memory_order_relaxed);
+    if ((s1 & 1) != 0) return false;  // another writer owns it
+    if (!slot.seq.compare_exchange_strong(s1, s1 + 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+      return false;
+    }
+    slot.tag.store(key, std::memory_order_relaxed);
+    slot.value.store(value, std::memory_order_relaxed);
+    slot.ref.store(0, std::memory_order_relaxed);
+    slot.seq.store(s1 + 2, std::memory_order_release);
+    shard.stores.fetch_add(1, std::memory_order_relaxed);
+    if (evicting) shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+
+  // Pass 1: the key may already be resident (another thread computed the
+  // same miss), or an empty slot may be free in the window.
+  for (std::size_t i = 0; i < probe_window_; ++i) {
+    Slot& slot = shard.slots[(key + i) & slot_mask_];
+    const std::uint64_t tag = slot.tag.load(std::memory_order_relaxed);
+    if (tag == key) return;  // deterministic value, already published
+    if (tag == 0 && publish(slot, /*evicting=*/false)) return;
+  }
+
+  // Pass 2: full window — clock-style second chance. Clear reference
+  // bits as we sweep; the first slot already unreferenced is the victim.
+  // Everything referenced (one full sweep) -> the home slot loses.
+  for (std::size_t i = 0; i < probe_window_; ++i) {
+    Slot& slot = shard.slots[(key + i) & slot_mask_];
+    if (slot.ref.exchange(0, std::memory_order_relaxed) == 0) {
+      if (publish(slot, /*evicting=*/true)) return;
+    }
+  }
+  Slot& home = shard.slots[key & slot_mask_];
+  publish(home, /*evicting=*/true);  // may fail under contention: benign
+}
+
+MemoStats MemoCache::stats() const noexcept {
+  MemoStats total;
+  for (std::size_t s = 0; s < shards_n_; ++s) {
+    total.hits += shards_[s].hits.load(std::memory_order_relaxed);
+    total.misses += shards_[s].misses.load(std::memory_order_relaxed);
+    total.stores += shards_[s].stores.load(std::memory_order_relaxed);
+    total.evictions +=
+        shards_[s].evictions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace purec::rt

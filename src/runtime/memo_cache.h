@@ -1,0 +1,144 @@
+// Concurrent memoization table for pure-call results — the runtime half of
+// the `--memoize` subsystem (the emitted C carries a self-contained twin of
+// this design; see memo/memo_codegen.cpp).
+//
+// Design, sized for the work-stealing schedules of the thread pool:
+//   * sharded: the key's high bits pick one of N independent sub-tables,
+//     so concurrent hits on different shards never touch the same lines;
+//   * cache-line padded: each shard header (and its counters) sits on its
+//     own line — a hot shard cannot false-share with its neighbors;
+//   * open addressing: a key may only live in a short linear probe window
+//     starting at its home slot, so lookups are a handful of loads;
+//   * per-slot seqlock: writers claim a slot by CAS-ing its sequence word
+//     odd, publish tag+value, then release it even. Readers retry on a
+//     torn read. A false *miss* is always safe (the caller recomputes);
+//     a hit is only reported when tag and value were read consistently;
+//   * bounded size with clock eviction: when a probe window is full, a
+//     second-chance sweep (clear reference bits until one is already
+//     clear) picks the victim, so repeated keys stay resident under
+//     pressure without any global LRU bookkeeping.
+//
+// Values are 64-bit words; scalar results travel as their bit patterns, so
+// a hit returns the exact bits the miss path stored. The fingerprint IS
+// the key (the original tuple is never stored), so correctness rests on
+// the 64-bit mix not colliding: ~2^-25 probability of any collision at
+// the default 2^16-slot working set, but a real bound, not zero — see
+// ROADMAP for the planned full-key verification mode.
+//
+// Env knobs (read by MemoConfig::from_env, shared with the emitted C):
+//   PUREC_MEMO_SHARDS=<n>  shard count (rounded down to a power of two)
+//   PUREC_MEMO_CAP=<n>     total slot budget across all shards
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "runtime/thread_pool.h"
+
+namespace purec::rt {
+
+struct MemoConfig {
+  std::size_t shards = 8;
+  std::size_t capacity = std::size_t{1} << 16;  // total slots, all shards
+
+  /// Applies PUREC_MEMO_SHARDS / PUREC_MEMO_CAP on top of the defaults.
+  /// Unparsable or zero values fall back to the default silently (a bad
+  /// knob must never turn correct caching into a crash).
+  [[nodiscard]] static MemoConfig from_env();
+};
+
+struct MemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Incremental key hasher: one 64-bit fingerprint over (function id,
+/// argument words, global-snapshot words). The fingerprint *is* the key —
+/// the table never stores the original tuple — so the mixer must spread
+/// every input bit (splitmix64 finalizer). Fingerprint 0 is reserved as
+/// the empty-slot tag and remapped to 1.
+class MemoKey {
+ public:
+  explicit MemoKey(std::uint64_t function_id) noexcept : h_(function_id) {}
+
+  void add(std::uint64_t word) noexcept { h_ = mix(h_ ^ word); }
+  void add_f64(double v) noexcept;
+  void add_f32(float v) noexcept;
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    const std::uint64_t h = mix(h_);
+    return h == 0 ? 1 : h;
+  }
+
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  std::uint64_t h_;
+};
+
+class MemoCache {
+ public:
+  explicit MemoCache(MemoConfig config = MemoConfig::from_env());
+  ~MemoCache();
+
+  MemoCache(const MemoCache&) = delete;
+  MemoCache& operator=(const MemoCache&) = delete;
+
+  /// True and *value filled on a hit. Marks the slot referenced for the
+  /// clock sweep. Never blocks; a concurrent writer at the same slot
+  /// degrades this to a miss, not a wrong value.
+  [[nodiscard]] bool lookup(std::uint64_t key, std::uint64_t* value) noexcept;
+
+  /// Publishes key -> value. Idempotent for an already-present key (pure
+  /// results are deterministic, so the value is necessarily identical).
+  /// Evicts within the probe window when it is full.
+  void store(std::uint64_t key, std::uint64_t value) noexcept;
+
+  /// Aggregated over all shards; racy reads (monitoring only).
+  [[nodiscard]] MemoStats stats() const noexcept;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_n_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return shards_n_ * (slot_mask_ + 1);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // even = stable, odd = mid-write
+    std::atomic<std::uint64_t> tag{0};  // 0 = empty
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> ref{0};  // clock second-chance bit
+  };
+
+  struct alignas(kCacheLineBytes) Shard {
+    Slot* slots = nullptr;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) noexcept {
+    return shards_[(key >> 40) & shard_mask_];
+  }
+
+  std::size_t shards_n_ = 1;
+  std::uint64_t shard_mask_ = 0;
+  std::uint64_t slot_mask_ = 0;   // per-shard slot count - 1
+  std::size_t probe_window_ = 1;  // min(kProbeWindow, slots per shard)
+  std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<Slot[]> slot_storage_;
+
+  static constexpr std::size_t kProbeWindow = 8;
+};
+
+}  // namespace purec::rt

@@ -5,6 +5,7 @@
 #include "ast/walk.h"
 #include "emit/c_printer.h"
 #include "lexer/lexer.h"
+#include "memo/memo_codegen.h"
 #include "parser/parser.h"
 #include "polyhedral/dependence.h"
 #include "polyhedral/model.h"
@@ -225,6 +226,16 @@ ChainArtifacts run_pure_chain(const std::string& source,
   const PurityResult purity = checker.check();
   if (diags.has_errors()) return artifacts;
 
+  // Memoizability classification runs on the pre-transformation AST: it
+  // re-derives effect summaries through `symbols`, whose resolutions are
+  // keyed on the original nodes. The call-site rewrite happens after the
+  // polyhedral step so reinserted calls inside generated nests are
+  // rewritten too.
+  if (options.memoize) {
+    artifacts.memoization = classify_memoizable(
+        tu, symbols, purity.pure_functions, purity_options);
+  }
+
   mark_scops(tu, purity.scop_loops);
   artifacts.marked = print_c(tu, PrintOptions{PureHandling::Keep, 2});
   unmark_scops(tu);
@@ -357,6 +368,29 @@ ChainArtifacts run_pure_chain(const std::string& source,
     }
   }
 
+  // Memoization rewrite: route every call to a memoizable pure function
+  // (inside generated nests and plain code alike) through its thunk. The
+  // thunks themselves are emitted as text around the lowered program.
+  std::set<std::string> memo_used;
+  if (options.memoize && !artifacts.memoization.memoizable.empty()) {
+    for (FunctionDecl* fn : tu.functions()) {
+      if (!fn->body) continue;
+      for_each_expr_slot(*fn->body, [&](ExprPtr& slot) -> bool {
+        auto* call = expr_cast<CallExpr>(slot.get());
+        if (call == nullptr) return false;
+        const std::string name = call->callee_name();
+        if (artifacts.memoization.memoizable.count(name) == 0) {
+          return false;
+        }
+        expr_cast<IdentExpr>(call->callee.get())->name =
+            memo_thunk_name(name);
+        memo_used.insert(name);
+        ++artifacts.memoized_calls;
+        return false;  // descend: arguments may hold memoizable calls too
+      });
+    }
+  }
+
   // ---- PC-PosPro: lower pure, restore system includes ---------------------
   const std::string lowered =
       print_c(tu, PrintOptions{PureHandling::Lower, 2});
@@ -366,8 +400,26 @@ ChainArtifacts run_pure_chain(const std::string& source,
     if (r.parallelized) uses_omp = true;
   }
   if (uses_omp) extra.push_back("#include <omp.h>");
+
+  std::string prelude = poly::codegen_prelude();
+  std::string epilogue;
+  if (!memo_used.empty()) {
+    // Table + prototypes before the program (call sites reference the
+    // thunks), definitions after it (they reference the wrapped functions
+    // and the snapshot globals).
+    extra.push_back("#include <stdlib.h>");
+    prelude += memo_runtime_prelude();
+    for (const std::string& name : memo_used) {
+      prelude +=
+          memo_thunk_prototype(artifacts.memoization.functions.at(name));
+    }
+    for (const std::string& name : memo_used) {
+      epilogue += "\n" + memo_thunk_definition(
+                             artifacts.memoization.functions.at(name));
+    }
+  }
   artifacts.final_source = restore_system_includes(
-      poly::codegen_prelude() + lowered, stripped.system_includes, extra);
+      prelude + lowered + epilogue, stripped.system_includes, extra);
   artifacts.ok = !diags.has_errors();
   return artifacts;
 }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "memo/memoizable.h"
 #include "polyhedral/codegen.h"
 #include "purity/inference.h"
 #include "purity/purity_checker.h"
@@ -56,6 +57,13 @@ struct ChainOptions {
   /// (annotation + verifier win). Off by default — the default chain
   /// reproduces the paper exactly.
   bool infer_purity = false;
+  /// Extension (`purecc --memoize`): cache pure-call results. Pure
+  /// functions whose inputs form a bounded key (by-value scalar params,
+  /// scalar global-read snapshot — see memo/memoizable.h) get a generated
+  /// thunk; every call site, inside and outside SCoPs, is rewritten to go
+  /// through it, and the output C carries a self-contained sharded
+  /// concurrent table (memo/memo_codegen.h). Off by default.
+  bool memoize = false;
   PurityOptions purity;
   /// Virtual files for `#include "..."` resolution.
   std::map<std::string, std::string> virtual_includes;
@@ -96,6 +104,11 @@ struct ChainArtifacts {
   /// Purity-inference provenance (populated only under infer_purity):
   /// which functions were inferred pure, which were rejected and why.
   InferenceResult inference;
+  /// Memoizability provenance (populated only under memoize): which pure
+  /// functions got thunks, which were rejected and why.
+  MemoizableResult memoization;
+  /// Call sites rewritten to go through a memo thunk (under memoize).
+  std::size_t memoized_calls = 0;
   DiagnosticEngine diagnostics;
 };
 

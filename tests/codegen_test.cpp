@@ -152,6 +152,102 @@ TEST(Codegen, TriangularDomainTiled) {
       tiled(4), {{"n", 17}}, {{"L", {17, 17}}});
 }
 
+TEST(Codegen, NonUnitStride1DEquivalence) {
+  // i = 1, 3, 5, ... normalizes to a trip-count variable; the generated
+  // nest must touch exactly the odd elements.
+  expect_equivalent(
+      "float* a;\n"
+      "void k(int n) {\n"
+      "  for (int i = 1; i < n; i += 2)\n"
+      "    a[i] = a[i] + 1.0f;\n"
+      "}\n",
+      untiled(), {{"n", 23}}, {{"a", {23, 0}}});
+}
+
+TEST(Codegen, NonUnitStrideOuterDimensionTiled) {
+  expect_equivalent(
+      "float** C;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i += 3)\n"
+      "    for (int j = 0; j < m; j++)\n"
+      "      C[i][j] = C[i][j] * 2.0f + 1.0f;\n"
+      "}\n",
+      tiled(4), {{"n", 20}, {"m", 11}}, {{"C", {20, 11}}});
+}
+
+TEST(Codegen, NonUnitStrideInclusiveUpperBound) {
+  expect_equivalent(
+      "float* a;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i <= n; i += 4)\n"
+      "    a[i] = 7.0f;\n"
+      "}\n",
+      untiled(), {{"n", 16}}, {{"a", {17, 0}}});
+}
+
+// ---------------------------------------------------------------------------
+// Default schedule on imbalanced domains
+// ---------------------------------------------------------------------------
+
+TEST(Codegen, ImbalanceDetectionIsTriangularOnly) {
+  const Prepared tri = prepare(
+      "float** L;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = 0; j <= i; j++)\n"
+      "      L[i][j] = 1.0f;\n"
+      "}\n");
+  EXPECT_TRUE(domain_is_imbalanced(tri.scop));
+  const Prepared rect = prepare(
+      "float** C;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = 0; j < m; j++)\n"
+      "      C[i][j] = 1.0f;\n"
+      "}\n");
+  EXPECT_FALSE(domain_is_imbalanced(rect.scop));
+}
+
+TEST(Codegen, TriangularNestDefaultsToGuidedSchedule) {
+  Prepared p = prepare(
+      "float** L;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = 0; j <= i; j++)\n"
+      "      L[i][j] = 1.0f;\n"
+      "}\n");
+  CodegenOptions options;
+  options.tile = false;
+  StmtPtr generated = generate_code(p.scop, p.transform, options);
+  ASSERT_NE(generated, nullptr);
+  EXPECT_NE(print_c(*generated).find("schedule(guided,4)"),
+            std::string::npos)
+      << print_c(*generated);
+
+  // An explicit user spec always wins over the imbalance default.
+  options.schedule = *ScheduleSpec::parse("dynamic,1");
+  StmtPtr user = generate_code(p.scop, p.transform, options);
+  ASSERT_NE(user, nullptr);
+  EXPECT_NE(print_c(*user).find("schedule(dynamic,1)"), std::string::npos);
+  EXPECT_EQ(print_c(*user).find("guided"), std::string::npos);
+}
+
+TEST(Codegen, RectangularNestKeepsNoScheduleClause) {
+  Prepared p = prepare(
+      "float** C;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = 0; j < m; j++)\n"
+      "      C[i][j] = 1.0f;\n"
+      "}\n");
+  CodegenOptions options;
+  options.tile = false;
+  StmtPtr generated = generate_code(p.scop, p.transform, options);
+  ASSERT_NE(generated, nullptr);
+  EXPECT_EQ(print_c(*generated).find("schedule("), std::string::npos)
+      << print_c(*generated);
+}
+
 TEST(Codegen, TimeStencilSkewedAndTiledIsEquivalent) {
   // THE legality test: the skewed+tiled in-place stencil must produce
   // bitwise-identical results to sequential execution (Fig. 2).

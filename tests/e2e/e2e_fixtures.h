@@ -43,6 +43,11 @@ struct Fixture {
   /// --schedule spec applied in every configuration (nullptr = default).
   /// Parsed through ScheduleSpec, exactly like the CLI.
   const char* schedule = nullptr;
+  /// Run every configuration with --memoize: memoizable pure calls go
+  /// through generated thunks backed by the emitted concurrent table.
+  /// The serial differential reference stays unmemoized, so the checksum
+  /// comparison is exactly the memoized-vs-unmemoized contract.
+  bool memoize = false;
 
   [[nodiscard]] bool ok_with(bool inline_pure) const {
     return inline_pure ? expect_ok_inlined : expect_ok;
@@ -419,6 +424,115 @@ int main() {
 }
 )";
 
+/// Repeated-call memoization workload: `shade` is an iterative pure
+/// function of one quantized int (32 distinct inputs over 4096 pixels,
+/// ~99% hit ratio) that also reads the scalar global `gain` — so its
+/// thunk keys on the argument AND the global snapshot.
+inline constexpr const char* kRunTabulate = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+float gain;
+
+pure float shade(int v) {
+  float x = (float)v * 0.0625f + 1.0f;
+  float y = x;
+  for (int k = 0; k < 8; k++)
+    y = 0.5f * (y + x / y);
+  return y * gain;
+}
+
+void render(int* vals, float* out, int n) {
+  for (int p = 0; p < n; p++)
+    out[p] = shade(vals[p]);
+}
+
+int main() {
+  int n = 4096;
+  int* vals = (int*)malloc(n * sizeof(int));
+  float* out = (float*)malloc(n * sizeof(float));
+  gain = 0.75f;
+  for (int i = 0; i < n; i++) vals[i] = (i * 37 + 11) % 32;
+  for (int i = 0; i < n; i++) out[i] = 0.0f;
+  render(vals, out, n);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) checksum += (double)out[i] * (i % 9);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
+/// Non-unit stride coverage: `for (i = 1; i < n; i += 2)` normalizes to a
+/// trip-count domain variable, so the nest parallelizes with accesses
+/// rewritten to 2*t1 + 1 (first ROADMAP scop-coverage gap).
+inline constexpr const char* kRunStride2 = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+pure float avg2(pure float* a, int j) {
+  return 0.5f * (a[j] + a[j + 1]);
+}
+
+void downsample(float* out, float* in, int n) {
+  for (int i = 1; i < n; i += 2)
+    out[i] = avg2((pure float*)in, i);
+}
+
+int main() {
+  int n = 1024;
+  float* in = (float*)malloc((n + 1) * sizeof(float));
+  float* out = (float*)malloc(n * sizeof(float));
+  for (int i = 0; i <= n; i++) in[i] = (float)((i * 7 + 3) % 23) * 0.25f;
+  for (int i = 0; i < n; i++) out[i] = 0.0f;
+  downsample(out, in, n);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) checksum += (double)out[i] * (i % 13);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
+/// Triangular nest: the inner trip count varies with the outer iterator,
+/// so with no user --schedule the codegen defaults the parallel pragma to
+/// schedule(guided,4) (imbalance smoothing; ROADMAP runtime follow-up).
+inline constexpr const char* kRunTriangular = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+float **L, **U2;
+
+pure float combine(pure float** u, int i, int j) {
+  return u[i][j] + u[j][i];
+}
+
+void fold(int n) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j <= i; j++)
+      L[i][j] = combine((pure float**)U2, i, j);
+}
+
+int main() {
+  int n = 64;
+  L = (float**)malloc(n * sizeof(float*));
+  U2 = (float**)malloc(n * sizeof(float*));
+  for (int i = 0; i < n; i++) {
+    L[i] = (float*)malloc(n * sizeof(float));
+    U2[i] = (float*)malloc(n * sizeof(float));
+    for (int j = 0; j < n; j++) {
+      L[i][j] = 0.0f;
+      U2[i][j] = (float)((i * 11 + j * 5) % 17) * 0.125f;
+    }
+  }
+  fold(n);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      checksum += (double)L[i][j] * ((i + 2 * j) % 7);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
 inline constexpr const char* kRunMatmulWithInit = R"(
 #include <stdio.h>
 #include <stdlib.h>
@@ -469,6 +583,21 @@ inline std::vector<Fixture> all_fixtures() {
        true, /*infer=*/false, /*schedule=*/"guided,8"},
       {"matmul_with_init", testsrc::kMatmulWithInit, false,
        kRunMatmulWithInit, true, true},
+      // purecc --memoize end to end. matmul_memo: `mult` gets a thunk
+      // while `dot` pins its pointer-param rejection; satellite_memo has
+      // no memoizable function at all, pinning --memoize as a byte-level
+      // no-op there; tabulate_memo is the repeated-call workload whose
+      // thunk keys on an argument plus the `gain` global snapshot.
+      {"matmul_memo", testsrc::kMatmul, false, kRunMatmul, true, true,
+       /*infer=*/false, /*schedule=*/nullptr, /*memoize=*/true},
+      {"satellite_memo", testsrc::kSatellite, false, kRunSatellite, true,
+       true, /*infer=*/false, /*schedule=*/nullptr, /*memoize=*/true},
+      {"tabulate_memo", kRunTabulate, false, kRunTabulate, true, true,
+       /*infer=*/false, /*schedule=*/nullptr, /*memoize=*/true},
+      // Non-unit stride + guided-by-default coverage (ROADMAP gaps).
+      {"stride2", kRunStride2, false, kRunStride2, true, true},
+      {"triangular_guided", kRunTriangular, false, kRunTriangular, true,
+       true},
       {"matmul_plain", testsrc::kMatmulPlain, false, kRunMatmulPlain, true,
        true, /*infer=*/true},
       {"heat_plain", testsrc::kHeatPlain, false, kRunHeatPlain, true, true,

@@ -1,0 +1,38 @@
+#include <omp.h>
+#ifndef PUREC_POLY_HELPERS
+#define PUREC_POLY_HELPERS
+#define floord(n, d) (((n) < 0) ? -((-(n) + (d) - 1) / (d)) : (n) / (d))
+#define ceild(n, d) floord((n) + (d) - 1, (d))
+#define purec_max(a, b) (((a) > (b)) ? (a) : (b))
+#define purec_min(a, b) (((a) < (b)) ? (a) : (b))
+#endif
+float** A;
+float** Bt;
+float** C;
+float mult(float a, float b)
+{
+  return a * b;
+}
+float dot(const float* a, const float* b, int size)
+{
+  float res = 0.0f;
+  {
+    for (int t1 = 0; t1 <= size - 1; t1++)
+    {
+      res += a[t1] * b[t1];
+    }
+  }
+  return res;
+}
+int main(int argc, char** argv)
+{
+  {
+#pragma omp parallel for
+    for (int t1 = 0; t1 <= 63; t1++)
+      for (int t2 = 0; t2 <= 63; t2++)
+      {
+        C[t1][t2] = dot((const float*)A[t1], (const float*)Bt[t2], 64);
+      }
+  }
+  return 0;
+}

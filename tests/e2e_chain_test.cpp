@@ -58,6 +58,7 @@ ChainOptions options_for(const Config& config, const Fixture& fixture) {
   options.tile = config.tile;
   options.inline_pure_expressions = config.inline_pure;
   options.infer_purity = fixture.infer;
+  options.memoize = fixture.memoize;
   if (fixture.schedule != nullptr) {
     const std::optional<ScheduleSpec> spec =
         ScheduleSpec::parse(fixture.schedule);

@@ -328,6 +328,162 @@ TEST(Effects, LocalArrayWritesAreInvisible) {
 // Fixpoint inference
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Extern effect database (memcpy & friends beyond the seed hashset)
+// ---------------------------------------------------------------------------
+
+TEST(ExternEffects, DatabaseClassifiesTheModeledFunctions) {
+  ASSERT_NE(extern_effect("memcpy"), nullptr);
+  EXPECT_EQ(extern_effect("memcpy")->kind, ExternEffectKind::WritesArg0);
+  ASSERT_NE(extern_effect("memmove"), nullptr);
+  EXPECT_EQ(extern_effect("memmove")->kind, ExternEffectKind::WritesArg0);
+  ASSERT_NE(extern_effect("memset"), nullptr);
+  EXPECT_EQ(extern_effect("memset")->kind, ExternEffectKind::WritesArg0);
+  ASSERT_NE(extern_effect("snprintf"), nullptr);
+  EXPECT_EQ(extern_effect("snprintf")->kind, ExternEffectKind::WritesArg0);
+  ASSERT_NE(extern_effect("strlen"), nullptr);
+  EXPECT_EQ(extern_effect("strlen")->kind, ExternEffectKind::ReadOnly);
+  ASSERT_NE(extern_effect("memcmp"), nullptr);
+  EXPECT_EQ(extern_effect("memcmp")->kind, ExternEffectKind::ReadOnly);
+  EXPECT_EQ(extern_effect("sprintf"), nullptr);  // unbounded: not modeled
+}
+
+TEST(ExternEffects, MemcpyIntoLocalBufferStaysPure) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int f(int* src, int n) {\n"
+      "  int buf[16];\n"
+      "  memcpy(buf, src, n * sizeof(int));\n"
+      "  return buf[0];\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.callees.count("memcpy"), 0u)
+      << "modeled externs are resolved, not pessimized";
+}
+
+TEST(ExternEffects, MemcpyThroughParameterIsAnEffect) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "void f(int* dst, int* src, int n) {\n"
+      "  memcpy(dst, src, n * sizeof(int));\n"
+      "}\n",
+      "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_TRUE(s.writes_unknown_pointer);
+  EXPECT_NE(s.impurity_reason.find("'memcpy'"), std::string::npos)
+      << s.impurity_reason;
+  EXPECT_NE(s.impurity_reason.find("caller or global"), std::string::npos);
+}
+
+TEST(ExternEffects, MemsetAndMemmoveFollowTheSameRule) {
+  EffectsOutcome local;
+  const EffectSummary ok = effects_of(
+      local,
+      "int f(int n) {\n"
+      "  int buf[8];\n"
+      "  memset(buf, 0, sizeof(buf));\n"
+      "  memmove(buf + 1, buf, 4);\n"
+      "  return buf[0] + n;\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(ok.pure_locally) << ok.impurity_reason;
+
+  EffectsOutcome global;
+  const EffectSummary bad = effects_of(
+      global,
+      "int shared[8];\n"
+      "int f(int n) { memset(shared, 0, sizeof(shared)); return n; }\n",
+      "f");
+  EXPECT_FALSE(bad.pure_locally);
+  EXPECT_NE(bad.impurity_reason.find("'memset'"), std::string::npos);
+}
+
+TEST(ExternEffects, SnprintfBoundedWriteIntoLocalIsPure) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int f(int v) {\n"
+      "  char buf[32];\n"
+      "  snprintf(buf, 32, \"%d\", v);\n"
+      "  return buf[0];\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.extern_calls.count("snprintf"), 1u);
+}
+
+TEST(ExternEffects, SnprintfPercentNWritesThroughFormatArguments) {
+  // %n stores into a *later* pointer argument — the WritesArg0 model
+  // must not launder it through a local destination buffer.
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int f(int* p) {\n"
+      "  char buf[8];\n"
+      "  snprintf(buf, 8, \"%n\", p);\n"
+      "  return 0;\n"
+      "}\n",
+      "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_NE(s.impurity_reason.find("%n"), std::string::npos)
+      << s.impurity_reason;
+}
+
+TEST(ExternEffects, SnprintfNonLiteralFormatIsPessimized) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int f(char* fmt, int v) {\n"
+      "  char buf[8];\n"
+      "  snprintf(buf, 8, fmt, v);\n"
+      "  return 0;\n"
+      "}\n",
+      "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_NE(s.impurity_reason.find("non-literal format"), std::string::npos)
+      << s.impurity_reason;
+}
+
+TEST(ExternEffects, ReadOnlyExternsNeverPessimize) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int f(char* a, char* b, int n) {\n"
+      "  return (int)strlen(a) + memcmp(a, b, n);\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.callees.count("strlen"), 0u);
+  EXPECT_EQ(s.callees.count("memcmp"), 0u);
+}
+
+TEST(ExternEffects, InferenceAcceptsMemcpyIntoLocals) {
+  const InferOutcome out = infer(
+      "int pack(int a, int b) {\n"
+      "  int tmp[2];\n"
+      "  int pair[2];\n"
+      "  tmp[0] = a;\n"
+      "  tmp[1] = b;\n"
+      "  memcpy(pair, tmp, 2 * sizeof(int));\n"
+      "  return pair[0] * pair[1];\n"
+      "}\n");
+  const FunctionPurity& p = purity_of(out, "pack");
+  EXPECT_TRUE(p.inferred) << p.reason;
+}
+
+TEST(ExternEffects, InferenceStillRejectsMemcpyThroughParams) {
+  const InferOutcome out = infer(
+      "void blit(int* dst, int* src, int n) {\n"
+      "  memcpy(dst, src, n * sizeof(int));\n"
+      "}\n");
+  const FunctionPurity& p = purity_of(out, "blit");
+  EXPECT_FALSE(p.pure);
+  EXPECT_NE(p.reason.find("'memcpy'"), std::string::npos) << p.reason;
+}
+
 TEST(Inference, InfersTheUnannotatedMatmulHelpers) {
   auto out = infer(testsrc::kMatmulPlain);
   EXPECT_EQ(out.result.inferred_pure,

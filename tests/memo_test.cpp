@@ -1,0 +1,473 @@
+// Tests of the memoization subsystem: the concurrent cache
+// (src/runtime/memo_cache.*), the memoizability analysis
+// (src/memo/memoizable.*), the thunk codegen (src/memo/memo_codegen.*),
+// and the chain wiring behind ChainOptions::memoize.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "memo/memo_codegen.h"
+#include "memo/memoizable.h"
+#include "parser/parser.h"
+#include "runtime/memo_cache.h"
+#include "sema/symbols.h"
+#include "support/diagnostics.h"
+#include "test_sources.h"
+#include "transform/pure_chain.h"
+
+namespace purec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MemoCache: the C++ runtime table
+// ---------------------------------------------------------------------------
+
+using rt::MemoCache;
+using rt::MemoConfig;
+using rt::MemoKey;
+
+/// Reference function for hammer tests: any reported hit must return
+/// exactly this value for its key, or the cache corrupted data.
+std::uint64_t value_of(std::uint64_t key) { return MemoKey::mix(key); }
+
+std::uint64_t key_of(std::uint64_t i) {
+  MemoKey key(0x1234);
+  key.add(i);
+  return key.hash();
+}
+
+TEST(MemoCache, StoreLookupRoundtrip) {
+  MemoCache cache(MemoConfig{4, 256});
+  std::uint64_t out = 0;
+  EXPECT_FALSE(cache.lookup(key_of(1), &out));
+  cache.store(key_of(1), 42);
+  ASSERT_TRUE(cache.lookup(key_of(1), &out));
+  EXPECT_EQ(out, 42u);
+  EXPECT_FALSE(cache.lookup(key_of(2), &out));
+  const rt::MemoStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(MemoCache, StoreIsIdempotentForSameKey) {
+  MemoCache cache(MemoConfig{1, 16});
+  cache.store(key_of(7), 7);
+  cache.store(key_of(7), 7);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(cache.lookup(key_of(7), &out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_EQ(cache.stats().stores, 1u);
+}
+
+TEST(MemoCache, CapacityOneDegenerateTable) {
+  MemoCache cache(MemoConfig{1, 1});
+  EXPECT_EQ(cache.capacity(), 1u);
+  std::uint64_t out = 0;
+  cache.store(key_of(1), 11);
+  ASSERT_TRUE(cache.lookup(key_of(1), &out));
+  EXPECT_EQ(out, 11u);
+  // The single slot is recycled; the old key must be gone, never wrong.
+  cache.store(key_of(2), 22);
+  ASSERT_TRUE(cache.lookup(key_of(2), &out));
+  EXPECT_EQ(out, 22u);
+  EXPECT_FALSE(cache.lookup(key_of(1), &out));
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(MemoCache, ConfigNormalizesToPowersOfTwo) {
+  MemoCache cache(MemoConfig{3, 100});
+  EXPECT_EQ(cache.shard_count(), 2u);   // floor_pow2(3)
+  EXPECT_EQ(cache.capacity(), 64u);     // 2 shards x floor_pow2(50)
+  MemoCache tiny(MemoConfig{16, 4});    // budget smaller than shards
+  EXPECT_EQ(tiny.shard_count(), 4u);
+  EXPECT_EQ(tiny.capacity(), 4u);
+}
+
+TEST(MemoCache, PathologicalConfigsClampInsteadOfHanging) {
+  // shards = SIZE_MAX must neither hang floor_pow2 (overflow) nor blow
+  // the allocation: the knob ceiling clamps, then the small capacity
+  // budget collapses the shard count.
+  MemoCache cache(MemoConfig{static_cast<std::size_t>(-1), 64});
+  EXPECT_LE(cache.capacity(), 64u);
+  std::uint64_t out = 0;
+  cache.store(key_of(1), 5);
+  ASSERT_TRUE(cache.lookup(key_of(1), &out));
+  EXPECT_EQ(out, 5u);
+}
+
+TEST(MemoCache, FromEnvClampsOverflowingValues) {
+  setenv("PUREC_MEMO_SHARDS", "-1", 1);  // strtoull wraps to ULLONG_MAX
+  setenv("PUREC_MEMO_CAP", "999999999999999999", 1);
+  const MemoConfig config = MemoConfig::from_env();
+  EXPECT_LE(config.shards, std::size_t{1} << 24);
+  EXPECT_LE(config.capacity, std::size_t{1} << 24);
+  unsetenv("PUREC_MEMO_SHARDS");
+  unsetenv("PUREC_MEMO_CAP");
+}
+
+TEST(MemoCache, FromEnvParsesAndFallsBack) {
+  setenv("PUREC_MEMO_SHARDS", "2", 1);
+  setenv("PUREC_MEMO_CAP", "128", 1);
+  MemoConfig config = MemoConfig::from_env();
+  EXPECT_EQ(config.shards, 2u);
+  EXPECT_EQ(config.capacity, 128u);
+  setenv("PUREC_MEMO_SHARDS", "garbage", 1);
+  setenv("PUREC_MEMO_CAP", "0", 1);
+  config = MemoConfig::from_env();
+  EXPECT_EQ(config.shards, MemoConfig{}.shards);
+  EXPECT_EQ(config.capacity, MemoConfig{}.capacity);
+  unsetenv("PUREC_MEMO_SHARDS");
+  unsetenv("PUREC_MEMO_CAP");
+}
+
+TEST(MemoCache, EvictionNeverReturnsWrongValues) {
+  // 64 slots, 4096 distinct keys: heavy eviction. Every hit must carry
+  // the exact value stored for that key.
+  MemoCache cache(MemoConfig{2, 64});
+  std::uint64_t hits = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+      const std::uint64_t key = key_of(i);
+      std::uint64_t out = 0;
+      if (cache.lookup(key, &out)) {
+        ASSERT_EQ(out, value_of(key)) << "corrupt hit for key " << i;
+        ++hits;
+      } else {
+        cache.store(key, value_of(key));
+      }
+    }
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  (void)hits;  // hit count is policy-dependent; correctness is not
+}
+
+TEST(MemoCache, EightThreadHammerHitMissEvict) {
+  // 8 threads × mixed hit/miss/evict traffic over a deliberately small
+  // table. The invariant under concurrency is exactly the memoization
+  // soundness contract: a hit returns the value stored for that key.
+  MemoCache cache(MemoConfig{4, 256});
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 1024;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  std::atomic<bool> corrupt{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t cursor = static_cast<std::uint64_t>(t) * 31;
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::uint64_t i = 0; i < kKeys; i += kThreads) {
+          const std::uint64_t k = key_of((cursor + i) % kKeys);
+          std::uint64_t out = 0;
+          if (cache.lookup(k, &out)) {
+            if (out != value_of(k)) corrupt.store(true);
+          } else {
+            cache.store(k, value_of(k));
+          }
+        }
+        ++cursor;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(corrupt.load()) << "a hit returned a foreign value";
+  const rt::MemoStats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(MemoCache, ChecksumDeterministicWithAndWithoutCapPressure) {
+  // The same workload through a roomy table and through a 16-slot table
+  // must produce the identical checksum as the uncached compute: hits
+  // return bit-exact stored values, misses recompute them.
+  const auto run = [](MemoConfig config) {
+    MemoCache cache(config);
+    std::uint64_t checksum = 0;
+    for (int round = 0; round < 3; ++round) {
+      for (std::uint64_t i = 0; i < 512; ++i) {
+        const std::uint64_t k = key_of(i % 64);
+        std::uint64_t v = 0;
+        if (!cache.lookup(k, &v)) {
+          v = value_of(k);
+          cache.store(k, v);
+        }
+        checksum = MemoKey::mix(checksum ^ v);
+      }
+    }
+    return checksum;
+  };
+  std::uint64_t uncached = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      uncached = MemoKey::mix(uncached ^ value_of(key_of(i % 64)));
+    }
+  }
+  EXPECT_EQ(run(MemoConfig{8, 4096}), uncached);
+  EXPECT_EQ(run(MemoConfig{1, 16}), uncached);
+}
+
+// ---------------------------------------------------------------------------
+// Memoizability analysis
+// ---------------------------------------------------------------------------
+
+struct ClassifyOutcome {
+  DiagnosticEngine diags;
+  std::unique_ptr<TranslationUnit> tu;
+  std::unique_ptr<SymbolTable> symbols;
+  MemoizableResult result;
+};
+
+/// Parses `src`, derives the pure set via the checker (plus `extra_pure`
+/// names assumed without verification), and classifies.
+ClassifyOutcome classify(const std::string& src,
+                         std::set<std::string> extra_pure = {}) {
+  ClassifyOutcome out;
+  SourceBuffer buf = SourceBuffer::from_string(src);
+  out.tu = std::make_unique<TranslationUnit>(parse(buf, out.diags));
+  EXPECT_FALSE(out.diags.has_errors())
+      << "fixture must parse: " << out.diags.format(&buf);
+  out.symbols =
+      std::make_unique<SymbolTable>(SymbolTable::build(*out.tu, out.diags));
+  PurityOptions options;
+  options.assume_pure = std::move(extra_pure);
+  PurityChecker checker(*out.tu, *out.symbols, out.diags, options);
+  const PurityResult purity = checker.check();
+  out.result = classify_memoizable(*out.tu, *out.symbols,
+                                   purity.pure_functions, options);
+  return out;
+}
+
+const MemoFunctionInfo& info_of(const ClassifyOutcome& out,
+                                const std::string& name) {
+  const auto it = out.result.functions.find(name);
+  EXPECT_NE(it, out.result.functions.end()) << "no verdict for " << name;
+  return it->second;
+}
+
+TEST(Memoizable, ScalarParamsYesPointerParamsNo) {
+  const ClassifyOutcome out = classify(testsrc::kMatmul);
+  EXPECT_TRUE(info_of(out, "mult").memoizable);
+  ASSERT_EQ(info_of(out, "mult").param_types.size(), 2u);
+  const MemoFunctionInfo& dot = info_of(out, "dot");
+  EXPECT_FALSE(dot.memoizable);
+  EXPECT_NE(dot.reason.find("read extent not statically known"),
+            std::string::npos)
+      << dot.reason;
+}
+
+TEST(Memoizable, VoidReturnRejected) {
+  const ClassifyOutcome out = classify(
+      "pure void nop(int a) { int b; b = a; }\n");
+  const MemoFunctionInfo& info = info_of(out, "nop");
+  EXPECT_FALSE(info.memoizable);
+  EXPECT_NE(info.reason.find("returns void"), std::string::npos);
+}
+
+TEST(Memoizable, GlobalScalarJoinsSnapshot) {
+  const ClassifyOutcome out = classify(
+      "float gain;\n"
+      "pure float shade(int v) { return (float)v * gain; }\n");
+  const MemoFunctionInfo& info = info_of(out, "shade");
+  ASSERT_TRUE(info.memoizable) << info.reason;
+  ASSERT_EQ(info.global_snapshot.size(), 1u);
+  EXPECT_EQ(info.global_snapshot[0].first, "gain");
+}
+
+TEST(Memoizable, GlobalArrayRejected) {
+  const ClassifyOutcome out = classify(
+      "float lut[64];\n"
+      "pure float shade(int v) { return lut[v]; }\n");
+  const MemoFunctionInfo& info = info_of(out, "shade");
+  EXPECT_FALSE(info.memoizable);
+  EXPECT_NE(info.reason.find("snapshot would be unbounded"),
+            std::string::npos)
+      << info.reason;
+}
+
+TEST(Memoizable, TransitiveGlobalReadsFlowThroughCallees) {
+  const ClassifyOutcome out = classify(
+      "int bias;\n"
+      "pure int inner(int v) { return v + bias; }\n"
+      "pure int outer(int v) { return inner(v) * 2; }\n");
+  const MemoFunctionInfo& info = info_of(out, "outer");
+  ASSERT_TRUE(info.memoizable) << info.reason;
+  ASSERT_EQ(info.global_snapshot.size(), 1u);
+  EXPECT_EQ(info.global_snapshot[0].first, "bias");
+}
+
+TEST(Memoizable, AllocationRejected) {
+  const ClassifyOutcome out = classify(
+      "pure int probe(int n) {\n"
+      "  int* p = (int*)malloc(n * sizeof(int));\n"
+      "  p[0] = n;\n"
+      "  int r = p[0];\n"
+      "  free(p);\n"
+      "  return r;\n"
+      "}\n");
+  const MemoFunctionInfo& info = info_of(out, "probe");
+  EXPECT_FALSE(info.memoizable);
+  EXPECT_NE(info.reason.find("allocates"), std::string::npos)
+      << info.reason;
+}
+
+TEST(Memoizable, ExternPureProtoRejectedViaCallee) {
+  const ClassifyOutcome out = classify(
+      "pure int mystery(int v);\n"
+      "pure int wrap(int v) { return mystery(v) + 1; }\n");
+  const MemoFunctionInfo& info = info_of(out, "wrap");
+  EXPECT_FALSE(info.memoizable);
+  EXPECT_NE(info.reason.find("definition unavailable"), std::string::npos)
+      << info.reason;
+}
+
+TEST(Memoizable, FpEnvironmentSensitiveCalleeRejected) {
+  // `rint` observes the dynamic rounding mode; assume it pure to get past
+  // the checker and pin that memoization still refuses.
+  const ClassifyOutcome out = classify(
+      "pure double snap(double v) { return rint(v); }\n", {"rint"});
+  const MemoFunctionInfo& info = info_of(out, "snap");
+  EXPECT_FALSE(info.memoizable);
+  EXPECT_NE(info.reason.find("floating-point-environment"),
+            std::string::npos)
+      << info.reason;
+}
+
+TEST(Memoizable, LocaleSensitiveSnprintfRejected) {
+  // Pure enough for parallelization (bounded local write), but the
+  // formatted bytes depend on the dynamic locale — caching them would
+  // serve stale results across setlocale.
+  const ClassifyOutcome out = classify(
+      "int fmt(int v) {\n"
+      "  char buf[16];\n"
+      "  snprintf(buf, 16, \"%d\", v);\n"
+      "  return buf[0];\n"
+      "}\n",
+      {"fmt"});
+  const MemoFunctionInfo& info = info_of(out, "fmt");
+  EXPECT_FALSE(info.memoizable);
+  EXPECT_NE(info.reason.find("locale-sensitive"), std::string::npos)
+      << info.reason;
+}
+
+TEST(Memoizable, StandardMathCalleesAreFine) {
+  const ClassifyOutcome out = classify(
+      "pure double wave(double x) { return sin(x) * cos(x); }\n");
+  EXPECT_TRUE(info_of(out, "wave").memoizable)
+      << info_of(out, "wave").reason;
+}
+
+TEST(Memoizable, SnapshotBoundRejectsWideGlobalSets) {
+  std::string src;
+  std::string body = "pure int sum(int v) { return v";
+  for (int i = 0; i < 9; ++i) {
+    src += "int g" + std::to_string(i) + ";\n";
+    body += " + g" + std::to_string(i);
+  }
+  src += body + "; }\n";
+  const ClassifyOutcome out = classify(src);
+  const MemoFunctionInfo& info = info_of(out, "sum");
+  EXPECT_FALSE(info.memoizable);
+  EXPECT_NE(info.reason.find("snapshot bound"), std::string::npos)
+      << info.reason;
+}
+
+TEST(Memoizable, SummaryNamesBothSides) {
+  const ClassifyOutcome out = classify(testsrc::kMatmul);
+  const std::string summary = out.result.summary();
+  EXPECT_NE(summary.find("memoizable: mult"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("rejected: dot"), std::string::npos) << summary;
+}
+
+// ---------------------------------------------------------------------------
+// Thunk codegen
+// ---------------------------------------------------------------------------
+
+TEST(MemoCodegen, ThunkPrototypeShape) {
+  MemoFunctionInfo info;
+  info.name = "mult";
+  info.return_type = Type::make_builtin(BuiltinKind::Float);
+  info.param_types = {Type::make_builtin(BuiltinKind::Float),
+                      Type::make_builtin(BuiltinKind::Float)};
+  EXPECT_EQ(memo_thunk_prototype(info),
+            "static float purec_memo_mult(float purec_a0, "
+            "float purec_a1);\n");
+  const std::string def = memo_thunk_definition(info);
+  EXPECT_NE(def.find("PUREC_MEMO_KEY_F32(purec_key, purec_a0);"),
+            std::string::npos)
+      << def;
+  EXPECT_NE(def.find("purec_result = mult(purec_a0, purec_a1);"),
+            std::string::npos)
+      << def;
+}
+
+TEST(MemoCodegen, FunctionIdsDiffer) {
+  EXPECT_NE(memo_function_id("mult"), memo_function_id("dot"));
+  EXPECT_EQ(memo_function_id("mult"), memo_function_id("mult"));
+}
+
+TEST(MemoCodegen, IntegerAndDoubleKeyLines) {
+  MemoFunctionInfo info;
+  info.name = "f";
+  info.return_type = Type::make_builtin(BuiltinKind::Double);
+  info.param_types = {Type::make_builtin(BuiltinKind::Int)};
+  info.global_snapshot.emplace_back(
+      "g", Type::make_builtin(BuiltinKind::Double));
+  const std::string def = memo_thunk_definition(info);
+  EXPECT_NE(def.find("PUREC_MEMO_KEY_INT(purec_key, purec_a0);"),
+            std::string::npos)
+      << def;
+  EXPECT_NE(def.find("PUREC_MEMO_KEY_F64(purec_key, g);"),
+            std::string::npos)
+      << def;
+  EXPECT_NE(def.find("PUREC_MEMO_UNPACK_F64"), std::string::npos) << def;
+}
+
+// ---------------------------------------------------------------------------
+// Chain wiring
+// ---------------------------------------------------------------------------
+
+TEST(MemoChain, RewritesCallSitesAndEmitsRuntime) {
+  ChainOptions options;
+  options.memoize = true;
+  const ChainArtifacts artifacts =
+      run_pure_chain(testsrc::kMatmul, options);
+  ASSERT_TRUE(artifacts.ok) << artifacts.diagnostics.format();
+  EXPECT_EQ(artifacts.memoization.memoizable,
+            (std::set<std::string>{"mult"}));
+  EXPECT_GE(artifacts.memoized_calls, 1u);
+  EXPECT_NE(artifacts.final_source.find("PUREC_MEMO_RUNTIME"),
+            std::string::npos);
+  EXPECT_NE(artifacts.final_source.find("purec_memo_mult("),
+            std::string::npos);
+  EXPECT_NE(artifacts.final_source.find("#include <stdlib.h>"),
+            std::string::npos);
+  // Intermediate stages stay memo-free (the rewrite is a PosPro concern).
+  EXPECT_EQ(artifacts.transformed.find("purec_memo"), std::string::npos);
+}
+
+TEST(MemoChain, NoMemoizableFunctionsIsByteLevelNoop) {
+  ChainOptions plain;
+  ChainOptions memo;
+  memo.memoize = true;
+  const ChainArtifacts a = run_pure_chain(testsrc::kSatellite, plain);
+  const ChainArtifacts b = run_pure_chain(testsrc::kSatellite, memo);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.final_source, b.final_source);
+  EXPECT_EQ(b.memoized_calls, 0u);
+  EXPECT_TRUE(b.memoization.memoizable.empty());
+}
+
+TEST(MemoChain, OffByDefaultLeavesNoTrace) {
+  const ChainArtifacts artifacts = run_pure_chain(testsrc::kMatmul);
+  ASSERT_TRUE(artifacts.ok);
+  EXPECT_EQ(artifacts.final_source.find("purec_memo"), std::string::npos);
+  EXPECT_TRUE(artifacts.memoization.functions.empty());
+}
+
+}  // namespace
+}  // namespace purec

@@ -179,13 +179,54 @@ TEST(ScopExtraction, LinearizedSubscript) {
 
 // --- Rejections ------------------------------------------------------------
 
-TEST(ScopExtraction, RejectsNonUnitStep) {
+TEST(ScopExtraction, NormalizesNonUnitStep) {
+  // i += 2 from lower bound 1: the domain variable counts trips (t >= 0,
+  // 2t <= n - 2) and the access rewrites to a[2t + 1].
   auto r = extract_from(
       "float* a;\n"
-      "void k(int n) { for (int i = 0; i < n; i += 2) a[i] = 0.0f; }\n",
+      "void k(int n) { for (int i = 1; i < n; i += 2) a[i] = 0.0f; }\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  ASSERT_EQ(r.scop->strides.size(), 1u);
+  EXPECT_EQ(r.scop->strides[0], 2);
+  EXPECT_EQ(r.scop->origins[0].constant, 1);
+  ASSERT_EQ(r.scop->statements.size(), 1u);
+  const Access& write = r.scop->statements[0].accesses[0];
+  ASSERT_EQ(write.subscripts.size(), 1u);
+  EXPECT_EQ(write.subscripts[0].coeffs[0], 2);
+  EXPECT_EQ(write.subscripts[0].constant, 1);
+}
+
+TEST(ScopExtraction, RejectsNonConstantStep) {
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) { for (int i = 0; i < n; i += n) a[i] = 0.0f; }\n",
       "k");
   EXPECT_FALSE(r.ok());
   EXPECT_NE(r.failure_reason.find("increment"), std::string::npos);
+}
+
+TEST(ScopExtraction, RejectsNegativeStep) {
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) { for (int i = n; i < n; i -= 2) a[i] = 0.0f; }\n",
+      "k");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.failure_reason.find("increment"), std::string::npos);
+}
+
+TEST(ScopExtraction, RejectsStridedLowerBoundOnOuterIterator) {
+  // i = j start with a non-unit stride cannot be normalized (the origin
+  // must be affine over parameters only).
+  auto r = extract_from(
+      "float** a;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = i; j < n; j += 2) a[i][j] = 0.0f;\n"
+      "}\n",
+      "k");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.failure_reason.find("enclosing iterator"), std::string::npos);
 }
 
 TEST(ScopExtraction, RejectsNonAffineSubscript) {

@@ -249,4 +249,25 @@ TEST_F(PureccCliTest, InferPureParallelizesKeywordFreeInput) {
       << inferred.output;
 }
 
+TEST_F(PureccCliTest, MemoizeRewritesCallSitesAndReports) {
+  // twice(float) is memoizable: the output gains the thunk, its table,
+  // and the rewritten call site; the report carries the provenance.
+  const RunResult r =
+      run_purecc("--memoize --report " + shell_quote(input_path_));
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("PUREC_MEMO_RUNTIME"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("purec_memo_twice("), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("memoizable: twice"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("memoized 1 call site(s)"), std::string::npos)
+      << r.output;
+
+  // Without the flag nothing memo-related may leak into the output.
+  const RunResult plain = run_purecc(shell_quote(input_path_));
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+  EXPECT_EQ(plain.output.find("purec_memo"), std::string::npos);
+}
+
 }  // namespace
