@@ -17,8 +17,12 @@
 //                          functions (by-value scalar params, scalar
 //                          global snapshot) get thunks backed by a
 //                          sharded concurrent table in the output C
-//                          (PUREC_MEMO_SHARDS / PUREC_MEMO_CAP at run
-//                          time)
+//                          (PUREC_MEMO_SHARDS / PUREC_MEMO_CAP /
+//                          PUREC_MEMO_STATS at run time); trivially
+//                          small single-expression callees are skipped
+//                          by the cost gate
+//     --memoize=all        disable the cost gate (thunk every
+//                          memoizable function, for measurement)
 //     --gcc-attributes     annotate lowered pure functions with
 //                          __attribute__((pure))
 //     --stage <name>       print an intermediate stage instead of the final
@@ -42,8 +46,8 @@ int usage(const char* argv0) {
                "usage: %s [-o out.c] [--mode pluto|sica] [--tile N]\n"
                "          [--schedule static|dynamic[,N]|guided[,N]] "
                "[--no-parallel]\n"
-               "          [--inline-pure] [--infer-pure] [--memoize] "
-               "[--gcc-attributes]\n"
+               "          [--inline-pure] [--infer-pure] "
+               "[--memoize[=all]] [--gcc-attributes]\n"
                "          [--stage NAME] [--report] input.c\n",
                argv0);
   return 2;
@@ -102,6 +106,9 @@ int main(int argc, char** argv) {
       options.infer_purity = true;
     } else if (arg == "--memoize") {
       options.memoize = true;
+    } else if (arg == "--memoize=all") {
+      options.memoize = true;
+      options.memoize_all = true;
     } else if (arg == "--gcc-attributes") {
       options.emit_gcc_attributes = true;
     } else if (arg == "--stage") {
@@ -178,10 +185,10 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr,
                    "purecc: %s:%u depth=%zu calls=%zu%s deps=%zu "
-                   "transformed=%d parallel=%d tiled=%d%s%s\n",
+                   "transformed=%d parallel=%d tiled=%d region=%d%s%s\n",
                    r.function.c_str(), r.line, r.depth,
                    r.substituted_calls, inferred.c_str(), r.dependences,
-                   r.transformed, r.parallelized, r.tiled,
+                   r.transformed, r.parallelized, r.tiled, r.region,
                    r.failure_reason.empty() ? "" : " reason=",
                    r.failure_reason.c_str());
     }

@@ -396,4 +396,56 @@ const Expr* strip_casts(const Expr* e) {
   return e;
 }
 
+bool references_identifier(const Stmt& s, const std::string& name) {
+  bool found = false;
+  for_each_expr(s, [&](const Expr& e) {
+    const auto* ident = expr_cast<IdentExpr>(&e);
+    if (ident != nullptr && ident->name == name) found = true;
+  });
+  return found;
+}
+
+bool references_identifier(const Expr& e, const std::string& name) {
+  bool found = false;
+  for_each_expr(e, [&](const Expr& sub) {
+    const auto* ident = expr_cast<IdentExpr>(&sub);
+    if (ident != nullptr && ident->name == name) found = true;
+  });
+  return found;
+}
+
+std::optional<InductionStep> match_induction_step(const Expr& inc) {
+  if (const auto* u = expr_cast<UnaryExpr>(&inc)) {
+    if (u->op == UnaryOp::PostInc || u->op == UnaryOp::PreInc) {
+      if (const auto* ident = expr_cast<IdentExpr>(u->operand.get())) {
+        return InductionStep{ident->name, 1};
+      }
+    }
+    return std::nullopt;
+  }
+  const auto* a = expr_cast<AssignExpr>(&inc);
+  if (a == nullptr) return std::nullopt;
+  const auto* ident = expr_cast<IdentExpr>(a->lhs.get());
+  if (ident == nullptr) return std::nullopt;
+  if (a->op == AssignOp::AddAssign) {
+    const auto* step = expr_cast<IntLiteralExpr>(a->rhs.get());
+    if (step != nullptr && step->value >= 1) {
+      return InductionStep{ident->name, step->value};
+    }
+    return std::nullopt;
+  }
+  if (a->op == AssignOp::Assign) {
+    const auto* add = expr_cast<BinaryExpr>(a->rhs.get());
+    if (add != nullptr && add->op == BinaryOp::Add) {
+      const auto* base = expr_cast<IdentExpr>(add->lhs.get());
+      const auto* step = expr_cast<IntLiteralExpr>(add->rhs.get());
+      if (base != nullptr && base->name == ident->name && step != nullptr &&
+          step->value >= 1) {
+        return InductionStep{ident->name, step->value};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace purec

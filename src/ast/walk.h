@@ -3,13 +3,36 @@
 // a subtree in place (the chain's pure-call substitution needs exactly that).
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
 
 #include "ast/decl.h"
 #include "ast/expr.h"
 #include "ast/stmt.h"
 
 namespace purec {
+
+/// A recognized affine induction step: `i++`, `++i`, `i += K`, or
+/// `i = i + K` with K a positive integer constant. Shared by the while
+/// canonicalizer and the polyhedral loop matcher so the accepted step
+/// grammar cannot drift between them.
+struct InductionStep {
+  std::string iterator;
+  std::int64_t stride = 1;
+};
+
+[[nodiscard]] std::optional<InductionStep> match_induction_step(
+    const Expr& inc);
+
+/// True when any expression reachable from the subtree mentions the
+/// identifier `name` (shared by the canonicalizer's and the chain's
+/// liveness scans so their notion of "references" cannot drift).
+[[nodiscard]] bool references_identifier(const Stmt& s,
+                                         const std::string& name);
+[[nodiscard]] bool references_identifier(const Expr& e,
+                                         const std::string& name);
 
 /// Visits `e` and all sub-expressions, pre-order.
 void for_each_expr(const Expr& e, const std::function<void(const Expr&)>& fn);

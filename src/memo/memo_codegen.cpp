@@ -86,10 +86,59 @@ const std::string& memo_runtime_prelude() {
  * cache-line padded, open addressing within an 8-slot probe window,
  * per-slot seqlock publication (a torn read is a safe miss), clock
  * second-chance eviction when a window fills. Knobs: PUREC_MEMO_SHARDS,
- * PUREC_MEMO_CAP (total slots). */
+ * PUREC_MEMO_CAP (total slots), PUREC_MEMO_STATS=1 (per-thunk
+ * hit/miss/eviction counters dumped to stderr at exit; counters are
+ * dead branches when the knob is off). */
 typedef unsigned long long purec_memo_word;
 typedef union { float v; unsigned int b; } purec_memo_f32;
 typedef union { double v; purec_memo_word b; } purec_memo_f64;
+
+typedef struct {
+  const char* name;
+  purec_memo_word hits, misses, evictions;
+} purec_memo_stats_entry;
+
+static purec_memo_stats_entry* purec_memo_stats_tables[64];
+static unsigned purec_memo_stats_count;
+static unsigned purec_memo_stats_dropped;
+static int purec_memo_stats_on; /* PUREC_MEMO_STATS=1 */
+
+static void purec_memo_stats_dump(void) {
+  unsigned i;
+  if (purec_memo_stats_dropped != 0)
+    fprintf(stderr,
+            "purec-memo: %u thunk counter(s) not shown (registry full)\n",
+            purec_memo_stats_dropped);
+  for (i = 0; i < purec_memo_stats_count; i++) {
+    purec_memo_stats_entry* e = purec_memo_stats_tables[i];
+    fprintf(stderr,
+            "purec-memo[%s] hits=%llu misses=%llu evictions=%llu\n",
+            e->name,
+            (unsigned long long)__atomic_load_n(&e->hits,
+                                                __ATOMIC_RELAXED),
+            (unsigned long long)__atomic_load_n(&e->misses,
+                                                __ATOMIC_RELAXED),
+            (unsigned long long)__atomic_load_n(&e->evictions,
+                                                __ATOMIC_RELAXED));
+  }
+}
+
+/* Thunk registrars run as constructors too; registration is
+ * unconditional (the env gate lives on the counting and the dump) so
+ * constructor order cannot drop a table. */
+static void purec_memo_stats_register(purec_memo_stats_entry* e) {
+  if (purec_memo_stats_count <
+      sizeof(purec_memo_stats_tables) / sizeof(purec_memo_stats_tables[0]))
+    purec_memo_stats_tables[purec_memo_stats_count++] = e;
+  else
+    purec_memo_stats_dropped++;
+}
+
+#define PUREC_MEMO_STAT_INC(counter)                                   \
+  do {                                                                 \
+    if (purec_memo_stats_on)                                           \
+      __atomic_fetch_add((counter), 1ULL, __ATOMIC_RELAXED);           \
+  } while (0)
 
 typedef struct {
   purec_memo_word seq;   /* even = stable, odd = mid-write */
@@ -140,6 +189,9 @@ __attribute__((constructor)) static void purec_memo_init(void) {
       purec_memo_pow2(purec_memo_env("PUREC_MEMO_SHARDS", 8));
   purec_memo_word cap = purec_memo_env("PUREC_MEMO_CAP", 65536);
   purec_memo_word per, s;
+  const char* stats = getenv("PUREC_MEMO_STATS");
+  purec_memo_stats_on = stats != 0 && stats[0] == '1';
+  if (purec_memo_stats_on) atexit(purec_memo_stats_dump);
   if (cap < shards) shards = purec_memo_pow2(cap);
   per = purec_memo_pow2(cap / shards);
   purec_memo_shards =
@@ -194,24 +246,34 @@ static int purec_memo_claim(purec_memo_slot* s, purec_memo_word key,
   return 1;
 }
 
-static void purec_memo_store(purec_memo_word key, purec_memo_word value) {
+/* Returns 1 when the store displaced a live entry (an eviction), 0 for
+ * fresh/duplicate/failed stores — the stats counters want the split. */
+static int purec_memo_store(purec_memo_word key, purec_memo_word value) {
   purec_memo_shard* sh;
   unsigned i;
-  if (!purec_memo_ready) return;
+  purec_memo_word old_tag;
+  if (!purec_memo_ready) return 0;
   sh = &purec_memo_shards[(key >> 40) & purec_memo_shard_mask];
   for (i = 0; i < purec_memo_probe; i++) {
     purec_memo_slot* s = &sh->slots[(key + i) & sh->slot_mask];
     purec_memo_word tag = __atomic_load_n(&s->tag, __ATOMIC_RELAXED);
-    if (tag == key) return; /* pure: the resident value is identical */
-    if (tag == 0 && purec_memo_claim(s, key, value)) return;
+    if (tag == key) return 0; /* pure: the resident value is identical */
+    if (tag == 0 && purec_memo_claim(s, key, value)) return 0;
   }
   for (i = 0; i < purec_memo_probe; i++) {
     purec_memo_slot* s = &sh->slots[(key + i) & sh->slot_mask];
-    if (__atomic_exchange_n(&s->ref, 0, __ATOMIC_RELAXED) == 0 &&
-        purec_memo_claim(s, key, value))
-      return;
+    if (__atomic_exchange_n(&s->ref, 0, __ATOMIC_RELAXED) != 0) continue;
+    old_tag = __atomic_load_n(&s->tag, __ATOMIC_RELAXED);
+    if (purec_memo_claim(s, key, value))
+      return old_tag != 0 && old_tag != key;
   }
-  purec_memo_claim(&sh->slots[key & sh->slot_mask], key, value);
+  {
+    purec_memo_slot* s = &sh->slots[key & sh->slot_mask];
+    old_tag = __atomic_load_n(&s->tag, __ATOMIC_RELAXED);
+    if (purec_memo_claim(s, key, value))
+      return old_tag != 0 && old_tag != key;
+  }
+  return 0;
 }
 
 #define PUREC_MEMO_KEY_F32(k, x)                                       \
@@ -263,6 +325,13 @@ std::string memo_thunk_definition(const MemoFunctionInfo& info) {
   std::snprintf(id, sizeof(id), "0x%016llxULL",
                 static_cast<unsigned long long>(
                     memo_function_id(info.name)));
+  const std::string stats = "purec_memo_stats_" + info.name;
+  out << "static purec_memo_stats_entry " << stats << " = {\""
+      << info.name << "\", 0, 0, 0};\n";
+  out << "__attribute__((constructor)) static void " << stats
+      << "_register(void) {\n";
+  out << "  purec_memo_stats_register(&" << stats << ");\n";
+  out << "}\n";
   out << signature(info) << " {\n";
   out << "  purec_memo_word purec_key = " << id << ";\n";
   out << "  purec_memo_word purec_word;\n";
@@ -275,17 +344,21 @@ std::string memo_thunk_definition(const MemoFunctionInfo& info) {
   }
   out << "  purec_key = purec_memo_mix(purec_key);\n";
   out << "  if (purec_key == 0) purec_key = 1;\n";
-  out << "  if (purec_memo_lookup(purec_key, &purec_word))\n";
+  out << "  if (purec_memo_lookup(purec_key, &purec_word)) {\n";
+  out << "    PUREC_MEMO_STAT_INC(&" << stats << ".hits);\n";
   out << "    return " << unpack_expr(info.return_type, "purec_word")
       << ";\n";
+  out << "  }\n";
+  out << "  PUREC_MEMO_STAT_INC(&" << stats << ".misses);\n";
   out << "  purec_result = " << info.name << "(";
   for (std::size_t i = 0; i < info.param_types.size(); ++i) {
     if (i != 0) out << ", ";
     out << "purec_a" << i;
   }
   out << ");\n";
-  out << "  purec_memo_store(purec_key, "
-      << pack_expr(info.return_type, "purec_result") << ");\n";
+  out << "  if (purec_memo_store(purec_key, "
+      << pack_expr(info.return_type, "purec_result") << "))\n";
+  out << "    PUREC_MEMO_STAT_INC(&" << stats << ".evictions);\n";
   out << "  return purec_result;\n";
   out << "}\n";
   return std::move(out).str();

@@ -1,7 +1,9 @@
 #include "memo/memoizable.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "ast/walk.h"
 #include "purity/effects.h"
 
 namespace purec {
@@ -25,12 +27,36 @@ namespace {
          type->builtin != BuiltinKind::LongDouble;
 }
 
+/// Expression-node count of a single-`return` body; nullopt when the body
+/// has any other shape (declarations, loops, multiple statements).
+[[nodiscard]] std::optional<std::size_t> single_expression_size(
+    const FunctionDecl& fn) {
+  const auto* block = stmt_cast<CompoundStmt>(fn.body.get());
+  if (block == nullptr) return std::nullopt;
+  const ReturnStmt* ret = nullptr;
+  for (const StmtPtr& s : block->stmts) {
+    if (s->kind() == StmtKind::Null || s->kind() == StmtKind::Pragma) {
+      continue;
+    }
+    if (ret != nullptr) return std::nullopt;
+    ret = stmt_cast<ReturnStmt>(s.get());
+    if (ret == nullptr) return std::nullopt;
+  }
+  if (ret == nullptr || !ret->value) return std::nullopt;
+  std::size_t nodes = 0;
+  for_each_expr(static_cast<const Expr&>(*ret->value),
+                [&](const Expr&) { ++nodes; });
+  return nodes;
+}
+
 class Classifier {
  public:
   Classifier(const TranslationUnit& tu, const SymbolTable& symbols,
              const std::set<std::string>& pure_functions,
-             const PurityOptions& options)
-      : symbols_(symbols), pure_functions_(pure_functions) {
+             const PurityOptions& options, bool cost_gate)
+      : symbols_(symbols),
+        pure_functions_(pure_functions),
+        cost_gate_(cost_gate) {
     for (const FunctionDecl* fn : tu.functions()) {
       if (!fn->is_definition() || pure_functions.count(fn->name) == 0) {
         continue;
@@ -91,6 +117,18 @@ class Classifier {
                       " (read extent not statically known)");
       }
       info.param_types.push_back(p.type);
+    }
+
+    // Cost gate: for a mult-sized leaf the hash/probe round trip costs
+    // more than just recomputing the expression.
+    if (cost_gate_) {
+      const std::optional<std::size_t> nodes = single_expression_size(fn);
+      if (nodes && *nodes < kMemoTrivialExprNodes) {
+        return reject("single-expression body of " +
+                      std::to_string(*nodes) +
+                      " node(s) below the cost gate (recompute beats the "
+                      "table trip; --memoize=all overrides)");
+      }
     }
 
     // Transitive closure over callees: every edge must stay inside the
@@ -178,6 +216,7 @@ class Classifier {
 
   const SymbolTable& symbols_;
   const std::set<std::string>& pure_functions_;
+  bool cost_gate_ = false;
   std::map<std::string, EffectSummary> summaries_;
   std::map<std::string, const FunctionDecl*> definitions_;
 };
@@ -204,8 +243,9 @@ std::string MemoizableResult::summary() const {
 MemoizableResult classify_memoizable(const TranslationUnit& tu,
                                      const SymbolTable& symbols,
                                      const std::set<std::string>& pure_functions,
-                                     const PurityOptions& options) {
-  return Classifier(tu, symbols, pure_functions, options).run();
+                                     const PurityOptions& options,
+                                     bool cost_gate) {
+  return Classifier(tu, symbols, pure_functions, options, cost_gate).run();
 }
 
 }  // namespace purec

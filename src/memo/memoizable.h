@@ -65,12 +65,20 @@ struct MemoizableResult {
 /// build would rival small callee bodies in cost.
 inline constexpr std::size_t kMemoMaxGlobalSnapshot = 8;
 
+/// Cost-gate threshold: a single-expression body below this many
+/// expression nodes is cheaper to recompute than the table trip (the
+/// honest 0.1x matmul-twin negative in BENCH_memoize.json — `mult` is 3
+/// nodes), so gated classification rejects it.
+inline constexpr std::size_t kMemoTrivialExprNodes = 8;
+
 /// Classifies every defined function in `pure_functions`. Must run on the
 /// *pre-transformation* AST (it re-derives effect summaries through
 /// `symbols`, whose resolutions are keyed on the original nodes).
+/// `cost_gate` enables the trivially-small-callee rejection (the chain
+/// passes true unless the user asked for `--memoize=all`).
 [[nodiscard]] MemoizableResult classify_memoizable(
     const TranslationUnit& tu, const SymbolTable& symbols,
     const std::set<std::string>& pure_functions,
-    const PurityOptions& options = {});
+    const PurityOptions& options = {}, bool cost_gate = false);
 
 }  // namespace purec

@@ -1,6 +1,7 @@
 #include "polyhedral/codegen.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "ast/walk.h"
 #include "support/rational.h"
@@ -172,15 +173,30 @@ void apply_iterator_substitution(StmtPtr& stmt,
   });
 }
 
-bool domain_is_imbalanced(const Scop& scop) {
-  const std::size_t d = scop.depth();
-  if (d < 2) return false;
-  for (const Constraint& c : scop.domain.constraints()) {
+namespace {
+
+[[nodiscard]] bool couples_iterators(const ConstraintSystem& domain,
+                                     std::size_t d) {
+  for (const Constraint& c : domain.constraints()) {
     std::size_t coupled = 0;
     for (std::size_t i = 0; i < d && i < c.coeffs.size(); ++i) {
       if (c.coeffs[i] != 0) ++coupled;
     }
     if (coupled >= 2) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool domain_is_imbalanced(const Scop& scop) {
+  const std::size_t d = scop.depth();
+  if (d < 2) return false;
+  if (couples_iterators(scop.domain, d)) return true;
+  for (const ScopStatement& stmt : scop.statements) {
+    if (stmt.domain.dimensions() > 0 && couples_iterators(stmt.domain, d)) {
+      return true;
+    }
   }
   return false;
 }
@@ -376,6 +392,159 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
   }
   result->stmts.push_back(std::move(current));
   return result;
+}
+
+StmtPtr annotate_region(const Scop& scop,
+                        const std::vector<Dependence>& deps,
+                        const CodegenOptions& options,
+                        std::vector<std::size_t>* parallel_loops_out) {
+  if (parallel_loops_out != nullptr) parallel_loops_out->clear();
+  if (!options.parallelize || scop.root == nullptr) return nullptr;
+  const std::size_t d = scop.depth();
+
+  std::vector<bool> parallel(d, false);
+  for (std::size_t j = 0; j < d; ++j) {
+    parallel[j] = loop_is_parallel(deps, j);
+  }
+  // Outermost parallel loops: a loop gets the pragma when it is parallel
+  // and no enclosing loop already has one (no nested parallel regions;
+  // pre-order guarantees ancestors are decided first).
+  std::vector<bool> selected(d, false);
+  for (std::size_t j = 0; j < d; ++j) {
+    if (!parallel[j]) continue;
+    bool under_selected = false;
+    for (std::size_t a = scop.loop_parents[j]; a != Scop::npos;
+         a = scop.loop_parents[a]) {
+      if (selected[a]) {
+        under_selected = true;
+        break;
+      }
+    }
+    selected[j] = !under_selected;
+  }
+  bool any_selected = false;
+  for (std::size_t j = 0; j < d; ++j) any_selected |= selected[j];
+  if (!any_selected) return nullptr;
+
+  // SICA mode: parallel leaf loops that did not take the parallel pragma
+  // themselves get the vectorization hint.
+  std::vector<bool> has_child(d, false);
+  for (std::size_t j = 0; j < d; ++j) {
+    if (scop.loop_parents[j] != Scop::npos) {
+      has_child[scop.loop_parents[j]] = true;
+    }
+  }
+  std::vector<bool> simd(d, false);
+  if (options.simd) {
+    for (std::size_t j = 0; j < d; ++j) {
+      simd[j] = !has_child[j] && parallel[j] && !selected[j];
+    }
+  }
+
+  // Effective schedule: same policy as the classic path — the user's
+  // spec wins; iterator-coupled (triangular/trapezoidal) statement
+  // domains default to guided so the fine tail absorbs the imbalance.
+  ScheduleSpec schedule = options.schedule;
+  if (schedule.empty() && domain_is_imbalanced(scop)) {
+    schedule.kind = OmpScheduleKind::Guided;
+    schedule.chunk = 4;
+  }
+  const std::string schedule_clause = schedule.clause();
+
+  // OpenMP privatizes only the pragma'd loop's own iteration variable.
+  // A descendant loop whose iterator lives in an enclosing scope
+  // (`int j; ... for (j = 0; ...)` — C89 style, or a canonicalized
+  // while whose variable is read after its loop) would be *shared*
+  // across threads, racing; list those in an explicit private clause.
+  // (Decl-init descendants are block-scoped and already per-thread.)
+  std::vector<std::string> private_clause(d);
+  for (std::size_t s = 0; s < d; ++s) {
+    if (!selected[s]) continue;
+    std::vector<std::string> names;
+    for (std::size_t k = 0; k < d; ++k) {
+      if (k == s) continue;
+      bool under = false;
+      for (std::size_t a = scop.loop_parents[k]; a != Scop::npos;
+           a = scop.loop_parents[a]) {
+        if (a == s) {
+          under = true;
+          break;
+        }
+      }
+      if (!under) continue;
+      const ForStmt* ast = scop.loop_asts[k];
+      if (ast == nullptr || !ast->init ||
+          stmt_cast<ExprStmt>(ast->init.get()) == nullptr) {
+        continue;
+      }
+      if (std::find(names.begin(), names.end(), scop.iterators[k]) ==
+          names.end()) {
+        names.push_back(scop.iterators[k]);
+      }
+    }
+    if (names.empty()) continue;
+    std::string clause = "private(";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i != 0) clause += ", ";
+      clause += names[i];
+    }
+    clause += ")";
+    private_clause[s] = std::move(clause);
+  }
+
+  StmtPtr cloned = scop.root->clone();
+  // The DFS below mirrors extraction's pre-order loop numbering (loops
+  // first at entry, then body elements in source order, descending into
+  // guard branches then-before-else).
+  std::size_t counter = 0;
+  std::function<void(StmtPtr&)> visit = [&](StmtPtr& slot) {
+    if (!slot) return;
+    switch (slot->kind()) {
+      case StmtKind::For: {
+        const std::size_t index = counter++;
+        auto& loop = static_cast<ForStmt&>(*slot);
+        if (loop.body) visit(loop.body);
+        if (index >= d || (!selected[index] && !simd[index])) return;
+        auto wrapper = std::make_unique<CompoundStmt>();
+        if (simd[index]) {
+          wrapper->stmts.push_back(
+              std::make_unique<PragmaStmt>("#pragma omp simd"));
+        }
+        if (selected[index]) {
+          std::string text = "#pragma omp parallel for";
+          if (!schedule_clause.empty()) text += " " + schedule_clause;
+          if (!private_clause[index].empty()) {
+            text += " " + private_clause[index];
+          }
+          wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
+        }
+        wrapper->stmts.push_back(std::move(slot));
+        slot = std::move(wrapper);
+        return;
+      }
+      case StmtKind::Compound:
+        for (StmtPtr& child : static_cast<CompoundStmt&>(*slot).stmts) {
+          visit(child);
+        }
+        return;
+      case StmtKind::If: {
+        auto& branch = static_cast<IfStmt&>(*slot);
+        visit(branch.then_stmt);
+        if (branch.else_stmt) visit(branch.else_stmt);
+        return;
+      }
+      default:
+        return;
+    }
+  };
+  visit(cloned);
+
+  if (parallel_loops_out != nullptr) {
+    for (std::size_t j = 0; j < d; ++j) {
+      if (selected[j]) parallel_loops_out->push_back(j);
+    }
+  }
+  return cloned;
 }
 
 }  // namespace purec::poly

@@ -64,6 +64,22 @@ struct IteratorSubstitution {
                                     IteratorSubstitution* substitution_out =
                                         nullptr);
 
+/// Region lowering for `Scop::region_shaped` scops (guards, imperfect
+/// nests, iterator-dependent strided origins): clones the original nest
+/// verbatim — statements keep their guards and their depth — and inserts
+/// `#pragma omp parallel for` on every outermost loop the per-statement
+/// dependence analysis proves parallel (`loop_is_parallel`); SICA mode
+/// additionally marks parallel leaf loops `#pragma omp simd`. No
+/// reordering, no tiling: iteration order within a thread is the source
+/// order, so correctness needs only the absence of dependences carried by
+/// the annotated loops. Returns nullptr when no loop is parallel (the
+/// chain leaves the nest untouched and reports the reason); the indices
+/// of pragma'd loops are returned through `parallel_loops_out`.
+[[nodiscard]] StmtPtr annotate_region(
+    const Scop& scop, const std::vector<Dependence>& deps,
+    const CodegenOptions& options,
+    std::vector<std::size_t>* parallel_loops_out = nullptr);
+
 /// Replaces occurrences of the old iterator identifiers in `stmt` with
 /// their affine replacements (exposed for the chain's call reinsertion).
 void apply_iterator_substitution(StmtPtr& stmt,

@@ -35,10 +35,14 @@ std::string Dependence::to_string(const Scop& scop) const {
 
 namespace {
 
-/// Builds the base dependence system over [src iters (d), dst iters (d),
-/// params (p)]: both domains + subscript equalities.
+/// Builds the base dependence system over [src iters (D), dst iters (D),
+/// params (p)]: each statement's own domain + subscript equalities. D is
+/// the scop's full iterator count; loops not enclosing a statement are
+/// simply unconstrained on its side (its domain never mentions them).
 [[nodiscard]] ConstraintSystem base_system(const Scop& scop,
+                                           const ScopStatement& S,
                                            const Access& src,
+                                           const ScopStatement& T,
                                            const Access& dst) {
   const std::size_t d = scop.depth();
   const std::size_t p = scop.parameters.size();
@@ -46,14 +50,14 @@ namespace {
   ConstraintSystem sys(dims);
 
   // Source domain: coefficients over [iters, params] -> [src, ..., params].
-  for (const Constraint& c : scop.domain.constraints()) {
+  for (const Constraint& c : statement_domain(scop, S).constraints()) {
     IntVec coeffs(dims, 0);
     for (std::size_t i = 0; i < d; ++i) coeffs[i] = c.coeffs[i];
     for (std::size_t i = 0; i < p; ++i) coeffs[2 * d + i] = c.coeffs[d + i];
     sys.add(Constraint{c.kind, std::move(coeffs), c.constant});
   }
   // Destination domain -> [_, dst, params].
-  for (const Constraint& c : scop.domain.constraints()) {
+  for (const Constraint& c : statement_domain(scop, T).constraints()) {
     IntVec coeffs(dims, 0);
     for (std::size_t i = 0; i < d; ++i) coeffs[d + i] = c.coeffs[i];
     for (std::size_t i = 0; i < p; ++i) coeffs[2 * d + i] = c.coeffs[d + i];
@@ -78,23 +82,26 @@ namespace {
   return sys;
 }
 
-/// Adds level-l precedence: src_k == dst_k for k < l, src_l + 1 <= dst_l.
+/// Adds precedence "carried at common-chain position l" (1-based): the
+/// first l-1 common loops agree, the l-th strictly increases.
 void add_carried_constraints(ConstraintSystem& sys, std::size_t d,
+                             const std::vector<std::size_t>& common,
                              std::size_t level) {
   for (std::size_t k = 0; k + 1 < level; ++k) {
     IntVec eq(sys.dimensions(), 0);
-    eq[k] = 1;
-    eq[d + k] = -1;
+    eq[common[k]] = 1;
+    eq[d + common[k]] = -1;
     sys.add_equality(std::move(eq), 0);
   }
   IntVec lt(sys.dimensions(), 0);
-  lt[level - 1] = -1;
-  lt[d + level - 1] = 1;
+  lt[common[level - 1]] = -1;
+  lt[d + common[level - 1]] = 1;
   sys.add_inequality(std::move(lt), -1);  // dst - src - 1 >= 0
 }
 
-void add_equal_constraints(ConstraintSystem& sys, std::size_t d) {
-  for (std::size_t k = 0; k < d; ++k) {
+void add_equal_constraints(ConstraintSystem& sys, std::size_t d,
+                           const std::vector<std::size_t>& common) {
+  for (std::size_t k : common) {
     IntVec eq(sys.dimensions(), 0);
     eq[k] = 1;
     eq[d + k] = -1;
@@ -122,6 +129,15 @@ std::vector<Dependence> analyze_dependences(const Scop& scop) {
     for (std::size_t ti = 0; ti < scop.statements.size(); ++ti) {
       const ScopStatement& S = scop.statements[si];
       const ScopStatement& T = scop.statements[ti];
+      const std::vector<std::size_t> src_chain = statement_loops(scop, S);
+      const std::vector<std::size_t> dst_chain = statement_loops(scop, T);
+      std::vector<std::size_t> common;
+      for (std::size_t k = 0;
+           k < src_chain.size() && k < dst_chain.size() &&
+           src_chain[k] == dst_chain[k];
+           ++k) {
+        common.push_back(src_chain[k]);
+      }
       for (const Access& a : S.accesses) {
         for (const Access& b : T.accesses) {
           if (a.array != b.array) continue;
@@ -130,12 +146,12 @@ std::vector<Dependence> analyze_dependences(const Scop& scop) {
           }
           if (a.subscripts.size() != b.subscripts.size()) continue;
 
-          const ConstraintSystem base = base_system(scop, a, b);
+          const ConstraintSystem base = base_system(scop, S, a, T, b);
 
-          // Carried levels 1..d.
-          for (std::size_t level = 1; level <= d; ++level) {
+          // Carried levels over the pair's common chain.
+          for (std::size_t level = 1; level <= common.size(); ++level) {
             ConstraintSystem sys = base;
-            add_carried_constraints(sys, d, level);
+            add_carried_constraints(sys, d, common, level);
             if (sys.is_empty()) continue;
             Dependence dep;
             dep.src_stmt = si;
@@ -143,8 +159,9 @@ std::vector<Dependence> analyze_dependences(const Scop& scop) {
             dep.array = a.array;
             dep.kind = classify(a.kind, b.kind);
             dep.level = level;
+            dep.carrier_loop = common[level - 1];
             dep.polyhedron = sys;
-            for (std::size_t k = 0; k < d; ++k) {
+            for (std::size_t k : common) {
               IntVec diff(sys.dimensions(), 0);
               diff[k] = -1;
               diff[d + k] = 1;
@@ -153,11 +170,11 @@ std::vector<Dependence> analyze_dependences(const Scop& scop) {
             deps.push_back(std::move(dep));
           }
 
-          // Loop-independent (same iteration, textual order).
+          // Loop-independent (same common iteration, textual order).
           if (S.position < T.position ||
               (S.position == T.position && si < ti)) {
             ConstraintSystem sys = base;
-            add_equal_constraints(sys, d);
+            add_equal_constraints(sys, d, common);
             if (!sys.is_empty()) {
               Dependence dep;
               dep.src_stmt = si;
@@ -165,8 +182,10 @@ std::vector<Dependence> analyze_dependences(const Scop& scop) {
               dep.array = a.array;
               dep.kind = classify(a.kind, b.kind);
               dep.level = d + 1;
+              dep.carrier_loop = Scop::npos;
               dep.polyhedron = sys;
-              dep.distance.assign(d, std::optional<std::int64_t>(0));
+              dep.distance.assign(common.size(),
+                                  std::optional<std::int64_t>(0));
               deps.push_back(std::move(dep));
             }
           }
@@ -181,6 +200,14 @@ bool level_is_parallel(const std::vector<Dependence>& deps, std::size_t level,
                        std::size_t depth) {
   for (const Dependence& dep : deps) {
     if (dep.loop_carried(depth) && dep.level == level) return false;
+  }
+  return true;
+}
+
+bool loop_is_parallel(const std::vector<Dependence>& deps,
+                      std::size_t loop_index) {
+  for (const Dependence& dep : deps) {
+    if (dep.carrier_loop == loop_index) return false;
   }
   return true;
 }

@@ -1,8 +1,14 @@
 // Exact affine dependence analysis over an extracted Scop (the ISL/candl
 // counterpart). For every pair of accesses to the same array with at least
-// one write, a dependence polyhedron is built per carrying level and tested
-// for emptiness with Fourier-Motzkin; constant distance vectors are
-// recovered where they exist.
+// one write, a dependence polyhedron is built by intersecting the *two
+// statements' own iteration domains* (per-statement domains carry affine
+// `if` guards and imperfect-nest chains) with subscript equalities, then
+// tested per carrying level with Fourier-Motzkin; constant distance
+// vectors are recovered where they exist.
+//
+// Precedence for statements at different depths follows the region model:
+// carried levels range over the pair's *common* loop chain; same-common-
+// iteration pairs are ordered by textual (pre-order) position.
 #pragma once
 
 #include <cstdint>
@@ -28,10 +34,15 @@ struct Dependence {
   std::size_t dst_stmt = 0;
   std::string array;
   DependenceKind kind = DependenceKind::Flow;
-  /// 1-based loop level carrying the dependence; depth+1 means
-  /// loop-independent (within one iteration, between body statements).
+  /// 1-based position in the pair's common loop chain carrying the
+  /// dependence; depth+1 means loop-independent (within one iteration,
+  /// between statements). For classic bands the common chain is the whole
+  /// nest, so this is exactly the loop level.
   std::size_t level = 0;
-  /// Per-dimension distance (target - source) when constant.
+  /// Global iterator index (into Scop::iterators) of the carrying loop;
+  /// Scop::npos when loop-independent. Classic bands: level - 1.
+  std::size_t carrier_loop = Scop::npos;
+  /// Per-common-loop distance (target - source) when constant.
   std::vector<std::optional<std::int64_t>> distance;
   /// The dependence polyhedron over [src iters, dst iters, params]; kept
   /// for schedule-legality tests.
@@ -49,5 +60,11 @@ struct Dependence {
 /// Convenience queries used by the scheduler and tests.
 [[nodiscard]] bool level_is_parallel(const std::vector<Dependence>& deps,
                                      std::size_t level, std::size_t depth);
+
+/// Region query: loop `loop_index` (global iterator index) carries no
+/// dependence — its iterations can run concurrently with every enclosing
+/// loop's iteration fixed.
+[[nodiscard]] bool loop_is_parallel(const std::vector<Dependence>& deps,
+                                    std::size_t loop_index);
 
 }  // namespace purec::poly

@@ -37,34 +37,74 @@ std::vector<std::string> Scop::space_names() const {
   return names;
 }
 
+const ConstraintSystem& statement_domain(const Scop& scop,
+                                         const ScopStatement& stmt) {
+  return stmt.domain.dimensions() > 0 ? stmt.domain : scop.domain;
+}
+
+std::vector<std::size_t> statement_loops(const Scop& scop,
+                                         const ScopStatement& stmt) {
+  if (!stmt.loops.empty() || scop.depth() == 0) return stmt.loops;
+  std::vector<std::size_t> chain(scop.depth());
+  for (std::size_t i = 0; i < chain.size(); ++i) chain[i] = i;
+  return chain;
+}
+
 namespace {
 
-/// Incremental affine-expression builder over a named space. Parameters
-/// are discovered on the fly (any identifier that is not an iterator).
+/// Incremental affine-expression builder over the region's variable space
+/// [all loop iterators (pre-order)..., parameters...]. Parameters are
+/// discovered on the fly; iterator names resolve against the *active
+/// chain* only (set_chain), so sibling loops may reuse a name without the
+/// spaces bleeding into each other.
 class AffineBuilder {
  public:
-  explicit AffineBuilder(const std::vector<std::string>& iterators)
+  AffineBuilder(const std::vector<std::string>& iterators,
+                const std::set<std::string>& written_scalars)
       : iterators_(iterators),
+        written_scalars_(written_scalars),
         strides_(iterators.size(), 1),
         origins_(iterators.size()) {}
 
-  /// Registers the stride normalization for level `level`: the source
-  /// iterator there sweeps `origin + stride * t_level`, so every later
+  /// Selects the loop chain whose iterators are in scope for subsequent
+  /// build() calls (indices into the iterator space, outermost first).
+  void set_chain(const std::vector<std::size_t>* chain) { chain_ = chain; }
+
+  /// Registers the stride normalization for loop `index`: the source
+  /// iterator there sweeps `origin + stride * t_index`, so every later
   /// reference to its name builds as that affine form instead of a unit
-  /// coefficient. `origin` must be affine over parameters only.
-  void set_iterator_map(std::size_t level, std::int64_t stride,
+  /// coefficient.
+  void set_iterator_map(std::size_t index, std::int64_t stride,
                         AffineForm origin) {
-    strides_[level] = stride;
-    origins_[level] = std::move(origin);
+    strides_[index] = stride;
+    origins_[index] = std::move(origin);
   }
 
   [[nodiscard]] const std::vector<std::string>& parameters() const {
     return parameters_;
   }
 
-  /// Converts an AST expression to an affine form; nullopt if non-affine.
+  /// Last failure detail from a nullopt build() (scope violations carry a
+  /// more specific story than plain non-affinity).
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Converts an AST expression to an affine form; nullopt if non-affine
+  /// or if it references an iterator outside the active chain.
   [[nodiscard]] std::optional<AffineForm> build(const Expr& e) {
-    // Forms use a growable coeff vector: [iterators..., parameters...].
+    error_.clear();
+    return build_impl(e);
+  }
+
+  /// Grows a form to the current space size (parameters may have been
+  /// discovered after it was built).
+  void align(AffineForm& f) const { f.coeffs.resize(space_size(), 0); }
+
+  [[nodiscard]] std::size_t space_size() const {
+    return iterators_.size() + parameters_.size();
+  }
+
+ private:
+  [[nodiscard]] std::optional<AffineForm> build_impl(const Expr& e) {
     switch (e.kind()) {
       case ExprKind::IntLiteral: {
         AffineForm f;
@@ -76,41 +116,42 @@ class AffineBuilder {
         const std::string& name = static_cast<const IdentExpr&>(e).name;
         // index_of can grow the space (new parameter), so it must run
         // before the coefficient vector is sized.
-        const std::size_t idx = index_of(name);
+        const std::optional<std::size_t> idx = index_of(name);
+        if (!idx) return std::nullopt;
         AffineForm f;
         f.coeffs.assign(space_size(), 0);
-        if (idx < iterators_.size() && strides_[idx] != 1) {
+        if (*idx < iterators_.size() && strides_[*idx] != 1) {
           // Strided iterator: i = origin + stride * t. Origin positions
           // are stable (parameters only ever append to the space).
-          const AffineForm& origin = origins_[idx];
+          const AffineForm& origin = origins_[*idx];
           for (std::size_t i = 0; i < origin.coeffs.size(); ++i) {
             f.coeffs[i] = origin.coeffs[i];
           }
           f.constant = origin.constant;
-          f.coeffs[idx] = checked_add(f.coeffs[idx], strides_[idx]);
+          f.coeffs[*idx] = checked_add(f.coeffs[*idx], strides_[*idx]);
         } else {
-          f.coeffs[idx] = 1;
+          f.coeffs[*idx] = 1;
         }
         return f;
       }
       case ExprKind::Unary: {
         const auto& u = static_cast<const UnaryExpr&>(e);
         if (u.op == UnaryOp::Minus) {
-          auto inner = build(*u.operand);
+          auto inner = build_impl(*u.operand);
           if (!inner) return std::nullopt;
           align(*inner);
           for (auto& c : inner->coeffs) c = -c;
           inner->constant = -inner->constant;
           return inner;
         }
-        if (u.op == UnaryOp::Plus) return build(*u.operand);
+        if (u.op == UnaryOp::Plus) return build_impl(*u.operand);
         return std::nullopt;
       }
       case ExprKind::Binary: {
         const auto& b = static_cast<const BinaryExpr&>(e);
         if (b.op == BinaryOp::Add || b.op == BinaryOp::Sub) {
-          auto lhs = build(*b.lhs);
-          auto rhs = build(*b.rhs);
+          auto lhs = build_impl(*b.lhs);
+          auto rhs = build_impl(*b.rhs);
           if (!lhs || !rhs) return std::nullopt;
           align(*lhs);
           align(*rhs);
@@ -127,8 +168,8 @@ class AffineBuilder {
         }
         if (b.op == BinaryOp::Mul) {
           // One side must be a constant.
-          auto lhs = build(*b.lhs);
-          auto rhs = build(*b.rhs);
+          auto lhs = build_impl(*b.lhs);
+          auto rhs = build_impl(*b.rhs);
           if (!lhs || !rhs) return std::nullopt;
           align(*lhs);
           align(*rhs);
@@ -148,24 +189,36 @@ class AffineBuilder {
         return std::nullopt;
       }
       case ExprKind::Cast:
-        return build(*static_cast<const CastExpr&>(e).operand);
+        return build_impl(*static_cast<const CastExpr&>(e).operand);
       default:
         return std::nullopt;
     }
   }
 
-  /// Grows a form to the current space size (parameters may have been
-  /// discovered after it was built).
-  void align(AffineForm& f) const { f.coeffs.resize(space_size(), 0); }
-
-  [[nodiscard]] std::size_t space_size() const {
-    return iterators_.size() + parameters_.size();
-  }
-
- private:
-  [[nodiscard]] std::size_t index_of(const std::string& name) {
-    for (std::size_t i = 0; i < iterators_.size(); ++i) {
-      if (iterators_[i] == name) return i;
+  [[nodiscard]] std::optional<std::size_t> index_of(
+      const std::string& name) {
+    if (chain_ != nullptr) {
+      for (auto it = chain_->rbegin(); it != chain_->rend(); ++it) {
+        if (iterators_[*it] == name) return *it;
+      }
+    }
+    // A name that is some loop's iterator but not in scope here would
+    // silently read the loop's final/undefined value as a "parameter" —
+    // reject instead.
+    if (std::find(iterators_.begin(), iterators_.end(), name) !=
+        iterators_.end()) {
+      error_ = "iterator '" + name + "' referenced outside its loop";
+      return std::nullopt;
+    }
+    // A scalar assigned inside the region is not loop-invariant: modeling
+    // it as a parameter in a bound, guard, or subscript would hide the
+    // write→read dependence (a guard can make the write's own carried
+    // dependence empty, so nothing else serializes the loop).
+    if (written_scalars_.count(name) != 0) {
+      error_ = "scalar '" + name +
+               "' is written in the region but used in an affine "
+               "position (bound, guard, or subscript)";
+      return std::nullopt;
     }
     for (std::size_t i = 0; i < parameters_.size(); ++i) {
       if (parameters_[i] == name) return iterators_.size() + i;
@@ -175,22 +228,26 @@ class AffineBuilder {
   }
 
   const std::vector<std::string>& iterators_;
+  const std::set<std::string>& written_scalars_;
   std::vector<std::string> parameters_;
   std::vector<std::int64_t> strides_;
   std::vector<AffineForm> origins_;
+  const std::vector<std::size_t>* chain_ = nullptr;
+  std::string error_;
 };
 
 struct LoopHeader {
   std::string iterator;
-  const Expr* lower = nullptr;   // from init
-  const Expr* upper = nullptr;   // from cond
-  bool upper_inclusive = false;  // <= vs <
-  std::int64_t stride = 1;       // constant positive step
+  const Expr* lower = nullptr;           // from init
+  std::vector<const Expr*> uppers;       // cond conjuncts (min bounds)
+  std::vector<bool> uppers_inclusive;    // <= vs < per conjunct
+  std::int64_t stride = 1;               // constant positive step
   const Stmt* body = nullptr;
 };
 
-/// Matches `for (int i = L; i < U; i += K)` shapes (K a positive integer
-/// constant; ++/i+=1/i=i+K all accepted); returns nullopt with a reason
+/// Matches `for (int i = L; i < U1 && i <= U2 ...; i += K)` shapes (K a
+/// positive integer constant; ++/i+=1/i=i+K all accepted; each cond
+/// conjunct must test the iterator); returns nullopt with a reason
 /// otherwise.
 [[nodiscard]] std::optional<LoopHeader> match_loop(const ForStmt& loop,
                                                    std::string& reason) {
@@ -219,48 +276,49 @@ struct LoopHeader {
     return std::nullopt;
   }
 
-  // cond: `i < U` / `i <= U`.
-  const auto* cmp = expr_cast<BinaryExpr>(loop.cond.get());
-  if (cmp == nullptr ||
-      (cmp->op != BinaryOp::Less && cmp->op != BinaryOp::LessEqual)) {
+  // cond: conjunction of `i < U` / `i <= U` (min-style compound upper
+  // bounds fold into the domain as multiple constraints).
+  std::vector<const Expr*> conjuncts;
+  std::vector<const Expr*> pending{loop.cond.get()};
+  while (!pending.empty()) {
+    const Expr* e = pending.back();
+    pending.pop_back();
+    const auto* land = expr_cast<BinaryExpr>(e);
+    if (land != nullptr && land->op == BinaryOp::LogicalAnd) {
+      pending.push_back(land->rhs.get());
+      pending.push_back(land->lhs.get());
+      continue;
+    }
+    conjuncts.push_back(e);
+  }
+  for (const Expr* conjunct : conjuncts) {
+    const auto* cmp = expr_cast<BinaryExpr>(conjunct);
+    if (cmp == nullptr ||
+        (cmp->op != BinaryOp::Less && cmp->op != BinaryOp::LessEqual)) {
+      reason = "for-condition must be i < U or i <= U";
+      return std::nullopt;
+    }
+    const auto* cond_ident = expr_cast<IdentExpr>(cmp->lhs.get());
+    if (cond_ident == nullptr || cond_ident->name != h.iterator) {
+      reason = "for-condition must test the loop iterator";
+      return std::nullopt;
+    }
+    h.uppers.push_back(cmp->rhs.get());
+    h.uppers_inclusive.push_back(cmp->op == BinaryOp::LessEqual);
+  }
+  if (h.uppers.empty()) {
     reason = "for-condition must be i < U or i <= U";
     return std::nullopt;
   }
-  const auto* cond_ident = expr_cast<IdentExpr>(cmp->lhs.get());
-  if (cond_ident == nullptr || cond_ident->name != h.iterator) {
-    reason = "for-condition must test the loop iterator";
-    return std::nullopt;
-  }
-  h.upper = cmp->rhs.get();
-  h.upper_inclusive = (cmp->op == BinaryOp::LessEqual);
 
-  // inc: `i++`, `++i`, `i += K`, `i = i + K` (K a positive constant).
+  // inc: `i++`, `++i`, `i += K`, `i = i + K` (shared grammar — see
+  // match_induction_step).
   bool inc_ok = false;
-  if (const auto* u = expr_cast<UnaryExpr>(loop.inc.get())) {
-    if ((u->op == UnaryOp::PostInc || u->op == UnaryOp::PreInc)) {
-      const auto* ident = expr_cast<IdentExpr>(u->operand.get());
-      inc_ok = ident != nullptr && ident->name == h.iterator;
-    }
-  } else if (const auto* a = expr_cast<AssignExpr>(loop.inc.get())) {
-    const auto* ident = expr_cast<IdentExpr>(a->lhs.get());
-    if (ident != nullptr && ident->name == h.iterator) {
-      if (a->op == AssignOp::AddAssign) {
-        const auto* step = expr_cast<IntLiteralExpr>(a->rhs.get());
-        if (step != nullptr && step->value >= 1) {
-          h.stride = step->value;
-          inc_ok = true;
-        }
-      } else if (a->op == AssignOp::Assign) {
-        const auto* add = expr_cast<BinaryExpr>(a->rhs.get());
-        if (add != nullptr && add->op == BinaryOp::Add) {
-          const auto* base = expr_cast<IdentExpr>(add->lhs.get());
-          const auto* step = expr_cast<IntLiteralExpr>(add->rhs.get());
-          if (base != nullptr && base->name == h.iterator &&
-              step != nullptr && step->value >= 1) {
-            h.stride = step->value;
-            inc_ok = true;
-          }
-        }
+  if (loop.inc) {
+    if (const auto step = match_induction_step(*loop.inc)) {
+      if (step->iterator == h.iterator) {
+        h.stride = step->stride;
+        inc_ok = true;
       }
     }
   }
@@ -271,22 +329,6 @@ struct LoopHeader {
   }
   h.body = loop.body.get();
   return h;
-}
-
-/// Unwraps a compound of exactly one statement.
-[[nodiscard]] const Stmt* sole_statement(const Stmt* s) {
-  const auto* block = stmt_cast<CompoundStmt>(s);
-  if (block == nullptr) return s;
-  const Stmt* found = nullptr;
-  for (const StmtPtr& child : block->stmts) {
-    if (child->kind() == StmtKind::Null ||
-        child->kind() == StmtKind::Pragma) {
-      continue;
-    }
-    if (found != nullptr) return nullptr;  // more than one
-    found = child.get();
-  }
-  return found;
 }
 
 /// Extracts the access chain of an Index expression: base identifier and
@@ -307,187 +349,487 @@ struct LoopHeader {
   return true;
 }
 
+/// One `if` condition on a statement's path, with the branch parity (the
+/// else branch sees the negated half-space) and the loop chain in scope
+/// *at the guard's position* — a loop nested below the guard must not
+/// resolve in its condition (the source reads the variable's value from
+/// the enclosing scope there, not the loop iterator).
+struct GuardRef {
+  const Expr* cond = nullptr;
+  bool negated = false;
+  std::vector<std::size_t> chain;
+};
+
 class Extractor {
  public:
   [[nodiscard]] ExtractionResult run(const ForStmt& root) {
     ExtractionResult result;
-    Scop scop;
-    scop.root = &root;
 
-    // 1. Descend the perfect nest.
-    std::vector<LoopHeader> headers;
-    const ForStmt* current = &root;
-    for (;;) {
-      std::string reason;
-      auto header = match_loop(*current, reason);
-      if (!header) {
-        result.failure_reason = reason;
-        return result;
-      }
-      scop.iterators.push_back(header->iterator);
-      headers.push_back(*header);
-      if (scop.iterators.size() > 4) {
-        result.failure_reason = "loop nest deeper than 4";
-        return result;
-      }
-      const Stmt* body = sole_statement(header->body);
-      if (body != nullptr) {
-        if (const auto* inner = stmt_cast<ForStmt>(body)) {
-          current = inner;
-          continue;
-        }
-      }
-      break;  // innermost reached (possibly multiple statements)
+    // ---- Pass 1: region structure (loop tree, statements, guards) ----
+    if (!walk_loop(root, Scop::npos, {}, {}, result.failure_reason)) {
+      return result;
     }
 
-    // 2. Build the domain.
-    AffineBuilder builder(scop.iterators);
-    scop.strides.assign(headers.size(), 1);
-    scop.origins.assign(headers.size(), AffineForm{});
-    std::vector<Constraint> pending;
-    for (std::size_t level = 0; level < headers.size(); ++level) {
-      const LoopHeader& h = headers[level];
+    Scop scop;
+    scop.root = &root;
+    for (const LoopNode& node : loops_) {
+      scop.iterators.push_back(node.header.iterator);
+      scop.loop_parents.push_back(node.parent);
+      scop.loop_asts.push_back(node.ast);
+    }
+
+    // Scalars written in the region (they carry dependences; the builder
+    // refuses them in affine positions).
+    std::set<std::string> written_scalars;
+    for (const PendingStmt& p : pending_stmts_) {
+      if (const auto* ident = expr_cast<IdentExpr>(p.assign->lhs.get())) {
+        written_scalars.insert(ident->name);
+      }
+    }
+
+    // ---- Pass 2: bounds, guards and accesses over the fixed space ----
+    AffineBuilder builder(scop.iterators, written_scalars);
+    scop.strides.assign(loops_.size(), 1);
+    scop.origins.assign(loops_.size(), AffineForm{});
+    // Per-loop bound constraints, reused by every statement under it.
+    std::vector<std::vector<Constraint>> loop_bounds(loops_.size());
+    bool iterator_dependent_origin = false;
+    for (std::size_t j = 0; j < loops_.size(); ++j) {
+      const LoopHeader& h = loops_[j].header;
+      builder.set_chain(&loops_[j].chain);
       auto lower = builder.build(*h.lower);
-      auto upper = builder.build(*h.upper);
-      if (!lower || !upper) {
+      if (!lower) {
         result.failure_reason =
-            "non-affine bound for iterator " + h.iterator;
+            builder.error().empty()
+                ? "non-affine bound for iterator " + h.iterator
+                : builder.error();
         return result;
       }
+      std::vector<AffineForm> uppers;
+      for (const Expr* u : h.uppers) {
+        auto upper = builder.build(*u);
+        if (!upper) {
+          result.failure_reason =
+              builder.error().empty()
+                  ? "non-affine bound for iterator " + h.iterator
+                  : builder.error();
+          return result;
+        }
+        uppers.push_back(std::move(*upper));
+      }
       builder.align(*lower);
-      builder.align(*upper);
+      for (AffineForm& u : uppers) builder.align(u);
+      // `for (j = j; ...)`: the incoming value of j is not affine in
+      // anything the model can see, and the strided normalization would
+      // conflate the origin with the loop's own dimension.
+      if (j < lower->coeffs.size() && lower->coeffs[j] != 0) {
+        result.failure_reason = "lower bound of iterator " + h.iterator +
+                                " references the iterator itself";
+        return result;
+      }
       if (h.stride == 1) {
         // i - L >= 0
         Constraint lo = Constraint::ge(IntVec(builder.space_size(), 0), 0);
-        lo.coeffs[level] = 1;
+        lo.coeffs[j] = 1;
         for (std::size_t i = 0; i < lower->coeffs.size(); ++i) {
           lo.coeffs[i] = checked_sub(lo.coeffs[i], lower->coeffs[i]);
         }
         lo.constant = -lower->constant;
-        // U - i - (1 if exclusive) >= 0
-        Constraint up = Constraint::ge(IntVec(builder.space_size(), 0), 0);
-        up.coeffs[level] = -1;
-        for (std::size_t i = 0; i < upper->coeffs.size(); ++i) {
-          up.coeffs[i] = checked_add(up.coeffs[i], upper->coeffs[i]);
+        loop_bounds[j].push_back(std::move(lo));
+        // U - i - (1 if exclusive) >= 0, once per conjunct.
+        for (std::size_t u = 0; u < uppers.size(); ++u) {
+          Constraint up =
+              Constraint::ge(IntVec(builder.space_size(), 0), 0);
+          up.coeffs[j] = -1;
+          for (std::size_t i = 0; i < uppers[u].coeffs.size(); ++i) {
+            up.coeffs[i] = checked_add(up.coeffs[i], uppers[u].coeffs[i]);
+          }
+          up.constant =
+              uppers[u].constant - (h.uppers_inclusive[u] ? 0 : 1);
+          loop_bounds[j].push_back(std::move(up));
         }
-        up.constant = upper->constant - (h.upper_inclusive ? 0 : 1);
-        pending.push_back(std::move(lo));
-        pending.push_back(std::move(up));
         continue;
       }
       // Non-unit stride: normalize to t >= 0 with i = L + stride*t. The
-      // level's domain variable is the trip count, so every bound stays
-      // affine; body accesses to i are rewritten by the builder's map.
+      // loop's domain variable is the trip count, so every bound stays
+      // affine; references to i are rewritten by the builder's map. An
+      // origin over enclosing iterators (`for (j = i; ...; j += 2)`) is
+      // fine for analysis but cannot be folded back by the classic code
+      // generator — it forces the region path.
       for (std::size_t i = 0; i < scop.iterators.size(); ++i) {
         if (i < lower->coeffs.size() && lower->coeffs[i] != 0) {
-          result.failure_reason = "strided iterator " + h.iterator +
-                                  " has a lower bound depending on an "
-                                  "enclosing iterator";
+          iterator_dependent_origin = true;
+          break;
+        }
+      }
+      builder.set_iterator_map(j, h.stride, *lower);
+      scop.strides[j] = h.stride;
+      scop.origins[j] = *lower;
+      // t >= 0
+      Constraint lo = Constraint::ge(IntVec(builder.space_size(), 0), 0);
+      lo.coeffs[j] = 1;
+      loop_bounds[j].push_back(std::move(lo));
+      // U - L - stride*t - (1 if exclusive) >= 0, once per conjunct.
+      for (std::size_t u = 0; u < uppers.size(); ++u) {
+        Constraint up = Constraint::ge(IntVec(builder.space_size(), 0), 0);
+        for (std::size_t i = 0; i < uppers[u].coeffs.size(); ++i) {
+          up.coeffs[i] =
+              checked_sub(uppers[u].coeffs[i], lower->coeffs[i]);
+        }
+        up.coeffs[j] = checked_sub(up.coeffs[j], h.stride);
+        up.constant = checked_sub(uppers[u].constant, lower->constant) -
+                      (h.uppers_inclusive[u] ? 0 : 1);
+        loop_bounds[j].push_back(std::move(up));
+      }
+    }
+
+    std::vector<std::vector<Constraint>> stmt_guards(pending_stmts_.size());
+    for (std::size_t s = 0; s < pending_stmts_.size(); ++s) {
+      const PendingStmt& p = pending_stmts_[s];
+      builder.set_chain(&p.chain);
+
+      // Writing a loop iterator from the body breaks the affine model
+      // outright (and a guard could empty the write's own carried
+      // dependence, hiding the breakage from the analysis).
+      if (const auto* lhs_ident =
+              expr_cast<IdentExpr>(p.assign->lhs.get())) {
+        if (std::find(scop.iterators.begin(), scop.iterators.end(),
+                      lhs_ident->name) != scop.iterators.end()) {
+          result.failure_reason = "loop iterator '" + lhs_ident->name +
+                                  "' is written inside the body";
           return result;
         }
       }
-      builder.set_iterator_map(level, h.stride, *lower);
-      scop.strides[level] = h.stride;
-      scop.origins[level] = *lower;
-      // t >= 0
-      Constraint lo = Constraint::ge(IntVec(builder.space_size(), 0), 0);
-      lo.coeffs[level] = 1;
-      pending.push_back(std::move(lo));
-      // U - L - stride*t - (1 if exclusive) >= 0
-      Constraint up = Constraint::ge(IntVec(builder.space_size(), 0), 0);
-      for (std::size_t i = 0; i < upper->coeffs.size(); ++i) {
-        up.coeffs[i] = checked_sub(upper->coeffs[i], lower->coeffs[i]);
-      }
-      up.coeffs[level] = checked_sub(up.coeffs[level], h.stride);
-      up.constant = checked_sub(upper->constant, lower->constant) -
-                    (h.upper_inclusive ? 0 : 1);
-      pending.push_back(std::move(up));
-    }
 
-    // 3. Extract statements & accesses from the innermost body.
-    std::vector<const Stmt*> body_stmts;
-    const Stmt* innermost_body = headers.back().body;
-    if (const auto* block = stmt_cast<CompoundStmt>(innermost_body)) {
-      for (const StmtPtr& child : block->stmts) {
-        if (child->kind() == StmtKind::Null ||
-            child->kind() == StmtKind::Pragma) {
-          continue;
-        }
-        body_stmts.push_back(child.get());
-      }
-    } else {
-      body_stmts.push_back(innermost_body);
-    }
-
-    // Scalars written in the nest (they carry dependences).
-    std::set<std::string> written_scalars;
-    for (const Stmt* s : body_stmts) {
-      if (const auto* es = stmt_cast<ExprStmt>(s)) {
-        if (const auto* a = expr_cast<AssignExpr>(es->expr.get())) {
-          if (const auto* ident = expr_cast<IdentExpr>(a->lhs.get())) {
-            written_scalars.insert(ident->name);
-          }
+      for (const GuardRef& guard : p.guards) {
+        // The guard lowers in the scope where it appears: iterators of
+        // loops nested below it are not visible to its condition.
+        builder.set_chain(&guard.chain);
+        if (!build_guard(*guard.cond, guard.negated, builder,
+                         stmt_guards[s], result.failure_reason)) {
+          return result;
         }
       }
-    }
+      builder.set_chain(&p.chain);
 
-    std::size_t position = 0;
-    for (const Stmt* s : body_stmts) {
-      const auto* es = stmt_cast<ExprStmt>(s);
-      const AssignExpr* assign =
-          es ? expr_cast<AssignExpr>(es->expr.get()) : nullptr;
-      if (assign == nullptr) {
-        result.failure_reason =
-            "loop body statement is not a plain assignment";
-        return result;
-      }
       ScopStatement stmt;
-      stmt.ast = s;
-      stmt.position = position++;
+      stmt.ast = p.ast;
+      stmt.position = s;
+      stmt.guarded = !p.guards.empty();
+      stmt.loops = p.chain;
 
-      if (!add_access(*assign->lhs, AccessKind::Write, builder, scop,
+      if (!add_access(*p.assign->lhs, AccessKind::Write, builder,
                       written_scalars, stmt, result.failure_reason)) {
         return result;
       }
       // Compound assignment reads its target too.
-      if (assign->op != AssignOp::Assign) {
-        if (!add_access(*assign->lhs, AccessKind::Read, builder, scop,
+      if (p.assign->op != AssignOp::Assign) {
+        if (!add_access(*p.assign->lhs, AccessKind::Read, builder,
                         written_scalars, stmt, result.failure_reason)) {
           return result;
         }
       }
-      if (!collect_reads(*assign->rhs, builder, scop, written_scalars, stmt,
+      if (!collect_reads(*p.assign->rhs, builder, written_scalars, stmt,
                          result.failure_reason)) {
         return result;
       }
       scop.statements.push_back(std::move(stmt));
     }
 
-    // 4. Finalize: parameters are now known; pad all forms & constraints.
+    // ---- Finalize: pad every form/constraint to the full space --------
     scop.parameters = builder.parameters();
     const std::size_t space = builder.space_size();
-    scop.domain = ConstraintSystem(space);
-    for (Constraint& c : pending) {
+    const auto aligned = [space](Constraint c) {
       c.coeffs.resize(space, 0);
-      scop.domain.add(std::move(c));
+      return c;
+    };
+    scop.domain = ConstraintSystem(space);
+    for (const std::vector<Constraint>& bounds : loop_bounds) {
+      for (const Constraint& c : bounds) scop.domain.add(aligned(c));
     }
-    for (ScopStatement& stmt : scop.statements) {
+    for (std::size_t s = 0; s < scop.statements.size(); ++s) {
+      ScopStatement& stmt = scop.statements[s];
+      ConstraintSystem domain(space);
+      for (std::size_t loop_index : stmt.loops) {
+        for (const Constraint& c : loop_bounds[loop_index]) {
+          domain.add(aligned(c));
+        }
+      }
+      for (const Constraint& c : stmt_guards[s]) domain.add(aligned(c));
+      stmt.domain = std::move(domain);
       for (Access& a : stmt.accesses) {
         for (AffineForm& f : a.subscripts) f.coeffs.resize(space, 0);
       }
     }
     for (AffineForm& origin : scop.origins) origin.coeffs.resize(space, 0);
+
+    scop.region_shaped =
+        saw_guard_ || iterator_dependent_origin || !is_single_chain(scop);
     result.scop = std::move(scop);
     return result;
   }
 
  private:
+  struct LoopNode {
+    LoopHeader header;
+    std::size_t parent = Scop::npos;
+    const ForStmt* ast = nullptr;
+    std::vector<std::size_t> chain;  // ancestors + self
+  };
+
+  struct PendingStmt {
+    const Stmt* ast = nullptr;
+    const AssignExpr* assign = nullptr;
+    std::vector<std::size_t> chain;
+    std::vector<GuardRef> guards;
+  };
+
+  /// True when the loop tree is one perfectly nested chain with every
+  /// statement at the innermost level — the classic band the full
+  /// reschedule/tile pipeline handles.
+  [[nodiscard]] bool is_single_chain(const Scop& scop) const {
+    for (std::size_t j = 0; j < scop.loop_parents.size(); ++j) {
+      const std::size_t expected = (j == 0) ? Scop::npos : j - 1;
+      if (scop.loop_parents[j] != expected) return false;
+    }
+    for (const ScopStatement& stmt : scop.statements) {
+      if (stmt.loops.size() != scop.depth()) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool walk_loop(const ForStmt& loop, std::size_t parent,
+                               std::vector<std::size_t> chain,
+                               const std::vector<GuardRef>& guards,
+                               std::string& failure) {
+    std::string reason;
+    auto header = match_loop(loop, reason);
+    if (!header) {
+      failure = reason;
+      return false;
+    }
+    const std::size_t index = loops_.size();
+    if (chain.size() + 1 > 4) {
+      failure = "loop nest deeper than 4";
+      return false;
+    }
+    if (index + 1 > 8) {
+      failure = "more than 8 loops in one region";
+      return false;
+    }
+    chain.push_back(index);
+    LoopNode node;
+    node.header = *header;
+    node.parent = parent;
+    node.ast = &loop;
+    node.chain = chain;
+    loops_.push_back(std::move(node));
+    return walk_body(header->body, index, chain, guards, failure);
+  }
+
+  [[nodiscard]] bool walk_body(const Stmt* body, std::size_t loop_index,
+                               const std::vector<std::size_t>& chain,
+                               const std::vector<GuardRef>& guards,
+                               std::string& failure) {
+    if (body == nullptr) {
+      failure = "loop has no body";
+      return false;
+    }
+    if (const auto* block = stmt_cast<CompoundStmt>(body)) {
+      for (const StmtPtr& child : block->stmts) {
+        if (!walk_element(*child, loop_index, chain, guards, failure)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    return walk_element(*body, loop_index, chain, guards, failure);
+  }
+
+  [[nodiscard]] bool walk_element(const Stmt& s, std::size_t loop_index,
+                                  const std::vector<std::size_t>& chain,
+                                  const std::vector<GuardRef>& guards,
+                                  std::string& failure) {
+    switch (s.kind()) {
+      case StmtKind::Null:
+      case StmtKind::Pragma:
+        return true;
+      case StmtKind::Compound:
+        return walk_body(&s, loop_index, chain, guards, failure);
+      case StmtKind::For:
+        return walk_loop(static_cast<const ForStmt&>(s), loop_index, chain,
+                         guards, failure);
+      case StmtKind::If: {
+        saw_guard_ = true;
+        const auto& branch = static_cast<const IfStmt&>(s);
+        std::vector<GuardRef> then_guards = guards;
+        then_guards.push_back(GuardRef{branch.cond.get(), false, chain});
+        if (!walk_body(branch.then_stmt.get(), loop_index, chain,
+                       then_guards, failure)) {
+          return false;
+        }
+        if (branch.else_stmt) {
+          std::vector<GuardRef> else_guards = guards;
+          else_guards.push_back(GuardRef{branch.cond.get(), true, chain});
+          return walk_body(branch.else_stmt.get(), loop_index, chain,
+                           else_guards, failure);
+        }
+        return true;
+      }
+      case StmtKind::Expr: {
+        const auto& es = static_cast<const ExprStmt&>(s);
+        const auto* assign = expr_cast<AssignExpr>(es.expr.get());
+        if (assign == nullptr) {
+          failure = "loop body statement is not a plain assignment";
+          return false;
+        }
+        PendingStmt p;
+        p.ast = &s;
+        p.assign = assign;
+        p.chain = chain;
+        p.guards = guards;
+        pending_stmts_.push_back(std::move(p));
+        return true;
+      }
+      case StmtKind::While:
+      case StmtKind::DoWhile:
+        failure =
+            "while loop in body has no recognizable affine induction "
+            "(not canonicalized)";
+        return false;
+      case StmtKind::Decl:
+        failure = "declaration inside the loop body";
+        return false;
+      default:
+        failure = "loop body statement is not a plain assignment";
+        return false;
+    }
+  }
+
+  /// Lowers an `if` condition (or its negation, for the else branch) to
+  /// conjunctive affine constraints. Disjunctive shapes (`||`, a negated
+  /// `&&`, a then-side `!=`) have no single-polyhedron encoding and fail
+  /// with a reason — the chain degrades the scop to serial, never to
+  /// wrong code.
+  [[nodiscard]] bool build_guard(const Expr& e, bool negated,
+                                 AffineBuilder& builder,
+                                 std::vector<Constraint>& out,
+                                 std::string& failure) {
+    if (const auto* u = expr_cast<UnaryExpr>(&e)) {
+      if (u->op == UnaryOp::Not) {
+        return build_guard(*u->operand, !negated, builder, out, failure);
+      }
+    }
+    const auto* b = expr_cast<BinaryExpr>(&e);
+    if (b == nullptr) {
+      failure = "guard condition is not an affine comparison";
+      return false;
+    }
+    if (b->op == BinaryOp::LogicalAnd) {
+      if (negated) {
+        failure = "negated '&&' guard is disjunctive (no affine domain)";
+        return false;
+      }
+      return build_guard(*b->lhs, false, builder, out, failure) &&
+             build_guard(*b->rhs, false, builder, out, failure);
+    }
+    if (b->op == BinaryOp::LogicalOr) {
+      if (!negated) {
+        failure = "'||' guard is disjunctive (no affine domain)";
+        return false;
+      }
+      return build_guard(*b->lhs, true, builder, out, failure) &&
+             build_guard(*b->rhs, true, builder, out, failure);
+    }
+
+    const bool comparison =
+        b->op == BinaryOp::Less || b->op == BinaryOp::LessEqual ||
+        b->op == BinaryOp::Greater || b->op == BinaryOp::GreaterEqual ||
+        b->op == BinaryOp::Equal || b->op == BinaryOp::NotEqual;
+    if (!comparison) {
+      failure = "guard condition is not an affine comparison";
+      return false;
+    }
+    auto lhs = builder.build(*b->lhs);
+    if (!lhs) {
+      failure = builder.error().empty()
+                    ? "non-affine guard condition"
+                    : builder.error();
+      return false;
+    }
+    auto rhs = builder.build(*b->rhs);
+    if (!rhs) {
+      failure = builder.error().empty()
+                    ? "non-affine guard condition"
+                    : builder.error();
+      return false;
+    }
+    builder.align(*lhs);
+    builder.align(*rhs);
+    // diff = lhs - rhs.
+    AffineForm diff = std::move(*lhs);
+    for (std::size_t i = 0; i < diff.coeffs.size(); ++i) {
+      diff.coeffs[i] = checked_sub(diff.coeffs[i], rhs->coeffs[i]);
+    }
+    diff.constant = checked_sub(diff.constant, rhs->constant);
+
+    BinaryOp op = b->op;
+    if (negated) {
+      switch (op) {
+        case BinaryOp::Less: op = BinaryOp::GreaterEqual; break;
+        case BinaryOp::LessEqual: op = BinaryOp::Greater; break;
+        case BinaryOp::Greater: op = BinaryOp::LessEqual; break;
+        case BinaryOp::GreaterEqual: op = BinaryOp::Less; break;
+        case BinaryOp::Equal: op = BinaryOp::NotEqual; break;
+        case BinaryOp::NotEqual: op = BinaryOp::Equal; break;
+        default: break;
+      }
+    }
+    const auto negated_form = [&diff] {
+      AffineForm f = diff;
+      for (auto& c : f.coeffs) c = -c;
+      f.constant = -f.constant;
+      return f;
+    };
+    switch (op) {
+      case BinaryOp::Less: {
+        // lhs < rhs  <=>  rhs - lhs - 1 >= 0.
+        AffineForm f = negated_form();
+        out.push_back(
+            Constraint::ge(std::move(f.coeffs), f.constant - 1));
+        return true;
+      }
+      case BinaryOp::LessEqual: {
+        AffineForm f = negated_form();
+        out.push_back(Constraint::ge(std::move(f.coeffs), f.constant));
+        return true;
+      }
+      case BinaryOp::Greater:
+        out.push_back(
+            Constraint::ge(std::move(diff.coeffs), diff.constant - 1));
+        return true;
+      case BinaryOp::GreaterEqual:
+        out.push_back(
+            Constraint::ge(std::move(diff.coeffs), diff.constant));
+        return true;
+      case BinaryOp::Equal:
+        out.push_back(
+            Constraint::eq(std::move(diff.coeffs), diff.constant));
+        return true;
+      case BinaryOp::NotEqual:
+        failure = "'!=' guard is disjunctive (only its negation — the "
+                  "else branch — is affine)";
+        return false;
+      default:
+        return false;
+    }
+  }
+
   bool add_access(const Expr& e, AccessKind kind, AffineBuilder& builder,
-                  Scop& scop, const std::set<std::string>& written_scalars,
+                  const std::set<std::string>& written_scalars,
                   ScopStatement& stmt, std::string& failure) {
-    (void)scop;
     if (const auto* ident = expr_cast<IdentExpr>(&e)) {
-      // Scalar access. Only track it if it is written in the nest —
+      // Scalar access. Only track it if it is written in the region —
       // read-only scalars are parameters/constants.
       if (kind == AccessKind::Write ||
           written_scalars.count(ident->name) != 0) {
@@ -510,7 +852,9 @@ class Extractor {
     for (const Expr* sub : subscripts) {
       auto form = builder.build(*sub);
       if (!form) {
-        failure = "non-affine subscript on array " + base;
+        failure = builder.error().empty()
+                      ? "non-affine subscript on array " + base
+                      : builder.error();
         return false;
       }
       a.subscripts.push_back(std::move(*form));
@@ -519,16 +863,16 @@ class Extractor {
     return true;
   }
 
-  bool collect_reads(const Expr& e, AffineBuilder& builder, Scop& scop,
+  bool collect_reads(const Expr& e, AffineBuilder& builder,
                      const std::set<std::string>& written_scalars,
                      ScopStatement& stmt, std::string& failure) {
     switch (e.kind()) {
       case ExprKind::Index:
-        return add_access(e, AccessKind::Read, builder, scop,
-                          written_scalars, stmt, failure);
+        return add_access(e, AccessKind::Read, builder, written_scalars,
+                          stmt, failure);
       case ExprKind::Ident:
-        return add_access(e, AccessKind::Read, builder, scop,
-                          written_scalars, stmt, failure);
+        return add_access(e, AccessKind::Read, builder, written_scalars,
+                          stmt, failure);
       case ExprKind::IntLiteral:
       case ExprKind::FloatLiteral:
       case ExprKind::CharLiteral:
@@ -542,28 +886,28 @@ class Extractor {
           failure = "unsupported operator in loop body";
           return false;
         }
-        return collect_reads(*u.operand, builder, scop, written_scalars,
-                             stmt, failure);
+        return collect_reads(*u.operand, builder, written_scalars, stmt,
+                             failure);
       }
       case ExprKind::Binary: {
         const auto& b = static_cast<const BinaryExpr&>(e);
-        return collect_reads(*b.lhs, builder, scop, written_scalars, stmt,
+        return collect_reads(*b.lhs, builder, written_scalars, stmt,
                              failure) &&
-               collect_reads(*b.rhs, builder, scop, written_scalars, stmt,
+               collect_reads(*b.rhs, builder, written_scalars, stmt,
                              failure);
       }
       case ExprKind::Conditional: {
         const auto& c = static_cast<const ConditionalExpr&>(e);
-        return collect_reads(*c.cond, builder, scop, written_scalars, stmt,
+        return collect_reads(*c.cond, builder, written_scalars, stmt,
                              failure) &&
-               collect_reads(*c.then_expr, builder, scop, written_scalars,
-                             stmt, failure) &&
-               collect_reads(*c.else_expr, builder, scop, written_scalars,
-                             stmt, failure);
+               collect_reads(*c.then_expr, builder, written_scalars, stmt,
+                             failure) &&
+               collect_reads(*c.else_expr, builder, written_scalars, stmt,
+                             failure);
       }
       case ExprKind::Cast:
         return collect_reads(*static_cast<const CastExpr&>(e).operand,
-                             builder, scop, written_scalars, stmt, failure);
+                             builder, written_scalars, stmt, failure);
       case ExprKind::Sizeof:
         return true;
       case ExprKind::Call:
@@ -578,6 +922,10 @@ class Extractor {
     }
     return true;
   }
+
+  std::vector<LoopNode> loops_;
+  std::vector<PendingStmt> pending_stmts_;
+  bool saw_guard_ = false;
 };
 
 }  // namespace

@@ -1,14 +1,34 @@
 // The polyhedral program model and its extraction from AST loop nests
 // (the Clan/OpenScop counterpart in the paper's chain).
 //
-// Scope of the model (documented restriction vs. full PluTo): perfectly
-// nested `for` loops of depth <= 4, constant positive step (non-unit
-// strides are normalized to a unit-stride domain variable; see
-// Scop::strides/origins), bounds affine in outer iterators and symbolic
-// parameters, body = a sequence of assignment statements whose subscripts
-// are affine. Pure function calls have already
-// been substituted by `tmpConst_*` identifiers when extraction runs, which
-// is exactly why the paper's chain can feed these nests to PluTo.
+// Extraction is a *region walk*: starting at an outermost `for`, it
+// descends through nested loops, affine `if` guards, and compound blocks,
+// giving every assignment statement its own iteration domain (its
+// enclosing loops' bounds plus every guard on its path). Two shapes come
+// out of the walk:
+//
+//  * a *classic band* — one perfectly nested chain, every statement at the
+//    innermost level, no guards, parameter-affine strided origins. These
+//    keep the shared `Scop::domain` and go through the full PluTo-style
+//    reschedule/tile/regenerate pipeline, exactly as before.
+//  * a *region* (`Scop::region_shaped`) — imperfect nesting (statements
+//    before/between/after an inner loop), affine `if`/`else` guards,
+//    sibling loops, or iterator-dependent strided lower bounds
+//    (`for (j = i; j < n; j += 2)`). These are analyzed with
+//    per-statement domains and lowered by annotating the original nest
+//    with OpenMP pragmas on provably parallel loops (no reordering).
+//
+// Remaining model restrictions: `for` loops (the chain canonicalizes
+// affine `while` loops into `for` before extraction) with constant
+// positive step, bounds affine in enclosing iterators and symbolic
+// parameters (conjunctions `i < n && i < m` fold into the domain as
+// min/max bounds), chain depth <= 4, at most 8 loops per region, bodies
+// made of assignment statements with affine subscripts, guards affine and
+// conjunctive (negated `else` halves included; `x != y` guards only on
+// the `else` side where the negation is the affine equality). Pure
+// function calls have already been substituted by `tmpConst_*`
+// identifiers when extraction runs, which is exactly why the paper's
+// chain can feed these nests to PluTo.
 #pragma once
 
 #include <cstdint>
@@ -41,41 +61,68 @@ struct Access {
   std::vector<AffineForm> subscripts; // empty for scalars
 };
 
-/// One statement instance set: the (shared, rectangular-or-affine) domain
-/// is stored on the Scop; each statement has its accesses and its textual
-/// position inside the innermost body.
+/// One statement instance set: its accesses, its textual position, and —
+/// in the region model — its own iteration domain and enclosing loop
+/// chain.
 struct ScopStatement {
   const Stmt* ast = nullptr;   // original AST statement (not owned)
   std::vector<Access> accesses;
-  std::size_t position = 0;    // textual order in the body
+  /// Global textual (pre-order) position inside the region: statements
+  /// with equal common-loop iterations execute in `position` order.
+  std::size_t position = 0;
+  /// This statement's iteration domain over the scop's full
+  /// [iterators..., parameters...] space: bounds of its enclosing chain
+  /// plus every affine guard on its path. Zero dimensions (hand-built
+  /// scops in tests) means "use the scop's shared domain".
+  ConstraintSystem domain{0};
+  /// Enclosing loops as indices into Scop::iterators, outermost first.
+  /// Empty means the classic full chain [0, depth).
+  std::vector<std::size_t> loops;
+  /// True when an `if` guard contributed constraints to `domain`.
+  bool guarded = false;
 };
 
-/// A static control part: one perfectly nested loop band.
+/// A static control part: a loop region rooted at one outermost `for`.
 struct Scop {
-  std::vector<std::string> iterators;   // outermost first
+  std::vector<std::string> iterators;   // all region loops, pre-order
   std::vector<std::string> parameters;  // symbolic sizes
-  /// Domain over [iterators..., parameters...]; one shared domain because
-  /// the nest is perfect.
+  /// Shared domain over [iterators..., parameters...]: all loop-bound
+  /// constraints. For a classic band this is the statements' exact
+  /// domain (guards don't exist there); region statements refine it
+  /// per-statement.
   ConstraintSystem domain{0};
   std::vector<ScopStatement> statements;
   const ForStmt* root = nullptr;        // original outermost loop
   /// Non-unit-stride normalization: source iterator i_j sweeps
   /// `origins[j] + strides[j] * t_j` where t_j is the level-j domain
-  /// variable (t_j >= 0) and origins[j] is affine over parameters only.
-  /// Unit-stride levels keep the identity map (stride 1, zero origin),
-  /// so classic nests model exactly as before. Empty vectors (scops
-  /// built by hand in tests) mean all-identity.
+  /// variable (t_j >= 0). Unit-stride levels keep the identity map
+  /// (stride 1, zero origin). Origins affine over parameters only keep
+  /// the scop classic; an origin that references an enclosing iterator
+  /// (`for (j = i; ...; j += 2)`) forces the region path. Empty vectors
+  /// (scops built by hand in tests) mean all-identity.
   std::vector<std::int64_t> strides;
   std::vector<AffineForm> origins;
+  /// Region tree: parent loop of iterator j (npos for the root) and the
+  /// AST node of each loop, both in the pre-order used by `iterators`.
+  std::vector<std::size_t> loop_parents;
+  std::vector<const ForStmt*> loop_asts;
+  /// True when the walk found guards, imperfect nesting, sibling loops,
+  /// or an iterator-dependent strided origin — the scop is then analyzed
+  /// with per-statement domains and lowered by region annotation instead
+  /// of the classic reschedule+regenerate path.
+  bool region_shaped = false;
 
   [[nodiscard]] std::size_t depth() const noexcept {
     return iterators.size();
   }
   [[nodiscard]] std::vector<std::string> space_names() const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 };
 
 /// Extraction outcome. `failure_reason` is set when the nest does not fit
-/// the model (the chain then leaves the loop untouched, like PluTo would).
+/// the model (the chain then leaves the loop untouched, like PluTo would);
+/// the chain surfaces it as the per-SCoP rejection reason.
 struct ExtractionResult {
   std::optional<Scop> scop;
   std::string failure_reason;
@@ -83,10 +130,14 @@ struct ExtractionResult {
   [[nodiscard]] bool ok() const noexcept { return scop.has_value(); }
 };
 
-/// Extracts the polyhedral model from `loop`. `known_scalars` lists names
-/// that must be treated as scalar memory (they are read AND written in the
-/// nest); every other bare identifier read is treated as a parameter or
-/// substituted constant.
+/// Extracts the polyhedral model from `loop` by walking its region.
 [[nodiscard]] ExtractionResult extract_scop(const ForStmt& loop);
+
+/// The statement's effective domain/loop chain with the hand-built-scop
+/// fallbacks applied (shared domain, full chain).
+[[nodiscard]] const ConstraintSystem& statement_domain(
+    const Scop& scop, const ScopStatement& stmt);
+[[nodiscard]] std::vector<std::size_t> statement_loops(
+    const Scop& scop, const ScopStatement& stmt);
 
 }  // namespace purec::poly

@@ -527,6 +527,11 @@ const ExternEffect* extern_effect(const std::string& name) {
       {"snprintf", {ExternEffectKind::WritesArg0}},
       {"strlen", {ExternEffectKind::ReadOnly}},
       {"memcmp", {ExternEffectKind::ReadOnly}},
+      {"strchr", {ExternEffectKind::ReadOnly}},
+      {"strrchr", {ExternEffectKind::ReadOnly}},
+      {"strncmp", {ExternEffectKind::ReadOnly}},
+      {"abs", {ExternEffectKind::ReadOnly}},
+      {"labs", {ExternEffectKind::ReadOnly}},
   };
   const auto it = kDatabase.find(name);
   return it == kDatabase.end() ? nullptr : &it->second;

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "ast/walk.h"
+#include "purity/effects.h"
 
 namespace purec {
 
@@ -173,6 +174,14 @@ class FunctionVerifier {
       return;
     }
     if (pure_set_.count(name) == 0) {
+      // The extern effect database (shared with inference) models some
+      // libc routines beyond the seed hashset: a ReadOnly extern
+      // (strchr, strncmp, ...) writes nothing, so a verified-pure body
+      // may call it.
+      const ExternEffect* known = extern_effect(name);
+      if (known != nullptr && known->kind == ExternEffectKind::ReadOnly) {
+        return;
+      }
       error(call.loc, "call to impure function '" + name + "'");
       return;
     }

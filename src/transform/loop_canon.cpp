@@ -1,0 +1,241 @@
+#include "transform/loop_canon.h"
+
+#include <string>
+
+#include "ast/walk.h"
+
+namespace purec {
+
+namespace {
+
+/// Matches the shared induction-step grammar on a statement; returns the
+/// induction variable name, or empty.
+[[nodiscard]] std::string match_increment(const Stmt* s) {
+  const auto* es = stmt_cast<ExprStmt>(s);
+  if (es == nullptr || !es->expr) return {};
+  const auto step = match_induction_step(*es->expr);
+  return step ? step->iterator : std::string{};
+}
+
+/// Any break/continue binding to the surrounding while (nested loops
+/// rebind their own break/continue and are not descended into).
+[[nodiscard]] bool has_loop_escape(const Stmt& s) {
+  switch (s.kind()) {
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      return true;
+    case StmtKind::Compound:
+      for (const StmtPtr& child : static_cast<const CompoundStmt&>(s).stmts) {
+        if (has_loop_escape(*child)) return true;
+      }
+      return false;
+    case StmtKind::If: {
+      const auto& branch = static_cast<const IfStmt&>(s);
+      if (has_loop_escape(*branch.then_stmt)) return true;
+      return branch.else_stmt != nullptr &&
+             has_loop_escape(*branch.else_stmt);
+    }
+    default:
+      // For/While/DoWhile rebind; everything else cannot escape.
+      return false;
+  }
+}
+
+/// True if the statement subtree writes `name` (assignment, ++/--) or
+/// takes its address (which could hide a write).
+[[nodiscard]] bool touches_variable(const Stmt& s, const std::string& name) {
+  bool touched = false;
+  for_each_expr(s, [&](const Expr& e) {
+    if (touched) return;
+    if (const auto* a = expr_cast<AssignExpr>(&e)) {
+      const auto* ident = expr_cast<IdentExpr>(a->lhs.get());
+      if (ident != nullptr && ident->name == name) touched = true;
+      return;
+    }
+    if (const auto* u = expr_cast<UnaryExpr>(&e)) {
+      if (u->op == UnaryOp::PreInc || u->op == UnaryOp::PostInc ||
+          u->op == UnaryOp::PreDec || u->op == UnaryOp::PostDec ||
+          u->op == UnaryOp::AddrOf) {
+        const auto* ident = expr_cast<IdentExpr>(u->operand.get());
+        if (ident != nullptr && ident->name == name) touched = true;
+      }
+      return;
+    }
+  });
+  return touched;
+}
+
+[[nodiscard]] bool expr_has_side_effects(const Expr& root) {
+  bool found = false;
+  for_each_expr(root, [&](const Expr& e) {
+    if (e.kind() == ExprKind::Assign || e.kind() == ExprKind::Call) {
+      found = true;
+      return;
+    }
+    if (const auto* u = expr_cast<UnaryExpr>(&e)) {
+      if (u->op == UnaryOp::PreInc || u->op == UnaryOp::PostInc ||
+          u->op == UnaryOp::PreDec || u->op == UnaryOp::PostDec) {
+        found = true;
+      }
+    }
+  });
+  return found;
+}
+
+/// Attempts the rewrite of `block.stmts[k]` (a while) using the
+/// preceding statement as the induction init. Returns true on success.
+[[nodiscard]] bool canonicalize_at(CompoundStmt& block, std::size_t k) {
+  auto* loop = stmt_cast<WhileStmt>(block.stmts[k].get());
+  if (loop == nullptr || k == 0) return false;
+  auto* body = stmt_cast<CompoundStmt>(loop->body.get());
+  if (body == nullptr) return false;
+
+  // The body's last real statement must advance one induction variable.
+  std::size_t inc_index = body->stmts.size();
+  for (std::size_t i = body->stmts.size(); i-- > 0;) {
+    const StmtKind kind = body->stmts[i]->kind();
+    if (kind == StmtKind::Null || kind == StmtKind::Pragma) continue;
+    inc_index = i;
+    break;
+  }
+  if (inc_index == body->stmts.size()) return false;
+  const std::string name = match_increment(body->stmts[inc_index].get());
+  if (name.empty()) return false;
+
+  // The condition must read the variable and be effect-free.
+  if (loop->cond == nullptr || !references_identifier(*loop->cond, name) ||
+      expr_has_side_effects(*loop->cond)) {
+    return false;
+  }
+
+  // No other write to the variable (or address capture) inside the body,
+  // and no break/continue binding to this while — a `continue` would
+  // skip the trailing increment here but run it in the for form.
+  for (std::size_t i = 0; i < body->stmts.size(); ++i) {
+    if (i == inc_index) continue;
+    if (touches_variable(*body->stmts[i], name)) return false;
+    if (has_loop_escape(*body->stmts[i])) return false;
+  }
+
+  // The preceding sibling must initialize the variable.
+  Stmt* before = block.stmts[k - 1].get();
+  StmtPtr init_stmt;
+  bool absorb_before = false;
+  if (auto* decl = stmt_cast<DeclStmt>(before)) {
+    if (decl->decls.size() != 1 || decl->decls[0].name != name ||
+        !decl->decls[0].init || decl->decls[0].is_static ||
+        decl->decls[0].type == nullptr ||
+        decl->decls[0].type->is_pointer()) {
+      return false;
+    }
+    bool referenced_later = false;
+    for (std::size_t i = k + 1; i < block.stmts.size() && !referenced_later;
+         ++i) {
+      referenced_later = references_identifier(*block.stmts[i], name);
+    }
+    if (!referenced_later) {
+      // Nothing after the loop reads the variable: fold the whole
+      // declaration into the for header. This keeps nested
+      // canonicalized whiles extractable (a retained `int j;` inside
+      // an outer loop body would be rejected as a declaration in the
+      // nest) and block-scopes the iterator, which OpenMP privatizes
+      // for free.
+      auto init_decl = std::make_unique<DeclStmt>();
+      init_decl->loc = loop->loc;
+      init_decl->decls.push_back(std::move(decl->decls[0]));
+      init_stmt = std::move(init_decl);
+      absorb_before = true;
+    } else {
+      // The declaration stays in the outer scope (code after the loop
+      // reads the final value); only its initializer moves.
+      auto init = std::make_unique<ExprStmt>(std::make_unique<AssignExpr>(
+          AssignOp::Assign, std::make_unique<IdentExpr>(name),
+          std::move(decl->decls[0].init)));
+      init->loc = loop->loc;
+      init_stmt = std::move(init);
+    }
+  } else if (auto* es = stmt_cast<ExprStmt>(before)) {
+    auto* assign = expr_cast<AssignExpr>(es->expr.get());
+    const auto* ident =
+        assign ? expr_cast<IdentExpr>(assign->lhs.get()) : nullptr;
+    if (assign == nullptr || assign->op != AssignOp::Assign ||
+        ident == nullptr || ident->name != name) {
+      return false;
+    }
+    auto init = std::make_unique<ExprStmt>(std::make_unique<AssignExpr>(
+        AssignOp::Assign, std::make_unique<IdentExpr>(name),
+        std::move(assign->rhs)));
+    init->loc = loop->loc;
+    init_stmt = std::move(init);
+    absorb_before = true;
+  } else {
+    return false;
+  }
+
+  auto rewritten = std::make_unique<ForStmt>();
+  rewritten->loc = loop->loc;
+  rewritten->init = std::move(init_stmt);
+  rewritten->cond = std::move(loop->cond);
+  rewritten->inc =
+      std::move(stmt_cast<ExprStmt>(body->stmts[inc_index].get())->expr);
+  body->stmts.erase(body->stmts.begin() + inc_index);
+  rewritten->body = std::move(loop->body);
+  block.stmts[k] = std::move(rewritten);
+  if (absorb_before) {
+    block.stmts.erase(block.stmts.begin() + (k - 1));
+  }
+  return true;
+}
+
+std::size_t canonicalize_in(Stmt& s);
+
+[[nodiscard]] std::size_t canonicalize_block(CompoundStmt& block) {
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < block.stmts.size(); ++k) {
+    if (canonicalize_at(block, k)) {
+      ++count;
+      // The init statement before `k` may have been absorbed.
+      if (k > 0 && k <= block.stmts.size() &&
+          block.stmts[k - 1]->kind() == StmtKind::For) {
+        --k;
+      }
+    }
+  }
+  for (const StmtPtr& child : block.stmts) count += canonicalize_in(*child);
+  return count;
+}
+
+std::size_t canonicalize_in(Stmt& s) {
+  switch (s.kind()) {
+    case StmtKind::Compound:
+      return canonicalize_block(static_cast<CompoundStmt&>(s));
+    case StmtKind::If: {
+      auto& branch = static_cast<IfStmt&>(s);
+      std::size_t count = canonicalize_in(*branch.then_stmt);
+      if (branch.else_stmt) count += canonicalize_in(*branch.else_stmt);
+      return count;
+    }
+    case StmtKind::For: {
+      auto& loop = static_cast<ForStmt&>(s);
+      return loop.body ? canonicalize_in(*loop.body) : 0;
+    }
+    case StmtKind::While:
+      return canonicalize_in(*static_cast<WhileStmt&>(s).body);
+    case StmtKind::DoWhile:
+      return canonicalize_in(*static_cast<DoWhileStmt&>(s).body);
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+std::size_t canonicalize_while_loops(TranslationUnit& tu) {
+  std::size_t count = 0;
+  for (FunctionDecl* fn : tu.functions()) {
+    if (fn->body) count += canonicalize_in(*fn->body);
+  }
+  return count;
+}
+
+}  // namespace purec

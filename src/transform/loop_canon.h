@@ -1,0 +1,34 @@
+// While-loop canonicalization: rewrites
+//
+//     int i = L;            |   i = L;
+//     while (i < U) {       |   while (i < U) {
+//       ...body...          |     ...body...
+//       i += K;             |     i += K;
+//     }                     |   }
+//
+// into the equivalent `for` representation the polyhedral extractor
+// understands (`int i; for (i = L; i < U; i += K) { ...body... }`),
+// so affine while loops SCoP-mark, substitute, and parallelize exactly
+// like their `for` twins.
+//
+// The rewrite is applied only when it is provably semantics-preserving:
+// the preceding statement initializes the induction variable, the body's
+// last statement advances it by a positive integer constant, the variable
+// is written nowhere else in the body (and never address-taken there),
+// the condition reads it, and no `break`/`continue` binds to the while
+// itself (a `continue` would skip the trailing increment in the while
+// form but run it in the for form). Everything else is left untouched —
+// unsupported shapes degrade to "not a SCoP", never to wrong code.
+#pragma once
+
+#include <cstddef>
+
+#include "ast/decl.h"
+
+namespace purec {
+
+/// Canonicalizes every matching while loop in every function body.
+/// Returns the number of loops rewritten.
+std::size_t canonicalize_while_loops(TranslationUnit& tu);
+
+}  // namespace purec

@@ -15,6 +15,7 @@
 #include "sema/symbols.h"
 #include "support/rational.h"
 #include "transform/call_substitution.h"
+#include "transform/loop_canon.h"
 #include "transform/pure_inliner.h"
 
 namespace purec {
@@ -95,6 +96,214 @@ CompoundStmt* find_owning_compound(Stmt& s, const Stmt* target) {
     default:
       return nullptr;
   }
+}
+
+/// What a statement executed *after* the nest does to the iterator:
+/// reads its (lost) value, unconditionally overwrites it before any
+/// read, or never mentions it.
+enum class IterFate { NoRef, Killed, Read };
+
+/// Plain `name = rhs` with `name` absent from rhs: the old value dies.
+[[nodiscard]] bool is_kill_assignment(const Stmt* s,
+                                      const std::string& name) {
+  const auto* es = stmt_cast<ExprStmt>(s);
+  const auto* assign = es ? expr_cast<AssignExpr>(es->expr.get()) : nullptr;
+  const auto* ident =
+      assign ? expr_cast<IdentExpr>(assign->lhs.get()) : nullptr;
+  if (assign == nullptr || assign->op != AssignOp::Assign ||
+      ident == nullptr || ident->name != name) {
+    return false;
+  }
+  return !references_identifier(*assign->rhs, name);
+}
+
+[[nodiscard]] IterFate iterator_fate(const Stmt& s,
+                                     const std::string& name) {
+  switch (s.kind()) {
+    case StmtKind::Expr:
+      if (is_kill_assignment(&s, name)) return IterFate::Killed;
+      return references_identifier(s, name) ? IterFate::Read : IterFate::NoRef;
+    case StmtKind::Compound: {
+      for (const StmtPtr& child :
+           static_cast<const CompoundStmt&>(s).stmts) {
+        // A nested declaration of the same name shadows the remainder
+        // of this block only — skip it, but keep scanning outside.
+        if (const auto* decl = stmt_cast<DeclStmt>(child.get())) {
+          bool shadows = false;
+          for (const VarDecl& d : decl->decls) {
+            if (d.init && references_identifier(*d.init, name)) {
+              return IterFate::Read;
+            }
+            if (d.name == name) shadows = true;
+          }
+          if (shadows) return IterFate::NoRef;
+          continue;
+        }
+        const IterFate fate = iterator_fate(*child, name);
+        if (fate != IterFate::NoRef) return fate;
+      }
+      return IterFate::NoRef;
+    }
+    case StmtKind::If: {
+      const auto& branch = static_cast<const IfStmt&>(s);
+      if (references_identifier(*branch.cond, name)) return IterFate::Read;
+      const IterFate then_fate = iterator_fate(*branch.then_stmt, name);
+      if (then_fate == IterFate::Read) return IterFate::Read;
+      const IterFate else_fate =
+          branch.else_stmt ? iterator_fate(*branch.else_stmt, name)
+                           : IterFate::NoRef;
+      if (else_fate == IterFate::Read) return IterFate::Read;
+      // Only a kill on BOTH paths guarantees the old value is dead.
+      if (then_fate == IterFate::Killed && else_fate == IterFate::Killed) {
+        return IterFate::Killed;
+      }
+      return IterFate::NoRef;
+    }
+    case StmtKind::For: {
+      const auto& loop = static_cast<const ForStmt&>(s);
+      // A later loop re-initializing the variable kills the old value;
+      // a decl-init loop of the same name shadows its own subtree.
+      if (is_kill_assignment(loop.init.get(), name)) {
+        return IterFate::Killed;
+      }
+      if (const auto* decl = stmt_cast<DeclStmt>(loop.init.get())) {
+        if (decl->decls.size() == 1 && decl->decls[0].name == name &&
+            (!decl->decls[0].init ||
+             !references_identifier(*loop.init, name))) {
+          return IterFate::NoRef;
+        }
+      }
+      return references_identifier(s, name) ? IterFate::Read : IterFate::NoRef;
+    }
+    default:
+      return references_identifier(s, name) ? IterFate::Read : IterFate::NoRef;
+  }
+}
+
+/// Fate of `name` in the statements that execute after `nest` inside
+/// subtree `s`. `found` reports whether the nest was seen; `in_loop`
+/// reports the nest sits under an enclosing loop (its value is then
+/// consumed by statements *before* it textually, so any outside
+/// reference is conservatively a read).
+[[nodiscard]] IterFate fate_after_nest(const Stmt& s, const Stmt* nest,
+                                       const std::string& name,
+                                       bool& found, bool& in_loop) {
+  if (&s == nest) {
+    found = true;
+    return IterFate::NoRef;
+  }
+  switch (s.kind()) {
+    case StmtKind::Compound: {
+      const auto& block = static_cast<const CompoundStmt&>(s);
+      for (std::size_t i = 0; i < block.stmts.size(); ++i) {
+        const IterFate fate =
+            fate_after_nest(*block.stmts[i], nest, name, found, in_loop);
+        if (!found) continue;
+        if (fate != IterFate::NoRef) return fate;
+        for (std::size_t k = i + 1; k < block.stmts.size(); ++k) {
+          const IterFate sibling = iterator_fate(*block.stmts[k], name);
+          if (sibling != IterFate::NoRef) return sibling;
+        }
+        return IterFate::NoRef;
+      }
+      return IterFate::NoRef;
+    }
+    case StmtKind::If: {
+      const auto& branch = static_cast<const IfStmt&>(s);
+      IterFate fate =
+          fate_after_nest(*branch.then_stmt, nest, name, found, in_loop);
+      if (found) return fate;
+      if (branch.else_stmt) {
+        fate = fate_after_nest(*branch.else_stmt, nest, name, found,
+                               in_loop);
+        if (found) return fate;
+      }
+      return IterFate::NoRef;
+    }
+    case StmtKind::For: {
+      const auto& loop = static_cast<const ForStmt&>(s);
+      if (loop.body) {
+        const IterFate fate =
+            fate_after_nest(*loop.body, nest, name, found, in_loop);
+        if (found) {
+          in_loop = true;
+          return fate;
+        }
+      }
+      return IterFate::NoRef;
+    }
+    case StmtKind::While:
+    case StmtKind::DoWhile: {
+      const Stmt* body = s.kind() == StmtKind::While
+                             ? static_cast<const WhileStmt&>(s).body.get()
+                             : static_cast<const DoWhileStmt&>(s).body.get();
+      if (body != nullptr) {
+        const IterFate fate =
+            fate_after_nest(*body, nest, name, found, in_loop);
+        if (found) {
+          in_loop = true;
+          return fate;
+        }
+      }
+      return IterFate::NoRef;
+    }
+    default:
+      return IterFate::NoRef;
+  }
+}
+
+/// Name of the first scop-loop iterator that (a) lives in an enclosing
+/// scope (`i = 0` for-init — the shape while-canonicalization produces)
+/// and (b) is referenced outside the nest. Both lowering paths lose the
+/// iterator's post-loop value — the classic path regenerates the nest
+/// over fresh `t*` variables and never assigns the original, and an
+/// OpenMP-annotated loop privatizes it, leaving the original
+/// indeterminate after the region — so such nests must stay serial.
+/// Returns empty when no iterator escapes.
+std::string escaping_iterator_use(const poly::Scop& scop,
+                                  const FunctionDecl& fn,
+                                  const ForStmt& root,
+                                  const SymbolTable& symbols) {
+  std::vector<std::string> candidates;
+  for (std::size_t j = 0; j < scop.loop_asts.size(); ++j) {
+    const ForStmt* loop = scop.loop_asts[j];
+    if (loop != nullptr && loop->init != nullptr &&
+        stmt_cast<ExprStmt>(loop->init.get()) != nullptr) {
+      candidates.push_back(scop.iterators[j]);
+    }
+  }
+  if (candidates.empty() || !fn.body) return {};
+  const auto count_in = [](const Stmt& s, const std::string& name) {
+    std::size_t count = 0;
+    for_each_expr(s, [&](const Expr& e) {
+      const auto* ident = expr_cast<IdentExpr>(&e);
+      if (ident != nullptr && ident->name == name) ++count;
+    });
+    return count;
+  };
+  for (const std::string& name : candidates) {
+    // A file-scope induction variable escapes by definition: any other
+    // function can observe its post-loop value, and no in-function
+    // analysis can see that.
+    if (symbols.find_global(name) != nullptr) return name;
+    // No references outside the nest at all: trivially safe.
+    if (count_in(*fn.body, name) <=
+        count_in(static_cast<const Stmt&>(root), name)) {
+      continue;
+    }
+    // References exist elsewhere — decide by what actually happens to
+    // the variable after the nest: an unconditional re-initialization
+    // (e.g. a sibling `for (i = 0; ...)`) kills the value before any
+    // read, references only *before* a straight-line nest are reads of
+    // pre-nest values, but a read — or any outside reference when the
+    // nest re-executes under an enclosing loop — escapes.
+    bool found = false;
+    bool in_loop = false;
+    const IterFate fate = fate_after_nest(
+        *fn.body, static_cast<const Stmt*>(&root), name, found, in_loop);
+    if (!found || in_loop || fate == IterFate::Read) return name;
+  }
+  return {};
 }
 
 /// Inserts `#pragma scop` / `#pragma endscop` around each candidate loop.
@@ -189,6 +398,11 @@ ChainArtifacts run_pure_chain(const std::string& source,
   TranslationUnit tu = parse(buffer, diags);
   if (diags.has_errors()) return artifacts;
 
+  // Affine `while` loops canonicalize into `for` before anything looks at
+  // loop structure, so they SCoP-mark and parallelize like their `for`
+  // twins (region extraction's `while`-as-for leg).
+  artifacts.canonicalized_whiles = canonicalize_while_loops(tu);
+
   // Extension pre-pass (§3.3 future work): inline expression-bodied pure
   // functions before verification + scop detection. A scratch purity run
   // supplies the hashset; the authoritative run happens below on the
@@ -232,8 +446,10 @@ ChainArtifacts run_pure_chain(const std::string& source,
   // polyhedral step so reinserted calls inside generated nests are
   // rewritten too.
   if (options.memoize) {
-    artifacts.memoization = classify_memoizable(
-        tu, symbols, purity.pure_functions, purity_options);
+    artifacts.memoization =
+        classify_memoizable(tu, symbols, purity.pure_functions,
+                            purity_options,
+                            /*cost_gate=*/!options.memoize_all);
   }
 
   mark_scops(tu, purity.scop_loops);
@@ -274,6 +490,7 @@ ChainArtifacts run_pure_chain(const std::string& source,
     poly::IteratorSubstitution iter_subst;
     StmtPtr generated;
     std::vector<std::string> scop_iterators;
+    bool region = false;
     try {
       poly::ExtractionResult extraction = poly::extract_scop(*loop);
       if (!extraction.ok()) {
@@ -282,16 +499,28 @@ ChainArtifacts run_pure_chain(const std::string& source,
         continue;
       }
       const poly::Scop& scop = *extraction.scop;
-      scop_iterators = scop.iterators;
       report.extracted = true;
       report.depth = scop.depth();
+      region = scop.region_shaped;
+      report.region = region;
+
+      if (const FunctionDecl* owner =
+              tu.find_function(candidate.function->name)) {
+        const std::string escapee =
+            escaping_iterator_use(scop, *owner, *loop, symbols);
+        if (!escapee.empty()) {
+          report.failure_reason =
+              "iterator '" + escapee +
+              "' lives outside the nest and is read after it "
+              "(the transform would lose its final value)";
+          undo();
+          continue;
+        }
+      }
 
       const std::vector<poly::Dependence> deps =
           poly::analyze_dependences(scop);
       report.dependences = deps.size();
-
-      const poly::Transform transform = poly::compute_schedule(scop, deps);
-      report.skewed = !transform.is_identity();
 
       poly::CodegenOptions cg;
       cg.parallelize = options.parallelize;
@@ -300,12 +529,32 @@ ChainArtifacts run_pure_chain(const std::string& source,
       cg.simd = (options.mode == TransformMode::PlutoSica);
       cg.schedule = options.schedule;
 
-      generated = poly::generate_code(scop, transform, cg, &iter_subst);
-      if (generated) {
-        report.parallelized =
-            options.parallelize && transform.any_parallel();
-        report.tiled = options.tile && transform.band_size >= 2 &&
-                       options.tile_size > 1;
+      if (region) {
+        // Region path (guards / imperfect nests / iterator-dependent
+        // strided origins): no reordering — annotate the original nest
+        // with pragmas on the loops the per-statement analysis proves
+        // parallel. Iterators keep their source names, so the reinserted
+        // calls need no substitution.
+        std::vector<std::size_t> parallel_loops;
+        generated = poly::annotate_region(scop, deps, cg, &parallel_loops);
+        if (generated) {
+          report.parallelized = !parallel_loops.empty();
+          report.parallel_loops = parallel_loops.size();
+        }
+      } else {
+        const poly::Transform transform =
+            poly::compute_schedule(scop, deps);
+        report.skewed = !transform.is_identity();
+        scop_iterators = scop.iterators;
+
+        generated = poly::generate_code(scop, transform, cg, &iter_subst);
+        if (generated) {
+          report.parallelized =
+              options.parallelize && transform.any_parallel();
+          if (report.parallelized) report.parallel_loops = 1;
+          report.tiled = options.tile && transform.band_size >= 2 &&
+                         options.tile_size > 1;
+        }
       }
     } catch (const ArithmeticOverflow&) {
       // Exact analysis would overflow int64 (gigantic bounds or
@@ -315,7 +564,15 @@ ChainArtifacts run_pure_chain(const std::string& source,
       continue;
     }
     if (!generated) {
-      report.failure_reason = "codegen could not derive loop bounds";
+      if (!region) {
+        report.failure_reason = "codegen could not derive loop bounds";
+      } else if (options.parallelize) {
+        report.failure_reason =
+            "no dependence-free loop in region (stays serial)";
+      } else {
+        report.failure_reason =
+            "region nest left untouched (no parallelization requested)";
+      }
       undo();
       continue;
     }
@@ -406,8 +663,10 @@ ChainArtifacts run_pure_chain(const std::string& source,
   if (!memo_used.empty()) {
     // Table + prototypes before the program (call sites reference the
     // thunks), definitions after it (they reference the wrapped functions
-    // and the snapshot globals).
+    // and the snapshot globals). stdio feeds the PUREC_MEMO_STATS atexit
+    // dump.
     extra.push_back("#include <stdlib.h>");
+    extra.push_back("#include <stdio.h>");
     prelude += memo_runtime_prelude();
     for (const std::string& name : memo_used) {
       prelude +=

@@ -64,6 +64,12 @@ struct ChainOptions {
   /// through it, and the output C carries a self-contained sharded
   /// concurrent table (memo/memo_codegen.h). Off by default.
   bool memoize = false;
+  /// `--memoize=all`: disable the memoization cost gate. By default the
+  /// classifier skips trivially small single-expression callees (a
+  /// `mult`-sized leaf pays more for the table trip than the recompute —
+  /// the honest 0.1× negative in BENCH_memoize.json); this flag restores
+  /// thunk-everything behavior for measurement.
+  bool memoize_all = false;
   PurityOptions purity;
   /// Virtual files for `#include "..."` resolution.
   std::map<std::string, std::string> virtual_includes;
@@ -88,6 +94,12 @@ struct ScopReport {
   /// Of the substituted calls, how many target functions whose purity was
   /// *inferred* rather than declared (inference provenance).
   std::size_t inferred_calls = 0;
+  /// Region-shaped scop (guards / imperfect nest / iterator-dependent
+  /// strided origin): analyzed with per-statement domains and lowered by
+  /// pragma annotation instead of the classic reschedule path.
+  bool region = false;
+  /// Loops that received a parallel pragma (classic path: 0 or 1).
+  std::size_t parallel_loops = 0;
 };
 
 struct ChainArtifacts {
@@ -101,6 +113,8 @@ struct ChainArtifacts {
   std::vector<ScopReport> scops;
   /// Call sites inlined by the inline_pure_expressions extension.
   std::size_t inlined_calls = 0;
+  /// Affine `while` loops canonicalized into `for` before SCoP detection.
+  std::size_t canonicalized_whiles = 0;
   /// Purity-inference provenance (populated only under infer_purity):
   /// which functions were inferred pure, which were rejected and why.
   InferenceResult inference;

@@ -250,5 +250,228 @@ TEST(CallSubstitution, NestedCallSubstitutedAsWhole) {
   EXPECT_EQ(calls[0].placeholder, "tmpConst_g_0");
 }
 
+// ---------------------------------------------------------------------------
+// Region SCoPs through the whole chain
+// ---------------------------------------------------------------------------
+
+TEST(Chain, WhileLoopCanonicalizesAndParallelizes) {
+  ChainArtifacts a = run_pure_chain(
+      "pure float twice(float x) { return 2.0f * x; }\n"
+      "float* v;\n"
+      "void k(int n) {\n"
+      "  int i = 0;\n"
+      "  while (i < n) {\n"
+      "    v[i] = twice((float)i);\n"
+      "    i = i + 1;\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  EXPECT_EQ(a.canonicalized_whiles, 1u);
+  // The canonicalized loop SCoP-marks like a for twin...
+  EXPECT_NE(a.marked.find("#pragma scop"), std::string::npos);
+  // ...and parallelizes through the classic path.
+  EXPECT_NE(a.final_source.find("#pragma omp parallel for"),
+            std::string::npos)
+      << a.final_source;
+  EXPECT_EQ(a.final_source.find("while"), std::string::npos);
+}
+
+TEST(Chain, GuardedRegionReinsertsCallsUnderTheirGuards) {
+  ChainArtifacts a = run_pure_chain(
+      "pure float scale(float x) { return 3.0f * x; }\n"
+      "pure float shift(float x) { return x - 1.0f; }\n"
+      "void k(float* a, float* b, float* c, float* x, int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i < m)\n"
+      "      a[i] = scale(x[i]);\n"
+      "    else\n"
+      "      b[i] = shift(x[i]);\n"
+      "    c[i] = a[i + m] + b[i];\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  const ScopReport& r = a.scops[0];
+  EXPECT_TRUE(r.region);
+  EXPECT_TRUE(r.transformed) << r.failure_reason;
+  EXPECT_TRUE(r.parallelized);
+  EXPECT_EQ(r.parallel_loops, 1u);
+  EXPECT_EQ(r.substituted_calls, 2u);
+  // Substitution hid both calls behind placeholders...
+  EXPECT_NE(a.substituted.find("tmpConst_scale_"), std::string::npos);
+  // ...and reinsertion put them back under their guards, with no
+  // placeholder leaking.
+  EXPECT_EQ(a.final_source.find("tmpConst_"), std::string::npos)
+      << a.final_source;
+  EXPECT_NE(a.final_source.find("scale(x[i])"), std::string::npos);
+  EXPECT_NE(a.final_source.find("shift(x[i])"), std::string::npos);
+  EXPECT_NE(a.final_source.find("#pragma omp parallel for"),
+            std::string::npos);
+  EXPECT_NE(a.final_source.find("else"), std::string::npos);
+}
+
+TEST(Chain, RegionWithRealConflictDegradesToSerialWithReason) {
+  // Guards in the domain, but the dependence survives: the nest must
+  // stay untouched and the report must say why.
+  ChainArtifacts a = run_pure_chain(
+      "pure float scale(float x) { return 3.0f * x; }\n"
+      "void k(float* a, float* c, float* x, int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i < m)\n"
+      "      a[i] = scale(x[i]);\n"
+      "    c[i] = a[i - 1];\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  EXPECT_TRUE(a.scops[0].region);
+  EXPECT_FALSE(a.scops[0].transformed);
+  EXPECT_NE(a.scops[0].failure_reason.find("stays serial"),
+            std::string::npos)
+      << a.scops[0].failure_reason;
+  EXPECT_EQ(a.final_source.find("#pragma omp"), std::string::npos);
+  // The undone nest keeps its original calls.
+  EXPECT_NE(a.final_source.find("scale(x[i])"), std::string::npos);
+}
+
+TEST(Chain, IteratorReadAfterNestDegradesToSerial) {
+  // `i` lives outside the nest (`i = 0` for-init — the exact shape
+  // while-canonicalization produces) and is read after the loop. The
+  // classic path would regenerate the nest over t1 without assigning i,
+  // and an annotated loop would privatize it — both lose the final
+  // value — so the chain must keep the nest serial and say why.
+  ChainArtifacts a = run_pure_chain(
+      "pure float f(float x) { return x + 1.0f; }\n"
+      "float* v; float* w;\n"
+      "int k(int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i++)\n"
+      "    w[i] = f(v[i]);\n"
+      "  return i;\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  EXPECT_FALSE(a.scops[0].transformed);
+  EXPECT_NE(a.scops[0].failure_reason.find("read after"),
+            std::string::npos)
+      << a.scops[0].failure_reason;
+  EXPECT_EQ(a.final_source.find("#pragma omp"), std::string::npos);
+  // The while twin hits the same guard after canonicalization.
+  ChainArtifacts b = run_pure_chain(
+      "pure float f(float x) { return x + 1.0f; }\n"
+      "float* v; float* w;\n"
+      "int k(int n) {\n"
+      "  int i = 0;\n"
+      "  while (i < n) {\n"
+      "    w[i] = f(v[i]);\n"
+      "    i++;\n"
+      "  }\n"
+      "  return i;\n"
+      "}\n");
+  ASSERT_TRUE(b.ok) << b.diagnostics.format();
+  EXPECT_EQ(b.canonicalized_whiles, 1u);
+  ASSERT_EQ(b.scops.size(), 1u);
+  EXPECT_FALSE(b.scops[0].transformed);
+  EXPECT_EQ(b.final_source.find("#pragma omp"), std::string::npos);
+}
+
+TEST(Chain, RegionPragmaPrivatizesFunctionScopeInnerIterators) {
+  // C89-style iterators: `j` lives at function scope, so the region
+  // pragma must carry private(j) — otherwise threads would share one j.
+  ChainArtifacts a = run_pure_chain(
+      "pure float cell(float v, int j) { return v + (float)j; }\n"
+      "float* s; float** g;\n"
+      "void k(int n, int m) {\n"
+      "  int i; int j;\n"
+      "  for (i = 0; i < n; i++) {\n"
+      "    s[i] = 0.0f;\n"
+      "    for (j = 0; j < m; j++)\n"
+      "      s[i] = s[i] + cell(g[i][j], j);\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  EXPECT_TRUE(a.scops[0].region);
+  EXPECT_TRUE(a.scops[0].parallelized);
+  EXPECT_NE(
+      a.final_source.find("#pragma omp parallel for private(j)"),
+      std::string::npos)
+      << a.final_source;
+}
+
+TEST(Chain, SiblingC89LoopsSharingAnIteratorBothParallelize) {
+  // The classic C89 pattern: one `int i;` feeding two sibling loops.
+  // The second loop's `i = 0` re-initialization kills the first nest's
+  // final value before any read, so neither nest escapes — both must
+  // keep their parallelization.
+  ChainArtifacts a = run_pure_chain(
+      "pure float id(float x) { return x; }\n"
+      "float* a; float* b; float* x;\n"
+      "void f(int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i++)\n"
+      "    a[i] = id(x[i]) + 1.0f;\n"
+      "  for (i = 0; i < n; i++)\n"
+      "    b[i] = id(x[i]) + 2.0f;\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 2u);
+  EXPECT_TRUE(a.scops[0].parallelized) << a.scops[0].failure_reason;
+  EXPECT_TRUE(a.scops[1].parallelized) << a.scops[1].failure_reason;
+}
+
+TEST(Chain, GlobalInductionVariableKeepsNestSerial) {
+  // `gi` is file-scope: another function can observe its post-loop
+  // value, which the regenerated nest would never write. Must stay
+  // serial even though nothing *in this function* reads gi afterwards.
+  ChainArtifacts a = run_pure_chain(
+      "pure float id(float x) { return x; }\n"
+      "float* A; float* B; int gi;\n"
+      "float f(int n) {\n"
+      "  gi = 0;\n"
+      "  while (gi < n) {\n"
+      "    A[gi] = id(B[gi]);\n"
+      "    gi += 1;\n"
+      "  }\n"
+      "  return 0.0f;\n"
+      "}\n"
+      "int reader(void) { return gi; }\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  EXPECT_FALSE(a.scops[0].transformed);
+  EXPECT_NE(a.scops[0].failure_reason.find("lives outside the nest"),
+            std::string::npos)
+      << a.scops[0].failure_reason;
+  EXPECT_EQ(a.final_source.find("#pragma omp"), std::string::npos);
+}
+
+TEST(Chain, ImperfectNestParallelizesOuterLoopOnly) {
+  ChainArtifacts a = run_pure_chain(
+      "pure float cell(float v) { return v + 1.0f; }\n"
+      "void k(float* s, float** g, int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    s[i] = 0.0f;\n"
+      "    for (int j = 0; j < m; j++)\n"
+      "      s[i] = s[i] + cell(g[i][j]);\n"
+      "    s[i] = s[i] * 0.5f;\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  EXPECT_TRUE(a.scops[0].region);
+  EXPECT_TRUE(a.scops[0].parallelized);
+  EXPECT_EQ(a.scops[0].parallel_loops, 1u);
+  // Exactly one pragma, on the outer loop (the inner accumulation is
+  // carried).
+  const std::string needle = "#pragma omp parallel for";
+  std::size_t count = 0;
+  for (std::size_t pos = a.final_source.find(needle);
+       pos != std::string::npos;
+       pos = a.final_source.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u) << a.final_source;
+}
+
 }  // namespace
 }  // namespace purec

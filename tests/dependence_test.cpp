@@ -192,6 +192,127 @@ TEST(Dependence, ScalarAccumulatorCarries) {
   EXPECT_TRUE(has_carried(r.deps, 1));
 }
 
+// ---------------------------------------------------------------------------
+// Per-statement domains: affine guards enter the dependence polyhedra.
+// ---------------------------------------------------------------------------
+
+TEST(Dependence, GuardRemovesOnlyConflictingPair) {
+  // The write a[i] is guarded by i < m; the read a[i + m] covers
+  // [m, n + m). Subscript equality forces i_w = i_r + m >= m, which
+  // contradicts the guard — the would-be carried dependence is empty and
+  // the loop is parallel. Without the guard in the domain this loop is
+  // serial (see GuardDoesNotRemoveConflict below for the counterpart).
+  auto r = analyze(
+      "float* a; float* c; float* x;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i < m)\n"
+      "      a[i] = x[i];\n"
+      "    c[i] = a[i + m];\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(r.scop.region_shaped);
+  EXPECT_TRUE(r.scop.statements[0].guarded);
+  EXPECT_FALSE(has_carried(r.deps, r.scop.depth()));
+  EXPECT_TRUE(loop_is_parallel(r.deps, 0));
+}
+
+TEST(Dependence, GuardDoesNotRemoveConflict) {
+  // Same shape, but the read a[i - 1] intersects the guarded write range
+  // ([0, m) vs [-1, n-1)): the flow dependence survives and the loop
+  // stays serial.
+  auto r = analyze(
+      "float* a; float* c; float* x;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i < m)\n"
+      "      a[i] = x[i];\n"
+      "    c[i] = a[i - 1];\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(r.scop.region_shaped);
+  EXPECT_TRUE(has_carried(r.deps, r.scop.depth()));
+  EXPECT_FALSE(loop_is_parallel(r.deps, 0));
+}
+
+TEST(Dependence, ElseBranchNegationDisjointFromThen) {
+  // then writes a[i] for i < m, else reads a[i] for i >= m: the negated
+  // half-space makes every pairing empty — no dependences at all.
+  auto r = analyze(
+      "float* a; float* c; float* x;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i < m)\n"
+      "      a[i] = x[i];\n"
+      "    else\n"
+      "      c[i] = a[i];\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(r.deps.empty());
+  EXPECT_TRUE(loop_is_parallel(r.deps, 0));
+}
+
+TEST(Dependence, ImperfectNestInnerCarriesOuterParallel) {
+  // s[i] accumulates across j (inner loop serial) but every statement is
+  // indexed by i — the outer loop carries nothing.
+  auto r = analyze(
+      "float* s; float** g;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    s[i] = 0.0f;\n"
+      "    for (int j = 0; j < m; j++)\n"
+      "      s[i] = s[i] + g[i][j];\n"
+      "    s[i] = s[i] * 0.25f;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(r.scop.region_shaped);
+  ASSERT_EQ(r.scop.statements.size(), 3u);
+  EXPECT_EQ(r.scop.statements[0].loops, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(r.scop.statements[1].loops, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(r.scop.statements[2].loops, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(loop_is_parallel(r.deps, 0));
+  EXPECT_FALSE(loop_is_parallel(r.deps, 1));
+}
+
+TEST(Dependence, StatementAfterInnerLoopOrdersByPosition) {
+  // S2 (after the inner loop) reads what S1 wrote in the same i
+  // iteration: the dependence is loop-independent, not carried by i.
+  auto r = analyze(
+      "float* s; float* t; float** g;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    for (int j = 0; j < m; j++)\n"
+      "      s[i] = s[i] + g[i][j];\n"
+      "    t[i] = s[i];\n"
+      "  }\n"
+      "}\n");
+  bool independent_flow = false;
+  for (const Dependence& d : r.deps) {
+    if (d.kind == DependenceKind::Flow &&
+        d.carrier_loop == Scop::npos && d.src_stmt == 0 &&
+        d.dst_stmt == 1) {
+      independent_flow = true;
+    }
+  }
+  EXPECT_TRUE(independent_flow);
+  EXPECT_TRUE(loop_is_parallel(r.deps, 0));
+}
+
+TEST(Dependence, StridedLowerBoundAnalyzesExactly) {
+  // for (j = i; j < n; j += 2): w[i][i + 2t] never collides across i,
+  // so both loops are dependence-free.
+  auto r = analyze(
+      "float** w; float** r;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    for (int j = i; j < n; j += 2)\n"
+      "      w[i][j] = r[i][j];\n"
+      "}\n");
+  EXPECT_TRUE(r.deps.empty());
+  EXPECT_TRUE(loop_is_parallel(r.deps, 0));
+  EXPECT_TRUE(loop_is_parallel(r.deps, 1));
+}
+
 TEST(Dependence, ToStringIsInformative) {
   auto r = analyze(
       "float* a;\n"

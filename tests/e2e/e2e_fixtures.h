@@ -533,6 +533,163 @@ int main() {
 }
 )";
 
+/// Region SCoP: affine `if`/`else` guards become per-statement domain
+/// constraints. The guard on the `a[i]` write is load-bearing — the write
+/// covers [0, m) while `c[i]` reads a[i + m] over [m, n + m), so the
+/// guarded domains never intersect and the loop parallelizes. A
+/// shared-domain model would either reject the `if` outright or see the
+/// write over all of [0, n) and serialize.
+inline constexpr const char* kRunGuardedUpdate = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+pure float scale(float v) { return 3.0f * v + 1.0f; }
+pure float shift(float v) { return 0.5f * v - 2.0f; }
+
+void split_update(float* a, float* b, float* c, float* x, int n, int m) {
+  for (int i = 0; i < n; i++) {
+    if (i < m)
+      a[i] = scale(x[i]);
+    else
+      b[i] = shift(x[i]);
+    c[i] = a[i + m] + b[i];
+  }
+}
+
+int main() {
+  int n = 2048;
+  int m = 512;
+  float* a = (float*)malloc((n + m) * sizeof(float));
+  float* b = (float*)malloc(n * sizeof(float));
+  float* c = (float*)malloc(n * sizeof(float));
+  float* x = (float*)malloc(n * sizeof(float));
+  for (int i = 0; i < n + m; i++) a[i] = (float)((i * 7 + 5) % 19) * 0.25f;
+  for (int i = 0; i < n; i++) {
+    b[i] = (float)((i * 3 + 1) % 13) * 0.5f;
+    c[i] = 0.0f;
+    x[i] = (float)((i * 11 + 2) % 17) * 0.125f;
+  }
+  split_update(a, b, c, x, n, m);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++)
+    checksum += ((double)a[i] + (double)b[i] + (double)c[i]) * (i % 9);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
+/// Affine `while` loop: `int i = 0; while (i < n) { ...; i = i + 1; }`
+/// canonicalizes into the `for` representation before SCoP detection and
+/// parallelizes exactly like its `for` twin (ROADMAP coverage gap).
+inline constexpr const char* kRunWhileLoop = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+pure float blend(float u, float v) { return 0.6f * u + 0.4f * v; }
+
+void mix(float* out, float* p, float* q, int n) {
+  int i = 0;
+  while (i < n) {
+    out[i] = blend(p[i], q[i]);
+    i = i + 1;
+  }
+}
+
+int main() {
+  int n = 4096;
+  float* out = (float*)malloc(n * sizeof(float));
+  float* p = (float*)malloc(n * sizeof(float));
+  float* q = (float*)malloc(n * sizeof(float));
+  for (int i = 0; i < n; i++) {
+    out[i] = 0.0f;
+    p[i] = (float)((i * 5 + 3) % 23) * 0.25f;
+    q[i] = (float)((i * 9 + 7) % 31) * 0.125f;
+  }
+  mix(out, p, q, n);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) checksum += (double)out[i] * (i % 11);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
+/// Imperfect nest: statements before and after the inner loop get their
+/// own domains at depth 1 while the accumulation sits at depth 2. The
+/// inner j loop carries the s[i] accumulation (serial); the outer i loop
+/// carries nothing and takes the parallel pragma.
+inline constexpr const char* kRunImperfectNest = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+pure float cell(float v, int j) { return v * (float)(j + 1) + 1.0f; }
+
+void row_scan(float* s, float** g, int n, int m) {
+  for (int i = 0; i < n; i++) {
+    s[i] = 0.0f;
+    for (int j = 0; j < m; j++)
+      s[i] = s[i] + cell(g[i][j], j);
+    s[i] = s[i] * 0.25f;
+  }
+}
+
+int main() {
+  int n = 256;
+  int m = 64;
+  float* s = (float*)malloc(n * sizeof(float));
+  float** g = (float**)malloc(n * sizeof(float*));
+  for (int i = 0; i < n; i++) {
+    s[i] = 0.0f;
+    g[i] = (float*)malloc(m * sizeof(float));
+    for (int j = 0; j < m; j++)
+      g[i][j] = (float)((i * 13 + j * 5) % 11) * 0.0625f;
+  }
+  row_scan(s, g, n, m);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) checksum += (double)s[i] * (i % 7);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
+/// Iterator-dependent strided lower bound (`for (j = i; j < n; j += 2)`,
+/// the second ROADMAP scop-coverage gap): j normalizes to i + 2t, the
+/// classic generator cannot fold the origin back, and the region path
+/// annotates the outer loop (guided by default — the trapezoidal inner
+/// trip count varies with i).
+inline constexpr const char* kRunStridedLower = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+pure float damp(float v) { return 0.75f * v + 0.125f; }
+
+void halfband(float** w, float** r, int n) {
+  for (int i = 0; i < n; i++)
+    for (int j = i; j < n; j += 2)
+      w[i][j] = damp(r[i][j]);
+}
+
+int main() {
+  int n = 128;
+  float** w = (float**)malloc(n * sizeof(float*));
+  float** r = (float**)malloc(n * sizeof(float*));
+  for (int i = 0; i < n; i++) {
+    w[i] = (float*)malloc(n * sizeof(float));
+    r[i] = (float*)malloc(n * sizeof(float));
+    for (int j = 0; j < n; j++) {
+      w[i][j] = 0.0f;
+      r[i][j] = (float)((i * 17 + j * 3) % 29) * 0.0625f;
+    }
+  }
+  halfband(w, r, n);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      checksum += (double)w[i][j] * ((i + 3 * j) % 5);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
 inline constexpr const char* kRunMatmulWithInit = R"(
 #include <stdio.h>
 #include <stdlib.h>
@@ -597,6 +754,18 @@ inline std::vector<Fixture> all_fixtures() {
       // Non-unit stride + guided-by-default coverage (ROADMAP gaps).
       {"stride2", kRunStride2, false, kRunStride2, true, true},
       {"triangular_guided", kRunTriangular, false, kRunTriangular, true,
+       true},
+      // Region SCoPs (per-statement domains): affine if/else guards that
+      // *prove* the loop parallel, a canonicalized while loop, an
+      // imperfect nest with code around the inner loop, and an
+      // iterator-dependent strided lower bound. Each runs the serial-vs-
+      // parallel differential in every config.
+      {"guarded_update", kRunGuardedUpdate, false, kRunGuardedUpdate, true,
+       true},
+      {"while_loop", kRunWhileLoop, false, kRunWhileLoop, true, true},
+      {"imperfect_nest", kRunImperfectNest, false, kRunImperfectNest, true,
+       true},
+      {"strided_lower", kRunStridedLower, false, kRunStridedLower, true,
        true},
       {"matmul_plain", testsrc::kMatmulPlain, false, kRunMatmulPlain, true,
        true, /*infer=*/true},

@@ -1,5 +1,4 @@
 #include <omp.h>
-#include <stdlib.h>
 #ifndef PUREC_POLY_HELPERS
 #define PUREC_POLY_HELPERS
 #define floord(n, d) (((n) < 0) ? -((-(n) + (d) - 1) / (d)) : (n) / (d))
@@ -7,162 +6,6 @@
 #define purec_max(a, b) (((a) > (b)) ? (a) : (b))
 #define purec_min(a, b) (((a) < (b)) ? (a) : (b))
 #endif
-#ifndef PUREC_MEMO_RUNTIME
-#define PUREC_MEMO_RUNTIME
-/* Concurrent memoization table for pure-call results: sharded,
- * cache-line padded, open addressing within an 8-slot probe window,
- * per-slot seqlock publication (a torn read is a safe miss), clock
- * second-chance eviction when a window fills. Knobs: PUREC_MEMO_SHARDS,
- * PUREC_MEMO_CAP (total slots). */
-typedef unsigned long long purec_memo_word;
-typedef union { float v; unsigned int b; } purec_memo_f32;
-typedef union { double v; purec_memo_word b; } purec_memo_f64;
-
-typedef struct {
-  purec_memo_word seq;   /* even = stable, odd = mid-write */
-  purec_memo_word tag;   /* key fingerprint; 0 = empty */
-  purec_memo_word value;
-  purec_memo_word ref;   /* clock second-chance bit */
-} purec_memo_slot;
-
-typedef struct {
-  purec_memo_slot* slots;
-  purec_memo_word slot_mask;
-  char pad[64 - sizeof(purec_memo_slot*) - sizeof(purec_memo_word)];
-} purec_memo_shard;
-
-static purec_memo_shard* purec_memo_shards;
-static purec_memo_word purec_memo_shard_mask;
-static unsigned purec_memo_probe = 8u;
-static int purec_memo_ready; /* 0 until init allocates successfully */
-
-static purec_memo_word purec_memo_mix(purec_memo_word x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-/* Knob ceiling: 2^24 slots. Clamping keeps absurd values ("-1" wraps to
- * ULLONG_MAX through strtoull) from hanging the pow2 loop or OOM-ing. */
-static purec_memo_word purec_memo_env(const char* name,
-                                      purec_memo_word fallback) {
-  const char* v = getenv(name);
-  char* end;
-  unsigned long long parsed;
-  if (v == 0 || *v == 0) return fallback;
-  parsed = strtoull(v, &end, 10);
-  if (*end != 0 || parsed == 0) return fallback;
-  return parsed > (1ULL << 24) ? (1ULL << 24) : parsed;
-}
-
-static purec_memo_word purec_memo_pow2(purec_memo_word v) {
-  purec_memo_word p = 1;
-  while (p <= v / 2) p *= 2;
-  return p;
-}
-
-__attribute__((constructor)) static void purec_memo_init(void) {
-  purec_memo_word shards =
-      purec_memo_pow2(purec_memo_env("PUREC_MEMO_SHARDS", 8));
-  purec_memo_word cap = purec_memo_env("PUREC_MEMO_CAP", 65536);
-  purec_memo_word per, s;
-  if (cap < shards) shards = purec_memo_pow2(cap);
-  per = purec_memo_pow2(cap / shards);
-  purec_memo_shards =
-      (purec_memo_shard*)calloc(shards, sizeof(purec_memo_shard));
-  if (purec_memo_shards == 0) return; /* no table: every call computes */
-  for (s = 0; s < shards; s++) {
-    purec_memo_shards[s].slots =
-        (purec_memo_slot*)calloc(per, sizeof(purec_memo_slot));
-    if (purec_memo_shards[s].slots == 0) return;
-    purec_memo_shards[s].slot_mask = per - 1;
-  }
-  purec_memo_shard_mask = shards - 1;
-  if (purec_memo_probe > per) purec_memo_probe = (unsigned)per;
-  purec_memo_ready = 1;
-}
-
-static int purec_memo_lookup(purec_memo_word key, purec_memo_word* value) {
-  purec_memo_shard* sh;
-  unsigned i;
-  if (!purec_memo_ready) return 0;
-  sh = &purec_memo_shards[(key >> 40) & purec_memo_shard_mask];
-  for (i = 0; i < purec_memo_probe; i++) {
-    purec_memo_slot* s = &sh->slots[(key + i) & sh->slot_mask];
-    purec_memo_word s1 = __atomic_load_n(&s->seq, __ATOMIC_ACQUIRE);
-    purec_memo_word tag, val;
-    if (s1 & 1u) continue;
-    tag = __atomic_load_n(&s->tag, __ATOMIC_RELAXED);
-    val = __atomic_load_n(&s->value, __ATOMIC_RELAXED);
-    __atomic_thread_fence(__ATOMIC_ACQUIRE);
-    if (__atomic_load_n(&s->seq, __ATOMIC_RELAXED) != s1) continue;
-    if (tag == key) {
-      *value = val;
-      __atomic_store_n(&s->ref, 1, __ATOMIC_RELAXED);
-      return 1;
-    }
-    if (tag == 0) return 0;
-  }
-  return 0;
-}
-
-static int purec_memo_claim(purec_memo_slot* s, purec_memo_word key,
-                            purec_memo_word value) {
-  purec_memo_word s1 = __atomic_load_n(&s->seq, __ATOMIC_RELAXED);
-  if (s1 & 1u) return 0;
-  if (!__atomic_compare_exchange_n(&s->seq, &s1, s1 + 1, 0,
-                                   __ATOMIC_ACQUIRE, __ATOMIC_RELAXED))
-    return 0;
-  __atomic_store_n(&s->tag, key, __ATOMIC_RELAXED);
-  __atomic_store_n(&s->value, value, __ATOMIC_RELAXED);
-  __atomic_store_n(&s->ref, 0, __ATOMIC_RELAXED);
-  __atomic_store_n(&s->seq, s1 + 2, __ATOMIC_RELEASE);
-  return 1;
-}
-
-static void purec_memo_store(purec_memo_word key, purec_memo_word value) {
-  purec_memo_shard* sh;
-  unsigned i;
-  if (!purec_memo_ready) return;
-  sh = &purec_memo_shards[(key >> 40) & purec_memo_shard_mask];
-  for (i = 0; i < purec_memo_probe; i++) {
-    purec_memo_slot* s = &sh->slots[(key + i) & sh->slot_mask];
-    purec_memo_word tag = __atomic_load_n(&s->tag, __ATOMIC_RELAXED);
-    if (tag == key) return; /* pure: the resident value is identical */
-    if (tag == 0 && purec_memo_claim(s, key, value)) return;
-  }
-  for (i = 0; i < purec_memo_probe; i++) {
-    purec_memo_slot* s = &sh->slots[(key + i) & sh->slot_mask];
-    if (__atomic_exchange_n(&s->ref, 0, __ATOMIC_RELAXED) == 0 &&
-        purec_memo_claim(s, key, value))
-      return;
-  }
-  purec_memo_claim(&sh->slots[key & sh->slot_mask], key, value);
-}
-
-#define PUREC_MEMO_KEY_F32(k, x)                                       \
-  do {                                                                 \
-    purec_memo_f32 purec_u;                                            \
-    purec_u.v = (x);                                                   \
-    (k) = purec_memo_mix((k) ^ (purec_memo_word)purec_u.b);            \
-  } while (0)
-#define PUREC_MEMO_KEY_F64(k, x)                                       \
-  do {                                                                 \
-    purec_memo_f64 purec_u;                                            \
-    purec_u.v = (x);                                                   \
-    (k) = purec_memo_mix((k) ^ purec_u.b);                             \
-  } while (0)
-#define PUREC_MEMO_KEY_INT(k, x) \
-  ((k) = purec_memo_mix((k) ^ (purec_memo_word)(x)))
-#define PUREC_MEMO_PACK_F32(x) \
-  ((purec_memo_word)((purec_memo_f32){(x)}).b)
-#define PUREC_MEMO_PACK_F64(x) ((purec_memo_f64){(x)}).b
-#define PUREC_MEMO_UNPACK_F32(w) \
-  (((purec_memo_f32){.b = (unsigned int)(w)}).v)
-#define PUREC_MEMO_UNPACK_F64(w) (((purec_memo_f64){.b = (w)}).v)
-#endif
-static float purec_memo_mult(float purec_a0, float purec_a1);
 float** A;
 float** Bt;
 float** C;
@@ -176,7 +19,7 @@ float dot(const float* a, const float* b, int size)
   {
     for (int t1 = 0; t1 <= size - 1; t1++)
     {
-      res += purec_memo_mult(a[t1], b[t1]);
+      res += mult(a[t1], b[t1]);
     }
   }
   return res;
@@ -195,19 +38,4 @@ int main(int argc, char** argv)
     }
   }
   return 0;
-}
-
-static float purec_memo_mult(float purec_a0, float purec_a1) {
-  purec_memo_word purec_key = 0xb6ba5ea29324f12fULL;
-  purec_memo_word purec_word;
-  float purec_result;
-  PUREC_MEMO_KEY_F32(purec_key, purec_a0);
-  PUREC_MEMO_KEY_F32(purec_key, purec_a1);
-  purec_key = purec_memo_mix(purec_key);
-  if (purec_key == 0) purec_key = 1;
-  if (purec_memo_lookup(purec_key, &purec_word))
-    return PUREC_MEMO_UNPACK_F32(purec_word);
-  purec_result = mult(purec_a0, purec_a1);
-  purec_memo_store(purec_key, PUREC_MEMO_PACK_F32(purec_result));
-  return purec_result;
 }

@@ -33,14 +33,20 @@ int main()
   int n = 64;
   L = (float**)malloc(n * sizeof(float*));
   U2 = (float**)malloc(n * sizeof(float*));
-  for (int i = 0; i < n; i++)
   {
-    L[i] = (float*)malloc(n * sizeof(float));
-    U2[i] = (float*)malloc(n * sizeof(float));
-    for (int j = 0; j < n; j++)
+#pragma omp parallel for
+    for (int i = 0; i < n; i++)
     {
-      L[i][j] = 0.0f;
-      U2[i][j] = (float)((i * 11 + j * 5) % 17) * 0.125f;
+      L[i] = (float*)malloc(n * sizeof(float));
+      U2[i] = (float*)malloc(n * sizeof(float));
+      {
+#pragma omp simd
+        for (int j = 0; j < n; j++)
+        {
+          L[i][j] = 0.0f;
+          U2[i][j] = (float)((i * 11 + j * 5) % 17) * 0.125f;
+        }
+      }
     }
   }
   fold(n);

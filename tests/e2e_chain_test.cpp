@@ -15,6 +15,7 @@
 // 5's write-target argument) pin the rejection in every configuration.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -258,6 +259,24 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Fixture>& info) {
       return std::string(info.param.name);
     });
+
+// tier1 smoke guard: the region-SCoP fixtures must stay in the corpus as
+// *runnable* differentials — if one loses its runnable variant (or gets
+// dropped from the table), the checksum-identity contract above would
+// silently stop being checked for it.
+TEST(E2ECorpus, RegionFixturesKeepRunnableDifferentials) {
+  const std::vector<Fixture> fixtures = all_fixtures();
+  for (const char* name :
+       {"guarded_update", "while_loop", "imperfect_nest", "strided_lower"}) {
+    const auto it = std::find_if(
+        fixtures.begin(), fixtures.end(),
+        [&](const Fixture& f) { return std::string(f.name) == name; });
+    ASSERT_NE(it, fixtures.end()) << name << " missing from the corpus";
+    EXPECT_TRUE(it->expect_ok) << name;
+    EXPECT_NE(it->runnable, nullptr)
+        << name << " must keep a serial-vs-parallel differential";
+  }
+}
 
 }  // namespace
 }  // namespace purec::e2e

@@ -346,6 +346,30 @@ TEST(ExternEffects, DatabaseClassifiesTheModeledFunctions) {
   ASSERT_NE(extern_effect("memcmp"), nullptr);
   EXPECT_EQ(extern_effect("memcmp")->kind, ExternEffectKind::ReadOnly);
   EXPECT_EQ(extern_effect("sprintf"), nullptr);  // unbounded: not modeled
+  // The string.h/stdlib.h growth pass: readers and value functions.
+  ASSERT_NE(extern_effect("strchr"), nullptr);
+  EXPECT_EQ(extern_effect("strchr")->kind, ExternEffectKind::ReadOnly);
+  ASSERT_NE(extern_effect("strrchr"), nullptr);
+  ASSERT_NE(extern_effect("strncmp"), nullptr);
+  EXPECT_EQ(extern_effect("strncmp")->kind, ExternEffectKind::ReadOnly);
+  ASSERT_NE(extern_effect("abs"), nullptr);
+  EXPECT_EQ(extern_effect("abs")->kind, ExternEffectKind::ReadOnly);
+  ASSERT_NE(extern_effect("labs"), nullptr);
+  EXPECT_EQ(extern_effect("labs")->kind, ExternEffectKind::ReadOnly);
+}
+
+TEST(ExternEffects, StrchrResolvedNotPessimized) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int f(char* s) {\n"
+      "  return strchr(s, 46) != 0;\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.callees.count("strchr"), 0u)
+      << "modeled externs are resolved, not pessimized";
+  EXPECT_EQ(s.extern_calls.count("strchr"), 1u);
 }
 
 TEST(ExternEffects, MemcpyIntoLocalBufferStaysPure) {

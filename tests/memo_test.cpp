@@ -430,9 +430,29 @@ TEST(MemoCodegen, IntegerAndDoubleKeyLines) {
 // Chain wiring
 // ---------------------------------------------------------------------------
 
-TEST(MemoChain, RewritesCallSitesAndEmitsRuntime) {
+TEST(MemoChain, CostGateSkipsTrivialLeavesByDefault) {
+  // `mult` is a 3-node single-expression leaf: the default --memoize
+  // cost-gates it (the table trip costs more than the recompute — the
+  // honest 0.1x matmul-twin negative in BENCH_memoize.json), so the
+  // output stays memo-free.
   ChainOptions options;
   options.memoize = true;
+  const ChainArtifacts artifacts =
+      run_pure_chain(testsrc::kMatmul, options);
+  ASSERT_TRUE(artifacts.ok) << artifacts.diagnostics.format();
+  EXPECT_TRUE(artifacts.memoization.memoizable.empty());
+  EXPECT_EQ(artifacts.memoized_calls, 0u);
+  const auto mult = artifacts.memoization.functions.find("mult");
+  ASSERT_NE(mult, artifacts.memoization.functions.end());
+  EXPECT_NE(mult->second.reason.find("cost gate"), std::string::npos)
+      << mult->second.reason;
+  EXPECT_EQ(artifacts.final_source.find("purec_memo"), std::string::npos);
+}
+
+TEST(MemoChain, MemoizeAllRewritesCallSitesAndEmitsRuntime) {
+  ChainOptions options;
+  options.memoize = true;
+  options.memoize_all = true;
   const ChainArtifacts artifacts =
       run_pure_chain(testsrc::kMatmul, options);
   ASSERT_TRUE(artifacts.ok) << artifacts.diagnostics.format();
@@ -444,6 +464,14 @@ TEST(MemoChain, RewritesCallSitesAndEmitsRuntime) {
   EXPECT_NE(artifacts.final_source.find("purec_memo_mult("),
             std::string::npos);
   EXPECT_NE(artifacts.final_source.find("#include <stdlib.h>"),
+            std::string::npos);
+  // The PUREC_MEMO_STATS instrumentation rides along: per-thunk counter
+  // registration plus the atexit dump in the emitted runtime.
+  EXPECT_NE(artifacts.final_source.find("purec_memo_stats_mult"),
+            std::string::npos);
+  EXPECT_NE(artifacts.final_source.find("purec_memo_stats_dump"),
+            std::string::npos);
+  EXPECT_NE(artifacts.final_source.find("#include <stdio.h>"),
             std::string::npos);
   // Intermediate stages stay memo-free (the rewrite is a PosPro concern).
   EXPECT_EQ(artifacts.transformed.find("purec_memo"), std::string::npos);

@@ -249,11 +249,25 @@ TEST_F(PureccCliTest, InferPureParallelizesKeywordFreeInput) {
       << inferred.output;
 }
 
-TEST_F(PureccCliTest, MemoizeRewritesCallSitesAndReports) {
-  // twice(float) is memoizable: the output gains the thunk, its table,
-  // and the rewritten call site; the report carries the provenance.
+TEST_F(PureccCliTest, MemoizeCostGatesTrivialLeavesByDefault) {
+  // twice(float) is a single-expression leaf: plain --memoize cost-gates
+  // it (recompute beats the table trip) and reports why.
   const RunResult r =
       run_purecc("--memoize --report " + shell_quote(input_path_));
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("PUREC_MEMO_RUNTIME"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("cost gate"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("memoized 0 call site(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(PureccCliTest, MemoizeAllRewritesCallSitesAndReports) {
+  // --memoize=all overrides the gate: the output gains the thunk, its
+  // table, and the rewritten call site; the report carries the
+  // provenance.
+  const RunResult r =
+      run_purecc("--memoize=all --report " + shell_quote(input_path_));
   ASSERT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("PUREC_MEMO_RUNTIME"), std::string::npos)
       << r.output;

@@ -434,11 +434,40 @@ TEST(Purity, Listing5RuleCanBeWarning) {
   EXPECT_TRUE(out.result.scop_loops.empty());
 }
 
-TEST(Purity, WhileLoopsAreNotScops) {
+TEST(Purity, UncanonicalizedWhileLoopsAreNotScops) {
+  // The bare checker only marks for-loops; affine while loops reach it
+  // already canonicalized by the chain (transform/loop_canon), which is
+  // pinned by the while_loop e2e fixture and Chain.WhileLoopParallelizes.
   auto out = check(
       "float* v;\n"
       "void f(int n) { int i = 0; while (i < n) { v[i] = 0.0f; i++; } }\n");
   EXPECT_TRUE(out.result.scop_loops.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Extern effect database in the declared-pure verifier
+// ---------------------------------------------------------------------------
+
+TEST(Purity, PureFunctionMayCallReadOnlyExtern) {
+  // strchr is not in the seed hashset but the extern effect database
+  // models it ReadOnly — a verified-pure body may call it.
+  auto out = check(
+      "pure int has_dot(pure char* s) {\n"
+      "  return strchr(s, 46) != 0;\n"
+      "}\n");
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
+}
+
+TEST(Purity, PureFunctionMayNotCallWritesArg0Extern) {
+  // memcpy is modeled WritesArg0: through a parameter it reaches caller
+  // memory, so the promise-based verifier keeps rejecting it.
+  auto out = check(
+      "pure int copy(pure char* d, pure char* s, int n) {\n"
+      "  memcpy(d, s, n);\n"
+      "  return n;\n"
+      "}\n");
+  EXPECT_TRUE(out.diags.has_error_containing("memcpy"))
+      << out.diags.format();
 }
 
 }  // namespace
