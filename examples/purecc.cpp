@@ -23,6 +23,11 @@
 //                          by the cost gate
 //     --memoize=all        disable the cost gate (thunk every
 //                          memoizable function, for measurement)
+//     --fp-reductions      allow +/-/* reductions on float/double
+//                          accumulators (OpenMP partials reassociate the
+//                          combination, so results may differ in the last
+//                          bits from the serial loop; min/max and integer
+//                          reductions need no flag)
 //     --gcc-attributes     annotate lowered pure functions with
 //                          __attribute__((pure))
 //     --stage <name>       print an intermediate stage instead of the final
@@ -47,7 +52,8 @@ int usage(const char* argv0) {
                "          [--schedule static|dynamic[,N]|guided[,N]] "
                "[--no-parallel]\n"
                "          [--inline-pure] [--infer-pure] "
-               "[--memoize[=all]] [--gcc-attributes]\n"
+               "[--memoize[=all]] [--fp-reductions]\n"
+               "          [--gcc-attributes]\n"
                "          [--stage NAME] [--report] input.c\n",
                argv0);
   return 2;
@@ -109,6 +115,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--memoize=all") {
       options.memoize = true;
       options.memoize_all = true;
+    } else if (arg == "--fp-reductions") {
+      options.fp_reductions = true;
     } else if (arg == "--gcc-attributes") {
       options.emit_gcc_attributes = true;
     } else if (arg == "--stage") {
@@ -183,14 +191,23 @@ int main(int argc, char** argv) {
       if (options.infer_purity) {
         inferred = " inferred=" + std::to_string(r.inferred_calls);
       }
+      std::string reductions;
+      for (const std::string& red : r.reductions) {
+        reductions += reductions.empty() ? " reduction=" : ",";
+        reductions += red;
+      }
       std::fprintf(stderr,
                    "purecc: %s:%u depth=%zu calls=%zu%s deps=%zu "
-                   "transformed=%d parallel=%d tiled=%d region=%d%s%s\n",
+                   "transformed=%d parallel=%d tiled=%d region=%d%s%s%s\n",
                    r.function.c_str(), r.line, r.depth,
                    r.substituted_calls, inferred.c_str(), r.dependences,
                    r.transformed, r.parallelized, r.tiled, r.region,
+                   reductions.c_str(),
                    r.failure_reason.empty() ? "" : " reason=",
                    r.failure_reason.c_str());
+      for (const std::string& note : r.reduction_notes) {
+        std::fprintf(stderr, "purecc:   note: %s\n", note.c_str());
+      }
     }
     if (artifacts.inlined_calls > 0) {
       std::fprintf(stderr, "purecc: inlined %zu pure call(s)\n",

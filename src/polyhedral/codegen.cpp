@@ -175,6 +175,43 @@ void apply_iterator_substitution(StmtPtr& stmt,
 
 namespace {
 
+/// Composes "reduction(op:acc,...)" clauses for every exemptible
+/// reduction statement accepted by `in_scope`, grouped by operator token
+/// in first-appearance order. Empty when no reduction is in scope.
+[[nodiscard]] std::string reduction_clauses(
+    const Scop& scop,
+    const std::function<bool(const ScopStatement&)>& in_scope) {
+  std::vector<std::pair<std::string, std::vector<std::string>>> groups;
+  for (const ScopStatement& stmt : scop.statements) {
+    if (!reduction_exemptible(stmt.reduction_op) || !in_scope(stmt)) {
+      continue;
+    }
+    const std::string token = reduction_token(stmt.reduction_op);
+    auto it = std::find_if(
+        groups.begin(), groups.end(),
+        [&](const auto& g) { return g.first == token; });
+    if (it == groups.end()) {
+      groups.emplace_back(token, std::vector<std::string>{});
+      it = std::prev(groups.end());
+    }
+    if (std::find(it->second.begin(), it->second.end(),
+                  stmt.reduction_accumulator) == it->second.end()) {
+      it->second.push_back(stmt.reduction_accumulator);
+    }
+  }
+  std::string out;
+  for (const auto& [token, names] : groups) {
+    if (!out.empty()) out += " ";
+    out += "reduction(" + token + ":";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i != 0) out += ",";
+      out += names[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
 [[nodiscard]] bool couples_iterators(const ConstraintSystem& domain,
                                      std::size_t d) {
   for (const Constraint& c : domain.constraints()) {
@@ -324,6 +361,13 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
   }
   const std::string schedule_clause = schedule.clause();
 
+  // Accumulator clause for the whole band (every statement runs under the
+  // pragma'd loop in a classic scop). The simd pragma needs it too: simd
+  // asserts no lane-carried dependence, which for the accumulator is only
+  // true under the clause's per-lane partials.
+  const std::string reduction_clause = reduction_clauses(
+      scop, [](const ScopStatement&) { return true; });
+
   // Decide pragma placement.
   const std::size_t outer_parallel = transform.outermost_parallel();
   const bool parallel_outermost =
@@ -358,12 +402,14 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
                              std::move(upper), std::move(current));
     auto wrapper = std::make_unique<CompoundStmt>();
     if (k == simd_dim && k != 0) {
-      wrapper->stmts.push_back(
-          std::make_unique<PragmaStmt>("#pragma omp simd"));
+      std::string text = "#pragma omp simd";
+      if (!reduction_clause.empty()) text += " " + reduction_clause;
+      wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
     }
     if (k == inner_parallel_point && k != 0) {
       std::string text = "#pragma omp parallel for";
       if (!schedule_clause.empty()) text += " " + schedule_clause;
+      if (!reduction_clause.empty()) text += " " + reduction_clause;
       wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
     }
     if (wrapper->stmts.empty()) {
@@ -388,6 +434,7 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
        (inner_parallel_point == 0 && tiled_dims == 0))) {
     std::string text = "#pragma omp parallel for";
     if (!schedule_clause.empty()) text += " " + schedule_clause;
+    if (!reduction_clause.empty()) text += " " + reduction_clause;
     result->stmts.push_back(std::make_unique<PragmaStmt>(text));
   }
   result->stmts.push_back(std::move(current));
@@ -451,6 +498,23 @@ StmtPtr annotate_region(const Scop& scop,
   }
   const std::string schedule_clause = schedule.clause();
 
+  // Accumulators of reduction statements running under a given loop: the
+  // loop's pragma gets them as reduction clauses (and the private clause
+  // below must never list them — GCC rejects a name in both).
+  std::vector<std::string> accumulators;
+  for (const ScopStatement& stmt : scop.statements) {
+    if (reduction_exemptible(stmt.reduction_op)) {
+      accumulators.push_back(stmt.reduction_accumulator);
+    }
+  }
+  const auto reduction_for_loop = [&](std::size_t loop_index) {
+    return reduction_clauses(scop, [&](const ScopStatement& stmt) {
+      const std::vector<std::size_t> chain = statement_loops(scop, stmt);
+      return std::find(chain.begin(), chain.end(), loop_index) !=
+             chain.end();
+    });
+  };
+
   // OpenMP privatizes only the pragma'd loop's own iteration variable.
   // A descendant loop whose iterator lives in an enclosing scope
   // (`int j; ... for (j = 0; ...)` — C89 style, or a canonicalized
@@ -475,6 +539,10 @@ StmtPtr annotate_region(const Scop& scop,
       const ForStmt* ast = scop.loop_asts[k];
       if (ast == nullptr || !ast->init ||
           stmt_cast<ExprStmt>(ast->init.get()) == nullptr) {
+        continue;
+      }
+      if (std::find(accumulators.begin(), accumulators.end(),
+                    scop.iterators[k]) != accumulators.end()) {
         continue;
       }
       if (std::find(names.begin(), names.end(), scop.iterators[k]) ==
@@ -507,12 +575,16 @@ StmtPtr annotate_region(const Scop& scop,
         if (index >= d || (!selected[index] && !simd[index])) return;
         auto wrapper = std::make_unique<CompoundStmt>();
         if (simd[index]) {
-          wrapper->stmts.push_back(
-              std::make_unique<PragmaStmt>("#pragma omp simd"));
+          std::string text = "#pragma omp simd";
+          const std::string red = reduction_for_loop(index);
+          if (!red.empty()) text += " " + red;
+          wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
         }
         if (selected[index]) {
           std::string text = "#pragma omp parallel for";
           if (!schedule_clause.empty()) text += " " + schedule_clause;
+          const std::string red = reduction_for_loop(index);
+          if (!red.empty()) text += " " + red;
           if (!private_clause[index].empty()) {
             text += " " + private_clause[index];
           }

@@ -138,6 +138,12 @@ std::vector<Dependence> analyze_dependences(const Scop& scop) {
            ++k) {
         common.push_back(src_chain[k]);
       }
+      // The accumulator's self-dependences (flow, anti, and output, at
+      // every carried level) are exactly what an OpenMP reduction clause
+      // is licensed to reorder — tag them so the parallelism verdicts and
+      // the scheduler's legality filter can exempt them.
+      const bool reduction_pair =
+          si == ti && reduction_exemptible(S.reduction_op);
       for (const Access& a : S.accesses) {
         for (const Access& b : T.accesses) {
           if (a.array != b.array) continue;
@@ -145,6 +151,8 @@ std::vector<Dependence> analyze_dependences(const Scop& scop) {
             continue;
           }
           if (a.subscripts.size() != b.subscripts.size()) continue;
+          const bool is_reduction =
+              reduction_pair && a.array == S.reduction_accumulator;
 
           const ConstraintSystem base = base_system(scop, S, a, T, b);
 
@@ -161,6 +169,7 @@ std::vector<Dependence> analyze_dependences(const Scop& scop) {
             dep.level = level;
             dep.carrier_loop = common[level - 1];
             dep.polyhedron = sys;
+            dep.is_reduction = is_reduction;
             for (std::size_t k : common) {
               IntVec diff(sys.dimensions(), 0);
               diff[k] = -1;
@@ -199,6 +208,7 @@ std::vector<Dependence> analyze_dependences(const Scop& scop) {
 bool level_is_parallel(const std::vector<Dependence>& deps, std::size_t level,
                        std::size_t depth) {
   for (const Dependence& dep : deps) {
+    if (dep.is_reduction) continue;
     if (dep.loop_carried(depth) && dep.level == level) return false;
   }
   return true;
@@ -207,6 +217,7 @@ bool level_is_parallel(const std::vector<Dependence>& deps, std::size_t level,
 bool loop_is_parallel(const std::vector<Dependence>& deps,
                       std::size_t loop_index) {
   for (const Dependence& dep : deps) {
+    if (dep.is_reduction) continue;
     if (dep.carrier_loop == loop_index) return false;
   }
   return true;

@@ -47,6 +47,12 @@ struct Dependence {
   /// The dependence polyhedron over [src iters, dst iters, params]; kept
   /// for schedule-legality tests.
   ConstraintSystem polyhedron{0};
+  /// Self-dependence of a recognized associative reduction's accumulator
+  /// (`s = s + e` and friends). Exempt from the parallelism verdicts and
+  /// from schedule legality: any interleaving of the updates is admissible
+  /// because codegen lowers the statement to an OpenMP reduction clause
+  /// with per-thread partials.
+  bool is_reduction = false;
 
   [[nodiscard]] bool loop_carried(std::size_t depth) const noexcept {
     return level <= depth;

@@ -31,6 +31,19 @@ std::string AffineForm::to_string(
   return std::move(out).str();
 }
 
+const char* reduction_token(ReductionOp op) noexcept {
+  switch (op) {
+    case ReductionOp::Add: return "+";
+    case ReductionOp::Sub: return "-";
+    case ReductionOp::Mul: return "*";
+    case ReductionOp::Min: return "min";
+    case ReductionOp::Max: return "max";
+    case ReductionOp::None:
+    case ReductionOp::Call: break;
+  }
+  return "";
+}
+
 std::vector<std::string> Scop::space_names() const {
   std::vector<std::string> names = iterators;
   names.insert(names.end(), parameters.begin(), parameters.end());
@@ -349,6 +362,99 @@ struct LoopHeader {
   return true;
 }
 
+/// Outcome of matching one assignment against the associative-reduction
+/// grammar `s = s op e` / `s = e op s` (op commutative) / `s op= e` /
+/// `s = f(s, e)` with `e` not reading `s`.
+struct ReductionMatch {
+  ReductionOp op = ReductionOp::None;
+  std::string accumulator;
+  std::string callee;            // for Min/Max/Call shapes
+  const Expr* other = nullptr;   // the non-accumulator operand
+  /// True when the RHS is a surviving CallExpr (a pure combiner the
+  /// substitution pass deliberately left in place): accesses must then be
+  /// collected by hand because the generic walk rejects calls.
+  bool call_rhs = false;
+};
+
+[[nodiscard]] bool minmax_callee(const std::string& name, ReductionOp& op) {
+  if (name == "fmin" || name == "fminf" || name == "fminl") {
+    op = ReductionOp::Min;
+    return true;
+  }
+  if (name == "fmax" || name == "fmaxf" || name == "fmaxl") {
+    op = ReductionOp::Max;
+    return true;
+  }
+  return false;
+}
+
+/// Matches the canonical reduction shapes on a scalar LHS. Subtraction is
+/// accepted only in the non-commuted `s = s - e` form (`s = e - s` is not
+/// a reduction); min/max recognize the libm call family; any other 2-ary
+/// call with the accumulator as exactly one argument is a user-combiner
+/// reduction (ReductionOp::Call — reported but never exempted).
+[[nodiscard]] std::optional<ReductionMatch> match_reduction(
+    const AssignExpr& assign) {
+  const auto* lhs = expr_cast<IdentExpr>(assign.lhs.get());
+  if (lhs == nullptr) return std::nullopt;
+  const std::string& s = lhs->name;
+  ReductionMatch m;
+  m.accumulator = s;
+  if (assign.op == AssignOp::AddAssign ||
+      assign.op == AssignOp::SubAssign ||
+      assign.op == AssignOp::MulAssign) {
+    if (references_identifier(*assign.rhs, s)) return std::nullopt;
+    m.op = assign.op == AssignOp::AddAssign   ? ReductionOp::Add
+           : assign.op == AssignOp::SubAssign ? ReductionOp::Sub
+                                              : ReductionOp::Mul;
+    m.other = assign.rhs.get();
+    return m;
+  }
+  if (assign.op != AssignOp::Assign) return std::nullopt;
+  if (const auto* b = expr_cast<BinaryExpr>(assign.rhs.get())) {
+    const auto* bl = expr_cast<IdentExpr>(b->lhs.get());
+    const auto* br = expr_cast<IdentExpr>(b->rhs.get());
+    const bool left_is_s = bl != nullptr && bl->name == s;
+    const bool right_is_s = br != nullptr && br->name == s;
+    if (b->op == BinaryOp::Add || b->op == BinaryOp::Mul) {
+      if (left_is_s == right_is_s) return std::nullopt;
+      const Expr* other = left_is_s ? b->rhs.get() : b->lhs.get();
+      if (references_identifier(*other, s)) return std::nullopt;
+      m.op = b->op == BinaryOp::Add ? ReductionOp::Add : ReductionOp::Mul;
+      m.other = other;
+      return m;
+    }
+    if (b->op == BinaryOp::Sub) {
+      if (!left_is_s || references_identifier(*b->rhs, s)) {
+        return std::nullopt;
+      }
+      m.op = ReductionOp::Sub;
+      m.other = b->rhs.get();
+      return m;
+    }
+    return std::nullopt;
+  }
+  if (const auto* call = expr_cast<CallExpr>(assign.rhs.get())) {
+    const std::string name = call->callee_name();
+    if (name.empty() || call->args.size() != 2) return std::nullopt;
+    const auto* a0 = expr_cast<IdentExpr>(call->args[0].get());
+    const auto* a1 = expr_cast<IdentExpr>(call->args[1].get());
+    const bool first_is_s = a0 != nullptr && a0->name == s;
+    const bool second_is_s = a1 != nullptr && a1->name == s;
+    if (first_is_s == second_is_s) return std::nullopt;
+    const Expr* other =
+        first_is_s ? call->args[1].get() : call->args[0].get();
+    if (references_identifier(*other, s)) return std::nullopt;
+    m.op = ReductionOp::Call;
+    minmax_callee(name, m.op);
+    m.callee = name;
+    m.other = other;
+    m.call_rhs = true;
+    return m;
+  }
+  return std::nullopt;
+}
+
 /// One `if` condition on a statement's path, with the branch parity (the
 /// else branch sees the negated half-space) and the loop chain in scope
 /// *at the guard's position* — a loop nested below the guard must not
@@ -518,6 +624,14 @@ class Extractor {
       stmt.guarded = !p.guards.empty();
       stmt.loops = p.chain;
 
+      const std::optional<ReductionMatch> reduction =
+          match_reduction(*p.assign);
+      if (reduction) {
+        stmt.reduction_op = reduction->op;
+        stmt.reduction_accumulator = reduction->accumulator;
+        stmt.reduction_callee = reduction->callee;
+      }
+
       if (!add_access(*p.assign->lhs, AccessKind::Write, builder,
                       written_scalars, stmt, result.failure_reason)) {
         return result;
@@ -529,11 +643,56 @@ class Extractor {
           return result;
         }
       }
-      if (!collect_reads(*p.assign->rhs, builder, written_scalars, stmt,
-                         result.failure_reason)) {
+      if (reduction && reduction->call_rhs) {
+        // `s = f(s, e)` with a pure combiner the substitution pass left
+        // in place: record the accumulator read and walk only the other
+        // argument (the generic walk rejects surviving calls).
+        Access acc_read;
+        acc_read.kind = AccessKind::Read;
+        acc_read.array = reduction->accumulator;
+        stmt.accesses.push_back(std::move(acc_read));
+        if (!collect_reads(*reduction->other, builder, written_scalars,
+                           stmt, result.failure_reason)) {
+          return result;
+        }
+      } else if (!collect_reads(*p.assign->rhs, builder, written_scalars,
+                                stmt, result.failure_reason)) {
         return result;
       }
       scop.statements.push_back(std::move(stmt));
+    }
+
+    // A recognized reduction is only exemptible while the accumulator
+    // stays private to its update: any other statement touching it makes
+    // the intermediate values observable, so demote (the self-dependence
+    // then serializes the nest as before, with the reason recorded).
+    for (std::size_t s = 0; s < scop.statements.size(); ++s) {
+      ScopStatement& stmt = scop.statements[s];
+      if (stmt.reduction_op == ReductionOp::None) continue;
+      bool escapes = false;
+      for (std::size_t t = 0; t < scop.statements.size() && !escapes;
+           ++t) {
+        if (t == s) continue;
+        for (const Access& a : scop.statements[t].accesses) {
+          if (a.array == stmt.reduction_accumulator) {
+            escapes = true;
+            break;
+          }
+        }
+      }
+      if (escapes) {
+        scop.reduction_notes.push_back(
+            "reduction on '" + stmt.reduction_accumulator +
+            "' demoted: accumulator is read elsewhere in the nest");
+        stmt.reduction_op = ReductionOp::None;
+        stmt.reduction_accumulator.clear();
+        stmt.reduction_callee.clear();
+      } else if (stmt.reduction_op == ReductionOp::Call) {
+        scop.reduction_notes.push_back(
+            "reduction on '" + stmt.reduction_accumulator +
+            "' uses combiner '" + stmt.reduction_callee +
+            "' (no OpenMP reduction clause for user functions)");
+      }
     }
 
     // ---- Finalize: pad every form/constraint to the full space --------
@@ -562,6 +721,37 @@ class Extractor {
       }
     }
     for (AffineForm& origin : scop.origins) origin.coeffs.resize(space, 0);
+
+    // Inclusive prefix-scan shape `a[i] = a[i - c] + e` (1-D, constant
+    // positive distance c): not parallelizable as-is, but the verdict
+    // should say "scan", not "carried dependence". Runs after the pad so
+    // subscript forms compare over the full space.
+    for (const ScopStatement& stmt : scop.statements) {
+      const Access* write = nullptr;
+      for (const Access& a : stmt.accesses) {
+        if (a.kind == AccessKind::Write && a.subscripts.size() == 1) {
+          write = &a;
+        }
+      }
+      if (write == nullptr) continue;
+      for (const Access& a : stmt.accesses) {
+        if (a.kind != AccessKind::Read || a.array != write->array ||
+            a.subscripts.size() != 1) {
+          continue;
+        }
+        if (a.subscripts[0].coeffs != write->subscripts[0].coeffs) {
+          continue;
+        }
+        const std::int64_t dist =
+            write->subscripts[0].constant - a.subscripts[0].constant;
+        if (dist > 0) {
+          scop.reduction_notes.push_back(
+              "scan: '" + write->array + "[i] = " + write->array +
+              "[i - " + std::to_string(dist) +
+              "] + ...' is an inclusive prefix scan (not parallelized)");
+        }
+      }
+    }
 
     scop.region_shaped =
         saw_guard_ || iterator_dependent_origin || !is_single_chain(scop);

@@ -55,6 +55,33 @@ struct AffineForm {
 
 enum class AccessKind : std::uint8_t { Read, Write };
 
+/// Associative reduction operators recognized on scalar accumulators.
+/// `Call` marks a user-declared pure binary function (`s = f(s, e)`):
+/// recognized and reported, but not exempted from the carried-dependence
+/// verdict because OpenMP has no clause (and the runtime no identity) for
+/// an arbitrary combiner.
+enum class ReductionOp : std::uint8_t {
+  None,
+  Add,
+  Sub,
+  Mul,
+  Min,
+  Max,
+  Call,
+};
+
+/// Operators whose accumulator self-dependence may be exempted from the
+/// parallelism verdict (they map onto an OpenMP reduction clause).
+[[nodiscard]] constexpr bool reduction_exemptible(ReductionOp op) noexcept {
+  return op == ReductionOp::Add || op == ReductionOp::Sub ||
+         op == ReductionOp::Mul || op == ReductionOp::Min ||
+         op == ReductionOp::Max;
+}
+
+/// The OpenMP clause token for an exemptible operator ("+", "-", "*",
+/// "min", "max"); empty for None/Call.
+[[nodiscard]] const char* reduction_token(ReductionOp op) noexcept;
+
 struct Access {
   AccessKind kind = AccessKind::Read;
   std::string array;                  // base variable name
@@ -80,6 +107,15 @@ struct ScopStatement {
   std::vector<std::size_t> loops;
   /// True when an `if` guard contributed constraints to `domain`.
   bool guarded = false;
+  /// Non-None when the statement is a recognized associative reduction
+  /// `s (op)= e` on scalar `reduction_accumulator`, with `e` not reading
+  /// `s`. Demoted back to None when `s` is accessed anywhere else in the
+  /// region (the accumulator escapes the update).
+  ReductionOp reduction_op = ReductionOp::None;
+  std::string reduction_accumulator;
+  /// For ReductionOp::Min/Max/Call: the called combiner's name
+  /// (e.g. "fminf"); empty for plain operator shapes.
+  std::string reduction_callee;
 };
 
 /// A static control part: a loop region rooted at one outermost `for`.
@@ -111,6 +147,12 @@ struct Scop {
   /// with per-statement domains and lowered by region annotation instead
   /// of the classic reschedule+regenerate path.
   bool region_shaped = false;
+  /// Human-readable notes about reduction shapes that were recognized but
+  /// demoted (accumulator read elsewhere, Call combiner) or about scan
+  /// patterns (`a[i] = a[i-1] + e`) detected in the nest. Surfaced in the
+  /// chain's serial verdict so the reason names the pattern instead of a
+  /// generic carried dependence.
+  std::vector<std::string> reduction_notes;
 
   [[nodiscard]] std::size_t depth() const noexcept {
     return iterators.size();

@@ -152,6 +152,7 @@ void complete_with_units(std::vector<IntVec>& rows, std::size_t d) {
                                       const std::vector<Dependence>& deps,
                                       std::size_t depth) {
   for (const Dependence& dep : deps) {
+    if (dep.is_reduction) continue;
     if (!dep.loop_carried(depth)) continue;
     ConstraintSystem sys = dep.polyhedron;
     const std::size_t dims = sys.dimensions();
@@ -181,8 +182,13 @@ Transform compute_schedule(const Scop& scop,
   const std::size_t d = scop.depth();
   Transform out;
 
+  // Reduction self-dependences are exempt from legality: the accumulator
+  // updates may run in any order (codegen lowers them to a reduction
+  // clause), so they must not force a skew — and a reduction-only nest
+  // takes the fully-parallel identity fast path below.
   std::vector<const Dependence*> carried;
   for (const Dependence& dep : deps) {
+    if (dep.is_reduction) continue;
     if (dep.loop_carried(d)) carried.push_back(&dep);
   }
 

@@ -199,6 +199,174 @@ class ProvenanceMap {
   std::set<std::string> statics_;
 };
 
+/// The pointer-escape reasoning both the effect scanner and the public
+/// WritesArg0Oracle share: per-local provenance plus the "could this
+/// expression yield a pointer into caller or global memory?" query.
+class PointerOracle {
+ public:
+  PointerOracle(const FunctionDecl& fn, const FunctionScopeInfo& scope)
+      : scope_(scope), provenance_(fn, scope) {}
+
+  [[nodiscard]] Provenance of(const std::string& name) const {
+    return provenance_.of(name);
+  }
+
+  [[nodiscard]] bool is_static(const std::string& name) const {
+    return provenance_.is_static(name);
+  }
+
+  /// Static type of the slot an lvalue designates: the root's declared
+  /// type peeled once per index/deref level. Null when unresolvable
+  /// (members, casts) — callers must be conservative.
+  [[nodiscard]] TypePtr lvalue_slot_type(const Expr& lhs) const {
+    if (const auto* ident = expr_cast<IdentExpr>(&lhs)) {
+      const Symbol* sym = scope_.resolve(*ident);
+      return sym != nullptr ? sym->type : nullptr;
+    }
+    const TypePtr* base = nullptr;
+    TypePtr base_type;
+    if (const auto* index = expr_cast<IndexExpr>(&lhs)) {
+      base_type = lvalue_slot_type(*index->base);
+      base = &base_type;
+    } else if (const auto* unary = expr_cast<UnaryExpr>(&lhs)) {
+      if (unary->op != UnaryOp::Deref) return nullptr;
+      base_type = lvalue_slot_type(*unary->operand);
+      base = &base_type;
+    } else {
+      return nullptr;
+    }
+    if (*base == nullptr) return nullptr;
+    if ((*base)->is_array()) return (*base)->element;
+    if ((*base)->is_pointer()) return (*base)->pointee;
+    return nullptr;
+  }
+
+  /// Could evaluating `rhs` yield a pointer into caller or global memory?
+  [[nodiscard]] bool is_foreign_pointer_value(const Expr* rhs) const {
+    const Expr* core = strip_casts(rhs);
+    if (const auto* call = expr_cast<CallExpr>(core)) {
+      const std::string callee = call->callee_name();
+      // Fresh heap memory is fine; any other call could return a foreign
+      // pointer (we have no return types for externals).
+      return callee != "malloc" && callee != "calloc";
+    }
+    if (const auto* unary = expr_cast<UnaryExpr>(core)) {
+      if (unary->op == UnaryOp::AddrOf) {
+        const auto* target =
+            expr_cast<IdentExpr>(strip_casts(unary->operand.get()));
+        const Symbol* sym = target ? scope_.resolve(*target) : nullptr;
+        return sym == nullptr || sym->kind != SymbolKind::Local ||
+               provenance_.is_static(sym->name);
+      }
+      // Deref is a load: handled by the Through-shape branch below.
+      // Every other unary operator yields a scalar value.
+      if (unary->op != UnaryOp::Deref) return false;
+    }
+    if (const auto* bin = expr_cast<BinaryExpr>(core)) {
+      // Pointer arithmetic carries the pointer operand's object; the
+      // comma operator's value is its right side. Comparisons, logic,
+      // and bit operations yield integers.
+      if (bin->op == BinaryOp::Add || bin->op == BinaryOp::Sub) {
+        return is_foreign_pointer_value(bin->lhs.get()) ||
+               is_foreign_pointer_value(bin->rhs.get());
+      }
+      if (bin->op == BinaryOp::Comma) {
+        return is_foreign_pointer_value(bin->rhs.get());
+      }
+      return false;
+    }
+    if (const auto* cond = expr_cast<ConditionalExpr>(core)) {
+      return is_foreign_pointer_value(cond->then_expr.get()) ||
+             is_foreign_pointer_value(cond->else_expr.get());
+    }
+    if (const auto* assign = expr_cast<AssignExpr>(core)) {
+      // The value of `p = q` is q.
+      return is_foreign_pointer_value(assign->rhs.get());
+    }
+    if (const auto* ident = expr_cast<IdentExpr>(core)) {
+      const Symbol* sym = scope_.resolve(*ident);
+      if (sym == nullptr) return true;
+      if (sym->type == nullptr ||
+          !(sym->type->is_pointer() || sym->type->is_array())) {
+        return false;  // scalar value
+      }
+      switch (sym->kind) {
+        case SymbolKind::Param:
+        case SymbolKind::Global:
+        case SymbolKind::Unknown:
+        case SymbolKind::Function:
+          return true;
+        case SymbolKind::Local:
+          return provenance_.is_static(sym->name) ||
+                 (sym->type->is_pointer() &&
+                  provenance_.of(sym->name) == Provenance::Foreign);
+      }
+    }
+    if (lvalue_shape(*core) == LvalueShape::Through) {
+      // A load out of some storage (p[i], *p, s.f): foreign if the loaded
+      // slot can hold a pointer and the storage itself is not local.
+      const Symbol* root = scope_.lvalue_root(*core);
+      if (root == nullptr) return true;
+      const TypePtr slot = lvalue_slot_type(*core);
+      if (slot != nullptr && !slot->is_pointer() && !slot->is_array()) {
+        return false;  // scalar load
+      }
+      if (root->kind == SymbolKind::Local) {
+        return provenance_.of(root->name) == Provenance::Foreign;
+      }
+      return true;
+    }
+    return false;  // literals, arithmetic: scalar values
+  }
+
+ private:
+  const FunctionScopeInfo& scope_;
+  ProvenanceMap provenance_;
+};
+
+/// The WritesArg0 verdict shared by the scanner and the declared-pure
+/// verifier: empty reason when the destination provably targets
+/// function-local storage.
+struct WritesArg0Verdict {
+  std::string reason;
+  /// The rejection involves an untrackable pointer write (classification
+  /// bit for EffectSummary, unused by the verifier).
+  bool unknown_pointer = false;
+};
+
+[[nodiscard]] WritesArg0Verdict check_writes_arg0(const PointerOracle& oracle,
+                                                  const CallExpr& call,
+                                                  const std::string& name) {
+  if (call.args.empty()) {
+    return {"calls '" + name + "' without a destination", false};
+  }
+  if (name == "snprintf") {
+    // The arg0 write is bounded by arg1, but %n writes through a
+    // *later* pointer argument; the WritesArg0 model only holds for a
+    // literal format provably free of %n.
+    const auto* format =
+        call.args.size() >= 3
+            ? expr_cast<StringLiteralExpr>(strip_casts(call.args[2].get()))
+            : nullptr;
+    if (format == nullptr) {
+      return {"calls 'snprintf' with a non-literal format string "
+              "(effects unknown)",
+              false};
+    }
+    if (format->spelling.find("%n") != std::string::npos) {
+      return {"calls 'snprintf' with %n (writes through a format argument)",
+              true};
+    }
+  }
+  if (oracle.is_foreign_pointer_value(call.args[0].get())) {
+    return {"calls '" + name +
+                "' writing through a pointer that may reference caller or "
+                "global memory",
+            true};
+  }
+  return {};
+}
+
 class EffectScanner {
  public:
   EffectScanner(const FunctionDecl& fn, const FunctionScopeInfo& scope,
@@ -206,7 +374,7 @@ class EffectScanner {
       : fn_(fn),
         scope_(scope),
         allow_malloc_free_(allow_malloc_free),
-        provenance_(fn, scope) {}
+        oracle_(fn, scope) {}
 
   [[nodiscard]] EffectSummary run() {
     summary_.function = fn_.name;
@@ -298,38 +466,10 @@ class EffectScanner {
                          const ExternEffect& effect) {
     summary_.extern_calls.insert(name);
     if (effect.kind == ExternEffectKind::ReadOnly) return;
-    if (call.args.empty()) {
-      impure(call.loc, "calls '" + name + "' without a destination");
-      return;
-    }
-    if (name == "snprintf") {
-      // The arg0 write is bounded by arg1, but %n writes through a
-      // *later* pointer argument; the WritesArg0 model only holds for a
-      // literal format provably free of %n.
-      const auto* format =
-          call.args.size() >= 3
-              ? expr_cast<StringLiteralExpr>(strip_casts(call.args[2].get()))
-              : nullptr;
-      if (format == nullptr) {
-        impure(call.loc,
-               "calls 'snprintf' with a non-literal format string "
-               "(effects unknown)");
-        return;
-      }
-      if (format->spelling.find("%n") != std::string::npos) {
-        summary_.writes_unknown_pointer = true;
-        impure(call.loc,
-               "calls 'snprintf' with %n (writes through a format "
-               "argument)");
-        return;
-      }
-    }
-    if (is_foreign_pointer_value(call.args[0].get())) {
-      summary_.writes_unknown_pointer = true;
-      impure(call.loc, "calls '" + name +
-                           "' writing through a pointer that may "
-                           "reference caller or global memory");
-    }
+    const WritesArg0Verdict verdict = check_writes_arg0(oracle_, call, name);
+    if (verdict.reason.empty()) return;
+    if (verdict.unknown_pointer) summary_.writes_unknown_pointer = true;
+    impure(call.loc, verdict.reason);
   }
 
   void scan_free(const CallExpr& call) {
@@ -340,35 +480,9 @@ class EffectScanner {
     const auto* ident = expr_cast<IdentExpr>(strip_casts(call.args[0].get()));
     const Symbol* sym = ident ? scope_.resolve(*ident) : nullptr;
     if (sym == nullptr || sym->kind != SymbolKind::Local ||
-        provenance_.of(sym->name) != Provenance::Heap) {
+        oracle_.of(sym->name) != Provenance::Heap) {
       impure(call.loc, "frees memory it did not allocate");
     }
-  }
-
-  /// Static type of the slot an lvalue designates: the root's declared
-  /// type peeled once per index/deref level. Null when unresolvable
-  /// (members, casts) — callers must be conservative.
-  [[nodiscard]] TypePtr lvalue_slot_type(const Expr& lhs) const {
-    if (const auto* ident = expr_cast<IdentExpr>(&lhs)) {
-      const Symbol* sym = scope_.resolve(*ident);
-      return sym != nullptr ? sym->type : nullptr;
-    }
-    const TypePtr* base = nullptr;
-    TypePtr base_type;
-    if (const auto* index = expr_cast<IndexExpr>(&lhs)) {
-      base_type = lvalue_slot_type(*index->base);
-      base = &base_type;
-    } else if (const auto* unary = expr_cast<UnaryExpr>(&lhs)) {
-      if (unary->op != UnaryOp::Deref) return nullptr;
-      base_type = lvalue_slot_type(*unary->operand);
-      base = &base_type;
-    } else {
-      return nullptr;
-    }
-    if (*base == nullptr) return nullptr;
-    if ((*base)->is_array()) return (*base)->element;
-    if ((*base)->is_pointer()) return (*base)->pointee;
-    return nullptr;
   }
 
   /// The deep-write hole: local storage is writable, but once a *foreign
@@ -379,92 +493,15 @@ class EffectScanner {
     const Symbol* root = scope_.lvalue_root(*assign.lhs);
     if (root == nullptr || root->kind != SymbolKind::Local) return;
     if (lvalue_shape(*assign.lhs) != LvalueShape::Through) return;
-    if (provenance_.of(root->name) == Provenance::Foreign) return;  // flagged
-    const TypePtr slot = lvalue_slot_type(*assign.lhs);
+    if (oracle_.of(root->name) == Provenance::Foreign) return;  // flagged
+    const TypePtr slot = oracle_.lvalue_slot_type(*assign.lhs);
     const bool slot_holds_pointer =
         slot == nullptr || slot->is_pointer() || slot->is_array();
-    if (slot_holds_pointer && is_foreign_pointer_value(assign.rhs.get())) {
+    if (slot_holds_pointer &&
+        oracle_.is_foreign_pointer_value(assign.rhs.get())) {
       impure(assign.loc, "stores a caller/global pointer into local "
                          "storage (writes through it would be untrackable)");
     }
-  }
-
-  /// Could evaluating `rhs` yield a pointer into caller or global memory?
-  [[nodiscard]] bool is_foreign_pointer_value(const Expr* rhs) const {
-    const Expr* core = strip_casts(rhs);
-    if (const auto* call = expr_cast<CallExpr>(core)) {
-      const std::string callee = call->callee_name();
-      // Fresh heap memory is fine; any other call could return a foreign
-      // pointer (we have no return types for externals).
-      return callee != "malloc" && callee != "calloc";
-    }
-    if (const auto* unary = expr_cast<UnaryExpr>(core)) {
-      if (unary->op == UnaryOp::AddrOf) {
-        const auto* target =
-            expr_cast<IdentExpr>(strip_casts(unary->operand.get()));
-        const Symbol* sym = target ? scope_.resolve(*target) : nullptr;
-        return sym == nullptr || sym->kind != SymbolKind::Local ||
-               provenance_.is_static(sym->name);
-      }
-      // Deref is a load: handled by the Through-shape branch below.
-      // Every other unary operator yields a scalar value.
-      if (unary->op != UnaryOp::Deref) return false;
-    }
-    if (const auto* bin = expr_cast<BinaryExpr>(core)) {
-      // Pointer arithmetic carries the pointer operand's object; the
-      // comma operator's value is its right side. Comparisons, logic,
-      // and bit operations yield integers.
-      if (bin->op == BinaryOp::Add || bin->op == BinaryOp::Sub) {
-        return is_foreign_pointer_value(bin->lhs.get()) ||
-               is_foreign_pointer_value(bin->rhs.get());
-      }
-      if (bin->op == BinaryOp::Comma) {
-        return is_foreign_pointer_value(bin->rhs.get());
-      }
-      return false;
-    }
-    if (const auto* cond = expr_cast<ConditionalExpr>(core)) {
-      return is_foreign_pointer_value(cond->then_expr.get()) ||
-             is_foreign_pointer_value(cond->else_expr.get());
-    }
-    if (const auto* assign = expr_cast<AssignExpr>(core)) {
-      // The value of `p = q` is q.
-      return is_foreign_pointer_value(assign->rhs.get());
-    }
-    if (const auto* ident = expr_cast<IdentExpr>(core)) {
-      const Symbol* sym = scope_.resolve(*ident);
-      if (sym == nullptr) return true;
-      if (sym->type == nullptr ||
-          !(sym->type->is_pointer() || sym->type->is_array())) {
-        return false;  // scalar value
-      }
-      switch (sym->kind) {
-        case SymbolKind::Param:
-        case SymbolKind::Global:
-        case SymbolKind::Unknown:
-        case SymbolKind::Function:
-          return true;
-        case SymbolKind::Local:
-          return provenance_.is_static(sym->name) ||
-                 (sym->type->is_pointer() &&
-                  provenance_.of(sym->name) == Provenance::Foreign);
-      }
-    }
-    if (lvalue_shape(*core) == LvalueShape::Through) {
-      // A load out of some storage (p[i], *p, s.f): foreign if the loaded
-      // slot can hold a pointer and the storage itself is not local.
-      const Symbol* root = scope_.lvalue_root(*core);
-      if (root == nullptr) return true;
-      const TypePtr slot = lvalue_slot_type(*core);
-      if (slot != nullptr && !slot->is_pointer() && !slot->is_array()) {
-        return false;  // scalar load
-      }
-      if (root->kind == SymbolKind::Local) {
-        return provenance_.of(root->name) == Provenance::Foreign;
-      }
-      return true;
-    }
-    return false;  // literals, arithmetic: scalar values
   }
 
   void scan_write(const Expr& lhs, SourceLocation loc) {
@@ -494,13 +531,13 @@ class EffectScanner {
         // Bare: reassigning the by-value copy is invisible to the caller.
         return;
       case SymbolKind::Local:
-        if (provenance_.is_static(root->name)) {
+        if (oracle_.is_static(root->name)) {
           impure(loc, "writes to static local '" + root->name +
                           "' (state persists across calls)");
           return;
         }
         if (shape == LvalueShape::Through &&
-            provenance_.of(root->name) == Provenance::Foreign) {
+            oracle_.of(root->name) == Provenance::Foreign) {
           summary_.writes_unknown_pointer = true;
           impure(loc, "writes through pointer '" + root->name +
                           "' that may reference caller or global memory");
@@ -512,7 +549,7 @@ class EffectScanner {
   const FunctionDecl& fn_;
   const FunctionScopeInfo& scope_;
   const bool allow_malloc_free_;
-  ProvenanceMap provenance_;
+  PointerOracle oracle_;
   EffectSummary summary_;
   std::set<const IdentExpr*> callee_idents_;
 };
@@ -532,9 +569,39 @@ const ExternEffect* extern_effect(const std::string& name) {
       {"strncmp", {ExternEffectKind::ReadOnly}},
       {"abs", {ExternEffectKind::ReadOnly}},
       {"labs", {ExternEffectKind::ReadOnly}},
+      // math.h value functions: no pointer arguments at all, so modeling
+      // them ReadOnly is trivially sound. They were already in the pure
+      // seed hashset; listing them here makes the effect model explicit
+      // and records them in EffectSummary::extern_calls for downstream
+      // analyses (memoization, reporting).
+      {"fmin", {ExternEffectKind::ReadOnly}},
+      {"fmax", {ExternEffectKind::ReadOnly}},
+      {"fabs", {ExternEffectKind::ReadOnly}},
+      {"sqrt", {ExternEffectKind::ReadOnly}},
+      {"fminf", {ExternEffectKind::ReadOnly}},
+      {"fmaxf", {ExternEffectKind::ReadOnly}},
+      {"fabsf", {ExternEffectKind::ReadOnly}},
+      {"sqrtf", {ExternEffectKind::ReadOnly}},
   };
   const auto it = kDatabase.find(name);
   return it == kDatabase.end() ? nullptr : &it->second;
+}
+
+struct WritesArg0Oracle::Impl {
+  Impl(const FunctionDecl& fn, const FunctionScopeInfo& scope)
+      : oracle(fn, scope) {}
+  PointerOracle oracle;
+};
+
+WritesArg0Oracle::WritesArg0Oracle(const FunctionDecl& fn,
+                                   const FunctionScopeInfo& scope)
+    : impl_(std::make_unique<Impl>(fn, scope)) {}
+
+WritesArg0Oracle::~WritesArg0Oracle() = default;
+
+std::string WritesArg0Oracle::violation(const CallExpr& call,
+                                        const std::string& name) const {
+  return check_writes_arg0(impl_->oracle, call, name).reason;
 }
 
 EffectSummary compute_effects(const FunctionDecl& fn,

@@ -13,6 +13,7 @@
 // reach caller-owned or global memory is an effect.
 #pragma once
 
+#include <memory>
 #include <set>
 #include <string>
 
@@ -41,6 +42,29 @@ struct ExternEffect {
 /// Database lookup; nullptr when the function is not modeled (callers
 /// fall back to the pessimistic unknown-external rule).
 [[nodiscard]] const ExternEffect* extern_effect(const std::string& name);
+
+/// Destination-provenance oracle for WritesArg0 externs, shared with the
+/// declared-pure verifier (§3.2): answers whether a memcpy/memset/memmove/
+/// snprintf call inside `fn` provably writes only into function-local
+/// storage. Backed by the same provenance reasoning compute_effects uses,
+/// so a body inference would accept verifies identically when it carries
+/// the `pure` keyword.
+class WritesArg0Oracle {
+ public:
+  WritesArg0Oracle(const FunctionDecl& fn, const FunctionScopeInfo& scope);
+  ~WritesArg0Oracle();
+  WritesArg0Oracle(const WritesArg0Oracle&) = delete;
+  WritesArg0Oracle& operator=(const WritesArg0Oracle&) = delete;
+
+  /// Empty when the call's destination provably targets local storage;
+  /// otherwise the rejection reason (same wording inference reports).
+  [[nodiscard]] std::string violation(const CallExpr& call,
+                                      const std::string& name) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 struct EffectSummary {
   std::string function;

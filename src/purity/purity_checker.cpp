@@ -1,6 +1,7 @@
 #include "purity/purity_checker.h"
 
 #include <functional>
+#include <optional>
 
 #include "ast/walk.h"
 #include "purity/effects.h"
@@ -177,9 +178,20 @@ class FunctionVerifier {
       // The extern effect database (shared with inference) models some
       // libc routines beyond the seed hashset: a ReadOnly extern
       // (strchr, strncmp, ...) writes nothing, so a verified-pure body
-      // may call it.
+      // may call it. A WritesArg0 extern (memcpy, memset, ...) is held
+      // to the same provenance standard inference applies — harmless
+      // exactly when its destination provably targets function-local
+      // storage — so annotated and keyword-free twins agree.
       const ExternEffect* known = extern_effect(name);
       if (known != nullptr && known->kind == ExternEffectKind::ReadOnly) {
+        return;
+      }
+      if (known != nullptr && known->kind == ExternEffectKind::WritesArg0) {
+        if (!writes_arg0_oracle_) {
+          writes_arg0_oracle_.emplace(fn_, scope_);
+        }
+        std::string violation = writes_arg0_oracle_->violation(call, name);
+        if (!violation.empty()) error(call.loc, std::move(violation));
         return;
       }
       error(call.loc, "call to impure function '" + name + "'");
@@ -334,6 +346,9 @@ class FunctionVerifier {
   DiagnosticEngine& diags_;
   std::map<std::string, int> pure_ptr_assignments_;
   std::set<std::string> malloced_locals_;
+  /// Built on the first WritesArg0 extern call (most bodies have none;
+  /// construction walks the whole body for pointer provenance).
+  std::optional<WritesArg0Oracle> writes_arg0_oracle_;
 };
 
 }  // namespace

@@ -191,30 +191,52 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                          });
 }
 
-/// Sum-reduction over [begin, end): each worker accumulates privately
-/// (one cache line per partial), partials are combined in worker order
-/// after the join (OpenMP `reduction(+:...)`). Layered on the same core
-/// as parallel_for_blocked, so every schedule — including guided and
-/// stealing — is available to reductions too.
+/// General reduction over [begin, end): each worker folds `body(i)` into
+/// a private accumulator seeded with `identity` via `combine` (one cache
+/// line per partial), and partials are combined in worker order after the
+/// join — the runtime twin of OpenMP `reduction(op:...)`. `combine` must
+/// be associative; commutativity is not required because partials merge
+/// in a fixed order. Layered on the same core as parallel_for_blocked, so
+/// every schedule — including guided and stealing — is available.
+///
+///   sum:  parallel_reduce(pool, b, e, 0.0, std::plus<>{}, body)
+///   prod: parallel_reduce(pool, b, e, 1.0, std::multiplies<>{}, body)
+///   min:  parallel_reduce(pool, b, e, +inf, [](T a, T b){ return a < b ? a : b; }, body)
+///   max:  parallel_reduce(pool, b, e, -inf, [](T a, T b){ return a > b ? a : b; }, body)
+template <class T, class Combine, class Body>
+[[nodiscard]] T parallel_reduce(ThreadPool& pool, std::int64_t begin,
+                                std::int64_t end, T identity,
+                                Combine&& combine, Body&& body,
+                                const ForOptions& options = {}) {
+  if (begin >= end) return identity;
+  struct alignas(kCacheLineBytes) Partial {
+    T value;
+  };
+  std::vector<Partial> partials(pool.worker_count(), Partial{identity});
+  detail::for_each_chunk(
+      pool, begin, end, options,
+      [&](std::size_t worker, std::int64_t b, std::int64_t e) {
+        T acc = identity;
+        for (std::int64_t i = b; i < e; ++i) acc = combine(acc, body(i));
+        // Workers may run many chunks; fold each chunk's local result in.
+        partials[worker].value = combine(partials[worker].value, acc);
+      });
+  T result = identity;
+  for (const Partial& p : partials) result = combine(result, p.value);
+  return result;
+}
+
+/// Sum-reduction over [begin, end) (OpenMP `reduction(+:...)`): the
+/// historical double-only entry point, now a parallel_reduce wrapper.
 template <class Body>
 [[nodiscard]] double parallel_reduce_sum(ThreadPool& pool,
                                          std::int64_t begin,
                                          std::int64_t end, Body&& body,
                                          const ForOptions& options = {}) {
-  struct alignas(kCacheLineBytes) Partial {
-    double value = 0.0;
-  };
-  std::vector<Partial> partials(pool.worker_count());
-  detail::for_each_chunk(
-      pool, begin, end, options,
-      [&](std::size_t worker, std::int64_t b, std::int64_t e) {
-        double acc = 0.0;
-        for (std::int64_t i = b; i < e; ++i) acc += body(i);
-        partials[worker].value += acc;  // workers may run many chunks
-      });
-  double sum = 0.0;
-  for (const Partial& p : partials) sum += p.value;
-  return sum;
+  return parallel_reduce(
+      pool, begin, end, 0.0,
+      [](double a, double b) { return a + b; },
+      static_cast<Body&&>(body), options);
 }
 
 // ---------------------------------------------------------------------------

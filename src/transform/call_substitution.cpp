@@ -7,10 +7,33 @@ namespace purec {
 std::vector<SubstitutedCall> substitute_pure_calls(
     ForStmt& loop, const std::set<std::string>& pure_functions,
     std::size_t& counter) {
+  // A pure call that IS the reduction combiner — the whole RHS of
+  // `s = f(..., s, ...)` — must survive substitution: replacing it with a
+  // tmpConst_* placeholder would erase the accumulator read and leave an
+  // unrecognizable plain overwrite. The extractor matches the surviving
+  // call as a Min/Max/Call reduction; its *other* arguments still
+  // substitute normally (the slot walk descends into protected calls).
+  std::set<const Expr*> protected_calls;
+  for_each_expr(loop, [&](const Expr& e) {
+    const auto* assign = expr_cast<AssignExpr>(&e);
+    if (assign == nullptr || assign->op != AssignOp::Assign) return;
+    const auto* lhs = expr_cast<IdentExpr>(assign->lhs.get());
+    const auto* call = expr_cast<CallExpr>(assign->rhs.get());
+    if (lhs == nullptr || call == nullptr) return;
+    for (const ExprPtr& arg : call->args) {
+      const auto* ident = expr_cast<IdentExpr>(arg.get());
+      if (ident != nullptr && ident->name == lhs->name) {
+        protected_calls.insert(call);
+        return;
+      }
+    }
+  });
+
   std::vector<SubstitutedCall> out;
   for_each_expr_slot(loop, [&](ExprPtr& slot) -> bool {
     auto* call = expr_cast<CallExpr>(slot.get());
     if (call == nullptr) return false;
+    if (protected_calls.count(call) != 0) return false;
     const std::string name = call->callee_name();
     if (name.empty() || pure_functions.count(name) == 0) return false;
     SubstitutedCall record;

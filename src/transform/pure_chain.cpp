@@ -306,6 +306,32 @@ std::string escaping_iterator_use(const poly::Scop& scop,
   return {};
 }
 
+/// Type of scalar `name` as seen from `fn`: block-scope declarations win,
+/// then parameters, then file-scope globals. Null when unknown (the FP
+/// reduction gate then demotes conservatively).
+[[nodiscard]] const Type* scalar_type_in(const FunctionDecl& fn,
+                                         const SymbolTable& symbols,
+                                         const std::string& name) {
+  const Type* found = nullptr;
+  if (fn.body) {
+    for_each_stmt(*fn.body, [&](const Stmt& s) {
+      const auto* decl = stmt_cast<DeclStmt>(&s);
+      if (decl == nullptr) return;
+      for (const VarDecl& d : decl->decls) {
+        if (d.name == name && d.type) found = d.type.get();
+      }
+    });
+  }
+  if (found != nullptr) return found;
+  for (const ParamDecl& param : fn.params) {
+    if (param.name == name && param.type) return param.type.get();
+  }
+  if (const GlobalVarDecl* global = symbols.find_global(name)) {
+    return global->var.type.get();
+  }
+  return nullptr;
+}
+
 /// Inserts `#pragma scop` / `#pragma endscop` around each candidate loop.
 void mark_scops(TranslationUnit& tu,
                 const std::vector<ScopCandidate>& candidates) {
@@ -498,14 +524,54 @@ ChainArtifacts run_pure_chain(const std::string& source,
         undo();
         continue;
       }
-      const poly::Scop& scop = *extraction.scop;
+      poly::Scop& scop = *extraction.scop;
       report.extracted = true;
       report.depth = scop.depth();
       region = scop.region_shaped;
       report.region = region;
 
-      if (const FunctionDecl* owner =
-              tu.find_function(candidate.function->name)) {
+      const FunctionDecl* owner =
+          tu.find_function(candidate.function->name);
+
+      // FP-reassociation gate: +/-/* on a non-integer accumulator only
+      // stays a reduction under --fp-reductions (OpenMP's per-thread
+      // partials reassociate the combination, changing rounding relative
+      // to the serial loop). min/max are bit-exact in any order and
+      // integer accumulators are associative for real, so both pass.
+      if (!options.fp_reductions) {
+        for (poly::ScopStatement& stmt : scop.statements) {
+          if (stmt.reduction_op != poly::ReductionOp::Add &&
+              stmt.reduction_op != poly::ReductionOp::Sub &&
+              stmt.reduction_op != poly::ReductionOp::Mul) {
+            continue;
+          }
+          const Type* type =
+              owner != nullptr
+                  ? scalar_type_in(*owner, symbols,
+                                   stmt.reduction_accumulator)
+                  : nullptr;
+          if (type != nullptr && type->is_integer()) continue;
+          scop.reduction_notes.push_back(
+              "reduction on '" + stmt.reduction_accumulator +
+              "' demoted: accumulator is not integer "
+              "(floating-point reduction reassociates; "
+              "enable with --fp-reductions)");
+          stmt.reduction_op = poly::ReductionOp::None;
+          stmt.reduction_accumulator.clear();
+        }
+      }
+      for (const poly::ScopStatement& stmt : scop.statements) {
+        if (stmt.reduction_op == poly::ReductionOp::None) continue;
+        const std::string op =
+            stmt.reduction_op == poly::ReductionOp::Call
+                ? stmt.reduction_callee
+                : poly::reduction_token(stmt.reduction_op);
+        report.reductions.push_back(op + ":" +
+                                    stmt.reduction_accumulator);
+      }
+      report.reduction_notes = scop.reduction_notes;
+
+      if (owner != nullptr) {
         const std::string escapee =
             escaping_iterator_use(scop, *owner, *loop, symbols);
         if (!escapee.empty()) {
@@ -569,6 +635,9 @@ ChainArtifacts run_pure_chain(const std::string& source,
       } else if (options.parallelize) {
         report.failure_reason =
             "no dependence-free loop in region (stays serial)";
+        for (const std::string& note : report.reduction_notes) {
+          report.failure_reason += "; " + note;
+        }
       } else {
         report.failure_reason =
             "region nest left untouched (no parallelization requested)";

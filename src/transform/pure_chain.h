@@ -70,6 +70,12 @@ struct ChainOptions {
   /// the honest 0.1× negative in BENCH_memoize.json); this flag restores
   /// thunk-everything behavior for measurement.
   bool memoize_all = false;
+  /// `purecc --fp-reductions`: allow +/-/* reductions on float/double
+  /// accumulators. Off by default because OpenMP's per-thread partials
+  /// reassociate the combination, which changes FP rounding relative to
+  /// the serial loop. Integer accumulators and min/max (bit-exact in any
+  /// order, modulo NaN) are always allowed.
+  bool fp_reductions = false;
   PurityOptions purity;
   /// Virtual files for `#include "..."` resolution.
   std::map<std::string, std::string> virtual_includes;
@@ -100,6 +106,15 @@ struct ScopReport {
   bool region = false;
   /// Loops that received a parallel pragma (classic path: 0 or 1).
   std::size_t parallel_loops = 0;
+  /// Recognized (surviving) reductions as "op:accumulator" — e.g.
+  /// "+:sum", "min:lo"; user combiners as "callee:acc". These are the
+  /// statements whose accumulator self-dependence was exempted (plus
+  /// recognized-but-unexemptible Call combiners, for visibility).
+  std::vector<std::string> reductions;
+  /// Reduction/scan findings that did NOT lead to parallelization:
+  /// FP-gated demotions (rerun with --fp-reductions), accumulators read
+  /// elsewhere in the nest, user combiners, prefix scans.
+  std::vector<std::string> reduction_notes;
 };
 
 struct ChainArtifacts {

@@ -473,5 +473,131 @@ TEST(Chain, ImperfectNestParallelizesOuterLoopOnly) {
   EXPECT_EQ(count, 1u) << a.final_source;
 }
 
+// ---------------------------------------------------------------------------
+// Reductions through the whole chain.
+// ---------------------------------------------------------------------------
+
+TEST(Chain, IntegerSumReductionParallelizesWithoutFlag) {
+  ChainArtifacts a = run_pure_chain(
+      "void k(int* a, int* out, int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; i++) s = s + a[i];\n"
+      "  out[0] = s;\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  EXPECT_TRUE(a.scops[0].parallelized) << a.scops[0].failure_reason;
+  ASSERT_EQ(a.scops[0].reductions.size(), 1u);
+  EXPECT_EQ(a.scops[0].reductions[0], "+:s");
+  EXPECT_NE(a.final_source.find("reduction(+:s)"), std::string::npos)
+      << a.final_source;
+}
+
+TEST(Chain, FloatSumReductionIsGatedBehindFpReductions) {
+  const std::string src =
+      "void k(float* a, float* out, int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; i++) s = s + a[i];\n"
+      "  out[0] = s;\n"
+      "}\n";
+  // Default: OpenMP partials would reassociate the FP sum — demote, note.
+  ChainArtifacts strict = run_pure_chain(src);
+  ASSERT_TRUE(strict.ok) << strict.diagnostics.format();
+  ASSERT_EQ(strict.scops.size(), 1u);
+  EXPECT_FALSE(strict.scops[0].parallelized);
+  EXPECT_TRUE(strict.scops[0].reductions.empty());
+  ASSERT_FALSE(strict.scops[0].reduction_notes.empty());
+  EXPECT_NE(strict.scops[0].reduction_notes[0].find("--fp-reductions"),
+            std::string::npos);
+  EXPECT_EQ(strict.final_source.find("reduction("), std::string::npos);
+  // Opt-in: the same loop parallelizes.
+  ChainOptions options;
+  options.fp_reductions = true;
+  ChainArtifacts relaxed = run_pure_chain(src, options);
+  ASSERT_TRUE(relaxed.ok) << relaxed.diagnostics.format();
+  EXPECT_TRUE(relaxed.scops[0].parallelized)
+      << relaxed.scops[0].failure_reason;
+  EXPECT_NE(relaxed.final_source.find("reduction(+:s)"),
+            std::string::npos);
+}
+
+TEST(Chain, MinReductionNeedsNoFlag) {
+  // min/max combine bit-exactly in any order: no reassociation concern.
+  ChainArtifacts a = run_pure_chain(
+      "void k(float* a, float* out, int n) {\n"
+      "  float lo = a[0];\n"
+      "  for (int i = 0; i < n; i++) lo = fminf(lo, a[i]);\n"
+      "  out[0] = lo;\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  EXPECT_TRUE(a.scops[0].parallelized) << a.scops[0].failure_reason;
+  ASSERT_EQ(a.scops[0].reductions.size(), 1u);
+  EXPECT_EQ(a.scops[0].reductions[0], "min:lo");
+  // The combiner call itself must survive substitution (replacing it
+  // with a tmpConst placeholder would erase the accumulator read).
+  EXPECT_NE(a.final_source.find("fminf(lo"), std::string::npos)
+      << a.final_source;
+}
+
+TEST(Chain, GuardedRegionReductionComposesScheduleAndPrivate) {
+  // Imperfect nest + affine guard: the region path must compose the
+  // triangular guided default with the reduction clause, and the
+  // accumulator must never also appear in private(...) — GCC rejects
+  // a variable listed in both.
+  ChainArtifacts a = run_pure_chain(
+      "pure int weight(int v) { return v * v + 1; }\n"
+      "void k(int n, int cut, int g[64][64], int h[64], int* out) {\n"
+      "  int total = 0;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    h[i] = g[i][0];\n"
+      "    for (int j = 0; j < n; j++) {\n"
+      "      if (j < i + cut) total = total + weight(g[i][j]);\n"
+      "    }\n"
+      "  }\n"
+      "  out[0] = total;\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  const ScopReport& r = a.scops[0];
+  EXPECT_TRUE(r.region);
+  EXPECT_TRUE(r.parallelized) << r.failure_reason;
+  ASSERT_EQ(r.reductions.size(), 1u);
+  EXPECT_EQ(r.reductions[0], "+:total");
+  EXPECT_NE(a.final_source.find(
+                "schedule(guided,4) reduction(+:total)"),
+            std::string::npos)
+      << a.final_source;
+  // No private clause may name the accumulator.
+  for (std::size_t pos = a.final_source.find("private(");
+       pos != std::string::npos;
+       pos = a.final_source.find("private(", pos + 1)) {
+    const std::size_t close = a.final_source.find(')', pos);
+    const std::string clause = a.final_source.substr(pos, close - pos);
+    EXPECT_EQ(clause.find("total"), std::string::npos) << clause;
+  }
+}
+
+TEST(Chain, MixedReadAccumulationStaysSerialWithReason) {
+  // Acceptance gate: `s = s + a[i]; b[i] = s;` exposes every prefix of
+  // the sum — no exemption, no pragma, and the report says why.
+  ChainArtifacts a = run_pure_chain(
+      "void k(int* a, int* b, int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    s = s + a[i];\n"
+      "    b[i] = s;\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  EXPECT_FALSE(a.scops[0].parallelized);
+  EXPECT_TRUE(a.scops[0].reductions.empty());
+  ASSERT_FALSE(a.scops[0].reduction_notes.empty());
+  EXPECT_NE(a.scops[0].reduction_notes[0].find("read elsewhere"),
+            std::string::npos);
+  EXPECT_EQ(a.final_source.find("#pragma omp"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace purec

@@ -448,6 +448,67 @@ TEST(Codegen, GuidedScheduleNormalizedIntoPragma) {
             std::string::npos);
 }
 
+TEST(Codegen, ReductionClauseOnParallelPragma) {
+  Prepared p = prepare(
+      "float* a; float* b;\n"
+      "void k(int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; i++) s = s + a[i] * b[i];\n"
+      "}\n");
+  ASSERT_TRUE(p.transform.parallel[0]);
+  StmtPtr generated = generate_code(p.scop, p.transform, untiled());
+  ASSERT_NE(generated, nullptr);
+  EXPECT_NE(print_c(*generated)
+                .find("#pragma omp parallel for reduction(+:s)"),
+            std::string::npos)
+      << print_c(*generated);
+}
+
+TEST(Codegen, ReductionClauseComposesAfterSchedule) {
+  // Clause order is pinned: schedule first, then reduction — and the
+  // user's --schedule must win over any default.
+  Prepared p = prepare(
+      "float* a;\n"
+      "void k(int n) {\n"
+      "  float s = 1.0f;\n"
+      "  for (int i = 0; i < n; i++) s = s * a[i];\n"
+      "}\n");
+  CodegenOptions o = untiled();
+  o.schedule = {OmpScheduleKind::Dynamic, 1};
+  StmtPtr generated = generate_code(p.scop, p.transform, o);
+  ASSERT_NE(generated, nullptr);
+  EXPECT_NE(
+      print_c(*generated)
+          .find("#pragma omp parallel for schedule(dynamic,1) "
+                "reduction(*:s)"),
+      std::string::npos)
+      << print_c(*generated);
+}
+
+TEST(Codegen, MinReductionClauseInSicaMode) {
+  // SICA's simd pragma needs the reduction clause too — a bare
+  // `#pragma omp simd` over `lo = fminf(lo, ...)` would race on lo.
+  Prepared p = prepare(
+      "float* a;\n"
+      "void k(int n) {\n"
+      "  float lo = 0.0f;\n"
+      "  for (int i = 0; i < n; i++) lo = fminf(lo, a[i]);\n"
+      "}\n");
+  CodegenOptions o = untiled();
+  o.simd = true;
+  StmtPtr generated = generate_code(p.scop, p.transform, o);
+  ASSERT_NE(generated, nullptr);
+  const std::string text = print_c(*generated);
+  EXPECT_NE(text.find("#pragma omp parallel for reduction(min:lo)"),
+            std::string::npos)
+      << text;
+  if (text.find("#pragma omp simd") != std::string::npos) {
+    EXPECT_NE(text.find("#pragma omp simd reduction(min:lo)"),
+              std::string::npos)
+        << text;
+  }
+}
+
 TEST(Codegen, GeneratedBoundsUseHelpers) {
   Prepared p = prepare(
       "float** C;\n"

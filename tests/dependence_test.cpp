@@ -313,6 +313,66 @@ TEST(Dependence, StridedLowerBoundAnalyzesExactly) {
   EXPECT_TRUE(loop_is_parallel(r.deps, 1));
 }
 
+TEST(Dependence, ReductionSelfDependenceIsExempt) {
+  // `s = s + a[i]` carries a flow dependence on s at level 0, but it is
+  // the accumulator's own update: the deps are tagged is_reduction and
+  // the loop still counts as parallel (OpenMP's reduction clause
+  // privatizes the carry).
+  auto r = analyze(
+      "float* a;\n"
+      "void k(int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; i++) s = s + a[i];\n"
+      "}\n");
+  ASSERT_FALSE(r.deps.empty());
+  for (const Dependence& d : r.deps) {
+    EXPECT_TRUE(d.is_reduction) << d.to_string(r.scop);
+  }
+  EXPECT_TRUE(loop_is_parallel(r.deps, 0));
+}
+
+TEST(Dependence, MinReductionIsExempt) {
+  auto r = analyze(
+      "float* a;\n"
+      "void k(int n) {\n"
+      "  float lo = 0.0f;\n"
+      "  for (int i = 0; i < n; i++) lo = fminf(lo, a[i]);\n"
+      "}\n");
+  EXPECT_TRUE(loop_is_parallel(r.deps, 0));
+}
+
+TEST(Dependence, AccumulatorReadElsewhereIsNotExempt) {
+  // The exemption must NOT fire when the running value escapes: b[i]
+  // observes every prefix of the sum, so the loop stays serial.
+  auto r = analyze(
+      "float* a; float* b;\n"
+      "void k(int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; i++) { s = s + a[i]; b[i] = s; }\n"
+      "}\n");
+  ASSERT_FALSE(r.deps.empty());
+  for (const Dependence& d : r.deps) {
+    EXPECT_FALSE(d.is_reduction) << d.to_string(r.scop);
+  }
+  EXPECT_FALSE(loop_is_parallel(r.deps, 0));
+}
+
+TEST(Dependence, UserCombinerIsNotExempt) {
+  // `s = blend(s, a[i])` is recognized (reported upstream) but there is
+  // no OpenMP reduction clause for user functions — no exemption.
+  auto r = analyze(
+      "float* a;\n"
+      "void k(int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; i++) s = blend(s, a[i]);\n"
+      "}\n");
+  ASSERT_FALSE(r.deps.empty());
+  for (const Dependence& d : r.deps) {
+    EXPECT_FALSE(d.is_reduction) << d.to_string(r.scop);
+  }
+  EXPECT_FALSE(loop_is_parallel(r.deps, 0));
+}
+
 TEST(Dependence, ToStringIsInformative) {
   auto r = analyze(
       "float* a;\n"

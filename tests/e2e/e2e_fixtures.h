@@ -48,6 +48,11 @@ struct Fixture {
   /// The serial differential reference stays unmemoized, so the checksum
   /// comparison is exactly the memoized-vs-unmemoized contract.
   bool memoize = false;
+  /// Run every configuration with --fp-reductions: floating-point
+  /// accumulations may be reassociated into reduction clauses. Fixtures
+  /// that set this keep their data integer-valued (and well under 2^24)
+  /// so the checksum stays byte-exact in any association order.
+  bool fp_reductions = false;
 
   [[nodiscard]] bool ok_with(bool inline_pure) const {
     return inline_pure ? expect_ok_inlined : expect_ok;
@@ -56,9 +61,10 @@ struct Fixture {
 
 // ---------------------------------------------------------------------------
 // Runnable variants. Same kernels as the chain fixtures, wrapped in a main
-// that allocates, fills deterministically, and prints a checksum. All
-// output is produced by serial code (reductions are never parallelized),
-// so serial and parallel binaries must match byte for byte.
+// that allocates, fills deterministically, and prints a checksum. Serial
+// and parallel binaries must match byte for byte: kernels either produce
+// their output serially or reduce with exact-in-any-order data (integer
+// values, min/max) so reduction clauses cannot perturb the checksum.
 // ---------------------------------------------------------------------------
 
 inline constexpr const char* kRunMatmul = R"(
@@ -718,6 +724,114 @@ int main() {
 }
 )";
 
+// Reduction fixtures. dot_reduce is the issue's flagship: keyword-free
+// scalar accumulation through an inferred-pure combiner, parallelized via
+// reduction(+:sum) under --infer-pure --fp-reductions. Inputs are small
+// integers and n is small enough that every partial sum stays an exact
+// float, so the differential is byte-exact despite reassociation.
+inline constexpr const char* kRunDotReduce = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+float mult(float a, float b) {
+  return a * b;
+}
+
+void dot(float* a, float* b, float* out, int n) {
+  float sum = 0.0f;
+  for (int i = 0; i < n; i++) {
+    sum = sum + mult(a[i], b[i]);
+  }
+  out[0] = sum;
+}
+
+int main() {
+  int n = 4096;
+  float* a = (float*)malloc(n * sizeof(float));
+  float* b = (float*)malloc(n * sizeof(float));
+  float* out = (float*)malloc(1 * sizeof(float));
+  for (int i = 0; i < n; i++) {
+    a[i] = (float)((i * 7 + 3) % 11);
+    b[i] = (float)((i * 5 + 2) % 13);
+  }
+  dot(a, b, out, n);
+  printf("checksum %.6f\n", (double)out[0]);
+  return 0;
+}
+)";
+
+// Min-reduction through fminf, which the effect database knows is a pure
+// value function; needs neither annotations nor --fp-reductions (min is
+// exact in any order).
+inline constexpr const char* kRunMinReduce = R"(
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+void minreduce(float* in, float* out, int n) {
+  float lo = in[0];
+  for (int i = 0; i < n; i++) {
+    lo = fminf(lo, in[i]);
+  }
+  out[0] = lo;
+}
+
+int main() {
+  int n = 4096;
+  float* in = (float*)malloc(n * sizeof(float));
+  float* out = (float*)malloc(1 * sizeof(float));
+  for (int i = 0; i < n; i++) {
+    in[i] = (float)((i * 13 + 5) % 97) * 0.25f + 1.0f;
+  }
+  minreduce(in, out, n);
+  printf("checksum %.6f\n", (double)out[0]);
+  return 0;
+}
+)";
+
+// Integer reduction inside a region SCoP: an imperfect nest whose inner
+// loop folds under an affine guard while the outer loop also writes an
+// array. Exercises the region codegen path where the reduction clause
+// must compose with schedule(guided,4) and the accumulator must stay out
+// of private(...). Integer accumulator, so no --fp-reductions needed.
+inline constexpr const char* kRunGuardedReduce = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+int g[64][64];
+int h[64];
+int res[1];
+
+pure int weight(int v) {
+  return v * v + 1;
+}
+
+void fold(int n, int cut) {
+  int total = 0;
+  for (int i = 0; i < n; i++) {
+    h[i] = g[i][0];
+    for (int j = 0; j < n; j++) {
+      if (j < i + cut) {
+        total = total + weight(g[i][j]);
+      }
+    }
+  }
+  res[0] = total;
+}
+
+int main() {
+  int n = 64;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      g[i][j] = (i * 5 + j * 3) % 17;
+  fold(n, 8);
+  long checksum = (long)res[0];
+  for (int i = 0; i < n; i++) checksum += (long)h[i] * (i % 7);
+  printf("checksum %ld\n", checksum);
+  return 0;
+}
+)";
+
 /// The complete corpus: every fixture in tests/test_sources.h plus every
 /// paper listing checked in under assets/c/.
 inline std::vector<Fixture> all_fixtures() {
@@ -766,6 +880,15 @@ inline std::vector<Fixture> all_fixtures() {
       {"imperfect_nest", kRunImperfectNest, false, kRunImperfectNest, true,
        true},
       {"strided_lower", kRunStridedLower, false, kRunStridedLower, true,
+       true},
+      // Scalar reductions (no longer mis-serialized): keyword-free dot
+      // product under inference + the FP gate, a flag-free fminf min
+      // fold, and an integer accumulation in a guarded region nest.
+      {"dot_reduce", kRunDotReduce, false, kRunDotReduce, true, true,
+       /*infer=*/true, /*schedule=*/nullptr, /*memoize=*/false,
+       /*fp_reductions=*/true},
+      {"min_reduce", kRunMinReduce, false, kRunMinReduce, true, true},
+      {"guarded_reduce", kRunGuardedReduce, false, kRunGuardedReduce, true,
        true},
       {"matmul_plain", testsrc::kMatmulPlain, false, kRunMatmulPlain, true,
        true, /*infer=*/true},

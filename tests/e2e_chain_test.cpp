@@ -60,6 +60,7 @@ ChainOptions options_for(const Config& config, const Fixture& fixture) {
   options.inline_pure_expressions = config.inline_pure;
   options.infer_purity = fixture.infer;
   options.memoize = fixture.memoize;
+  options.fp_reductions = fixture.fp_reductions;
   if (fixture.schedule != nullptr) {
     const std::optional<ScheduleSpec> spec =
         ScheduleSpec::parse(fixture.schedule);
@@ -267,7 +268,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(E2ECorpus, RegionFixturesKeepRunnableDifferentials) {
   const std::vector<Fixture> fixtures = all_fixtures();
   for (const char* name :
-       {"guarded_update", "while_loop", "imperfect_nest", "strided_lower"}) {
+       {"guarded_update", "while_loop", "imperfect_nest", "strided_lower",
+        "dot_reduce", "min_reduce", "guarded_reduce"}) {
     const auto it = std::find_if(
         fixtures.begin(), fixtures.end(),
         [&](const Fixture& f) { return std::string(f.name) == name; });

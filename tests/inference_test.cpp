@@ -358,6 +358,36 @@ TEST(ExternEffects, DatabaseClassifiesTheModeledFunctions) {
   EXPECT_EQ(extern_effect("labs")->kind, ExternEffectKind::ReadOnly);
 }
 
+TEST(ExternEffects, MathValueFunctionsAreReadOnly) {
+  // fmin/fmax/fabs/sqrt (and float variants) take no pointers at all:
+  // trivially ReadOnly. They were already in the pure seed hashset;
+  // modeling them here records them in extern_calls instead of leaving
+  // them outside the effect database.
+  for (const char* name : {"fmin", "fmax", "fabs", "sqrt", "fminf",
+                           "fmaxf", "fabsf", "sqrtf"}) {
+    ASSERT_NE(extern_effect(name), nullptr) << name;
+    EXPECT_EQ(extern_effect(name)->kind, ExternEffectKind::ReadOnly)
+        << name;
+  }
+}
+
+TEST(ExternEffects, MathCallsResolveAndPopulateExternCalls) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "double f(double a, double b) {\n"
+      "  return fmin(fabs(a), sqrt(fmax(b, 0.0)));\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.callees.count("fmin"), 0u)
+      << "modeled externs are resolved, not pessimized";
+  EXPECT_EQ(s.extern_calls.count("fmin"), 1u);
+  EXPECT_EQ(s.extern_calls.count("fabs"), 1u);
+  EXPECT_EQ(s.extern_calls.count("sqrt"), 1u);
+  EXPECT_EQ(s.extern_calls.count("fmax"), 1u);
+}
+
 TEST(ExternEffects, StrchrResolvedNotPessimized) {
   EffectsOutcome out;
   const EffectSummary s = effects_of(

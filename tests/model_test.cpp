@@ -727,6 +727,130 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+// ---------------------------------------------------------------------------
+// Reduction recognition: scalar accumulations must extract with the
+// operator and accumulator recorded instead of being mis-serialized.
+// ---------------------------------------------------------------------------
+
+struct ReductionShape {
+  const char* name;
+  const char* body;  // one loop-body statement over float s and a[i]
+  ReductionOp op;    // expected; None = shape must NOT be recognized
+};
+
+class ReductionShapeMatrix
+    : public ::testing::TestWithParam<ReductionShape> {};
+
+TEST_P(ReductionShapeMatrix, RecognizesExactlyTheAssociativeShapes) {
+  const ReductionShape& c = GetParam();
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) {\n"
+      "  float s = 1.0f;\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    " + std::string(c.body) + "\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  ASSERT_EQ(r.scop->statements.size(), 1u);
+  const ScopStatement& stmt = r.scop->statements[0];
+  EXPECT_EQ(stmt.reduction_op, c.op);
+  if (c.op != ReductionOp::None) {
+    EXPECT_EQ(stmt.reduction_accumulator, "s");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ReductionShapeMatrix,
+    ::testing::Values(
+        ReductionShape{"canonical_sum", "s = s + a[i];", ReductionOp::Add},
+        ReductionShape{"commuted_sum", "s = a[i] + s;", ReductionOp::Add},
+        ReductionShape{"compound_sum", "s += a[i];", ReductionOp::Add},
+        ReductionShape{"canonical_sub", "s = s - a[i];", ReductionOp::Sub},
+        ReductionShape{"compound_sub", "s -= a[i];", ReductionOp::Sub},
+        ReductionShape{"canonical_mul", "s = s * a[i];", ReductionOp::Mul},
+        ReductionShape{"commuted_mul", "s = a[i] * s;", ReductionOp::Mul},
+        ReductionShape{"compound_mul", "s *= a[i];", ReductionOp::Mul},
+        ReductionShape{"fminf_call", "s = fminf(s, a[i]);",
+                       ReductionOp::Min},
+        ReductionShape{"fmax_call", "s = fmax(s, a[i]);", ReductionOp::Max},
+        // `s = e - s` computes an alternating difference, NOT a
+        // subtraction reduction — recognizing it would miscompile.
+        ReductionShape{"commuted_sub_rejected", "s = a[i] - s;",
+                       ReductionOp::None},
+        // The contribution expression may not read the accumulator.
+        ReductionShape{"self_referencing_other", "s = s + (s * a[i]);",
+                       ReductionOp::None},
+        ReductionShape{"division_rejected", "s = s / a[i];",
+                       ReductionOp::None}),
+    [](const ::testing::TestParamInfo<ReductionShape>& info) {
+      return info.param.name;
+    });
+
+TEST(ReductionRecognition, UserCombinerRecordedButNotExemptible) {
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    s = blend(s, a[i]);\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  const ScopStatement& stmt = r.scop->statements[0];
+  EXPECT_EQ(stmt.reduction_op, ReductionOp::Call);
+  EXPECT_EQ(stmt.reduction_accumulator, "s");
+  EXPECT_EQ(stmt.reduction_callee, "blend");
+  EXPECT_FALSE(reduction_exemptible(stmt.reduction_op));
+  // The combiner note is informational: no OpenMP clause exists for it.
+  ASSERT_FALSE(r.scop->reduction_notes.empty());
+  EXPECT_NE(r.scop->reduction_notes[0].find("blend"), std::string::npos);
+}
+
+TEST(ReductionRecognition, AccumulatorReadElsewhereDemotes) {
+  auto r = extract_from(
+      "float* a; float* b;\n"
+      "void k(int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    s = s + a[i];\n"
+      "    b[i] = s;\n"
+      "  }\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  // The running value escapes into b: every prefix matters, so the
+  // match must be demoted (the nest stays serial) with a note saying why.
+  EXPECT_EQ(r.scop->statements[0].reduction_op, ReductionOp::None);
+  ASSERT_FALSE(r.scop->reduction_notes.empty());
+  EXPECT_NE(r.scop->reduction_notes[0].find("read elsewhere"),
+            std::string::npos);
+}
+
+TEST(ReductionRecognition, InclusivePrefixScanGetsScanNote) {
+  auto r = extract_from(
+      "int* a; int* b;\n"
+      "void k(int n) {\n"
+      "  for (int i = 1; i < n; i++)\n"
+      "    a[i] = a[i - 1] + b[i];\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  ASSERT_FALSE(r.scop->reduction_notes.empty());
+  EXPECT_NE(r.scop->reduction_notes[0].find("prefix scan"),
+            std::string::npos);
+}
+
+TEST(ReductionRecognition, ReductionTokenSpellsOmpOperators) {
+  EXPECT_STREQ(reduction_token(ReductionOp::Add), "+");
+  EXPECT_STREQ(reduction_token(ReductionOp::Sub), "-");
+  EXPECT_STREQ(reduction_token(ReductionOp::Mul), "*");
+  EXPECT_STREQ(reduction_token(ReductionOp::Min), "min");
+  EXPECT_STREQ(reduction_token(ReductionOp::Max), "max");
+  EXPECT_STREQ(reduction_token(ReductionOp::None), "");
+  EXPECT_STREQ(reduction_token(ReductionOp::Call), "");
+}
+
 TEST(AffineForm, ToString) {
   AffineForm f;
   f.coeffs = {1, -2, 0};

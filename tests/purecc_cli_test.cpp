@@ -284,4 +284,37 @@ TEST_F(PureccCliTest, MemoizeAllRewritesCallSitesAndReports) {
   EXPECT_EQ(plain.output.find("purec_memo"), std::string::npos);
 }
 
+TEST_F(PureccCliTest, FpReductionsGatesTheFloatAccumulation) {
+  const std::string red_path = ::testing::TempDir() + "/purecc_cli_red.c";
+  {
+    std::ofstream out(red_path);
+    out << "void dot(float* a, float* b, float* out, int n) {\n"
+           "  float sum = 0.0f;\n"
+           "  for (int i = 0; i < n; i++) {\n"
+           "    sum = sum + a[i] * b[i];\n"
+           "  }\n"
+           "  out[0] = sum;\n"
+           "}\n";
+  }
+  // Default: the FP sum is demoted — serial output, and the report
+  // carries the note pointing at the flag.
+  const RunResult strict =
+      run_purecc("--report " + shell_quote(red_path));
+  ASSERT_EQ(strict.exit_code, 0) << strict.output;
+  EXPECT_EQ(strict.output.find("#pragma omp"), std::string::npos);
+  EXPECT_NE(strict.output.find("--fp-reductions"), std::string::npos)
+      << strict.output;
+
+  // Opt-in: the pragma appears and the report names the reduction.
+  const RunResult relaxed =
+      run_purecc("--fp-reductions --report " + shell_quote(red_path));
+  ASSERT_EQ(relaxed.exit_code, 0) << relaxed.output;
+  EXPECT_NE(relaxed.output.find(
+                "#pragma omp parallel for reduction(+:sum)"),
+            std::string::npos)
+      << relaxed.output;
+  EXPECT_NE(relaxed.output.find("reduction=+:sum"), std::string::npos)
+      << relaxed.output;
+}
+
 }  // namespace

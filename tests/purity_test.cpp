@@ -460,7 +460,8 @@ TEST(Purity, PureFunctionMayCallReadOnlyExtern) {
 
 TEST(Purity, PureFunctionMayNotCallWritesArg0Extern) {
   // memcpy is modeled WritesArg0: through a parameter it reaches caller
-  // memory, so the promise-based verifier keeps rejecting it.
+  // memory, so the verifier keeps rejecting it — now with the same
+  // provenance-based reason inference reports.
   auto out = check(
       "pure int copy(pure char* d, pure char* s, int n) {\n"
       "  memcpy(d, s, n);\n"
@@ -468,6 +469,74 @@ TEST(Purity, PureFunctionMayNotCallWritesArg0Extern) {
       "}\n");
   EXPECT_TRUE(out.diags.has_error_containing("memcpy"))
       << out.diags.format();
+  EXPECT_TRUE(out.diags.has_error_containing("caller or global"))
+      << out.diags.format();
+}
+
+// The WritesArg0 asymmetry fix: the declared-pure verifier consults the
+// same provenance reasoning as inference, so each modeled extern writing
+// into provably function-local storage verifies in a `pure` body too.
+
+TEST(Purity, MemcpyIntoLocalBufferVerifiesInPureBody) {
+  auto out = check(
+      "pure int f(pure int* src, int n) {\n"
+      "  int buf[16];\n"
+      "  memcpy(buf, src, 16 * sizeof(int));\n"
+      "  return buf[0] + n;\n"
+      "}\n");
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
+}
+
+TEST(Purity, MemmoveWithinLocalBufferVerifiesInPureBody) {
+  auto out = check(
+      "pure int f(int n) {\n"
+      "  int buf[8];\n"
+      "  buf[0] = n;\n"
+      "  memmove(buf + 1, buf, 4 * sizeof(int));\n"
+      "  return buf[1];\n"
+      "}\n");
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
+}
+
+TEST(Purity, MemsetIntoLocalBufferVerifiesInPureBody) {
+  auto out = check(
+      "pure int f(int n) {\n"
+      "  int buf[8];\n"
+      "  memset(buf, 0, sizeof(buf));\n"
+      "  return buf[n % 8];\n"
+      "}\n");
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
+}
+
+TEST(Purity, MemsetOnGlobalStillRejectedInPureBody) {
+  auto out = check(
+      "int shared[8];\n"
+      "pure int f(int n) {\n"
+      "  memset(shared, 0, sizeof(shared));\n"
+      "  return n;\n"
+      "}\n");
+  EXPECT_TRUE(out.diags.has_error_containing("memset"))
+      << out.diags.format();
+}
+
+TEST(Purity, SnprintfIntoLocalBufferVerifiesInPureBody) {
+  auto out = check(
+      "pure int f(int v) {\n"
+      "  char buf[32];\n"
+      "  snprintf(buf, 32, \"%d\", v);\n"
+      "  return buf[0];\n"
+      "}\n");
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
+}
+
+TEST(Purity, SnprintfPercentNStillRejectedInPureBody) {
+  auto out = check(
+      "pure int f(pure int* p) {\n"
+      "  char buf[8];\n"
+      "  snprintf(buf, 8, \"%n\", p);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(out.diags.has_error_containing("%n")) << out.diags.format();
 }
 
 }  // namespace

@@ -309,6 +309,72 @@ TEST(ParallelReduce, GuidedAndStealingCombineDeterministically) {
   }
 }
 
+TEST(ParallelReduce, ProductOverIntegers) {
+  ThreadPool pool(8);
+  const std::int64_t product = parallel_reduce(
+      pool, 1, 21, std::int64_t{1},
+      [](std::int64_t a, std::int64_t b) { return a * b; },
+      [](std::int64_t i) { return (i % 3 == 0) ? std::int64_t{2}
+                                               : std::int64_t{1}; });
+  // Six multiples of 3 in [1, 21): 2^6.
+  EXPECT_EQ(product, 64);
+}
+
+TEST(ParallelReduce, MinAndMaxAcrossAllSchedules) {
+  ThreadPool pool(8);
+  const auto body = [](std::int64_t i) {
+    return static_cast<double>((i * 37 + 11) % 101);
+  };
+  double lo = body(0);
+  double hi = body(0);
+  for (int i = 0; i < 4096; ++i) {
+    lo = std::min(lo, body(i));
+    hi = std::max(hi, body(i));
+  }
+  for (const ForOptions& options :
+       {ForOptions{Schedule::Static, 1}, ForOptions{Schedule::Dynamic, 16},
+        ForOptions{Schedule::Guided, 2},
+        ForOptions{Schedule::Dynamic, 16, /*stealing=*/true}}) {
+    EXPECT_EQ(parallel_reduce(
+                  pool, 0, 4096, body(0),
+                  [](double a, double b) { return a < b ? a : b; }, body,
+                  options),
+              lo);
+    EXPECT_EQ(parallel_reduce(
+                  pool, 0, 4096, body(0),
+                  [](double a, double b) { return a > b ? a : b; }, body,
+                  options),
+              hi);
+  }
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(4);
+  EXPECT_EQ(parallel_reduce(
+                pool, 5, 5, std::int64_t{42},
+                [](std::int64_t a, std::int64_t b) { return a + b; },
+                [](std::int64_t) { return std::int64_t{1}; }),
+            42);
+}
+
+TEST(ParallelReduce, NonCommutativeCombinePreservesWorkerOrder) {
+  // Partials merge in worker order after the join, so an associative but
+  // non-commutative combine (string-like concatenation modeled as digit
+  // appends) must be deterministic under the static schedule, where each
+  // worker owns one contiguous chunk.
+  ThreadPool pool(4);
+  const auto body = [](std::int64_t i) {
+    return std::to_string(i % 10);
+  };
+  std::string expected;
+  for (int i = 0; i < 64; ++i) expected += body(i);
+  const std::string joined = parallel_reduce(
+      pool, 0, 64, std::string{},
+      [](std::string a, std::string b) { return a + b; }, body,
+      {Schedule::Static, 1});
+  EXPECT_EQ(joined, expected);
+}
+
 TEST(ParallelReduce, TypeErasedWrapperMatchesTemplate) {
   // The std::function signatures must stay behaviorally identical to the
   // templated core they wrap.
