@@ -1,0 +1,38 @@
+/* Runnable observability demo: a pure per-pixel kernel over a flat image,
+ * deterministic inputs, printed checksum. Feed through
+ *   ./build/examples/purecc --instrument assets/c/instrument_demo.c
+ * and run the result with PUREC_TRACE=trace.json (Chrome trace) or
+ * PUREC_STATS_FILE=stats.log (human counter summary) — see
+ * EXPERIMENTS.md "Tracing a run". CI compiles exactly this file to
+ * schema-validate the generated report and trace artifacts. */
+#include <stdio.h>
+#include <stdlib.h>
+
+float gain;
+
+pure float shade(int v) {
+  float x = (float)v * 0.0625f + 1.0f;
+  float y = x;
+  for (int k = 0; k < 8; k++)
+    y = 0.5f * (y + x / y);
+  return y * gain;
+}
+
+void render(int* vals, float* out, int n) {
+  for (int p = 0; p < n; p++)
+    out[p] = shade(vals[p]);
+}
+
+int main() {
+  int n = 4096;
+  int* vals = (int*)malloc(n * sizeof(int));
+  float* out = (float*)malloc(n * sizeof(float));
+  gain = 0.75f;
+  for (int i = 0; i < n; i++) vals[i] = (i * 37 + 11) % 32;
+  for (int i = 0; i < n; i++) out[i] = 0.0f;
+  render(vals, out, n);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) checksum += (double)out[i] * (i % 9);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}

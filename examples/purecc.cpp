@@ -34,6 +34,19 @@
 //                          output: stripped|preprocessed|marked|substituted|
 //                          transformed
 //     --report             print the per-scop report to stderr
+//     --report=json[:FILE] emit the full decision trail as structured JSON
+//                          (purity verdicts, scop outcomes with failure
+//                          line/column, reductions + demotions, chosen
+//                          schedule, memoizability, inliner/instrument
+//                          decisions) to stderr or FILE; the plain
+//                          --report text is a renderer over the same
+//                          structure (transform/chain_report.h)
+//     --instrument         emit self-contained observability counters into
+//                          the output C: per-region invocations/wall-time
+//                          and cache-line-padded per-worker chunk tallies,
+//                          dumped at exit as a human summary (PUREC_STATS_FILE
+//                          or stderr) or as Chrome trace-event JSON under
+//                          PUREC_TRACE=FILE
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +55,7 @@
 #include <sstream>
 #include <string>
 
+#include "transform/chain_report.h"
 #include "transform/pure_chain.h"
 
 namespace {
@@ -53,8 +67,8 @@ int usage(const char* argv0) {
                "[--no-parallel]\n"
                "          [--inline-pure] [--infer-pure] "
                "[--memoize[=all]] [--fp-reductions]\n"
-               "          [--gcc-attributes]\n"
-               "          [--stage NAME] [--report] input.c\n",
+               "          [--gcc-attributes] [--instrument]\n"
+               "          [--stage NAME] [--report[=json[:FILE]]] input.c\n",
                argv0);
   return 2;
 }
@@ -66,6 +80,8 @@ int main(int argc, char** argv) {
   std::string output_path;
   std::string stage;
   bool report = false;
+  bool report_json = false;
+  std::string report_path;  // empty = stderr
   purec::ChainOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -119,12 +135,20 @@ int main(int argc, char** argv) {
       options.fp_reductions = true;
     } else if (arg == "--gcc-attributes") {
       options.emit_gcc_attributes = true;
+    } else if (arg == "--instrument") {
+      options.instrument = true;
     } else if (arg == "--stage") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       stage = v;
     } else if (arg == "--report") {
       report = true;
+    } else if (arg.rfind("--report=json", 0) == 0) {
+      const std::string rest = arg.substr(std::strlen("--report=json"));
+      if (!rest.empty() && rest[0] != ':') return usage(argv[0]);
+      report = true;
+      report_json = true;
+      if (!rest.empty()) report_path = rest.substr(1);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return usage(argv[0]);
     } else {
@@ -176,42 +200,25 @@ int main(int argc, char** argv) {
   }
 
   if (report) {
-    if (options.infer_purity) {
-      std::fprintf(stderr, "purecc: %s\n",
-                   artifacts.inference.summary().c_str());
-    }
-    if (options.memoize) {
-      std::fprintf(stderr, "purecc: %s\n",
-                   artifacts.memoization.summary().c_str());
-      std::fprintf(stderr, "purecc: memoized %zu call site(s)\n",
-                   artifacts.memoized_calls);
-    }
-    for (const purec::ScopReport& r : artifacts.scops) {
-      std::string inferred;
-      if (options.infer_purity) {
-        inferred = " inferred=" + std::to_string(r.inferred_calls);
+    // One structure, two renderers: --report renders the classic text,
+    // --report=json serializes the full decision trail.
+    const purec::json::Value chain_report =
+        purec::build_chain_report(artifacts, options);
+    if (report_json) {
+      const std::string serialized = chain_report.dump(2) + "\n";
+      if (report_path.empty()) {
+        std::fputs(serialized.c_str(), stderr);
+      } else {
+        std::ofstream rf(report_path);
+        if (!rf) {
+          std::fprintf(stderr, "purecc: cannot write %s\n",
+                       report_path.c_str());
+          return 2;
+        }
+        rf << serialized;
       }
-      std::string reductions;
-      for (const std::string& red : r.reductions) {
-        reductions += reductions.empty() ? " reduction=" : ",";
-        reductions += red;
-      }
-      std::fprintf(stderr,
-                   "purecc: %s:%u depth=%zu calls=%zu%s deps=%zu "
-                   "transformed=%d parallel=%d tiled=%d region=%d%s%s%s\n",
-                   r.function.c_str(), r.line, r.depth,
-                   r.substituted_calls, inferred.c_str(), r.dependences,
-                   r.transformed, r.parallelized, r.tiled, r.region,
-                   reductions.c_str(),
-                   r.failure_reason.empty() ? "" : " reason=",
-                   r.failure_reason.c_str());
-      for (const std::string& note : r.reduction_notes) {
-        std::fprintf(stderr, "purecc:   note: %s\n", note.c_str());
-      }
-    }
-    if (artifacts.inlined_calls > 0) {
-      std::fprintf(stderr, "purecc: inlined %zu pure call(s)\n",
-                   artifacts.inlined_calls);
+    } else {
+      std::fputs(purec::render_report_text(chain_report).c_str(), stderr);
     }
   }
   return 0;

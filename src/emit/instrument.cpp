@@ -1,0 +1,321 @@
+#include "emit/instrument.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "ast/expr.h"
+#include "ast/type.h"
+
+namespace purec {
+
+namespace {
+
+constexpr const char* kParallelForPrefix = "#pragma omp parallel for";
+
+[[nodiscard]] ExprPtr make_ident(std::string name) {
+  return std::make_unique<IdentExpr>(std::move(name));
+}
+
+[[nodiscard]] ExprPtr make_call(std::string callee,
+                                std::vector<ExprPtr> args) {
+  return std::make_unique<CallExpr>(make_ident(std::move(callee)),
+                                    std::move(args));
+}
+
+/// `purec_instr_chunk(&purec_instr_rN);`
+[[nodiscard]] StmtPtr make_chunk_tally(const std::string& region) {
+  std::vector<ExprPtr> args;
+  args.push_back(
+      std::make_unique<UnaryExpr>(UnaryOp::AddrOf, make_ident(region)));
+  return std::make_unique<ExprStmt>(
+      make_call("purec_instr_chunk", std::move(args)));
+}
+
+/// Plants the chunk tally at the top of the body of every loop that sits
+/// directly under a `#pragma omp parallel for` sibling: each outer
+/// iteration a worker claims bumps its padded cell exactly once, so the
+/// per-worker totals read back the scheduler's actual work split.
+void add_chunk_tallies(Stmt& s, const std::string& region) {
+  std::function<void(Stmt&)> visit = [&](Stmt& node) {
+    if (auto* block = stmt_cast<CompoundStmt>(&node)) {
+      bool after_parallel_pragma = false;
+      for (StmtPtr& child : block->stmts) {
+        auto* pragma = stmt_cast<PragmaStmt>(child.get());
+        if (pragma != nullptr) {
+          after_parallel_pragma =
+              pragma->text.rfind(kParallelForPrefix, 0) == 0;
+          continue;
+        }
+        auto* loop = stmt_cast<ForStmt>(child.get());
+        if (after_parallel_pragma && loop != nullptr && loop->body) {
+          auto* body = stmt_cast<CompoundStmt>(loop->body.get());
+          if (body == nullptr) {
+            auto wrapped = std::make_unique<CompoundStmt>();
+            wrapped->stmts.push_back(std::move(loop->body));
+            loop->body = std::move(wrapped);
+            body = static_cast<CompoundStmt*>(loop->body.get());
+          }
+          body->stmts.insert(body->stmts.begin(),
+                             make_chunk_tally(region));
+        }
+        after_parallel_pragma = false;
+        visit(*child);
+      }
+      return;
+    }
+    switch (node.kind()) {
+      case StmtKind::If: {
+        auto& branch = static_cast<IfStmt&>(node);
+        visit(*branch.then_stmt);
+        if (branch.else_stmt) visit(*branch.else_stmt);
+        return;
+      }
+      case StmtKind::For: {
+        auto& loop = static_cast<ForStmt&>(node);
+        if (loop.body) visit(*loop.body);
+        return;
+      }
+      case StmtKind::While:
+        visit(*static_cast<WhileStmt&>(node).body);
+        return;
+      case StmtKind::DoWhile:
+        visit(*static_cast<DoWhileStmt&>(node).body);
+        return;
+      default:
+        return;
+    }
+  };
+  visit(s);
+}
+
+}  // namespace
+
+const std::string& stats_sink_snippet() {
+  static const std::string text = R"(
+/* Shared stats stream: every exit-time dump (memo counters, --instrument
+ * region summaries) resolves its destination here, so the lines land on
+ * one stream and never interleave with program stdout. PUREC_STATS_FILE
+ * names an append-mode file; unset or unopenable falls back to stderr. */
+static FILE* purec_stats_out(void) {
+  static FILE* purec_stats_stream;
+  const char* purec_stats_path;
+  if (purec_stats_stream != 0) return purec_stats_stream;
+  purec_stats_path = getenv("PUREC_STATS_FILE");
+  if (purec_stats_path != 0 && purec_stats_path[0] != 0) {
+    purec_stats_stream = fopen(purec_stats_path, "a");
+  }
+  if (purec_stats_stream == 0) purec_stats_stream = stderr;
+  return purec_stats_stream;
+}
+)";
+  return text;
+}
+
+const std::string& instrument_runtime_snippet() {
+  static const std::string text = R"(
+/* --instrument runtime: per-region invocation/wall-time counters plus
+ * per-worker chunk tallies. Workers bump their own cache-line-padded cell
+ * with a relaxed __atomic add (the per-CPU counter pattern), so the hot
+ * path is one padded add per claimed outer iteration — no lock, no shared
+ * line. The atexit dump writes a human summary to purec_stats_out(); with
+ * PUREC_TRACE=FILE set it instead writes Chrome trace-event JSON (one "X"
+ * duration event per region execution, one "C" counter event per region
+ * with the per-worker totals) for chrome://tracing or Perfetto. */
+typedef unsigned long long purec_instr_u64;
+#define PUREC_INSTR_MAX_WORKERS 64
+#define PUREC_INSTR_MAX_REGIONS 64
+#define PUREC_INSTR_TRACE_CAP 65536
+typedef struct {
+  purec_instr_u64 count;
+  char purec_pad[56];
+} purec_instr_cell;
+typedef struct {
+  const char* name; /* "function:line" of the transformed nest */
+  purec_instr_u64 invocations;
+  purec_instr_u64 total_ns;
+  purec_instr_cell chunks[PUREC_INSTR_MAX_WORKERS];
+} purec_instr_region_t;
+typedef struct {
+  const purec_instr_region_t* region;
+  purec_instr_u64 begin_ns;
+  purec_instr_u64 end_ns;
+} purec_instr_event;
+
+static purec_instr_region_t* purec_instr_regions[PUREC_INSTR_MAX_REGIONS];
+static unsigned purec_instr_region_count;
+static purec_instr_event* purec_instr_events;
+static unsigned long purec_instr_event_next;
+
+#ifdef _OPENMP
+int omp_get_thread_num(void);
+#endif
+
+static purec_instr_u64 purec_instr_now(void) {
+  struct timespec purec_instr_ts;
+  clock_gettime(CLOCK_MONOTONIC, &purec_instr_ts);
+  return (purec_instr_u64)purec_instr_ts.tv_sec * 1000000000ULL +
+         (purec_instr_u64)purec_instr_ts.tv_nsec;
+}
+
+static void purec_instr_chunk(purec_instr_region_t* purec_r) {
+  unsigned purec_w = 0;
+#ifdef _OPENMP
+  purec_w = (unsigned)omp_get_thread_num() &
+            (PUREC_INSTR_MAX_WORKERS - 1);
+#endif
+  __atomic_fetch_add(&purec_r->chunks[purec_w].count, 1ULL,
+                     __ATOMIC_RELAXED);
+}
+
+static void purec_instr_region_done(purec_instr_region_t* purec_r,
+                                    purec_instr_u64 purec_begin_ns) {
+  purec_instr_u64 purec_end_ns = purec_instr_now();
+  __atomic_fetch_add(&purec_r->invocations, 1ULL, __ATOMIC_RELAXED);
+  __atomic_fetch_add(&purec_r->total_ns, purec_end_ns - purec_begin_ns,
+                     __ATOMIC_RELAXED);
+  if (purec_instr_events != 0) {
+    unsigned long purec_slot = __atomic_fetch_add(
+        &purec_instr_event_next, 1UL, __ATOMIC_RELAXED);
+    if (purec_slot < PUREC_INSTR_TRACE_CAP) {
+      purec_instr_events[purec_slot].region = purec_r;
+      purec_instr_events[purec_slot].begin_ns = purec_begin_ns;
+      purec_instr_events[purec_slot].end_ns = purec_end_ns;
+    }
+  }
+}
+
+static void purec_instr_register(purec_instr_region_t* purec_r) {
+  if (purec_instr_region_count < PUREC_INSTR_MAX_REGIONS) {
+    purec_instr_regions[purec_instr_region_count++] = purec_r;
+  }
+}
+
+static void purec_instr_dump(void) {
+  const char* purec_trace_path = getenv("PUREC_TRACE");
+  unsigned purec_i, purec_w;
+  if (purec_trace_path != 0 && purec_trace_path[0] != 0 &&
+      purec_instr_events != 0) {
+    FILE* purec_out = fopen(purec_trace_path, "w");
+    if (purec_out != 0) {
+      unsigned long purec_n = __atomic_load_n(&purec_instr_event_next,
+                                              __ATOMIC_RELAXED);
+      unsigned long purec_dropped = 0;
+      unsigned long purec_k;
+      int purec_first = 1;
+      if (purec_n > PUREC_INSTR_TRACE_CAP) {
+        purec_dropped = purec_n - PUREC_INSTR_TRACE_CAP;
+        purec_n = PUREC_INSTR_TRACE_CAP;
+      }
+      fprintf(purec_out, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+      for (purec_k = 0; purec_k < purec_n; purec_k++) {
+        const purec_instr_event* purec_e = &purec_instr_events[purec_k];
+        fprintf(purec_out,
+                "%s\n{\"name\":\"%s\",\"cat\":\"region\",\"ph\":\"X\","
+                "\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f}",
+                purec_first ? "" : ",", purec_e->region->name,
+                (double)purec_e->begin_ns / 1000.0,
+                (double)(purec_e->end_ns - purec_e->begin_ns) / 1000.0);
+        purec_first = 0;
+      }
+      for (purec_i = 0; purec_i < purec_instr_region_count; purec_i++) {
+        const purec_instr_region_t* purec_r =
+            purec_instr_regions[purec_i];
+        int purec_any = 0;
+        for (purec_w = 0; purec_w < PUREC_INSTR_MAX_WORKERS; purec_w++) {
+          if (purec_r->chunks[purec_w].count != 0) purec_any = 1;
+        }
+        if (!purec_any) continue;
+        fprintf(purec_out,
+                "%s\n{\"name\":\"%s chunks\",\"ph\":\"C\",\"pid\":1,"
+                "\"ts\":%.3f,\"args\":{",
+                purec_first ? "" : ",",
+                purec_r->name, (double)purec_instr_now() / 1000.0);
+        purec_first = 0;
+        {
+          int purec_first_arg = 1;
+          for (purec_w = 0; purec_w < PUREC_INSTR_MAX_WORKERS;
+               purec_w++) {
+            if (purec_r->chunks[purec_w].count == 0) continue;
+            fprintf(purec_out, "%s\"w%u\":%llu",
+                    purec_first_arg ? "" : ",", purec_w,
+                    purec_r->chunks[purec_w].count);
+            purec_first_arg = 0;
+          }
+        }
+        fprintf(purec_out, "}}");
+      }
+      if (purec_dropped != 0) {
+        fprintf(purec_out,
+                "%s\n{\"name\":\"purec: %lu trace events dropped "
+                "(PUREC_INSTR_TRACE_CAP)\",\"ph\":\"i\",\"pid\":1,"
+                "\"tid\":1,\"ts\":%.3f,\"s\":\"g\"}",
+                purec_first ? "" : ",", purec_dropped,
+                (double)purec_instr_now() / 1000.0);
+      }
+      fprintf(purec_out, "\n]}\n");
+      fclose(purec_out);
+      return;
+    }
+  }
+  for (purec_i = 0; purec_i < purec_instr_region_count; purec_i++) {
+    const purec_instr_region_t* purec_r = purec_instr_regions[purec_i];
+    if (purec_r->invocations == 0) continue;
+    fprintf(purec_stats_out(),
+            "purec-instr[%s] invocations=%llu total_ns=%llu",
+            purec_r->name, purec_r->invocations, purec_r->total_ns);
+    for (purec_w = 0; purec_w < PUREC_INSTR_MAX_WORKERS; purec_w++) {
+      if (purec_r->chunks[purec_w].count == 0) continue;
+      fprintf(purec_stats_out(), " w%u=%llu", purec_w,
+              purec_r->chunks[purec_w].count);
+    }
+    fprintf(purec_stats_out(), "\n");
+  }
+}
+
+__attribute__((constructor)) static void purec_instr_init(void) {
+  const char* purec_trace_path = getenv("PUREC_TRACE");
+  if (purec_trace_path != 0 && purec_trace_path[0] != 0) {
+    purec_instr_events = (purec_instr_event*)calloc(
+        PUREC_INSTR_TRACE_CAP, sizeof(purec_instr_event));
+  }
+  atexit(purec_instr_dump);
+}
+)";
+  return text;
+}
+
+std::string instrument_region_definition(std::size_t index,
+                                         const std::string& name) {
+  const std::string var = "purec_instr_r" + std::to_string(index);
+  std::string out;
+  out += "static purec_instr_region_t " + var + " = {\"" + name + "\"};\n";
+  out += "__attribute__((constructor)) static void " + var +
+         "_register(void) {\n  purec_instr_register(&" + var + ");\n}\n";
+  return out;
+}
+
+void instrument_region(StmtPtr& nest, std::size_t index) {
+  if (!nest) return;
+  const std::string region = "purec_instr_r" + std::to_string(index);
+  add_chunk_tallies(*nest, region);
+
+  auto block = std::make_unique<CompoundStmt>();
+  VarDecl t0;
+  t0.name = "purec_instr_t0";
+  t0.type = Type::make_builtin(BuiltinKind::ULongLong);
+  t0.init = make_call("purec_instr_now", {});
+  auto decl = std::make_unique<DeclStmt>();
+  decl->decls.push_back(std::move(t0));
+  block->stmts.push_back(std::move(decl));
+  block->stmts.push_back(std::move(nest));
+  std::vector<ExprPtr> args;
+  args.push_back(
+      std::make_unique<UnaryExpr>(UnaryOp::AddrOf, make_ident(region)));
+  args.push_back(make_ident("purec_instr_t0"));
+  block->stmts.push_back(std::make_unique<ExprStmt>(
+      make_call("purec_instr_region_done", std::move(args))));
+  nest = std::move(block);
+}
+
+}  // namespace purec

@@ -87,8 +87,9 @@ const std::string& memo_runtime_prelude() {
  * per-slot seqlock publication (a torn read is a safe miss), clock
  * second-chance eviction when a window fills. Knobs: PUREC_MEMO_SHARDS,
  * PUREC_MEMO_CAP (total slots), PUREC_MEMO_STATS=1 (per-thunk
- * hit/miss/eviction counters dumped to stderr at exit; counters are
- * dead branches when the knob is off). */
+ * hit/miss/eviction counters dumped at exit to the shared stats stream —
+ * PUREC_STATS_FILE or stderr, see purec_stats_out(); counters are dead
+ * branches when the knob is off). */
 typedef unsigned long long purec_memo_word;
 typedef union { float v; unsigned int b; } purec_memo_f32;
 typedef union { double v; purec_memo_word b; } purec_memo_f64;
@@ -106,12 +107,12 @@ static int purec_memo_stats_on; /* PUREC_MEMO_STATS=1 */
 static void purec_memo_stats_dump(void) {
   unsigned i;
   if (purec_memo_stats_dropped != 0)
-    fprintf(stderr,
+    fprintf(purec_stats_out(),
             "purec-memo: %u thunk counter(s) not shown (registry full)\n",
             purec_memo_stats_dropped);
   for (i = 0; i < purec_memo_stats_count; i++) {
     purec_memo_stats_entry* e = purec_memo_stats_tables[i];
-    fprintf(stderr,
+    fprintf(purec_stats_out(),
             "purec-memo[%s] hits=%llu misses=%llu evictions=%llu\n",
             e->name,
             (unsigned long long)__atomic_load_n(&e->hits,

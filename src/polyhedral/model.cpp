@@ -469,6 +469,15 @@ struct GuardRef {
 class Extractor {
  public:
   [[nodiscard]] ExtractionResult run(const ForStmt& root) {
+    ExtractionResult result = run_impl(root);
+    if (!result.ok() && !result.failure_loc.valid()) {
+      result.failure_loc = failure_loc_.valid() ? failure_loc_ : root.loc;
+    }
+    return result;
+  }
+
+ private:
+  [[nodiscard]] ExtractionResult run_impl(const ForStmt& root) {
     ExtractionResult result;
 
     // ---- Pass 1: region structure (loop tree, statements, guards) ----
@@ -509,6 +518,7 @@ class Extractor {
             builder.error().empty()
                 ? "non-affine bound for iterator " + h.iterator
                 : builder.error();
+        result.failure_loc = loops_[j].ast->loc;
         return result;
       }
       std::vector<AffineForm> uppers;
@@ -519,6 +529,7 @@ class Extractor {
               builder.error().empty()
                   ? "non-affine bound for iterator " + h.iterator
                   : builder.error();
+          result.failure_loc = loops_[j].ast->loc;
           return result;
         }
         uppers.push_back(std::move(*upper));
@@ -531,6 +542,7 @@ class Extractor {
       if (j < lower->coeffs.size() && lower->coeffs[j] != 0) {
         result.failure_reason = "lower bound of iterator " + h.iterator +
                                 " references the iterator itself";
+        result.failure_loc = loops_[j].ast->loc;
         return result;
       }
       if (h.stride == 1) {
@@ -603,6 +615,7 @@ class Extractor {
                       lhs_ident->name) != scop.iterators.end()) {
           result.failure_reason = "loop iterator '" + lhs_ident->name +
                                   "' is written inside the body";
+          result.failure_loc = p.ast->loc;
           return result;
         }
       }
@@ -613,6 +626,7 @@ class Extractor {
         builder.set_chain(&guard.chain);
         if (!build_guard(*guard.cond, guard.negated, builder,
                          stmt_guards[s], result.failure_reason)) {
+          result.failure_loc = p.ast->loc;
           return result;
         }
       }
@@ -634,12 +648,14 @@ class Extractor {
 
       if (!add_access(*p.assign->lhs, AccessKind::Write, builder,
                       written_scalars, stmt, result.failure_reason)) {
+        result.failure_loc = p.ast->loc;
         return result;
       }
       // Compound assignment reads its target too.
       if (p.assign->op != AssignOp::Assign) {
         if (!add_access(*p.assign->lhs, AccessKind::Read, builder,
                         written_scalars, stmt, result.failure_reason)) {
+          result.failure_loc = p.ast->loc;
           return result;
         }
       }
@@ -653,10 +669,12 @@ class Extractor {
         stmt.accesses.push_back(std::move(acc_read));
         if (!collect_reads(*reduction->other, builder, written_scalars,
                            stmt, result.failure_reason)) {
+          result.failure_loc = p.ast->loc;
           return result;
         }
       } else if (!collect_reads(*p.assign->rhs, builder, written_scalars,
                                 stmt, result.failure_reason)) {
+        result.failure_loc = p.ast->loc;
         return result;
       }
       scop.statements.push_back(std::move(stmt));
@@ -796,15 +814,18 @@ class Extractor {
     auto header = match_loop(loop, reason);
     if (!header) {
       failure = reason;
+      failure_loc_ = loop.loc;
       return false;
     }
     const std::size_t index = loops_.size();
     if (chain.size() + 1 > 4) {
       failure = "loop nest deeper than 4";
+      failure_loc_ = loop.loc;
       return false;
     }
     if (index + 1 > 8) {
       failure = "more than 8 loops in one region";
+      failure_loc_ = loop.loc;
       return false;
     }
     chain.push_back(index);
@@ -871,6 +892,7 @@ class Extractor {
         const auto* assign = expr_cast<AssignExpr>(es.expr.get());
         if (assign == nullptr) {
           failure = "loop body statement is not a plain assignment";
+          failure_loc_ = s.loc;
           return false;
         }
         PendingStmt p;
@@ -886,12 +908,15 @@ class Extractor {
         failure =
             "while loop in body has no recognizable affine induction "
             "(not canonicalized)";
+        failure_loc_ = s.loc;
         return false;
       case StmtKind::Decl:
         failure = "declaration inside the loop body";
+        failure_loc_ = s.loc;
         return false;
       default:
         failure = "loop body statement is not a plain assignment";
+        failure_loc_ = s.loc;
         return false;
     }
   }
@@ -1116,6 +1141,9 @@ class Extractor {
   std::vector<LoopNode> loops_;
   std::vector<PendingStmt> pending_stmts_;
   bool saw_guard_ = false;
+  /// Set by the walk passes when a rejection can point at the offending
+  /// statement/loop; run() falls back to the root loop otherwise.
+  SourceLocation failure_loc_;
 };
 
 }  // namespace

@@ -168,6 +168,10 @@ struct Scop {
 struct ExtractionResult {
   std::optional<Scop> scop;
   std::string failure_reason;
+  /// Where the rejection bites: the offending statement or loop header
+  /// when a pass can point at one, else the nest's root loop. Valid
+  /// whenever `failure_reason` is set, so report entries are clickable.
+  SourceLocation failure_loc;
 
   [[nodiscard]] bool ok() const noexcept { return scop.has_value(); }
 };

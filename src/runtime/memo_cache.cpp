@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "runtime/stats.h"
+
 namespace purec::rt {
 
 namespace {
@@ -92,11 +94,13 @@ bool MemoCache::lookup(std::uint64_t key, std::uint64_t* value) noexcept {
       *value = val;
       slot.ref.store(1, std::memory_order_relaxed);
       shard.hits.fetch_add(1, std::memory_order_relaxed);
+      stats::add(stats::counters().memo_hits);
       return true;
     }
     if (tag == 0) break;  // probe window never re-opens holes past here
   }
   shard.misses.fetch_add(1, std::memory_order_relaxed);
+  stats::add(stats::counters().memo_misses);
   return false;
 }
 
@@ -116,7 +120,11 @@ void MemoCache::store(std::uint64_t key, std::uint64_t value) noexcept {
     slot.ref.store(0, std::memory_order_relaxed);
     slot.seq.store(s1 + 2, std::memory_order_release);
     shard.stores.fetch_add(1, std::memory_order_relaxed);
-    if (evicting) shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    stats::add(stats::counters().memo_stores);
+    if (evicting) {
+      shard.evictions.fetch_add(1, std::memory_order_relaxed);
+      stats::add(stats::counters().memo_evictions);
+    }
     return true;
   };
 

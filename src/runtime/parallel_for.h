@@ -23,6 +23,7 @@
 #include <functional>
 #include <vector>
 
+#include "runtime/stats.h"
 #include "runtime/thread_pool.h"
 
 namespace purec::rt {
@@ -70,11 +71,36 @@ struct alignas(kCacheLineBytes) ClaimableRange {
 /// inlines into the claim loops.
 template <class ChunkFn>
 void for_each_chunk(ThreadPool& pool, std::int64_t begin, std::int64_t end,
-                    const ForOptions& options, ChunkFn&& chunk_fn) {
+                    const ForOptions& options, ChunkFn&& raw_chunk_fn) {
   if (begin >= end) return;
   const auto threads = static_cast<std::int64_t>(pool.worker_count());
   const std::int64_t total = end - begin;
   const std::int64_t chunk = std::max<std::int64_t>(options.chunk, 1);
+
+  // Observability shim around the user's chunk body; with stats compiled
+  // out (the default) this is the identity and the launch/claim paths are
+  // instruction-for-instruction what they always were.
+  const auto chunk_fn = [&](std::size_t worker, std::int64_t b,
+                            std::int64_t e) {
+    stats::note_chunk(worker);
+    raw_chunk_fn(worker, b, e);
+  };
+  struct RegionTimer {
+    std::uint64_t begin_ns = 0;
+    RegionTimer() {
+      if constexpr (stats::kEnabled) {
+        stats::add(stats::counters().regions);
+        begin_ns = stats::now_ns();
+      }
+    }
+    ~RegionTimer() {
+      if constexpr (stats::kEnabled) {
+        stats::add(stats::counters().region_ns,
+                   stats::now_ns() - begin_ns);
+      }
+    }
+  } region_timer;
+  (void)region_timer;
 
   switch (options.schedule) {
     case Schedule::Static: {
@@ -119,7 +145,10 @@ void for_each_chunk(ThreadPool& pool, std::int64_t begin, std::int64_t end,
           const auto n = static_cast<std::size_t>(threads);
           for (std::size_t hop = 1; hop < n; ++hop) {
             auto& victim = ranges[(worker + hop) % n];
-            while (victim.claim(chunk, &b, &e)) chunk_fn(worker, b, e);
+            while (victim.claim(chunk, &b, &e)) {
+              stats::add(stats::counters().steals);
+              chunk_fn(worker, b, e);
+            }
           }
         });
         return;

@@ -1,0 +1,84 @@
+#include "runtime/stats.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace purec::rt::stats {
+
+Counters& counters() noexcept {
+  static Counters instance;
+  return instance;
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+[[nodiscard]] std::FILE* stats_stream() {
+  static std::FILE* stream = [] {
+    const char* path = std::getenv("PUREC_STATS_FILE");
+    if (path != nullptr && path[0] != '\0') {
+      if (std::FILE* f = std::fopen(path, "a")) return f;
+    }
+    return stderr;
+  }();
+  return stream;
+}
+
+}  // namespace
+
+void dump(std::FILE* out) {
+  if (out == nullptr) out = stats_stream();
+  Counters& c = counters();
+  const auto get = [](const Cell& cell) {
+    return static_cast<unsigned long long>(
+        cell.value.load(std::memory_order_relaxed));
+  };
+  std::fprintf(out,
+               "purec-rt[pool] regions=%llu region_ns=%llu "
+               "barrier_spins=%llu barrier_parks=%llu steals=%llu\n",
+               get(c.regions), get(c.region_ns), get(c.barrier_spins),
+               get(c.barrier_parks), get(c.steals));
+  std::fprintf(out, "purec-rt[memo] hits=%llu misses=%llu stores=%llu "
+                    "evictions=%llu\n",
+               get(c.memo_hits), get(c.memo_misses), get(c.memo_stores),
+               get(c.memo_evictions));
+  bool any = false;
+  for (std::size_t w = 0; w < kMaxWorkers; ++w) {
+    if (c.chunks[w].value.load(std::memory_order_relaxed) != 0) any = true;
+  }
+  if (any) {
+    std::fprintf(out, "purec-rt[chunks]");
+    for (std::size_t w = 0; w < kMaxWorkers; ++w) {
+      const unsigned long long n = get(c.chunks[w]);
+      if (n != 0) {
+        std::fprintf(out, " w%zu=%llu", w, n);
+      }
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+void reset() noexcept {
+  Counters& c = counters();
+  const auto zero = [](Cell& cell) {
+    cell.value.store(0, std::memory_order_relaxed);
+  };
+  zero(c.regions);
+  zero(c.region_ns);
+  zero(c.barrier_spins);
+  zero(c.barrier_parks);
+  zero(c.steals);
+  zero(c.memo_hits);
+  zero(c.memo_misses);
+  zero(c.memo_stores);
+  zero(c.memo_evictions);
+  for (std::size_t w = 0; w < kMaxWorkers; ++w) zero(c.chunks[w]);
+}
+
+}  // namespace purec::rt::stats

@@ -1,0 +1,83 @@
+// purec::rt::stats — the C++ runtime's twin of the emitted-C --instrument
+// counters: region launches and wall time, per-worker chunk claims, steal
+// counts, barrier spin/park outcomes, memo cache traffic.
+//
+// Compile-time default OFF. Every hook below compiles to nothing unless
+// the translation units are built with -DPUREC_RT_STATS=1 (the
+// runtime_stats test target does exactly that), so the production runtime
+// pays zero — not "a predicted branch", zero instructions — on its hot
+// paths. When enabled, the counters follow the per-CPU pattern the
+// emitted-C side uses: one cache-line-padded cell per counter (per worker
+// for the chunk tallies), bumped with relaxed atomic adds.
+//
+// The storage and dump live in stats.cpp and are always compiled, so
+// mixed builds (instrumented test objects linking the plain runtime
+// archive) link cleanly either way.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+
+#ifndef PUREC_RT_STATS
+#define PUREC_RT_STATS 0
+#endif
+
+namespace purec::rt::stats {
+
+inline constexpr bool kEnabled = PUREC_RT_STATS != 0;
+inline constexpr std::size_t kMaxWorkers = 64;
+
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// The global counter block. Members mirror the emitted-C instrument
+/// runtime plus the pool/memo internals the C side cannot see.
+struct Counters {
+  Cell regions;        ///< for_each_chunk launches
+  Cell region_ns;      ///< wall time inside launches (ns)
+  Cell barrier_spins;  ///< wait_for_change resolved inside the spin window
+  Cell barrier_parks;  ///< wait_for_change entered the kernel
+  Cell steals;         ///< chunks claimed from another worker's range
+  Cell memo_hits;
+  Cell memo_misses;
+  Cell memo_stores;
+  Cell memo_evictions;
+  Cell chunks[kMaxWorkers];  ///< chunk claims per worker index
+};
+
+[[nodiscard]] Counters& counters() noexcept;
+
+inline void add(Cell& cell, std::uint64_t n = 1) noexcept {
+  if constexpr (kEnabled) {
+    cell.value.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    (void)cell;
+    (void)n;
+  }
+}
+
+inline void note_chunk(std::size_t worker) noexcept {
+  if constexpr (kEnabled) {
+    add(counters().chunks[worker & (kMaxWorkers - 1)]);
+  } else {
+    (void)worker;
+  }
+}
+
+/// Monotonic nanoseconds; 0 when stats are compiled out (callers guard
+/// with kEnabled so the clock read itself vanishes too).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// Writes the human summary (purec-rt[...] lines) to `out`; `out` ==
+/// nullptr resolves the shared stats stream: PUREC_STATS_FILE in
+/// append mode, else stderr — the same contract as the emitted C's
+/// purec_stats_out().
+void dump(std::FILE* out = nullptr);
+
+/// Zeroes every counter (test isolation).
+void reset() noexcept;
+
+}  // namespace purec::rt::stats

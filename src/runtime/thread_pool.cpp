@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "runtime/stats.h"
+
 #if defined(__linux__)
 #include <linux/futex.h>
 #include <sys/syscall.h>
@@ -135,9 +137,13 @@ void ThreadPool::worker_loop(std::size_t index, std::size_t stride) {
 
 void ThreadPool::wait_for_change(Signal& signal, std::uint32_t last_seen) {
   for (std::size_t spin = 0; spin < spin_limit_; ++spin) {
-    if (signal.word.load(std::memory_order_acquire) != last_seen) return;
+    if (signal.word.load(std::memory_order_acquire) != last_seen) {
+      stats::add(stats::counters().barrier_spins);
+      return;
+    }
     cpu_relax();
   }
+  stats::add(stats::counters().barrier_parks);
 #if defined(__linux__)
   for (;;) {
     // Advertise intent to sleep, then re-check: the waker reads `parked`

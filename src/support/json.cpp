@@ -1,0 +1,220 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace purec::json {
+
+namespace {
+
+const std::string kEmptyString;
+
+/// Shortest round-trip double formatting: try increasing precision until
+/// the value parses back exactly (printf's %.17g always does).
+void append_double(std::string& out, double v) {
+  char buf[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  // Integral values print bare ("2"); append a fraction so the value
+  // reads back as a double — readers distinguish 2 from 2.0 by spelling.
+  std::string text = buf;
+  if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+  out += text;
+}
+
+}  // namespace
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Value::push(Value v) {
+  if (auto* arr = std::get_if<ArrayStorage>(&data_)) {
+    arr->items.push_back(std::move(v));
+  }
+}
+
+void Value::set(std::string key, Value v) {
+  auto* obj = std::get_if<ObjectStorage>(&data_);
+  if (obj == nullptr) return;
+  for (Member& member : obj->members) {
+    if (member.first == key) {
+      member.second = std::move(v);
+      return;
+    }
+  }
+  obj->members.emplace_back(std::move(key), std::move(v));
+}
+
+const Value* Value::find(const std::string& key) const {
+  const auto* obj = std::get_if<ObjectStorage>(&data_);
+  if (obj == nullptr) return nullptr;
+  for (const Member& member : obj->members) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::size_t Value::size() const noexcept {
+  if (const auto* arr = std::get_if<ArrayStorage>(&data_)) {
+    return arr->items.size();
+  }
+  if (const auto* obj = std::get_if<ObjectStorage>(&data_)) {
+    return obj->members.size();
+  }
+  return 0;
+}
+
+bool Value::as_bool(bool fallback) const {
+  const auto* b = std::get_if<bool>(&data_);
+  return b != nullptr ? *b : fallback;
+}
+
+std::int64_t Value::as_int(std::int64_t fallback) const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (const auto* d = std::get_if<double>(&data_)) {
+    return static_cast<std::int64_t>(*d);
+  }
+  return fallback;
+}
+
+double Value::as_double(double fallback) const {
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  return fallback;
+}
+
+const std::string& Value::as_string() const {
+  const auto* s = std::get_if<std::string>(&data_);
+  return s != nullptr ? *s : kEmptyString;
+}
+
+const std::vector<Value>* Value::as_array() const {
+  const auto* arr = std::get_if<ArrayStorage>(&data_);
+  return arr != nullptr ? &arr->items : nullptr;
+}
+
+const std::vector<Value::Member>* Value::as_object() const {
+  const auto* obj = std::get_if<ObjectStorage>(&data_);
+  return obj != nullptr ? &obj->members : nullptr;
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+void Value::write(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int levels) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(levels),
+               ' ');
+  };
+  switch (kind()) {
+    case Kind::Null:
+      out += "null";
+      return;
+    case Kind::Bool:
+      out += std::get<bool>(data_) ? "true" : "false";
+      return;
+    case Kind::Int:
+      out += std::to_string(std::get<std::int64_t>(data_));
+      return;
+    case Kind::Double: {
+      const double v = std::get<double>(data_);
+      if (!std::isfinite(v)) {
+        out += "null";  // NaN/inf have no JSON spelling
+        return;
+      }
+      append_double(out, v);
+      return;
+    }
+    case Kind::String:
+      out += '"';
+      out += escape(std::get<std::string>(data_));
+      out += '"';
+      return;
+    case Kind::Array: {
+      const auto& items = std::get<ArrayStorage>(data_).items;
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += ',';
+        newline_pad(depth + 1);
+        items[i].write(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += ']';
+      return;
+    }
+    case Kind::Object: {
+      const auto& members = std::get<ObjectStorage>(data_).members;
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i != 0) out += ',';
+        newline_pad(depth + 1);
+        out += '"';
+        out += escape(members[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        members[i].second.write(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace purec::json

@@ -1,0 +1,113 @@
+// A small ordered JSON document model + writer — the substrate of the
+// observability layer (structured --report=json, bench-artifact schemas,
+// trace tooling). Build a Value tree, then `dump()` it.
+//
+// Design points:
+//  * objects preserve insertion order, so reports serialize in the order
+//    the assembler states them and goldens stay stable;
+//  * numbers are int64 or double; non-finite doubles (NaN, ±inf) have no
+//    JSON spelling and serialize as `null` (the JSON.stringify rule), so
+//    a wild value can never produce an unparsable report;
+//  * strings are escaped per RFC 8259 (quote, backslash, control bytes);
+//    non-ASCII bytes pass through untouched (the writer does not try to
+//    validate UTF-8 — source text goes in, source text comes out).
+//
+// This is a writer, not a parser: the chain only ever *produces* JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace purec::json {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    Null,
+    Bool,
+    Int,
+    Double,
+    String,
+    Array,
+    Object,
+  };
+
+  using Member = std::pair<std::string, Value>;
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(int v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(unsigned v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(long v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(long long v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(unsigned long v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(unsigned long long v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(double v) : data_(v) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.data_ = ArrayStorage{};
+    return v;
+  }
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.data_ = ObjectStorage{};
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept {
+    return static_cast<Kind>(data_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept {
+    return kind() == Kind::Null;
+  }
+
+  /// Appends to an array (the Value must be one).
+  void push(Value v);
+  /// Appends/overwrites a member of an object (the Value must be one).
+  /// Overwrite keeps the key's original position.
+  void set(std::string key, Value v);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// Array/object element count; 0 for scalars.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  // Scalar accessors with fallbacks (reporting renderers want totals, not
+  // exceptions).
+  [[nodiscard]] bool as_bool(bool fallback = false) const;
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const;
+  [[nodiscard]] double as_double(double fallback = 0.0) const;
+  [[nodiscard]] const std::string& as_string() const;  // "" fallback
+  [[nodiscard]] const std::vector<Value>* as_array() const;
+  [[nodiscard]] const std::vector<Member>* as_object() const;
+
+  /// Serializes the tree. `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits the compact one-line form.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  struct ArrayStorage {
+    std::vector<Value> items;
+  };
+  struct ObjectStorage {
+    std::vector<Member> members;
+  };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               ArrayStorage, ObjectStorage>
+      data_;
+};
+
+/// RFC 8259 string escaping, without the surrounding quotes.
+[[nodiscard]] std::string escape(const std::string& s);
+
+}  // namespace purec::json

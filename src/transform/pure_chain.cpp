@@ -1,9 +1,11 @@
 #include "transform/pure_chain.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "ast/walk.h"
 #include "emit/c_printer.h"
+#include "emit/instrument.h"
 #include "lexer/lexer.h"
 #include "memo/memo_codegen.h"
 #include "parser/parser.h"
@@ -453,11 +455,16 @@ ChainArtifacts run_pure_chain(const std::string& source,
 
   const SymbolTable symbols = SymbolTable::build(tu, diags);
   PurityOptions purity_options = options.purity;
+  // The full per-function purity trail is computed unconditionally for the
+  // report (declared / inferable / rejected with reason + location); it
+  // only *drives* the transformation under --infer-pure, where it also
+  // seeds the checker's hashset.
+  artifacts.purity_trail = infer_purity(tu, symbols, options.purity);
   if (options.infer_purity) {
     // Interprocedural inference over the (possibly inlined) AST seeds the
     // checker: unannotated-but-provably-pure functions join the hashset,
     // and their transitive global reads feed the Listing-5 rule.
-    artifacts.inference = infer_purity(tu, symbols, options.purity);
+    artifacts.inference = artifacts.purity_trail;
     purity_options.assume_pure = artifacts.inference.inferred_pure;
     purity_options.assumed_global_reads =
         artifacts.inference.inferred_global_reads();
@@ -500,6 +507,7 @@ ChainArtifacts run_pure_chain(const std::string& source,
     ScopReport report;
     report.function = candidate.function->name;
     report.line = candidate.loop->loc.line;
+    report.column = candidate.loop->loc.column;
     report.contains_calls = candidate.contains_calls;
     report.substituted_calls = calls.size();
     for (const SubstitutedCall& call : calls) {
@@ -521,6 +529,7 @@ ChainArtifacts run_pure_chain(const std::string& source,
       poly::ExtractionResult extraction = poly::extract_scop(*loop);
       if (!extraction.ok()) {
         report.failure_reason = extraction.failure_reason;
+        report.failure_loc = extraction.failure_loc;
         undo();
         continue;
       }
@@ -579,6 +588,7 @@ ChainArtifacts run_pure_chain(const std::string& source,
               "iterator '" + escapee +
               "' lives outside the nest and is read after it "
               "(the transform would lose its final value)";
+          report.failure_loc = loop->loc;
           undo();
           continue;
         }
@@ -622,14 +632,27 @@ ChainArtifacts run_pure_chain(const std::string& source,
                          options.tile_size > 1;
         }
       }
+      if (report.parallelized) {
+        // Mirror codegen's schedule policy for the report: the user's
+        // spec wins; with none, imbalanced (triangular) domains get the
+        // guided fallback (see poly::domain_is_imbalanced).
+        ScheduleSpec effective = options.schedule;
+        if (effective.empty() && poly::domain_is_imbalanced(scop)) {
+          effective.kind = OmpScheduleKind::Guided;
+          effective.chunk = 4;
+        }
+        report.schedule_clause = effective.clause();
+      }
     } catch (const ArithmeticOverflow&) {
       // Exact analysis would overflow int64 (gigantic bounds or
       // coefficients). The safe answer is "don't transform".
       report.failure_reason = "analysis overflow (bounds too large)";
+      report.failure_loc = loop->loc;
       undo();
       continue;
     }
     if (!generated) {
+      report.failure_loc = loop->loc;
       if (!region) {
         report.failure_reason = "codegen could not derive loop bounds";
       } else if (options.parallelize) {
@@ -660,6 +683,7 @@ ChainArtifacts run_pure_chain(const std::string& source,
                         : nullptr;
     if (slot == nullptr) {
       report.failure_reason = "could not locate loop in function body";
+      report.failure_loc = loop->loc;
       report.parallelized = false;
       report.tiled = false;
       undo();
@@ -667,6 +691,15 @@ ChainArtifacts run_pure_chain(const std::string& source,
     }
     *slot = std::move(generated);
     report.transformed = true;
+    if (options.instrument) {
+      // Wrap the transformed nest in a timing envelope and plant the
+      // per-worker chunk tally in every parallel loop body. The region's
+      // counter struct + registrar are emitted into the prelude below.
+      instrument_region(*slot,
+                        artifacts.instrumented_regions.size());
+      artifacts.instrumented_regions.push_back(
+          report.function + ":" + std::to_string(report.line));
+    }
     artifacts.scops.push_back(report);
   }
 
@@ -721,21 +754,33 @@ ChainArtifacts run_pure_chain(const std::string& source,
   const std::string lowered =
       print_c(tu, PrintOptions{PureHandling::Lower, 2});
   std::vector<std::string> extra;
+  const auto add_include = [&extra](const char* include) {
+    if (std::find(extra.begin(), extra.end(), include) == extra.end()) {
+      extra.push_back(include);
+    }
+  };
   bool uses_omp = false;
   for (const ScopReport& r : artifacts.scops) {
     if (r.parallelized) uses_omp = true;
   }
   if (uses_omp) extra.push_back("#include <omp.h>");
 
+  const bool instrumented = !artifacts.instrumented_regions.empty();
   std::string prelude = poly::codegen_prelude();
   std::string epilogue;
+  if (!memo_used.empty() || instrumented) {
+    // Both exit-time dumps (memo counters, instrument summaries) resolve
+    // their destination through one purec_stats_out(), emitted first so
+    // either runtime can reference it.
+    prelude += stats_sink_snippet();
+  }
   if (!memo_used.empty()) {
     // Table + prototypes before the program (call sites reference the
     // thunks), definitions after it (they reference the wrapped functions
     // and the snapshot globals). stdio feeds the PUREC_MEMO_STATS atexit
     // dump.
-    extra.push_back("#include <stdlib.h>");
-    extra.push_back("#include <stdio.h>");
+    add_include("#include <stdlib.h>");
+    add_include("#include <stdio.h>");
     prelude += memo_runtime_prelude();
     for (const std::string& name : memo_used) {
       prelude +=
@@ -744,6 +789,19 @@ ChainArtifacts run_pure_chain(const std::string& source,
     for (const std::string& name : memo_used) {
       epilogue += "\n" + memo_thunk_definition(
                              artifacts.memoization.functions.at(name));
+    }
+  }
+  if (instrumented) {
+    // Counter runtime + one region struct per instrumented nest; the
+    // wrapped nests in `lowered` reference these by name.
+    add_include("#include <stdlib.h>");
+    add_include("#include <stdio.h>");
+    add_include("#include <time.h>");
+    prelude += instrument_runtime_snippet();
+    for (std::size_t i = 0; i < artifacts.instrumented_regions.size();
+         ++i) {
+      prelude += instrument_region_definition(
+          i, artifacts.instrumented_regions[i]);
     }
   }
   artifacts.final_source = restore_system_includes(

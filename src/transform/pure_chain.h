@@ -20,6 +20,7 @@
 #include "purity/inference.h"
 #include "purity/purity_checker.h"
 #include "support/diagnostics.h"
+#include "support/source_location.h"
 
 namespace purec {
 
@@ -76,6 +77,15 @@ struct ChainOptions {
   /// the serial loop. Integer accumulators and min/max (bit-exact in any
   /// order, modulo NaN) are always allowed.
   bool fp_reductions = false;
+  /// `purecc --instrument`: emit self-contained observability counters
+  /// into the output C — per-region invocation/wall-time tallies plus
+  /// cache-line-padded per-worker chunk counters on every parallel loop
+  /// (relaxed __atomic adds, one per claimed outer iteration). An atexit
+  /// sink prints a human summary to the shared stats stream, or writes
+  /// Chrome trace-event JSON under PUREC_TRACE=FILE (emit/instrument.h).
+  /// Off by default — without it the emitted C is byte-identical to the
+  /// uninstrumented chain.
+  bool instrument = false;
   PurityOptions purity;
   /// Virtual files for `#include "..."` resolution.
   std::map<std::string, std::string> virtual_includes;
@@ -87,10 +97,15 @@ struct ChainOptions {
 struct ScopReport {
   std::string function;
   std::uint32_t line = 0;            // of the outermost loop
+  std::uint32_t column = 0;
   bool contains_calls = false;
   std::size_t substituted_calls = 0;
   bool extracted = false;
   std::string failure_reason;        // when !extracted or codegen failed
+  /// Where the rejection bites (the offending statement/loop when the
+  /// extractor can point at one, else the nest itself) — line/column for
+  /// clickable report entries.
+  SourceLocation failure_loc;
   std::size_t depth = 0;
   std::size_t dependences = 0;
   bool transformed = false;
@@ -106,6 +121,10 @@ struct ScopReport {
   bool region = false;
   /// Loops that received a parallel pragma (classic path: 0 or 1).
   std::size_t parallel_loops = 0;
+  /// The schedule clause the parallel pragmas carry ("" = implementation
+  /// default): the user's --schedule spec, or the imbalanced-domain
+  /// guided fallback codegen chooses (support/omp_schedule.h).
+  std::string schedule_clause;
   /// Recognized (surviving) reductions as "op:accumulator" — e.g.
   /// "+:sum", "min:lo"; user combiners as "callee:acc". These are the
   /// statements whose accumulator self-dependence was exempted (plus
@@ -133,6 +152,15 @@ struct ChainArtifacts {
   /// Purity-inference provenance (populated only under infer_purity):
   /// which functions were inferred pure, which were rejected and why.
   InferenceResult inference;
+  /// Purity verdicts for *every* defined function, populated
+  /// unconditionally for the report (declared / inferable / rejected with
+  /// reason + location). Unlike `inference`, this never feeds the
+  /// transformation — under the default chain inferable-but-unannotated
+  /// functions still stay opaque, exactly as the paper specifies.
+  InferenceResult purity_trail;
+  /// Names ("function:line") of the regions --instrument wired with
+  /// counters, in emission order (index = region id in the output C).
+  std::vector<std::string> instrumented_regions;
   /// Memoizability provenance (populated only under memoize): which pure
   /// functions got thunks, which were rejected and why.
   MemoizableResult memoization;

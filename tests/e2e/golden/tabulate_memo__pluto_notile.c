@@ -10,6 +10,22 @@
 #define purec_max(a, b) (((a) > (b)) ? (a) : (b))
 #define purec_min(a, b) (((a) < (b)) ? (a) : (b))
 #endif
+
+/* Shared stats stream: every exit-time dump (memo counters, --instrument
+ * region summaries) resolves its destination here, so the lines land on
+ * one stream and never interleave with program stdout. PUREC_STATS_FILE
+ * names an append-mode file; unset or unopenable falls back to stderr. */
+static FILE* purec_stats_out(void) {
+  static FILE* purec_stats_stream;
+  const char* purec_stats_path;
+  if (purec_stats_stream != 0) return purec_stats_stream;
+  purec_stats_path = getenv("PUREC_STATS_FILE");
+  if (purec_stats_path != 0 && purec_stats_path[0] != 0) {
+    purec_stats_stream = fopen(purec_stats_path, "a");
+  }
+  if (purec_stats_stream == 0) purec_stats_stream = stderr;
+  return purec_stats_stream;
+}
 #ifndef PUREC_MEMO_RUNTIME
 #define PUREC_MEMO_RUNTIME
 /* Concurrent memoization table for pure-call results: sharded,
@@ -17,8 +33,9 @@
  * per-slot seqlock publication (a torn read is a safe miss), clock
  * second-chance eviction when a window fills. Knobs: PUREC_MEMO_SHARDS,
  * PUREC_MEMO_CAP (total slots), PUREC_MEMO_STATS=1 (per-thunk
- * hit/miss/eviction counters dumped to stderr at exit; counters are
- * dead branches when the knob is off). */
+ * hit/miss/eviction counters dumped at exit to the shared stats stream —
+ * PUREC_STATS_FILE or stderr, see purec_stats_out(); counters are dead
+ * branches when the knob is off). */
 typedef unsigned long long purec_memo_word;
 typedef union { float v; unsigned int b; } purec_memo_f32;
 typedef union { double v; purec_memo_word b; } purec_memo_f64;
@@ -36,12 +53,12 @@ static int purec_memo_stats_on; /* PUREC_MEMO_STATS=1 */
 static void purec_memo_stats_dump(void) {
   unsigned i;
   if (purec_memo_stats_dropped != 0)
-    fprintf(stderr,
+    fprintf(purec_stats_out(),
             "purec-memo: %u thunk counter(s) not shown (registry full)\n",
             purec_memo_stats_dropped);
   for (i = 0; i < purec_memo_stats_count; i++) {
     purec_memo_stats_entry* e = purec_memo_stats_tables[i];
-    fprintf(stderr,
+    fprintf(purec_stats_out(),
             "purec-memo[%s] hits=%llu misses=%llu evictions=%llu\n",
             e->name,
             (unsigned long long)__atomic_load_n(&e->hits,

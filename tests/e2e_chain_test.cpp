@@ -261,6 +261,88 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param.name);
     });
 
+// --instrument end to end: the counters must not perturb the computation,
+// the exit dump must name every parallel region, and PUREC_TRACE must
+// produce a Chrome-loadable trace-event file instead of the human summary.
+TEST(E2EInstrument, InstrumentedDifferentialAndChromeTrace) {
+  if (!gcc_available()) GTEST_SKIP() << "no system gcc";
+  const std::vector<Fixture> fixtures = all_fixtures();
+  const auto it = std::find_if(
+      fixtures.begin(), fixtures.end(),
+      [](const Fixture& f) { return std::string(f.name) == "satellite"; });
+  ASSERT_NE(it, fixtures.end());
+
+  // Serial reference, uninstrumented.
+  ChainOptions serial_options;
+  serial_options.parallelize = false;
+  serial_options.tile = false;
+  const ChainArtifacts serial =
+      run_pure_chain(it->runnable, serial_options);
+  ASSERT_TRUE(serial.ok) << serial.diagnostics.format();
+  const std::string reference =
+      compile_and_run(serial.final_source, "instr_ref");
+  ASSERT_NE(reference.find("checksum"), std::string::npos);
+
+  // Parallel + instrumented.
+  ChainOptions options;
+  options.instrument = true;
+  const ChainArtifacts instrumented =
+      run_pure_chain(it->runnable, options);
+  ASSERT_TRUE(instrumented.ok) << instrumented.diagnostics.format();
+  ASSERT_FALSE(instrumented.instrumented_regions.empty());
+
+  const std::string dir = ::testing::TempDir();
+  const std::string c_path = dir + "/purec_e2e_instr.c";
+  const std::string bin_path = dir + "/purec_e2e_instr.bin";
+  const std::string trace_path = dir + "/purec_e2e_instr_trace.json";
+  {
+    std::ofstream out(c_path);
+    out << instrumented.final_source;
+  }
+  const auto run_cmd = [](const std::string& cmd) {
+    std::string output;
+    FILE* p = popen((cmd + " 2>&1").c_str(), "r");
+    EXPECT_NE(p, nullptr) << cmd;
+    if (p == nullptr) return output;
+    std::array<char, 256> buf{};
+    while (fgets(buf.data(), buf.size(), p) != nullptr) {
+      output += buf.data();
+    }
+    EXPECT_EQ(pclose(p), 0) << cmd << "\n" << output;
+    return output;
+  };
+  run_cmd("gcc -O2 -fopenmp -o " + shell_quote(bin_path) + " " +
+          shell_quote(c_path) + " -lm");
+
+  // Plain run: human counter summary on stderr + the untouched checksum.
+  const std::string summary_run = run_cmd(shell_quote(bin_path));
+  EXPECT_NE(summary_run.find(reference), std::string::npos) << summary_run;
+  EXPECT_NE(summary_run.find("purec-instr["), std::string::npos)
+      << summary_run;
+  for (const std::string& region : instrumented.instrumented_regions) {
+    EXPECT_NE(summary_run.find("purec-instr[" + region + "]"),
+              std::string::npos)
+        << summary_run;
+  }
+
+  // Traced run: the summary is replaced by a Chrome trace-event file.
+  std::remove(trace_path.c_str());
+  const std::string traced_run = run_cmd(
+      "PUREC_TRACE=" + shell_quote(trace_path) + " " +
+      shell_quote(bin_path));
+  EXPECT_EQ(traced_run, reference) << traced_run;
+  const std::string trace = read_file(trace_path);
+  ASSERT_FALSE(trace.empty()) << "PUREC_TRACE wrote nothing";
+  EXPECT_EQ(trace.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u)
+      << trace.substr(0, 120);
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos)
+      << "no duration events in the trace";
+  const auto last_brace = trace.find_last_not_of(" \n\r\t");
+  ASSERT_NE(last_brace, std::string::npos);
+  EXPECT_EQ(trace[last_brace], '}') << "trace is not a closed JSON object";
+}
+
 // tier1 smoke guard: the region-SCoP fixtures must stay in the corpus as
 // *runnable* differentials — if one loses its runnable variant (or gets
 // dropped from the table), the checksum-identity contract above would

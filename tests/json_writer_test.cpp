@@ -1,0 +1,123 @@
+// Unit coverage for the ordered JSON writer underneath --report=json and
+// the bench artifact schemas: escaping, nested containers, non-finite
+// numbers, insertion-order stability, and the two dump modes.
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace purec::json {
+namespace {
+
+TEST(JsonWriter, ScalarsCompact) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(nullptr).dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(0).dump(), "0");
+  EXPECT_EQ(Value(-42).dump(), "-42");
+  EXPECT_EQ(Value(std::int64_t{1} << 40).dump(), "1099511627776");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Value(std::string("hi")).dump(), "\"hi\"");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  EXPECT_EQ(Value(1.5).dump(), "1.5");
+  EXPECT_EQ(Value(0.25).dump(), "0.25");
+  // Integral-valued doubles keep a decimal marker so the type survives a
+  // round trip through any reader.
+  const std::string two = Value(2.0).dump();
+  EXPECT_TRUE(two.find('.') != std::string::npos ||
+              two.find('e') != std::string::npos)
+      << two;
+  // 0.1 has no short exact form; the shortest round-trip spelling must
+  // parse back to exactly the same bits.
+  const std::string tenth = Value(0.1).dump();
+  EXPECT_EQ(std::stod(tenth), 0.1) << tenth;
+}
+
+TEST(JsonWriter, NonFiniteNumbersSerializeAsNull) {
+  // NaN and ±inf have no JSON spelling; the writer must degrade to null
+  // (JSON.stringify's rule) rather than emit an unparsable token.
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Value(-std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(escape("tab\there"), "tab\\there");
+  EXPECT_EQ(escape("cr\rlf"), "cr\\rlf");
+  EXPECT_EQ(escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(escape("\x01\x1f"), "\\u0001\\u001f");
+  // Non-ASCII bytes pass through untouched (no UTF-8 validation).
+  EXPECT_EQ(escape("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(Value("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonWriter, NestedArraysAndObjectsCompact) {
+  Value inner = Value::array();
+  inner.push(1);
+  inner.push(2);
+  Value outer = Value::array();
+  outer.push(std::move(inner));
+  outer.push(Value::array());  // empty array stays "[]"
+  Value obj = Value::object();
+  obj.set("xs", std::move(outer));
+  obj.set("empty", Value::object());
+  EXPECT_EQ(obj.dump(), "{\"xs\":[[1,2],[]],\"empty\":{}}");
+}
+
+TEST(JsonWriter, ObjectsKeepInsertionOrderAndOverwriteInPlace) {
+  Value obj = Value::object();
+  obj.set("z", 1);
+  obj.set("a", 2);
+  obj.set("m", 3);
+  // Overwriting a key keeps its original position — report goldens depend
+  // on a stable member order.
+  obj.set("z", 9);
+  EXPECT_EQ(obj.dump(), "{\"z\":9,\"a\":2,\"m\":3}");
+  ASSERT_NE(obj.find("z"), nullptr);
+  EXPECT_EQ(obj.find("z")->as_int(), 9);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_EQ(obj.size(), 3u);
+}
+
+TEST(JsonWriter, PrettyPrintIndentsNestedStructure) {
+  Value obj = Value::object();
+  obj.set("n", 1);
+  Value arr = Value::array();
+  arr.push("x");
+  obj.set("xs", std::move(arr));
+  EXPECT_EQ(obj.dump(2),
+            "{\n"
+            "  \"n\": 1,\n"
+            "  \"xs\": [\n"
+            "    \"x\"\n"
+            "  ]\n"
+            "}");
+  // Empty containers never split across lines.
+  EXPECT_EQ(Value::array().dump(2), "[]");
+  EXPECT_EQ(Value::object().dump(2), "{}");
+}
+
+TEST(JsonWriter, AccessorFallbacks) {
+  const Value null_value;
+  EXPECT_FALSE(null_value.as_bool());
+  EXPECT_EQ(null_value.as_int(7), 7);
+  EXPECT_EQ(null_value.as_double(1.5), 1.5);
+  EXPECT_EQ(null_value.as_string(), "");
+  EXPECT_EQ(null_value.as_array(), nullptr);
+  EXPECT_EQ(null_value.as_object(), nullptr);
+  // Ints read back through the double accessor (report math wants totals).
+  EXPECT_EQ(Value(3).as_double(), 3.0);
+}
+
+}  // namespace
+}  // namespace purec::json

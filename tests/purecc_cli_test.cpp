@@ -183,6 +183,56 @@ TEST_F(PureccCliTest, ReportGoesToStderr) {
   EXPECT_NE(r.output.find("purecc:"), std::string::npos) << r.output;
 }
 
+TEST_F(PureccCliTest, ReportJsonGoesToStderrOrFile) {
+  // To stderr: a JSON document instead of the classic text lines.
+  const RunResult r =
+      run_purecc("--report=json -o /dev/null " + shell_quote(input_path_));
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"report_version\": 1"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"purity\""), std::string::npos) << r.output;
+
+  // To a file: stderr stays clean, the file holds the same document.
+  const std::string json_path =
+      ::testing::TempDir() + "/purecc_cli_report.json";
+  std::remove(json_path.c_str());
+  const RunResult filed =
+      run_purecc("--report=json:" + shell_quote(json_path) +
+                 " -o /dev/null " + shell_quote(input_path_));
+  ASSERT_EQ(filed.exit_code, 0) << filed.output;
+  EXPECT_TRUE(filed.output.empty()) << filed.output;
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good()) << "--report=json:FILE did not create " << json_path;
+  std::string written((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(written, r.output)
+      << "file report must hold exactly what stderr prints";
+}
+
+TEST_F(PureccCliTest, MalformedReportJsonSuffixPrintsUsage) {
+  const RunResult r =
+      run_purecc("--report=jsonx " + shell_quote(input_path_));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(PureccCliTest, InstrumentInjectsCountersOnlyWhenAsked) {
+  const RunResult plain = run_purecc(shell_quote(input_path_));
+  ASSERT_EQ(plain.exit_code, 0);
+  EXPECT_EQ(plain.output.find("purec_instr"), std::string::npos)
+      << "instrumentation must be opt-in";
+
+  const RunResult instr =
+      run_purecc("--instrument " + shell_quote(input_path_));
+  ASSERT_EQ(instr.exit_code, 0) << instr.output;
+  EXPECT_NE(instr.output.find("purec_instr_region_t"), std::string::npos)
+      << instr.output;
+  EXPECT_NE(instr.output.find("PUREC_TRACE"), std::string::npos)
+      << instr.output;
+  EXPECT_NE(instr.output.find("purec_stats_out"), std::string::npos)
+      << instr.output;
+}
+
 TEST_F(PureccCliTest, ScheduleSpecRoundTripsIntoPragma) {
   const RunResult r =
       run_purecc("--schedule guided,8 " + shell_quote(input_path_));

@@ -1,0 +1,149 @@
+// purec::rt::stats behind -DPUREC_RT_STATS=1: this executable recompiles
+// thread_pool.cpp / parallel_for.cpp / memo_cache.cpp with the knob on
+// (tests/CMakeLists.txt), so the hooks are live here while the production
+// runtime archive keeps them compiled out. The assertions are accounting
+// identities — chunk tallies must sum to exactly the chunk count the
+// schedule math dictates — plus the dump/reset surface.
+#include "runtime/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "runtime/memo_cache.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+
+namespace purec::rt {
+namespace {
+
+static_assert(stats::kEnabled,
+              "runtime_stats_test must be built with -DPUREC_RT_STATS=1");
+
+std::uint64_t read(const stats::Cell& cell) {
+  return cell.value.load(std::memory_order_relaxed);
+}
+
+std::uint64_t total_chunks() {
+  std::uint64_t sum = 0;
+  for (std::size_t w = 0; w < stats::kMaxWorkers; ++w) {
+    sum += read(stats::counters().chunks[w]);
+  }
+  return sum;
+}
+
+TEST(RuntimeStats, StaticScheduleCountsOneChunkPerBusyWorker) {
+  stats::reset();
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(pool, 0, 100,
+               [&](std::int64_t i) {
+                 sum.fetch_add(i, std::memory_order_relaxed);
+               });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  EXPECT_EQ(read(stats::counters().regions), 1u);
+  // Static hands each of the 4 workers exactly one contiguous chunk.
+  EXPECT_EQ(total_chunks(), 4u);
+  EXPECT_GT(read(stats::counters().region_ns), 0u);
+}
+
+TEST(RuntimeStats, DynamicScheduleCountsEveryClaimedChunk) {
+  stats::reset();
+  ThreadPool pool(4);
+  ForOptions options;
+  options.schedule = Schedule::Dynamic;
+  options.chunk = 7;
+  std::atomic<std::int64_t> iterations{0};
+  parallel_for(pool, 0, 100,
+               [&](std::int64_t) {
+                 iterations.fetch_add(1, std::memory_order_relaxed);
+               },
+               options);
+  EXPECT_EQ(iterations.load(), 100);
+  // 100 iterations in chunks of 7 = 15 claims, no matter which worker
+  // wins each race.
+  EXPECT_EQ(total_chunks(), 15u);
+}
+
+TEST(RuntimeStats, StealingAccountsChunksAndStealsConsistently) {
+  stats::reset();
+  ThreadPool pool(4);
+  ForOptions options;
+  options.schedule = Schedule::Dynamic;
+  options.chunk = 1;
+  options.stealing = true;
+  std::atomic<std::int64_t> iterations{0};
+  parallel_for(pool, 0, 64,
+               [&](std::int64_t) {
+                 iterations.fetch_add(1, std::memory_order_relaxed);
+               },
+               options);
+  EXPECT_EQ(iterations.load(), 64);
+  // Every iteration is one chunk=1 claim, owned or stolen; steals are a
+  // subset of the claims.
+  EXPECT_EQ(total_chunks(), 64u);
+  EXPECT_LE(read(stats::counters().steals), 64u);
+}
+
+TEST(RuntimeStats, BarrierOutcomesAreRecorded) {
+  stats::reset();
+  ThreadPool pool(4);
+  if (pool.os_thread_count() < 2) {
+    GTEST_SKIP() << "single-core host: the pool never waits on a barrier";
+  }
+  for (int round = 0; round < 8; ++round) {
+    parallel_for(pool, 0, 4, [](std::int64_t) {});
+  }
+  // Every wait_for_change resolves as a spin-window hit or a park; with
+  // real worker threads there must be at least one recorded outcome.
+  EXPECT_GT(read(stats::counters().barrier_spins) +
+                read(stats::counters().barrier_parks),
+            0u);
+}
+
+TEST(RuntimeStats, MemoCacheTrafficMirrorsIntoTheGlobalCounters) {
+  stats::reset();
+  MemoCache cache(MemoConfig{});
+  std::uint64_t value = 0;
+  EXPECT_FALSE(cache.lookup(42, &value));
+  cache.store(42, 7);
+  EXPECT_TRUE(cache.lookup(42, &value));
+  EXPECT_EQ(value, 7u);
+  EXPECT_EQ(read(stats::counters().memo_hits), 1u);
+  EXPECT_EQ(read(stats::counters().memo_misses), 1u);
+  EXPECT_EQ(read(stats::counters().memo_stores), 1u);
+  EXPECT_EQ(read(stats::counters().memo_evictions), 0u);
+}
+
+TEST(RuntimeStats, DumpWritesTheHumanSummary) {
+  stats::reset();
+  stats::add(stats::counters().regions, 3);
+  stats::note_chunk(1);
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  stats::dump(tmp);
+  std::rewind(tmp);
+  std::string text(4096, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), tmp));
+  std::fclose(tmp);
+  EXPECT_NE(text.find("purec-rt[pool] regions=3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("purec-rt[memo] hits=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("purec-rt[chunks] w1=1"), std::string::npos) << text;
+}
+
+TEST(RuntimeStats, ResetZeroesEverything) {
+  stats::add(stats::counters().regions, 5);
+  stats::add(stats::counters().memo_hits, 2);
+  stats::note_chunk(0);
+  stats::reset();
+  EXPECT_EQ(read(stats::counters().regions), 0u);
+  EXPECT_EQ(read(stats::counters().memo_hits), 0u);
+  EXPECT_EQ(total_chunks(), 0u);
+}
+
+}  // namespace
+}  // namespace purec::rt
