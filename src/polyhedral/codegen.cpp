@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <set>
 
 #include "ast/walk.h"
 #include "support/rational.h"
@@ -368,6 +369,14 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
   const std::string reduction_clause = reduction_clauses(
       scop, [](const ScopStatement&) { return true; });
 
+  // Privatized scalars (the chain's decision): shared cells whose value
+  // never crosses an iteration, so each thread/lane gets its own copy.
+  std::string private_clause;
+  for (std::size_t i = 0; i < options.privatized.size(); ++i) {
+    private_clause += (i == 0 ? "private(" : ", ") + options.privatized[i];
+  }
+  if (!private_clause.empty()) private_clause += ")";
+
   // Decide pragma placement.
   const std::size_t outer_parallel = transform.outermost_parallel();
   const bool parallel_outermost =
@@ -404,12 +413,14 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
     if (k == simd_dim && k != 0) {
       std::string text = "#pragma omp simd";
       if (!reduction_clause.empty()) text += " " + reduction_clause;
+      if (!private_clause.empty()) text += " " + private_clause;
       wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
     }
     if (k == inner_parallel_point && k != 0) {
       std::string text = "#pragma omp parallel for";
       if (!schedule_clause.empty()) text += " " + schedule_clause;
       if (!reduction_clause.empty()) text += " " + reduction_clause;
+      if (!private_clause.empty()) text += " " + private_clause;
       wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
     }
     if (wrapper->stmts.empty()) {
@@ -435,188 +446,352 @@ StmtPtr generate_code(const Scop& scop, const Transform& transform,
     std::string text = "#pragma omp parallel for";
     if (!schedule_clause.empty()) text += " " + schedule_clause;
     if (!reduction_clause.empty()) text += " " + reduction_clause;
+    if (!private_clause.empty()) text += " " + private_clause;
     result->stmts.push_back(std::make_unique<PragmaStmt>(text));
   }
   result->stmts.push_back(std::move(current));
   return result;
 }
 
+StmtPtr schedule_region(const Scop& scop,
+                        const std::vector<Dependence>& deps,
+                        const CodegenOptions& options,
+                        const std::vector<std::string>& privatizable,
+                        RegionSchedule* result) {
+  RegionSchedule local;
+  RegionSchedule& rs = result != nullptr ? *result : local;
+  rs = RegionSchedule{};
+  if (!options.parallelize || scop.root == nullptr) return nullptr;
+  const std::size_t d = scop.depth();
+  const std::size_t n = scop.statements.size();
+  if (d == 0 || n == 0) return nullptr;
+
+  // Per-loop privatizable scalars: the structural write-before-read rule,
+  // restricted to what the chain's liveness analysis allows.
+  std::vector<std::vector<std::string>> priv(d);
+  if (!privatizable.empty()) {
+    for (std::size_t j = 0; j < d; ++j) {
+      for (const std::string& t : privatizable_scalars(scop, j)) {
+        if (std::find(privatizable.begin(), privatizable.end(), t) !=
+            privatizable.end()) {
+          priv[j].push_back(t);
+        }
+      }
+    }
+  }
+
+  // First try the nest whole; when no loop parallelizes (even with
+  // privatization) fall back to loop fission so a partially parallel
+  // nest splits instead of serializing outright.
+  std::vector<FissionGroup> groups;
+  {
+    const std::vector<bool> all_stmts(n, true);
+    bool any_parallel = false;
+    for (std::size_t j = 0; j < d && !any_parallel; ++j) {
+      any_parallel = loop_is_parallel_for_group(deps, j, all_stmts,
+                                                priv[j]);
+    }
+    if (any_parallel) {
+      FissionGroup whole;
+      for (std::size_t s = 0; s < n; ++s) whole.statements.push_back(s);
+      whole.parallel =
+          loop_is_parallel_for_group(deps, 0, all_stmts, priv[0]);
+      groups.push_back(std::move(whole));
+    } else {
+      groups = fission_groups(
+          scop, deps,
+          priv.empty() ? std::vector<std::string>{} : priv[0]);
+      if (groups.size() < 2) return nullptr;
+    }
+  }
+
+  auto fission_block = std::make_unique<CompoundStmt>();
+  StmtPtr single_nest;
+  std::size_t total_selected = 0;
+
+  for (const FissionGroup& group : groups) {
+    std::vector<bool> in_group(n, false);
+    std::set<std::size_t> keep_positions;
+    for (std::size_t s : group.statements) {
+      in_group[s] = true;
+      keep_positions.insert(scop.statements[s].position);
+    }
+
+    // Loops present in this group's pruned nest.
+    std::vector<bool> relevant(d, false);
+    for (std::size_t s : group.statements) {
+      for (std::size_t j : statement_loops(scop, scop.statements[s])) {
+        relevant[j] = true;
+      }
+    }
+
+    // Parallel loops for this group (privatization-aware), and the
+    // outermost-parallel selection: a loop gets the pragma when no
+    // enclosing loop already has one (no nested parallel regions).
+    std::vector<bool> parallel(d, false);
+    std::vector<bool> parallel_plain(d, false);
+    for (std::size_t j = 0; j < d; ++j) {
+      if (!relevant[j]) continue;
+      parallel[j] = loop_is_parallel_for_group(deps, j, in_group, priv[j]);
+      parallel_plain[j] = loop_is_parallel_for_group(deps, j, in_group, {});
+    }
+    std::vector<bool> selected(d, false);
+    for (std::size_t j = 0; j < d; ++j) {
+      if (!parallel[j]) continue;
+      bool under_selected = false;
+      for (std::size_t a = scop.loop_parents[j]; a != Scop::npos;
+           a = scop.loop_parents[a]) {
+        if (selected[a]) {
+          under_selected = true;
+          break;
+        }
+      }
+      selected[j] = !under_selected;
+    }
+
+    // SICA mode: parallel leaf loops (within this group's pruned nest)
+    // that did not take the parallel pragma get the vectorization hint.
+    // Only plainly parallel loops qualify — a privatization-dependent
+    // loop would need its own private clause on the simd pragma.
+    std::vector<bool> has_child(d, false);
+    for (std::size_t j = 0; j < d; ++j) {
+      if (relevant[j] && scop.loop_parents[j] != Scop::npos) {
+        has_child[scop.loop_parents[j]] = true;
+      }
+    }
+    std::vector<bool> simd(d, false);
+    if (options.simd) {
+      for (std::size_t j = 0; j < d; ++j) {
+        simd[j] = relevant[j] && !has_child[j] && parallel_plain[j] &&
+                  !selected[j];
+      }
+    }
+
+    // Effective schedule, per pragma'd loop: the user's spec wins; with
+    // no spec, a loop whose in-group statements have iterator-coupled
+    // (triangular/trapezoidal) domains defaults to guided so the fine
+    // tail absorbs the imbalance. Evaluating post-fission, per loop,
+    // keeps a fissioned-off rectangular loop from inheriting a
+    // triangular sibling's clause.
+    const auto clause_for_loop = [&](std::size_t j) -> std::string {
+      ScheduleSpec schedule = options.schedule;
+      if (schedule.empty()) {
+        for (std::size_t s : group.statements) {
+          const ScopStatement& stmt = scop.statements[s];
+          const std::vector<std::size_t> chain =
+              statement_loops(scop, stmt);
+          if (std::find(chain.begin(), chain.end(), j) == chain.end()) {
+            continue;
+          }
+          if (couples_iterators(statement_domain(scop, stmt), d)) {
+            schedule.kind = OmpScheduleKind::Guided;
+            schedule.chunk = 4;
+            break;
+          }
+        }
+      }
+      return schedule.clause();
+    };
+
+    // Accumulators of the group's reduction statements: the pragma gets
+    // them as reduction clauses (and the private clause below must never
+    // list them — GCC rejects a name in both).
+    std::vector<std::string> accumulators;
+    for (std::size_t s : group.statements) {
+      if (reduction_exemptible(scop.statements[s].reduction_op)) {
+        accumulators.push_back(scop.statements[s].reduction_accumulator);
+      }
+    }
+    const auto reduction_for_loop = [&](std::size_t loop_index) {
+      return reduction_clauses(scop, [&](const ScopStatement& stmt) {
+        const std::size_t idx =
+            static_cast<std::size_t>(&stmt - scop.statements.data());
+        if (!in_group[idx]) return false;
+        const std::vector<std::size_t> chain = statement_loops(scop, stmt);
+        return std::find(chain.begin(), chain.end(), loop_index) !=
+               chain.end();
+      });
+    };
+
+    // OpenMP privatizes only the pragma'd loop's own iteration variable.
+    // A descendant loop whose iterator lives in an enclosing scope
+    // (`int j; ... for (j = 0; ...)` — C89 style, or a canonicalized
+    // while whose variable is read after its loop) would be *shared*
+    // across threads, racing; list those in an explicit private clause,
+    // followed by the privatized scalars the loop's parallelism depends
+    // on. (Decl-init descendants are block-scoped and already
+    // per-thread.)
+    const auto private_for_loop = [&](std::size_t s) -> std::string {
+      std::vector<std::string> names;
+      for (std::size_t k = 0; k < d; ++k) {
+        if (k == s || !relevant[k]) continue;
+        bool under = false;
+        for (std::size_t a = scop.loop_parents[k]; a != Scop::npos;
+             a = scop.loop_parents[a]) {
+          if (a == s) {
+            under = true;
+            break;
+          }
+        }
+        if (!under) continue;
+        const ForStmt* ast = scop.loop_asts[k];
+        if (ast == nullptr || !ast->init ||
+            stmt_cast<ExprStmt>(ast->init.get()) == nullptr) {
+          continue;
+        }
+        if (std::find(accumulators.begin(), accumulators.end(),
+                      scop.iterators[k]) != accumulators.end()) {
+          continue;
+        }
+        if (std::find(names.begin(), names.end(), scop.iterators[k]) ==
+            names.end()) {
+          names.push_back(scop.iterators[k]);
+        }
+      }
+      for (const std::string& t : priv[s]) {
+        bool needed = false;
+        for (const Dependence& dep : deps) {
+          if (dep.is_reduction || dep.array != t ||
+              dep.carrier_loop != s) {
+            continue;
+          }
+          if (!in_group[dep.src_stmt] || !in_group[dep.dst_stmt]) {
+            continue;
+          }
+          needed = true;
+          break;
+        }
+        if (!needed) continue;
+        if (std::find(names.begin(), names.end(), t) == names.end()) {
+          names.push_back(t);
+        }
+        if (std::find(rs.privatized.begin(), rs.privatized.end(), t) ==
+            rs.privatized.end()) {
+          rs.privatized.push_back(t);
+        }
+      }
+      if (names.empty()) return "";
+      std::string clause = "private(";
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i != 0) clause += ", ";
+        clause += names[i];
+      }
+      clause += ")";
+      return clause;
+    };
+
+    // Clone the nest, prune it to the group's statements (empty guards,
+    // compounds and loops dissolve), and wrap selected loops in their
+    // pragmas. The DFS mirrors extraction's pre-order numbering: loops
+    // count at entry, assignments count in source order, guard branches
+    // descend then-before-else.
+    StmtPtr cloned = scop.root->clone();
+    std::size_t loop_counter = 0;
+    std::size_t stmt_counter = 0;
+    std::function<bool(StmtPtr&)> prune = [&](StmtPtr& slot) -> bool {
+      if (!slot) return false;
+      switch (slot->kind()) {
+        case StmtKind::For: {
+          const std::size_t index = loop_counter++;
+          auto& loop = static_cast<ForStmt&>(*slot);
+          const bool kept = prune(loop.body);
+          if (!kept) return false;
+          if (index >= d || (!selected[index] && !simd[index])) {
+            return true;
+          }
+          auto wrapper = std::make_unique<CompoundStmt>();
+          if (simd[index]) {
+            std::string text = "#pragma omp simd";
+            const std::string red = reduction_for_loop(index);
+            if (!red.empty()) text += " " + red;
+            wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
+          }
+          if (selected[index]) {
+            std::string text = "#pragma omp parallel for";
+            const std::string sched = clause_for_loop(index);
+            if (!sched.empty()) text += " " + sched;
+            const std::string red = reduction_for_loop(index);
+            if (!red.empty()) text += " " + red;
+            const std::string pc = private_for_loop(index);
+            if (!pc.empty()) text += " " + pc;
+            wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
+          }
+          wrapper->stmts.push_back(std::move(slot));
+          slot = std::move(wrapper);
+          return true;
+        }
+        case StmtKind::Compound: {
+          auto& block = static_cast<CompoundStmt&>(*slot);
+          std::vector<StmtPtr> kept;
+          for (StmtPtr& child : block.stmts) {
+            if (prune(child)) kept.push_back(std::move(child));
+          }
+          block.stmts = std::move(kept);
+          return !block.stmts.empty();
+        }
+        case StmtKind::If: {
+          auto& branch = static_cast<IfStmt&>(*slot);
+          const bool kept_then = prune(branch.then_stmt);
+          const bool kept_else =
+              branch.else_stmt ? prune(branch.else_stmt) : false;
+          if (!kept_then && !kept_else) return false;
+          if (!kept_then) branch.then_stmt = std::make_unique<NullStmt>();
+          if (!kept_else) branch.else_stmt = nullptr;
+          return true;
+        }
+        case StmtKind::Expr: {
+          const auto& es = static_cast<const ExprStmt&>(*slot);
+          if (expr_cast<AssignExpr>(es.expr.get()) == nullptr) {
+            return false;
+          }
+          return keep_positions.count(stmt_counter++) != 0;
+        }
+        default:
+          // Null statements (and stray pragmas) carry no computation;
+          // pruned copies drop them.
+          return false;
+      }
+    };
+    if (!prune(cloned)) continue;
+
+    bool group_selected = false;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (!selected[j]) continue;
+      group_selected = true;
+      ++total_selected;
+      rs.parallel_loops.push_back(j);
+      if (rs.schedule_clause.empty()) {
+        rs.schedule_clause = clause_for_loop(j);
+      }
+    }
+    if (group_selected) ++rs.parallel_groups;
+    if (groups.size() == 1) {
+      single_nest = std::move(cloned);
+    } else {
+      fission_block->stmts.push_back(std::move(cloned));
+    }
+  }
+
+  if (total_selected == 0) {
+    rs = RegionSchedule{};
+    return nullptr;
+  }
+  rs.groups = groups.size();
+  rs.fissioned = groups.size() > 1;
+  if (!rs.fissioned) return single_nest;
+  return fission_block;
+}
+
 StmtPtr annotate_region(const Scop& scop,
                         const std::vector<Dependence>& deps,
                         const CodegenOptions& options,
                         std::vector<std::size_t>* parallel_loops_out) {
-  if (parallel_loops_out != nullptr) parallel_loops_out->clear();
-  if (!options.parallelize || scop.root == nullptr) return nullptr;
-  const std::size_t d = scop.depth();
-
-  std::vector<bool> parallel(d, false);
-  for (std::size_t j = 0; j < d; ++j) {
-    parallel[j] = loop_is_parallel(deps, j);
-  }
-  // Outermost parallel loops: a loop gets the pragma when it is parallel
-  // and no enclosing loop already has one (no nested parallel regions;
-  // pre-order guarantees ancestors are decided first).
-  std::vector<bool> selected(d, false);
-  for (std::size_t j = 0; j < d; ++j) {
-    if (!parallel[j]) continue;
-    bool under_selected = false;
-    for (std::size_t a = scop.loop_parents[j]; a != Scop::npos;
-         a = scop.loop_parents[a]) {
-      if (selected[a]) {
-        under_selected = true;
-        break;
-      }
-    }
-    selected[j] = !under_selected;
-  }
-  bool any_selected = false;
-  for (std::size_t j = 0; j < d; ++j) any_selected |= selected[j];
-  if (!any_selected) return nullptr;
-
-  // SICA mode: parallel leaf loops that did not take the parallel pragma
-  // themselves get the vectorization hint.
-  std::vector<bool> has_child(d, false);
-  for (std::size_t j = 0; j < d; ++j) {
-    if (scop.loop_parents[j] != Scop::npos) {
-      has_child[scop.loop_parents[j]] = true;
-    }
-  }
-  std::vector<bool> simd(d, false);
-  if (options.simd) {
-    for (std::size_t j = 0; j < d; ++j) {
-      simd[j] = !has_child[j] && parallel[j] && !selected[j];
-    }
-  }
-
-  // Effective schedule: same policy as the classic path — the user's
-  // spec wins; iterator-coupled (triangular/trapezoidal) statement
-  // domains default to guided so the fine tail absorbs the imbalance.
-  ScheduleSpec schedule = options.schedule;
-  if (schedule.empty() && domain_is_imbalanced(scop)) {
-    schedule.kind = OmpScheduleKind::Guided;
-    schedule.chunk = 4;
-  }
-  const std::string schedule_clause = schedule.clause();
-
-  // Accumulators of reduction statements running under a given loop: the
-  // loop's pragma gets them as reduction clauses (and the private clause
-  // below must never list them — GCC rejects a name in both).
-  std::vector<std::string> accumulators;
-  for (const ScopStatement& stmt : scop.statements) {
-    if (reduction_exemptible(stmt.reduction_op)) {
-      accumulators.push_back(stmt.reduction_accumulator);
-    }
-  }
-  const auto reduction_for_loop = [&](std::size_t loop_index) {
-    return reduction_clauses(scop, [&](const ScopStatement& stmt) {
-      const std::vector<std::size_t> chain = statement_loops(scop, stmt);
-      return std::find(chain.begin(), chain.end(), loop_index) !=
-             chain.end();
-    });
-  };
-
-  // OpenMP privatizes only the pragma'd loop's own iteration variable.
-  // A descendant loop whose iterator lives in an enclosing scope
-  // (`int j; ... for (j = 0; ...)` — C89 style, or a canonicalized
-  // while whose variable is read after its loop) would be *shared*
-  // across threads, racing; list those in an explicit private clause.
-  // (Decl-init descendants are block-scoped and already per-thread.)
-  std::vector<std::string> private_clause(d);
-  for (std::size_t s = 0; s < d; ++s) {
-    if (!selected[s]) continue;
-    std::vector<std::string> names;
-    for (std::size_t k = 0; k < d; ++k) {
-      if (k == s) continue;
-      bool under = false;
-      for (std::size_t a = scop.loop_parents[k]; a != Scop::npos;
-           a = scop.loop_parents[a]) {
-        if (a == s) {
-          under = true;
-          break;
-        }
-      }
-      if (!under) continue;
-      const ForStmt* ast = scop.loop_asts[k];
-      if (ast == nullptr || !ast->init ||
-          stmt_cast<ExprStmt>(ast->init.get()) == nullptr) {
-        continue;
-      }
-      if (std::find(accumulators.begin(), accumulators.end(),
-                    scop.iterators[k]) != accumulators.end()) {
-        continue;
-      }
-      if (std::find(names.begin(), names.end(), scop.iterators[k]) ==
-          names.end()) {
-        names.push_back(scop.iterators[k]);
-      }
-    }
-    if (names.empty()) continue;
-    std::string clause = "private(";
-    for (std::size_t i = 0; i < names.size(); ++i) {
-      if (i != 0) clause += ", ";
-      clause += names[i];
-    }
-    clause += ")";
-    private_clause[s] = std::move(clause);
-  }
-
-  StmtPtr cloned = scop.root->clone();
-  // The DFS below mirrors extraction's pre-order loop numbering (loops
-  // first at entry, then body elements in source order, descending into
-  // guard branches then-before-else).
-  std::size_t counter = 0;
-  std::function<void(StmtPtr&)> visit = [&](StmtPtr& slot) {
-    if (!slot) return;
-    switch (slot->kind()) {
-      case StmtKind::For: {
-        const std::size_t index = counter++;
-        auto& loop = static_cast<ForStmt&>(*slot);
-        if (loop.body) visit(loop.body);
-        if (index >= d || (!selected[index] && !simd[index])) return;
-        auto wrapper = std::make_unique<CompoundStmt>();
-        if (simd[index]) {
-          std::string text = "#pragma omp simd";
-          const std::string red = reduction_for_loop(index);
-          if (!red.empty()) text += " " + red;
-          wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
-        }
-        if (selected[index]) {
-          std::string text = "#pragma omp parallel for";
-          if (!schedule_clause.empty()) text += " " + schedule_clause;
-          const std::string red = reduction_for_loop(index);
-          if (!red.empty()) text += " " + red;
-          if (!private_clause[index].empty()) {
-            text += " " + private_clause[index];
-          }
-          wrapper->stmts.push_back(std::make_unique<PragmaStmt>(text));
-        }
-        wrapper->stmts.push_back(std::move(slot));
-        slot = std::move(wrapper);
-        return;
-      }
-      case StmtKind::Compound:
-        for (StmtPtr& child : static_cast<CompoundStmt&>(*slot).stmts) {
-          visit(child);
-        }
-        return;
-      case StmtKind::If: {
-        auto& branch = static_cast<IfStmt&>(*slot);
-        visit(branch.then_stmt);
-        if (branch.else_stmt) visit(branch.else_stmt);
-        return;
-      }
-      default:
-        return;
-    }
-  };
-  visit(cloned);
-
+  RegionSchedule rs;
+  StmtPtr out = schedule_region(scop, deps, options, {}, &rs);
   if (parallel_loops_out != nullptr) {
-    for (std::size_t j = 0; j < d; ++j) {
-      if (selected[j]) parallel_loops_out->push_back(j);
-    }
+    *parallel_loops_out = rs.parallel_loops;
   }
-  return cloned;
+  return out;
 }
 
 }  // namespace purec::poly

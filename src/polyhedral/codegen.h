@@ -29,6 +29,11 @@ struct CodegenOptions {
   /// no clause. Parsed and validated at the boundary (ScheduleSpec::parse)
   /// so malformed clauses can never reach the emitted pragma.
   ScheduleSpec schedule;
+  /// Privatized scalars for the classic path: generate_code appends
+  /// `private(...)` with these names to the parallel and simd pragmas
+  /// (the chain marks their dependences is_private before scheduling;
+  /// region scheduling computes its own set instead).
+  std::vector<std::string> privatized;
 };
 
 /// The helper macros the generated code depends on; the chain prepends
@@ -64,17 +69,52 @@ struct IteratorSubstitution {
                                     IteratorSubstitution* substitution_out =
                                         nullptr);
 
-/// Region lowering for `Scop::region_shaped` scops (guards, imperfect
-/// nests, iterator-dependent strided origins): clones the original nest
-/// verbatim — statements keep their guards and their depth — and inserts
-/// `#pragma omp parallel for` on every outermost loop the per-statement
-/// dependence analysis proves parallel (`loop_is_parallel`); SICA mode
-/// additionally marks parallel leaf loops `#pragma omp simd`. No
-/// reordering, no tiling: iteration order within a thread is the source
-/// order, so correctness needs only the absence of dependences carried by
-/// the annotated loops. Returns nullptr when no loop is parallel (the
-/// chain leaves the nest untouched and reports the reason); the indices
-/// of pragma'd loops are returned through `parallel_loops_out`.
+/// What schedule_region decided, for the chain's report.
+struct RegionSchedule {
+  /// Indices of loops that received `#pragma omp parallel for`, in
+  /// emission order (a loop index can repeat across fission groups).
+  std::vector<std::size_t> parallel_loops;
+  /// True when the nest was distributed into more than one loop.
+  bool fissioned = false;
+  /// Fission groups emitted (1 when the nest stayed whole).
+  std::size_t groups = 0;
+  /// Groups that received at least one parallel pragma.
+  std::size_t parallel_groups = 0;
+  /// Scalars listed in `private(...)` clauses (first-use order).
+  std::vector<std::string> privatized;
+  /// Schedule clause on the first parallel pragma ("" = none).
+  std::string schedule_clause;
+};
+
+/// Region scheduling for `Scop::region_shaped` scops (guards, imperfect
+/// nests, iterator-dependent strided origins) and for classic nests the
+/// hyperplane path left serial. Statements keep their guards and depth —
+/// no reordering, no tiling — but the nest is restructured:
+///
+///  * Loops whose non-exempt dependences all vanish get `#pragma omp
+///    parallel for` at the outermost legal position; SICA mode marks
+///    parallel leaf loops `#pragma omp simd`.
+///  * A loop serialized only by a written-before-read function-scope
+///    scalar in `privatizable` (the chain has already proven it dead
+///    after the nest) parallelizes with the scalar in `private(...)`.
+///  * When no loop is parallel, the nest is distributed by dependence
+///    SCC (loop fission): each group becomes its own copy of the nest,
+///    pruned to the group's statements, and parallel groups take the
+///    pragma while serial ones stay as they were.
+///
+/// The guided-by-default gate is evaluated per pragma'd loop over the
+/// statements actually under it in its group, so a fissioned-off
+/// rectangular loop no longer inherits a triangular sibling's
+/// `schedule(guided,4)`. Returns nullptr when nothing can be
+/// parallelized (callers leave the nest untouched and report why).
+[[nodiscard]] StmtPtr schedule_region(
+    const Scop& scop, const std::vector<Dependence>& deps,
+    const CodegenOptions& options,
+    const std::vector<std::string>& privatizable,
+    RegionSchedule* result = nullptr);
+
+/// Back-compat wrapper: schedule_region with no privatizable scalars,
+/// returning only the pragma'd loop indices.
 [[nodiscard]] StmtPtr annotate_region(
     const Scop& scop, const std::vector<Dependence>& deps,
     const CodegenOptions& options,

@@ -53,6 +53,11 @@ struct Dependence {
   /// because codegen lowers the statement to an OpenMP reduction clause
   /// with per-thread partials.
   bool is_reduction = false;
+  /// Dependence on a function-scope scalar the chain decided to privatize
+  /// (written before read in every iteration, dead after the nest). Exempt
+  /// like reductions: each thread gets its own copy via `private(...)`, so
+  /// the cross-iteration conflicts on the shared cell vanish.
+  bool is_private = false;
 
   [[nodiscard]] bool loop_carried(std::size_t depth) const noexcept {
     return level <= depth;
@@ -72,5 +77,59 @@ struct Dependence {
 /// loop's iteration fixed.
 [[nodiscard]] bool loop_is_parallel(const std::vector<Dependence>& deps,
                                     std::size_t loop_index);
+
+/// Scalars whose every access sits under loop `loop_index` and whose
+/// first accessor is an unguarded write (no read) at the accessors'
+/// common loop depth: each iteration of `loop_index` writes the scalar
+/// before reading it, so a per-thread copy (`private(t)`) carries no
+/// value across iterations. The caller still owns liveness — a scalar
+/// read after the nest (or a global) must not be privatized.
+[[nodiscard]] std::vector<std::string> privatizable_scalars(
+    const Scop& scop, std::size_t loop_index);
+
+/// Tags every non-reduction dependence on one of `names` as is_private so
+/// the scheduler and the parallelism verdicts exempt it.
+void mark_private_dependences(std::vector<Dependence>& deps,
+                              const std::vector<std::string>& names);
+
+/// One fission component: a set of statements that must stay in the same
+/// loop, and whether the root loop restricted to them is parallel.
+struct FissionGroup {
+  std::vector<std::size_t> statements;  // indices into Scop::statements
+  bool parallel = false;
+};
+
+/// Classic loop distribution at the root loop: condenses the statement
+/// dependence graph (statements sharing one source ast are one node) into
+/// strongly connected components, orders them topologically, and merges
+/// consecutive components that may share a loop (serial with serial;
+/// parallel with parallel when no root-carried dependence links them).
+/// Dependences on `private_ok` scalars and reduction self-dependences
+/// don't serialize a component (they are handled by private/reduction
+/// clauses) but still glue their statements into one group. Groups come
+/// back in a legal execution order; a single group means fission cannot
+/// separate anything.
+[[nodiscard]] std::vector<FissionGroup> fission_groups(
+    const Scop& scop, const std::vector<Dependence>& deps,
+    const std::vector<std::string>& private_ok);
+
+/// Group-restricted region query: loop `loop_index` carries no
+/// non-exempt dependence between statements of the group (`in_group` is
+/// indexed by statement). Dependences on `private_ok` scalars are exempt.
+[[nodiscard]] bool loop_is_parallel_for_group(
+    const std::vector<Dependence>& deps, std::size_t loop_index,
+    const std::vector<bool>& in_group,
+    const std::vector<std::string>& private_ok);
+
+/// Fusion legality for a trial-merged scop (statements with position
+/// below `position_boundary` came from the first of two sibling loops):
+/// returns the dependence that stops the fused outer loop from being
+/// parallel, or nullptr when fusion is legal. Prefers a blocker that
+/// links the two halves (`*crossing = true`) — the mark of a genuinely
+/// fusion-preventing dependence, as opposed to a half that was already
+/// serial on its own.
+[[nodiscard]] const Dependence* fusion_blocker(
+    const Scop& fused, const std::vector<Dependence>& deps,
+    std::size_t position_boundary, bool* crossing);
 
 }  // namespace purec::poly

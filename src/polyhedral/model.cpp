@@ -466,6 +466,12 @@ struct GuardRef {
   std::vector<std::size_t> chain;
 };
 
+/// Cap on the number of convex pieces a statement's guard stack may split
+/// into. Each piece becomes a full statement copy in the model, so the
+/// dependence analysis cost grows quadratically with it; past the cap the
+/// scop degrades to serial with a reason instead.
+constexpr std::size_t kMaxGuardDisjuncts = 4;
+
 class Extractor {
  public:
   [[nodiscard]] ExtractionResult run(const ForStmt& root) {
@@ -601,7 +607,9 @@ class Extractor {
       }
     }
 
-    std::vector<std::vector<Constraint>> stmt_guards(pending_stmts_.size());
+    // One constraint set per emitted statement (copies of a disjunctively
+    // guarded statement each carry one convex piece of the guard).
+    std::vector<std::vector<Constraint>> guard_of_stmt;
     for (std::size_t s = 0; s < pending_stmts_.size(); ++s) {
       const PendingStmt& p = pending_stmts_[s];
       builder.set_chain(&p.chain);
@@ -620,15 +628,28 @@ class Extractor {
         }
       }
 
+      // The guard stack lowers to a DNF: the conjunction of the guards'
+      // disjunct sets, combined by cross product. Most statements have a
+      // single (possibly empty) conjunct; a disjunctive guard yields one
+      // alternative per convex piece.
+      std::vector<std::vector<Constraint>> alternatives(1);
       for (const GuardRef& guard : p.guards) {
         // The guard lowers in the scope where it appears: iterators of
         // loops nested below it are not visible to its condition.
         builder.set_chain(&guard.chain);
-        if (!build_guard(*guard.cond, guard.negated, builder,
-                         stmt_guards[s], result.failure_reason)) {
+        std::vector<std::vector<Constraint>> guard_dnf;
+        if (!build_guard(*guard.cond, guard.negated, builder, guard_dnf,
+                         result.failure_reason)) {
           result.failure_loc = p.ast->loc;
           return result;
         }
+        std::vector<std::vector<Constraint>> combined;
+        if (!cross_disjuncts(alternatives, guard_dnf, combined,
+                             result.failure_reason)) {
+          result.failure_loc = p.ast->loc;
+          return result;
+        }
+        alternatives = std::move(combined);
       }
       builder.set_chain(&p.chain);
 
@@ -677,7 +698,14 @@ class Extractor {
         result.failure_loc = p.ast->loc;
         return result;
       }
-      scop.statements.push_back(std::move(stmt));
+      // One model statement per guard disjunct. Copies share the source
+      // statement's ast and textual position: the dependence analyzer's
+      // same-position ordering covers them, and downstream passes that
+      // regenerate code key on the ast, so no statement executes twice.
+      for (std::size_t a = 0; a < alternatives.size(); ++a) {
+        scop.statements.push_back(stmt);
+        guard_of_stmt.push_back(std::move(alternatives[a]));
+      }
     }
 
     // A recognized reduction is only exemptible while the accumulator
@@ -687,10 +715,13 @@ class Extractor {
     for (std::size_t s = 0; s < scop.statements.size(); ++s) {
       ScopStatement& stmt = scop.statements[s];
       if (stmt.reduction_op == ReductionOp::None) continue;
+      // Disjunct copies of one source statement are not "other"
+      // statements — they execute the same update, so seeing the
+      // accumulator there does not make it observable.
       bool escapes = false;
       for (std::size_t t = 0; t < scop.statements.size() && !escapes;
            ++t) {
-        if (t == s) continue;
+        if (scop.statements[t].ast == stmt.ast) continue;
         for (const Access& a : scop.statements[t].accesses) {
           if (a.array == stmt.reduction_accumulator) {
             escapes = true;
@@ -698,14 +729,19 @@ class Extractor {
           }
         }
       }
+      // Copies are adjacent; note once per source statement.
+      const bool first_copy =
+          s == 0 || scop.statements[s - 1].ast != stmt.ast;
       if (escapes) {
-        scop.reduction_notes.push_back(
-            "reduction on '" + stmt.reduction_accumulator +
-            "' demoted: accumulator is read elsewhere in the nest");
+        if (first_copy) {
+          scop.reduction_notes.push_back(
+              "reduction on '" + stmt.reduction_accumulator +
+              "' demoted: accumulator is read elsewhere in the nest");
+        }
         stmt.reduction_op = ReductionOp::None;
         stmt.reduction_accumulator.clear();
         stmt.reduction_callee.clear();
-      } else if (stmt.reduction_op == ReductionOp::Call) {
+      } else if (stmt.reduction_op == ReductionOp::Call && first_copy) {
         scop.reduction_notes.push_back(
             "reduction on '" + stmt.reduction_accumulator +
             "' uses combiner '" + stmt.reduction_callee +
@@ -732,7 +768,7 @@ class Extractor {
           domain.add(aligned(c));
         }
       }
-      for (const Constraint& c : stmt_guards[s]) domain.add(aligned(c));
+      for (const Constraint& c : guard_of_stmt[s]) domain.add(aligned(c));
       stmt.domain = std::move(domain);
       for (Access& a : stmt.accesses) {
         for (AffineForm& f : a.subscripts) f.coeffs.resize(space, 0);
@@ -744,7 +780,10 @@ class Extractor {
     // positive distance c): not parallelizable as-is, but the verdict
     // should say "scan", not "carried dependence". Runs after the pad so
     // subscript forms compare over the full space.
-    for (const ScopStatement& stmt : scop.statements) {
+    for (std::size_t s = 0; s < scop.statements.size(); ++s) {
+      const ScopStatement& stmt = scop.statements[s];
+      // Skip disjunct copies: same source statement, same scan shape.
+      if (s > 0 && scop.statements[s - 1].ast == stmt.ast) continue;
       const Access* write = nullptr;
       for (const Access& a : stmt.accesses) {
         if (a.kind == AccessKind::Write && a.subscripts.size() == 1) {
@@ -922,17 +961,20 @@ class Extractor {
   }
 
   /// Lowers an `if` condition (or its negation, for the else branch) to
-  /// conjunctive affine constraints. Disjunctive shapes (`||`, a negated
-  /// `&&`, a then-side `!=`) have no single-polyhedron encoding and fail
-  /// with a reason — the chain degrades the scop to serial, never to
-  /// wrong code.
+  /// disjunctive normal form: a union of conjunctive affine constraint
+  /// sets. Convex guards lower to a single disjunct exactly as before;
+  /// disjunctive shapes (`||`, a negated `&&`, a then-side `!=`) split
+  /// into one disjunct per convex piece so the statement can be modeled
+  /// as one copy per piece instead of rejecting the whole scop. The
+  /// split is capped — a combinatorial guard still degrades to serial
+  /// with a reason, never to wrong code.
   [[nodiscard]] bool build_guard(const Expr& e, bool negated,
                                  AffineBuilder& builder,
-                                 std::vector<Constraint>& out,
+                                 std::vector<std::vector<Constraint>>& dnf,
                                  std::string& failure) {
     if (const auto* u = expr_cast<UnaryExpr>(&e)) {
       if (u->op == UnaryOp::Not) {
-        return build_guard(*u->operand, !negated, builder, out, failure);
+        return build_guard(*u->operand, !negated, builder, dnf, failure);
       }
     }
     const auto* b = expr_cast<BinaryExpr>(&e);
@@ -940,21 +982,28 @@ class Extractor {
       failure = "guard condition is not an affine comparison";
       return false;
     }
-    if (b->op == BinaryOp::LogicalAnd) {
-      if (negated) {
-        failure = "negated '&&' guard is disjunctive (no affine domain)";
-        return false;
-      }
-      return build_guard(*b->lhs, false, builder, out, failure) &&
-             build_guard(*b->rhs, false, builder, out, failure);
+    const bool conjunctive = (b->op == BinaryOp::LogicalAnd && !negated) ||
+                             (b->op == BinaryOp::LogicalOr && negated);
+    const bool disjunctive = (b->op == BinaryOp::LogicalOr && !negated) ||
+                             (b->op == BinaryOp::LogicalAnd && negated);
+    if (conjunctive) {
+      std::vector<std::vector<Constraint>> lhs;
+      std::vector<std::vector<Constraint>> rhs;
+      return build_guard(*b->lhs, negated, builder, lhs, failure) &&
+             build_guard(*b->rhs, negated, builder, rhs, failure) &&
+             cross_disjuncts(lhs, rhs, dnf, failure);
     }
-    if (b->op == BinaryOp::LogicalOr) {
-      if (!negated) {
-        failure = "'||' guard is disjunctive (no affine domain)";
+    if (disjunctive) {
+      std::vector<std::vector<Constraint>> lhs;
+      std::vector<std::vector<Constraint>> rhs;
+      if (!build_guard(*b->lhs, negated, builder, lhs, failure) ||
+          !build_guard(*b->rhs, negated, builder, rhs, failure)) {
         return false;
       }
-      return build_guard(*b->lhs, true, builder, out, failure) &&
-             build_guard(*b->rhs, true, builder, out, failure);
+      dnf = std::move(lhs);
+      dnf.insert(dnf.end(), std::make_move_iterator(rhs.begin()),
+                 std::make_move_iterator(rhs.end()));
+      return check_disjunct_cap(dnf.size(), failure);
     }
 
     const bool comparison =
@@ -1010,34 +1059,68 @@ class Extractor {
       case BinaryOp::Less: {
         // lhs < rhs  <=>  rhs - lhs - 1 >= 0.
         AffineForm f = negated_form();
-        out.push_back(
-            Constraint::ge(std::move(f.coeffs), f.constant - 1));
+        dnf.push_back(
+            {Constraint::ge(std::move(f.coeffs), f.constant - 1)});
         return true;
       }
       case BinaryOp::LessEqual: {
         AffineForm f = negated_form();
-        out.push_back(Constraint::ge(std::move(f.coeffs), f.constant));
+        dnf.push_back({Constraint::ge(std::move(f.coeffs), f.constant)});
         return true;
       }
       case BinaryOp::Greater:
-        out.push_back(
-            Constraint::ge(std::move(diff.coeffs), diff.constant - 1));
+        dnf.push_back(
+            {Constraint::ge(std::move(diff.coeffs), diff.constant - 1)});
         return true;
       case BinaryOp::GreaterEqual:
-        out.push_back(
-            Constraint::ge(std::move(diff.coeffs), diff.constant));
+        dnf.push_back(
+            {Constraint::ge(std::move(diff.coeffs), diff.constant)});
         return true;
       case BinaryOp::Equal:
-        out.push_back(
-            Constraint::eq(std::move(diff.coeffs), diff.constant));
+        dnf.push_back(
+            {Constraint::eq(std::move(diff.coeffs), diff.constant)});
         return true;
-      case BinaryOp::NotEqual:
-        failure = "'!=' guard is disjunctive (only its negation — the "
-                  "else branch — is affine)";
-        return false;
+      case BinaryOp::NotEqual: {
+        // lhs != rhs  <=>  lhs < rhs  OR  lhs > rhs.
+        AffineForm f = negated_form();
+        dnf.push_back(
+            {Constraint::ge(std::move(f.coeffs), f.constant - 1)});
+        dnf.push_back(
+            {Constraint::ge(std::move(diff.coeffs), diff.constant - 1)});
+        return true;
+      }
       default:
         return false;
     }
+  }
+
+  /// Conjunction of two DNFs: the cross product of their disjuncts,
+  /// subject to the split cap.
+  [[nodiscard]] static bool cross_disjuncts(
+      const std::vector<std::vector<Constraint>>& lhs,
+      const std::vector<std::vector<Constraint>>& rhs,
+      std::vector<std::vector<Constraint>>& dnf, std::string& failure) {
+    if (!check_disjunct_cap(dnf.size() + lhs.size() * rhs.size(),
+                            failure)) {
+      return false;
+    }
+    for (const std::vector<Constraint>& l : lhs) {
+      for (const std::vector<Constraint>& r : rhs) {
+        std::vector<Constraint> merged = l;
+        merged.insert(merged.end(), r.begin(), r.end());
+        dnf.push_back(std::move(merged));
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] static bool check_disjunct_cap(std::size_t count,
+                                               std::string& failure) {
+    if (count <= kMaxGuardDisjuncts) return true;
+    failure = "guard splits into more than " +
+              std::to_string(kMaxGuardDisjuncts) +
+              " affine disjuncts";
+    return false;
   }
 
   bool add_access(const Expr& e, AccessKind kind, AffineBuilder& builder,

@@ -152,7 +152,7 @@ void complete_with_units(std::vector<IntVec>& rows, std::size_t d) {
                                       const std::vector<Dependence>& deps,
                                       std::size_t depth) {
   for (const Dependence& dep : deps) {
-    if (dep.is_reduction) continue;
+    if (dep.is_reduction || dep.is_private) continue;
     if (!dep.loop_carried(depth)) continue;
     ConstraintSystem sys = dep.polyhedron;
     const std::size_t dims = sys.dimensions();
@@ -188,7 +188,7 @@ Transform compute_schedule(const Scop& scop,
   // takes the fully-parallel identity fast path below.
   std::vector<const Dependence*> carried;
   for (const Dependence& dep : deps) {
-    if (dep.is_reduction) continue;
+    if (dep.is_reduction || dep.is_private) continue;
     if (dep.loop_carried(d)) carried.push_back(&dep);
   }
 

@@ -562,11 +562,17 @@ const ExternEffect* extern_effect(const std::string& name) {
       {"memmove", {ExternEffectKind::WritesArg0}},
       {"memset", {ExternEffectKind::WritesArg0}},
       {"snprintf", {ExternEffectKind::WritesArg0}},
+      {"strcpy", {ExternEffectKind::WritesArg0}},
+      {"strncpy", {ExternEffectKind::WritesArg0}},
+      {"strcat", {ExternEffectKind::WritesArg0}},
       {"strlen", {ExternEffectKind::ReadOnly}},
       {"memcmp", {ExternEffectKind::ReadOnly}},
       {"strchr", {ExternEffectKind::ReadOnly}},
       {"strrchr", {ExternEffectKind::ReadOnly}},
       {"strncmp", {ExternEffectKind::ReadOnly}},
+      {"strcspn", {ExternEffectKind::ReadOnly}},
+      {"strspn", {ExternEffectKind::ReadOnly}},
+      {"strstr", {ExternEffectKind::ReadOnly}},
       {"abs", {ExternEffectKind::ReadOnly}},
       {"labs", {ExternEffectKind::ReadOnly}},
       // math.h value functions: no pointer arguments at all, so modeling

@@ -48,7 +48,7 @@ json::Value build_chain_report(const ChainArtifacts& artifacts,
                                const ChainOptions& options) {
   json::Value report = json::Value::object();
   report.set("tool", "purecc");
-  report.set("report_version", 1);
+  report.set("report_version", 2);
   report.set("ok", artifacts.ok);
 
   json::Value opts = json::Value::object();
@@ -108,6 +108,13 @@ json::Value build_chain_report(const ChainArtifacts& artifacts,
                                         : json::Value(r.schedule_clause));
     entry.set("tiled", r.tiled);
     entry.set("skewed", r.skewed);
+    entry.set("fissioned", r.fissioned);
+    entry.set("fission_groups",
+              static_cast<std::int64_t>(r.fission_groups));
+    entry.set("fission_parallel_groups",
+              static_cast<std::int64_t>(r.fission_parallel_groups));
+    entry.set("privatized", string_array(r.privatized));
+    entry.set("fused_loops", static_cast<std::int64_t>(r.fused_loops));
     entry.set("reductions", string_array(r.reductions));
     entry.set("reduction_notes", string_array(r.reduction_notes));
     if (r.failure_reason.empty()) {
@@ -122,6 +129,19 @@ json::Value build_chain_report(const ChainArtifacts& artifacts,
     scops.push(std::move(entry));
   }
   report.set("scops", std::move(scops));
+
+  json::Value fusion = json::Value::array();
+  for (const FusionDecision& d : artifacts.fusion_decisions) {
+    json::Value entry = json::Value::object();
+    entry.set("function", d.function);
+    entry.set("first", location_value(d.first_line, d.first_column));
+    entry.set("second", location_value(d.second_line, d.second_column));
+    entry.set("fused", d.fused);
+    entry.set("reason", d.reason.empty() ? json::Value(nullptr)
+                                         : json::Value(d.reason));
+    fusion.push(std::move(entry));
+  }
+  report.set("fusion_decisions", std::move(fusion));
 
   json::Value memo = json::Value::object();
   memo.set("enabled", options.memoize);
@@ -272,6 +292,26 @@ std::string render_report_text(const json::Value& report) {
             }
           }
         }
+        std::string scheduling;
+        if (get_bool("fissioned")) {
+          scheduling += " fission=" +
+                        std::to_string(get_int("fission_groups")) + "g/" +
+                        std::to_string(get_int("fission_parallel_groups")) +
+                        "p";
+        }
+        if (get_int("fused_loops") > 0) {
+          scheduling += " fused=" + std::to_string(get_int("fused_loops"));
+        }
+        if (const auto* priv = entry.find("privatized")) {
+          if (const auto* items = priv->as_array()) {
+            std::string names;
+            for (const json::Value& name : *items) {
+              names += names.empty() ? "" : ",";
+              names += name.as_string();
+            }
+            if (!names.empty()) scheduling += " private=" + names;
+          }
+        }
         std::string reason;
         if (const auto* failure = entry.find("failure")) {
           if (!failure->is_null() && failure->find("reason") != nullptr) {
@@ -299,13 +339,44 @@ std::string render_report_text(const json::Value& report) {
                (entry.find("function") != nullptr
                     ? entry.find("function")->as_string()
                     : std::string()) +
-               head + reductions + reason + "\n";
+               head + scheduling + reductions + reason + "\n";
         if (const auto* notes = entry.find("reduction_notes")) {
           if (const auto* items = notes->as_array()) {
             for (const json::Value& note : *items) {
               out += "purecc:   note: " + note.as_string() + "\n";
             }
           }
+        }
+      }
+    }
+  }
+
+  if (const auto* fusion = report.find("fusion_decisions")) {
+    if (const auto* entries = fusion->as_array()) {
+      for (const json::Value& entry : *entries) {
+        const auto line_of = [&entry](const char* key) -> std::int64_t {
+          const json::Value* loc = entry.find(key);
+          return loc != nullptr && loc->find("line") != nullptr
+                     ? loc->find("line")->as_int()
+                     : 0;
+        };
+        out += "purecc: fusion " +
+               (entry.find("function") != nullptr
+                    ? entry.find("function")->as_string()
+                    : std::string()) +
+               ":" + std::to_string(line_of("first")) + "+" +
+               std::to_string(line_of("second"));
+        const bool fused = entry.find("fused") != nullptr &&
+                           entry.find("fused")->as_bool();
+        if (fused) {
+          out += ": fused\n";
+        } else {
+          out += ": rejected (" +
+                 (entry.find("reason") != nullptr &&
+                          !entry.find("reason")->is_null()
+                      ? entry.find("reason")->as_string()
+                      : std::string()) +
+                 ")\n";
         }
       }
     }

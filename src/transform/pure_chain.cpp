@@ -398,6 +398,108 @@ void unmark_scops(TranslationUnit& tu) {
   }
 }
 
+// ---- Adjacent sibling-loop fusion ----------------------------------------
+
+/// Renames every identifier `from` to `to` in an expression/statement
+/// subtree (used to merge the second loop's body onto the first loop's
+/// iterator; callers have already rejected shadowing and capture).
+void rename_identifier(Expr& e, const std::string& from,
+                       const std::string& to) {
+  for_each_expr(e, [&](Expr& sub) {
+    auto* ident = expr_cast<IdentExpr>(&sub);
+    if (ident != nullptr && ident->name == from) ident->name = to;
+  });
+}
+
+void rename_identifier(Stmt& s, const std::string& from,
+                       const std::string& to) {
+  for_each_expr(s, [&](Expr& sub) {
+    auto* ident = expr_cast<IdentExpr>(&sub);
+    if (ident != nullptr && ident->name == from) ident->name = to;
+  });
+}
+
+/// Structural equality of two loop-header expressions modulo renaming
+/// `rename_from` (in `b`) to `rename_to`. Conservative: only the shapes a
+/// canonical loop header uses (literals, identifiers, unary/binary/assign
+/// operators); anything else compares unequal.
+[[nodiscard]] bool headers_match(const Expr* a, const Expr* b,
+                                 const std::string& rename_from,
+                                 const std::string& rename_to) {
+  if (a == nullptr || b == nullptr) return a == b;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case ExprKind::IntLiteral:
+      return static_cast<const IntLiteralExpr&>(*a).value ==
+             static_cast<const IntLiteralExpr&>(*b).value;
+    case ExprKind::Ident: {
+      const std::string& nb = static_cast<const IdentExpr&>(*b).name;
+      return static_cast<const IdentExpr&>(*a).name ==
+             (nb == rename_from ? rename_to : nb);
+    }
+    case ExprKind::Unary: {
+      const auto& ua = static_cast<const UnaryExpr&>(*a);
+      const auto& ub = static_cast<const UnaryExpr&>(*b);
+      return ua.op == ub.op && headers_match(ua.operand.get(),
+                                             ub.operand.get(), rename_from,
+                                             rename_to);
+    }
+    case ExprKind::Binary: {
+      const auto& ba = static_cast<const BinaryExpr&>(*a);
+      const auto& bb = static_cast<const BinaryExpr&>(*b);
+      return ba.op == bb.op &&
+             headers_match(ba.lhs.get(), bb.lhs.get(), rename_from,
+                           rename_to) &&
+             headers_match(ba.rhs.get(), bb.rhs.get(), rename_from,
+                           rename_to);
+    }
+    case ExprKind::Assign: {
+      const auto& aa = static_cast<const AssignExpr&>(*a);
+      const auto& ab = static_cast<const AssignExpr&>(*b);
+      return aa.op == ab.op &&
+             headers_match(aa.lhs.get(), ab.lhs.get(), rename_from,
+                           rename_to) &&
+             headers_match(aa.rhs.get(), ab.rhs.get(), rename_from,
+                           rename_to);
+    }
+    default:
+      return false;
+  }
+}
+
+/// True when `s` declares `name` anywhere (shadowing hazard for the
+/// rename-based fusion merge).
+[[nodiscard]] bool declares_identifier(const Stmt& s,
+                                       const std::string& name) {
+  bool found = false;
+  for_each_stmt(s, [&](const Stmt& sub) {
+    const auto* decl = stmt_cast<DeclStmt>(&sub);
+    if (decl == nullptr) return;
+    for (const VarDecl& d : decl->decls) {
+      if (d.name == name) found = true;
+    }
+  });
+  return found;
+}
+
+/// Appends (a clone of) `extra` to `loop`'s body, flattening compounds.
+void append_to_body(ForStmt& loop, StmtPtr extra) {
+  auto* block = stmt_cast<CompoundStmt>(loop.body.get());
+  if (block == nullptr) {
+    auto wrapper = std::make_unique<CompoundStmt>();
+    if (loop.body) wrapper->stmts.push_back(std::move(loop.body));
+    loop.body = std::move(wrapper);
+    block = stmt_cast<CompoundStmt>(loop.body.get());
+  }
+  if (auto* extra_block = stmt_cast<CompoundStmt>(extra.get())) {
+    for (StmtPtr& child : extra_block->stmts) {
+      block->stmts.push_back(std::move(child));
+    }
+  } else {
+    block->stmts.push_back(std::move(extra));
+  }
+}
+
 }  // namespace
 
 ChainArtifacts run_pure_chain(const std::string& source,
@@ -491,16 +593,165 @@ ChainArtifacts run_pure_chain(const std::string& source,
 
   // ---- polycc: substitution + polyhedral transformation -------------------
   std::size_t placeholder_counter = 0;
+  std::vector<ScopCandidate> scop_candidates = purity.scop_loops;
   std::vector<std::vector<SubstitutedCall>> all_substitutions;
-  for (const ScopCandidate& candidate : purity.scop_loops) {
+  for (const ScopCandidate& candidate : scop_candidates) {
     auto* loop = const_cast<ForStmt*>(candidate.loop);
     all_substitutions.push_back(substitute_pure_calls(
         *loop, purity.pure_functions, placeholder_counter));
   }
   artifacts.substituted = print_c(tu, PrintOptions{PureHandling::Keep, 2});
 
-  for (std::size_t idx = 0; idx < purity.scop_loops.size(); ++idx) {
-    const ScopCandidate& candidate = purity.scop_loops[idx];
+  // Loop fusion: adjacent sibling scop nests with structurally identical
+  // headers merge into one loop when the fused outer loop is still
+  // parallel — one parallel region (and one pass over shared inputs)
+  // instead of two. Decisions, taken or rejected, go to the report.
+  std::vector<std::size_t> fused_counts(scop_candidates.size(), 0);
+  if (options.parallelize) {
+    for (std::size_t i = 0; i + 1 < scop_candidates.size();) {
+      const ScopCandidate& first = scop_candidates[i];
+      const ScopCandidate& second = scop_candidates[i + 1];
+      auto* loop1 = const_cast<ForStmt*>(first.loop);
+      auto* loop2 = const_cast<ForStmt*>(second.loop);
+      FusionDecision decision;
+      decision.function = first.function->name;
+      decision.first_line = loop1->loc.line;
+      decision.first_column = loop1->loc.column;
+      decision.second_line = loop2->loc.line;
+      decision.second_column = loop2->loc.column;
+
+      // Adjacency: both nests directly consecutive in one compound of the
+      // same function (anything between them — even a declaration — keeps
+      // them apart). Non-adjacent pairs are not candidates at all.
+      FunctionDecl* fn = first.function == second.function
+                             ? tu.find_function(first.function->name)
+                             : nullptr;
+      CompoundStmt* block =
+          fn != nullptr && fn->body
+              ? find_owning_compound(*fn->body, loop1)
+              : nullptr;
+      bool adjacent = false;
+      std::size_t slot2 = 0;
+      if (block != nullptr) {
+        for (std::size_t k = 0; k + 1 < block->stmts.size(); ++k) {
+          if (block->stmts[k].get() == loop1 &&
+              block->stmts[k + 1].get() == loop2) {
+            adjacent = true;
+            slot2 = k + 1;
+            break;
+          }
+        }
+      }
+      if (!adjacent) {
+        ++i;
+        continue;
+      }
+
+      const auto reject = [&](std::string reason) {
+        decision.fused = false;
+        decision.reason = std::move(reason);
+        artifacts.fusion_decisions.push_back(std::move(decision));
+        ++i;
+      };
+
+      // Header compatibility: both iterators block-scoped (decl-init,
+      // single declarator), identical bounds/step modulo renaming the
+      // second iterator onto the first.
+      const auto* decl1 = stmt_cast<DeclStmt>(loop1->init.get());
+      const auto* decl2 = stmt_cast<DeclStmt>(loop2->init.get());
+      if (decl1 == nullptr || decl2 == nullptr ||
+          decl1->decls.size() != 1 || decl2->decls.size() != 1) {
+        reject("iterator is not a block-scoped declaration");
+        continue;
+      }
+      const std::string n1 = decl1->decls[0].name;
+      const std::string n2 = decl2->decls[0].name;
+      if (!headers_match(decl1->decls[0].init.get(),
+                         decl2->decls[0].init.get(), n2, n1) ||
+          !headers_match(loop1->cond.get(), loop2->cond.get(), n2, n1) ||
+          !headers_match(loop1->inc.get(), loop2->inc.get(), n2, n1)) {
+        reject("loop headers differ (bounds or step)");
+        continue;
+      }
+      if (n1 != n2 && loop2->body != nullptr &&
+          references_identifier(*loop2->body, n1)) {
+        reject("iterator rename would capture '" + n1 + "'");
+        continue;
+      }
+      if (loop2->body != nullptr &&
+          (declares_identifier(*loop2->body, n1) ||
+           declares_identifier(*loop2->body, n2))) {
+        reject("second body redeclares the iterator");
+        continue;
+      }
+
+      // Trial merge on clones: the fused nest must extract as one scop
+      // and its outer loop must stay parallel.
+      std::size_t boundary = 0;
+      {
+        poly::ExtractionResult r1 = poly::extract_scop(*loop1);
+        if (!r1.ok()) {
+          reject("first nest no longer extracts: " + r1.failure_reason);
+          continue;
+        }
+        for (const poly::ScopStatement& stmt : r1.scop->statements) {
+          boundary = std::max(boundary, stmt.position + 1);
+        }
+      }
+      auto trial = StmtPtr(loop1->clone());
+      auto* trial_loop = stmt_cast<ForStmt>(trial.get());
+      StmtPtr body2 = loop2->body ? loop2->body->clone() : nullptr;
+      if (body2) rename_identifier(*body2, n2, n1);
+      append_to_body(*trial_loop, std::move(body2));
+      poly::ExtractionResult fused = poly::extract_scop(*trial_loop);
+      if (!fused.ok()) {
+        reject("fused nest is not a SCoP: " + fused.failure_reason);
+        continue;
+      }
+      const std::vector<poly::Dependence> deps =
+          poly::analyze_dependences(*fused.scop);
+      if (!poly::loop_is_parallel(deps, 0)) {
+        bool crossing = false;
+        const poly::Dependence* blocker =
+            poly::fusion_blocker(*fused.scop, deps, boundary, &crossing);
+        if (blocker != nullptr && crossing) {
+          reject("fusion-preventing dependence on '" + blocker->array +
+                 "'");
+        } else if (blocker != nullptr) {
+          reject("a loop is already serial (dependence on '" +
+                 blocker->array + "')");
+        } else {
+          reject("fused outer loop is not parallel");
+        }
+        continue;
+      }
+
+      // Commit: merge the real second body (renamed) into the first loop,
+      // drop the second loop, and fold its substituted calls (their saved
+      // originals reference the old iterator) into the first candidate.
+      if (loop2->body) rename_identifier(*loop2->body, n2, n1);
+      append_to_body(*loop1, std::move(loop2->body));
+      block->stmts.erase(block->stmts.begin() +
+                         static_cast<std::ptrdiff_t>(slot2));
+      for (SubstitutedCall& call : all_substitutions[i + 1]) {
+        if (call.original) rename_identifier(*call.original, n2, n1);
+        all_substitutions[i].push_back(std::move(call));
+      }
+      all_substitutions.erase(all_substitutions.begin() +
+                              static_cast<std::ptrdiff_t>(i + 1));
+      fused_counts[i] += 1 + fused_counts[i + 1];
+      fused_counts.erase(fused_counts.begin() +
+                         static_cast<std::ptrdiff_t>(i + 1));
+      scop_candidates.erase(scop_candidates.begin() +
+                            static_cast<std::ptrdiff_t>(i + 1));
+      decision.fused = true;
+      artifacts.fusion_decisions.push_back(std::move(decision));
+      // Stay at i: a third adjacent sibling may fuse into the same loop.
+    }
+  }
+
+  for (std::size_t idx = 0; idx < scop_candidates.size(); ++idx) {
+    const ScopCandidate& candidate = scop_candidates[idx];
     std::vector<SubstitutedCall>& calls = all_substitutions[idx];
     auto* loop = const_cast<ForStmt*>(candidate.loop);
 
@@ -510,6 +761,7 @@ ChainArtifacts run_pure_chain(const std::string& source,
     report.column = candidate.loop->loc.column;
     report.contains_calls = candidate.contains_calls;
     report.substituted_calls = calls.size();
+    report.fused_loops = fused_counts[idx];
     for (const SubstitutedCall& call : calls) {
       if (artifacts.inference.inferred_pure.count(call.callee) != 0) {
         ++report.inferred_calls;
@@ -594,9 +846,42 @@ ChainArtifacts run_pure_chain(const std::string& source,
         }
       }
 
-      const std::vector<poly::Dependence> deps =
+      std::vector<poly::Dependence> deps =
           poly::analyze_dependences(scop);
       report.dependences = deps.size();
+
+      // Scalar privatization candidates: the polyhedral layer's
+      // structural written-before-read rule, filtered by what only the
+      // chain can see — the scalar must be function-local (not a global)
+      // and dead after the nest (privatizing a live-out scalar would
+      // lose its final value, exactly like an escaping iterator).
+      std::vector<std::string> privatizable;
+      if (owner != nullptr && options.parallelize) {
+        std::vector<std::string> candidates;
+        for (std::size_t j = 0; j < scop.depth(); ++j) {
+          for (std::string& name : poly::privatizable_scalars(scop, j)) {
+            if (std::find(candidates.begin(), candidates.end(), name) ==
+                candidates.end()) {
+              candidates.push_back(std::move(name));
+            }
+          }
+        }
+        for (const std::string& name : candidates) {
+          if (symbols.find_global(name) != nullptr) continue;
+          // Declared inside the nest: already per-iteration storage, and
+          // not nameable from the pragma's scope.
+          if (declares_identifier(*loop, name)) continue;
+          bool found = false;
+          bool in_loop = false;
+          const IterFate fate =
+              owner->body ? fate_after_nest(*owner->body,
+                                            static_cast<const Stmt*>(loop),
+                                            name, found, in_loop)
+                          : IterFate::Read;
+          if (!found || in_loop || fate == IterFate::Read) continue;
+          privatizable.push_back(name);
+        }
+      }
 
       poly::CodegenOptions cg;
       cg.parallelize = options.parallelize;
@@ -607,17 +892,42 @@ ChainArtifacts run_pure_chain(const std::string& source,
 
       if (region) {
         // Region path (guards / imperfect nests / iterator-dependent
-        // strided origins): no reordering — annotate the original nest
-        // with pragmas on the loops the per-statement analysis proves
-        // parallel. Iterators keep their source names, so the reinserted
-        // calls need no substitution.
-        std::vector<std::size_t> parallel_loops;
-        generated = poly::annotate_region(scop, deps, cg, &parallel_loops);
+        // strided origins): no reordering — reschedule the nest at the
+        // statement level (parallel pragmas, fission by dependence SCC,
+        // scalar privatization). Iterators keep their source names, so
+        // the reinserted calls need no substitution.
+        poly::RegionSchedule rs;
+        generated = poly::schedule_region(scop, deps, cg, privatizable,
+                                          &rs);
         if (generated) {
-          report.parallelized = !parallel_loops.empty();
-          report.parallel_loops = parallel_loops.size();
+          report.parallelized = !rs.parallel_loops.empty();
+          report.parallel_loops = rs.parallel_loops.size();
+          report.fissioned = rs.fissioned;
+          report.fission_groups = rs.groups;
+          report.fission_parallel_groups = rs.parallel_groups;
+          report.privatized = rs.privatized;
+          if (report.parallelized) {
+            report.schedule_clause = rs.schedule_clause;
+          }
         }
       } else {
+        // Privatized scalars' dependences are exempt from schedule
+        // legality (each thread gets its own copy); generate_code emits
+        // the matching private(...) clause.
+        const std::vector<std::string> priv0 = [&] {
+          std::vector<std::string> out;
+          for (const std::string& name :
+               poly::privatizable_scalars(scop, 0)) {
+            if (std::find(privatizable.begin(), privatizable.end(),
+                          name) != privatizable.end()) {
+              out.push_back(name);
+            }
+          }
+          return out;
+        }();
+        poly::mark_private_dependences(deps, priv0);
+        cg.privatized = priv0;
+
         const poly::Transform transform =
             poly::compute_schedule(scop, deps);
         report.skewed = !transform.is_identity();
@@ -627,21 +937,47 @@ ChainArtifacts run_pure_chain(const std::string& source,
         if (generated) {
           report.parallelized =
               options.parallelize && transform.any_parallel();
-          if (report.parallelized) report.parallel_loops = 1;
+          if (report.parallelized) {
+            report.parallel_loops = 1;
+            report.privatized = priv0;
+          }
           report.tiled = options.tile && transform.band_size >= 2 &&
                          options.tile_size > 1;
         }
-      }
-      if (report.parallelized) {
-        // Mirror codegen's schedule policy for the report: the user's
-        // spec wins; with none, imbalanced (triangular) domains get the
-        // guided fallback (see poly::domain_is_imbalanced).
-        ScheduleSpec effective = options.schedule;
-        if (effective.empty() && poly::domain_is_imbalanced(scop)) {
-          effective.kind = OmpScheduleKind::Guided;
-          effective.chunk = 4;
+        if (report.parallelized) {
+          // Mirror codegen's schedule policy for the report: the user's
+          // spec wins; with none, imbalanced (triangular) domains get
+          // the guided fallback (see poly::domain_is_imbalanced).
+          ScheduleSpec effective = options.schedule;
+          if (effective.empty() && poly::domain_is_imbalanced(scop)) {
+            effective.kind = OmpScheduleKind::Guided;
+            effective.chunk = 4;
+          }
+          report.schedule_clause = effective.clause();
+        } else if (options.parallelize) {
+          // The hyperplane path left the nest serial: fall back to
+          // statement-level fission — a partially parallel nest splits
+          // into a serial loop plus a parallel loop instead of
+          // serializing whole. Iterators keep their names (no
+          // substitution).
+          poly::RegionSchedule rs;
+          StmtPtr fissioned = poly::schedule_region(scop, deps, cg,
+                                                    privatizable, &rs);
+          if (fissioned && rs.fissioned && !rs.parallel_loops.empty()) {
+            generated = std::move(fissioned);
+            scop_iterators.clear();
+            iter_subst = poly::IteratorSubstitution{};
+            report.parallelized = true;
+            report.parallel_loops = rs.parallel_loops.size();
+            report.fissioned = true;
+            report.fission_groups = rs.groups;
+            report.fission_parallel_groups = rs.parallel_groups;
+            report.privatized = rs.privatized;
+            report.schedule_clause = rs.schedule_clause;
+            report.skewed = false;
+            report.tiled = false;
+          }
         }
-        report.schedule_clause = effective.clause();
       }
     } catch (const ArithmeticOverflow&) {
       // Exact analysis would overflow int64 (gigantic bounds or

@@ -134,6 +134,31 @@ struct ScopReport {
   /// FP-gated demotions (rerun with --fp-reductions), accumulators read
   /// elsewhere in the nest, user combiners, prefix scans.
   std::vector<std::string> reduction_notes;
+  /// Loop fission: the nest was distributed by dependence SCC into
+  /// `fission_groups` loops (of which `fission_parallel_groups` carry a
+  /// parallel pragma) instead of serializing whole.
+  bool fissioned = false;
+  std::size_t fission_groups = 0;
+  std::size_t fission_parallel_groups = 0;
+  /// Function-scope scalars whose cross-iteration conflicts were lifted
+  /// into `private(...)` clauses (written before read in every iteration,
+  /// dead after the nest).
+  std::vector<std::string> privatized;
+  /// Sibling loops fused into this nest before transformation (0 = the
+  /// nest was not a fusion target).
+  std::size_t fused_loops = 0;
+};
+
+/// One adjacent-sibling-loop fusion decision (taken or rejected), for the
+/// report: rejections carry the located reason.
+struct FusionDecision {
+  std::string function;
+  std::uint32_t first_line = 0;
+  std::uint32_t first_column = 0;
+  std::uint32_t second_line = 0;
+  std::uint32_t second_column = 0;
+  bool fused = false;
+  std::string reason;  // empty when fused
 };
 
 struct ChainArtifacts {
@@ -166,6 +191,9 @@ struct ChainArtifacts {
   MemoizableResult memoization;
   /// Call sites rewritten to go through a memo thunk (under memoize).
   std::size_t memoized_calls = 0;
+  /// Adjacent sibling-loop fusion decisions, in candidate order (taken
+  /// and rejected alike; populated only when parallelization is on).
+  std::vector<FusionDecision> fusion_decisions;
   DiagnosticEngine diagnostics;
 };
 

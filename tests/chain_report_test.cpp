@@ -131,7 +131,7 @@ TEST(ChainReportSchema, EveryAcceptedFixtureCarriesTheFullDecisionTrail) {
     const json::Value report = build_chain_report(artifacts, options);
     ASSERT_EQ(report.kind(), json::Value::Kind::Object);
     EXPECT_EQ(report.find("tool")->as_string(), "purecc");
-    EXPECT_EQ(report.find("report_version")->as_int(), 1);
+    EXPECT_EQ(report.find("report_version")->as_int(), 2);
     EXPECT_TRUE(report.find("ok")->as_bool());
 
     // Options echo: every chain knob must be stated.
@@ -175,6 +175,18 @@ TEST(ChainReportSchema, EveryAcceptedFixtureCarriesTheFullDecisionTrail) {
       expect_location(scop, where);
       ASSERT_NE(scop.find("transformed"), nullptr) << where;
       ASSERT_NE(scop.find("failure"), nullptr) << where;
+      // Scheduling decisions are always stated, even when trivially
+      // zero/false — consumers should not have to probe for keys.
+      ASSERT_NE(scop.find("fissioned"), nullptr) << where;
+      ASSERT_NE(scop.find("fission_groups"), nullptr) << where;
+      ASSERT_NE(scop.find("fission_parallel_groups"), nullptr) << where;
+      ASSERT_NE(scop.find("fused_loops"), nullptr) << where;
+      const json::Value* privatized = scop.find("privatized");
+      ASSERT_NE(privatized, nullptr) << where;
+      ASSERT_NE(privatized->as_array(), nullptr) << where;
+      if (scop.find("fissioned")->as_bool()) {
+        EXPECT_GE(scop.find("fission_groups")->as_int(), 2) << where;
+      }
       if (!scop.find("transformed")->as_bool()) {
         const json::Value* failure = scop.find("failure");
         ASSERT_FALSE(failure->is_null())
@@ -183,6 +195,29 @@ TEST(ChainReportSchema, EveryAcceptedFixtureCarriesTheFullDecisionTrail) {
         expect_location(*failure, where + " failure");
       } else {
         EXPECT_TRUE(scop.find("failure")->is_null()) << where;
+      }
+    }
+
+    // Fusion decisions: always an array; every entry names the two
+    // loops it weighed and a rejected one says why.
+    const json::Value* fusions = report.find("fusion_decisions");
+    ASSERT_NE(fusions, nullptr);
+    ASSERT_NE(fusions->as_array(), nullptr);
+    for (const json::Value& decision : *fusions->as_array()) {
+      const std::string fn = decision.find("function")->as_string();
+      EXPECT_FALSE(fn.empty());
+      for (const char* side : {"first", "second"}) {
+        const json::Value* loc = decision.find(side);
+        ASSERT_NE(loc, nullptr) << fn;
+        EXPECT_GT(loc->find("line")->as_int(), 0) << fn;
+      }
+      ASSERT_NE(decision.find("fused"), nullptr) << fn;
+      const json::Value* reason = decision.find("reason");
+      ASSERT_NE(reason, nullptr) << fn;
+      if (decision.find("fused")->as_bool()) {
+        EXPECT_TRUE(reason->is_null()) << fn;
+      } else {
+        EXPECT_FALSE(reason->as_string().empty()) << fn;
       }
     }
 

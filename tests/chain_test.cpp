@@ -311,8 +311,36 @@ TEST(Chain, GuardedRegionReinsertsCallsUnderTheirGuards) {
 }
 
 TEST(Chain, RegionWithRealConflictDegradesToSerialWithReason) {
-  // Guards in the domain, but the dependence survives: the nest must
+  // The two statements form a dependence cycle (a[i] reads c[i-1],
+  // c[i] reads a[i]), so fission cannot separate them: the nest must
   // stay untouched and the report must say why.
+  ChainArtifacts a = run_pure_chain(
+      "pure float scale(float x) { return 3.0f * x; }\n"
+      "void k(float* a, float* c, float* x, int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i < m)\n"
+      "      a[i] = scale(x[i]) * c[i - 1];\n"
+      "    c[i] = a[i] * 0.5f;\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  EXPECT_TRUE(a.scops[0].region);
+  EXPECT_FALSE(a.scops[0].transformed);
+  EXPECT_FALSE(a.scops[0].fissioned);
+  EXPECT_NE(a.scops[0].failure_reason.find("stays serial"),
+            std::string::npos)
+      << a.scops[0].failure_reason;
+  EXPECT_EQ(a.final_source.find("#pragma omp"), std::string::npos);
+  // The undone nest keeps its original calls.
+  EXPECT_NE(a.final_source.find("scale(x[i])"), std::string::npos);
+}
+
+TEST(Chain, RegionPartialConflictFissionsIntoParallelLoops) {
+  // Only a loop-independent (crossing) dependence links the two
+  // statements: a[i] is produced in one statement and a[i - 1]
+  // consumed in the other. Distribution puts each in its own loop and
+  // both become parallel.
   ChainArtifacts a = run_pure_chain(
       "pure float scale(float x) { return 3.0f * x; }\n"
       "void k(float* a, float* c, float* x, int n, int m) {\n"
@@ -324,14 +352,131 @@ TEST(Chain, RegionWithRealConflictDegradesToSerialWithReason) {
       "}\n");
   ASSERT_TRUE(a.ok) << a.diagnostics.format();
   ASSERT_EQ(a.scops.size(), 1u);
-  EXPECT_TRUE(a.scops[0].region);
-  EXPECT_FALSE(a.scops[0].transformed);
-  EXPECT_NE(a.scops[0].failure_reason.find("stays serial"),
+  const ScopReport& r = a.scops[0];
+  EXPECT_TRUE(r.region);
+  EXPECT_TRUE(r.transformed) << r.failure_reason;
+  EXPECT_TRUE(r.parallelized);
+  EXPECT_TRUE(r.fissioned);
+  EXPECT_EQ(r.fission_groups, 2u);
+  EXPECT_EQ(r.fission_parallel_groups, 2u);
+  // Two distributed loops, each with its own pragma, and the pure
+  // call reinserted under its guard.
+  std::size_t first =
+      a.final_source.find("#pragma omp parallel for");
+  ASSERT_NE(first, std::string::npos) << a.final_source;
+  EXPECT_NE(a.final_source.find("#pragma omp parallel for", first + 1),
             std::string::npos)
-      << a.scops[0].failure_reason;
-  EXPECT_EQ(a.final_source.find("#pragma omp"), std::string::npos);
-  // The undone nest keeps its original calls.
-  EXPECT_NE(a.final_source.find("scale(x[i])"), std::string::npos);
+      << a.final_source;
+  EXPECT_NE(a.final_source.find("scale(x[i])"), std::string::npos)
+      << a.final_source;
+  EXPECT_EQ(a.final_source.find("tmpConst_"), std::string::npos);
+}
+
+TEST(Chain, AdjacentSiblingNestsFuseIntoOneParallelLoop) {
+  // Two adjacent loops with identical headers and no crossing
+  // dependence: the chain fuses them before extraction, so one pragma
+  // covers both statements.
+  ChainArtifacts a = run_pure_chain(
+      "pure float scale(float x) { return 2.0f * x; }\n"
+      "pure float shift(float x) { return x + 3.0f; }\n"
+      "void k(float* a, float* b, float* x, int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    a[i] = scale(x[i]);\n"
+      "  for (int j = 0; j < n; j++)\n"
+      "    b[j] = shift(x[j]);\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  const ScopReport& r = a.scops[0];
+  EXPECT_TRUE(r.parallelized) << r.failure_reason;
+  EXPECT_EQ(r.fused_loops, 1u);
+  ASSERT_EQ(a.fusion_decisions.size(), 1u);
+  EXPECT_TRUE(a.fusion_decisions[0].fused);
+  // One pragma, one loop, both calls reinserted inside it.
+  std::size_t first =
+      a.final_source.find("#pragma omp parallel for");
+  ASSERT_NE(first, std::string::npos) << a.final_source;
+  EXPECT_EQ(a.final_source.find("#pragma omp parallel for", first + 1),
+            std::string::npos)
+      << a.final_source;
+  EXPECT_NE(a.final_source.find("scale("), std::string::npos);
+  EXPECT_NE(a.final_source.find("shift("), std::string::npos);
+}
+
+TEST(Chain, CrossingDependenceBlocksFusionWithReason) {
+  // The second loop reads what the first one writes at a shifted
+  // index, so fusing would break the producer/consumer order. The
+  // decision log must carry the rejection and both loops still
+  // parallelize on their own.
+  ChainArtifacts a = run_pure_chain(
+      "pure float scale(float x) { return 2.0f * x; }\n"
+      "void k(float* a, float* b, float* x, int n) {\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    a[i] = scale(x[i]);\n"
+      "  for (int j = 0; j < n; j++)\n"
+      "    b[j] = a[j + 1];\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.fusion_decisions.size(), 1u);
+  EXPECT_FALSE(a.fusion_decisions[0].fused);
+  EXPECT_NE(a.fusion_decisions[0].reason.find("fusion-preventing"),
+            std::string::npos)
+      << a.fusion_decisions[0].reason;
+  ASSERT_EQ(a.scops.size(), 2u);
+  EXPECT_TRUE(a.scops[0].parallelized);
+  EXPECT_TRUE(a.scops[1].parallelized);
+  EXPECT_EQ(a.scops[0].fused_loops, 0u);
+}
+
+TEST(Chain, WrittenBeforeReadScalarIsPrivatized) {
+  // `t` is written before read on every iteration and dead after the
+  // nest, so the pragma privatizes it instead of serializing.
+  ChainArtifacts a = run_pure_chain(
+      "pure float half(float x) { return 0.5f * x; }\n"
+      "void k(float** out, float* in, float* w, int n, int m) {\n"
+      "  float t;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    t = half(in[i]);\n"
+      "    for (int j = 0; j < m; j++)\n"
+      "      out[i][j] = t * w[j];\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  const ScopReport& r = a.scops[0];
+  EXPECT_TRUE(r.parallelized) << r.failure_reason;
+  ASSERT_EQ(r.privatized.size(), 1u);
+  EXPECT_EQ(r.privatized[0], "t");
+  EXPECT_NE(a.final_source.find("private(t)"), std::string::npos)
+      << a.final_source;
+}
+
+TEST(Chain, LiveOutScalarIsNotPrivatized) {
+  // Same temp-carrying shape, but `t` is read after the nest: its
+  // final value must survive, so privatization is off the table. The
+  // outer loop stays serial; only the inner loop (where `t` is
+  // read-only) may pick up a pragma.
+  ChainArtifacts a = run_pure_chain(
+      "pure float half(float x) { return 0.5f * x; }\n"
+      "float k(float** out, float* in, float* w, int n, int m) {\n"
+      "  float t = 0.0f;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    t = half(in[i]);\n"
+      "    for (int j = 0; j < m; j++)\n"
+      "      out[i][j] = t * w[j];\n"
+      "  }\n"
+      "  return t;\n"
+      "}\n");
+  ASSERT_TRUE(a.ok) << a.diagnostics.format();
+  ASSERT_EQ(a.scops.size(), 1u);
+  EXPECT_TRUE(a.scops[0].privatized.empty());
+  EXPECT_EQ(a.final_source.find("private(t)"), std::string::npos)
+      << a.final_source;
+  // Any pragma must sit on the inner loop, after the serial outer one.
+  std::size_t outer = a.final_source.find("for (int i");
+  std::size_t pragma = a.final_source.find("#pragma omp");
+  ASSERT_NE(outer, std::string::npos);
+  if (pragma != std::string::npos) EXPECT_GT(pragma, outer);
 }
 
 TEST(Chain, IteratorReadAfterNestDegradesToSerial) {

@@ -383,5 +383,218 @@ TEST(Dependence, ToStringIsInformative) {
   EXPECT_NE(s.find("level"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Loop fission (distribution by dependence SCC)
+// ---------------------------------------------------------------------------
+
+TEST(Fission, SerialScanSplitsFromParallelStatement) {
+  // S0 is a prefix scan (carried self-dependence), S1 is independent:
+  // two groups, the scan's serial and the map's parallel.
+  auto r = analyze(
+      "float* acc; float* in; float* out;\n"
+      "void k(int n) {\n"
+      "  for (int i = 1; i < n; i++) {\n"
+      "    acc[i] = acc[i - 1] + in[i];\n"
+      "    out[i] = in[i] * 2.0f;\n"
+      "  }\n"
+      "}\n");
+  const std::vector<FissionGroup> groups =
+      fission_groups(r.scop, r.deps, {});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].statements, (std::vector<std::size_t>{0}));
+  EXPECT_FALSE(groups[0].parallel);
+  EXPECT_EQ(groups[1].statements, (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(groups[1].parallel);
+}
+
+TEST(Fission, CyclicStatementsStayInOneGroup) {
+  // S0 reads c[i-1] (written by S1), S1 reads a[i] (written by S0): one
+  // SCC, fission cannot separate anything.
+  auto r = analyze(
+      "float* a; float* c; float* x;\n"
+      "void k(int n) {\n"
+      "  for (int i = 1; i < n; i++) {\n"
+      "    a[i] = x[i] * c[i - 1];\n"
+      "    c[i] = a[i] * 0.5f;\n"
+      "  }\n"
+      "}\n");
+  const std::vector<FissionGroup> groups =
+      fission_groups(r.scop, r.deps, {});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].statements.size(), 2u);
+  EXPECT_FALSE(groups[0].parallel);
+}
+
+TEST(Fission, IndependentParallelStatementsMergeIntoOneGroup) {
+  // No dependence links the two statements and both are parallel: the
+  // greedy merge keeps them in one loop (no pointless distribution).
+  auto r = analyze(
+      "float* a; float* b; float* x;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    a[i] = x[i] * 2.0f;\n"
+      "    b[i] = x[i] + 3.0f;\n"
+      "  }\n"
+      "}\n");
+  const std::vector<FissionGroup> groups =
+      fission_groups(r.scop, r.deps, {});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].statements.size(), 2u);
+  EXPECT_TRUE(groups[0].parallel);
+}
+
+TEST(Fission, LoopIndependentProducerConsumerSplitsIntoTwoParallelLoops) {
+  // S1 reads what S0 wrote one iteration earlier. The crossing flow
+  // dependence is root-carried, so the loops cannot merge — but each
+  // half on its own is parallel (distribution runs all writes first).
+  auto r = analyze(
+      "float* a; float* c; float* x;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 1; i < n; i++) {\n"
+      "    a[i] = x[i] * 2.0f;\n"
+      "    c[i] = a[i - 1];\n"
+      "  }\n"
+      "}\n");
+  const std::vector<FissionGroup> groups =
+      fission_groups(r.scop, r.deps, {});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_TRUE(groups[0].parallel);
+  EXPECT_TRUE(groups[1].parallel);
+}
+
+TEST(Fission, GroupRestrictedParallelismIgnoresOtherGroups) {
+  auto r = analyze(
+      "float* acc; float* in; float* out;\n"
+      "void k(int n) {\n"
+      "  for (int i = 1; i < n; i++) {\n"
+      "    acc[i] = acc[i - 1] + in[i];\n"
+      "    out[i] = in[i] * 2.0f;\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(r.scop.statements.size(), 2u);
+  // Whole nest: the scan serializes loop 0.
+  EXPECT_FALSE(loop_is_parallel_for_group(
+      r.deps, 0, std::vector<bool>{true, true}, {}));
+  // Restricted to the map statement alone: parallel.
+  EXPECT_TRUE(loop_is_parallel_for_group(
+      r.deps, 0, std::vector<bool>{false, true}, {}));
+}
+
+// ---------------------------------------------------------------------------
+// Scalar privatization
+// ---------------------------------------------------------------------------
+
+TEST(Privatization, WrittenBeforeReadScalarIsPrivatizable) {
+  // `t` is assigned (no read) at the top of every iteration of i, then
+  // read by the inner loop: a per-thread copy carries no value across
+  // iterations of i.
+  auto r = analyze(
+      "float** out; float* in; float* w;\n"
+      "void k(int n, int m) {\n"
+      "  float t;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    t = in[i] * 0.5f;\n"
+      "    for (int j = 0; j < m; j++)\n"
+      "      out[i][j] = t * w[j];\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(privatizable_scalars(r.scop, 0),
+            (std::vector<std::string>{"t"}));
+  // The scalar's carried dependences are what serialize the loop; once
+  // marked private, the loop is parallel.
+  EXPECT_FALSE(loop_is_parallel(r.deps, 0));
+  EXPECT_TRUE(loop_is_parallel_for_group(
+      r.deps, 0, std::vector<bool>(r.scop.statements.size(), true),
+      {"t"}));
+  mark_private_dependences(r.deps, {"t"});
+  EXPECT_TRUE(loop_is_parallel(r.deps, 0));
+}
+
+TEST(Privatization, ReadBeforeWriteScalarIsNot) {
+  // `t` carries a real recurrence (read of the previous iteration's
+  // value before the write): not privatizable.
+  auto r = analyze(
+      "float* out; float* in;\n"
+      "void k(int n) {\n"
+      "  float t;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    out[i] = t + in[i];\n"
+      "    t = in[i] * 0.5f;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(privatizable_scalars(r.scop, 0).empty());
+}
+
+TEST(Privatization, GuardedFirstWriteIsNot) {
+  // The write only happens under a guard, so some iterations read a
+  // stale value: not privatizable.
+  auto r = analyze(
+      "float* out; float* in;\n"
+      "void k(int n, int m) {\n"
+      "  float t;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i < m)\n"
+      "      t = in[i];\n"
+      "    out[i] = t;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(privatizable_scalars(r.scop, 0).empty());
+}
+
+TEST(Privatization, ReductionAccumulatorIsExcluded) {
+  // `s += ...` is a recognized reduction: the accumulator belongs to the
+  // reduction clause, never to private(...).
+  auto r = analyze(
+      "float* in;\n"
+      "float k(int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; i++)\n"
+      "    s = s + in[i];\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_TRUE(privatizable_scalars(r.scop, 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fusion legality (over a trial-merged scop)
+// ---------------------------------------------------------------------------
+
+TEST(Fusion, BlockerDistinguishesCrossingFromLocalDependences) {
+  // Fused body shape: S0 writes a[i], S1 reads a[i+1] — a root-carried
+  // anti dependence crossing the (position) boundary between the
+  // original loops. fusion_blocker must flag it as crossing.
+  auto crossing_case = analyze(
+      "float* a; float* b;\n"
+      "void k(int n) {\n"
+      "  for (int i = 0; i < n - 1; i++) {\n"
+      "    a[i] = b[i];\n"
+      "    b[i] = a[i + 1];\n"
+      "  }\n"
+      "}\n");
+  ASSERT_FALSE(loop_is_parallel(crossing_case.deps, 0));
+  bool crossing = false;
+  const Dependence* blocker = fusion_blocker(
+      crossing_case.scop, crossing_case.deps, 1, &crossing);
+  ASSERT_NE(blocker, nullptr);
+  EXPECT_TRUE(crossing);
+
+  // One half already serial on its own (scan in the first loop): the
+  // blocker sits within positions < boundary, not across it.
+  auto local_case = analyze(
+      "float* a; float* b; float* x;\n"
+      "void k(int n) {\n"
+      "  for (int i = 1; i < n; i++) {\n"
+      "    a[i] = a[i - 1] + x[i];\n"
+      "    b[i] = x[i];\n"
+      "  }\n"
+      "}\n");
+  ASSERT_FALSE(loop_is_parallel(local_case.deps, 0));
+  crossing = true;
+  blocker = fusion_blocker(local_case.scop, local_case.deps, 1, &crossing);
+  ASSERT_NE(blocker, nullptr);
+  EXPECT_FALSE(crossing);
+  EXPECT_EQ(blocker->array, "a");
+}
+
 }  // namespace
 }  // namespace purec::poly

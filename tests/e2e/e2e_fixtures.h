@@ -832,6 +832,164 @@ int main() {
 }
 )";
 
+// A nest fission must split: the prefix-scan statement carries a true
+// dependence on itself (acc[i] reads acc[i-1]) while the map statement
+// is independent. Distribution emits the scan as a bare serial loop and
+// the map under its own parallel pragma — the canonical Allen–Kennedy
+// outcome, pinned per config.
+inline constexpr const char* kRunFissionSplit = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+pure float twice(float x) {
+  return 2.0f * x;
+}
+
+void split(float* acc, float* out, float* in, int n) {
+  for (int i = 0; i < n; i++) {
+    if (i > 0)
+      acc[i] = acc[i - 1] + in[i];
+    out[i] = twice(in[i]);
+  }
+}
+
+int main() {
+  int n = 4096;
+  float* acc = (float*)malloc(n * sizeof(float));
+  float* out = (float*)malloc(n * sizeof(float));
+  float* in = (float*)malloc(n * sizeof(float));
+  for (int i = 0; i < n; i++) {
+    in[i] = (float)((i * 7 + 3) % 23);
+    acc[i] = 0.0f;
+  }
+  acc[0] = in[0];
+  split(acc, out, in, n);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++)
+    checksum += (double)acc[i] * (i % 5) + (double)out[i];
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
+// Two adjacent sibling nests with matching headers and no crossing
+// dependence: the chain fuses them into one loop before extraction, so a
+// single parallel pragma covers both statements. main fills its input in
+// one loop on purpose — the fixture pins exactly one fusion decision.
+inline constexpr const char* kRunFusedSiblings = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+pure float scale(float x) {
+  return 2.0f * x;
+}
+
+pure float shift(float x) {
+  return x + 3.0f;
+}
+
+void both(float* a, float* b, float* x, int n) {
+  for (int i = 0; i < n; i++)
+    a[i] = scale(x[i]);
+  for (int j = 0; j < n; j++)
+    b[j] = shift(x[j]);
+}
+
+int main() {
+  int n = 4096;
+  float* a = (float*)malloc(n * sizeof(float));
+  float* b = (float*)malloc(n * sizeof(float));
+  float* x = (float*)malloc(n * sizeof(float));
+  for (int i = 0; i < n; i++)
+    x[i] = (float)((i * 11 + 2) % 31);
+  both(a, b, x, n);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++)
+    checksum += (double)a[i] + (double)b[i] * 0.5;
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
+// A function-scope temporary written at the top of every iteration and
+// dead after the nest: privatization turns the loop-carried anti/output
+// dependences on `t` into private(t), and the outer loop parallelizes
+// instead of serializing on the scalar.
+inline constexpr const char* kRunPrivateTmp = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+pure float half(float x) {
+  return 0.5f * x;
+}
+
+void sweep(float** out, float* in, float* w, int n, int m) {
+  float t;
+  for (int i = 0; i < n; i++) {
+    t = half(in[i]);
+    for (int j = 0; j < m; j++)
+      out[i][j] = t * w[j];
+  }
+}
+
+int main() {
+  int n = 256;
+  int m = 64;
+  float** out = (float**)malloc(n * sizeof(float*));
+  float* in = (float*)malloc(n * sizeof(float));
+  float* w = (float*)malloc(m * sizeof(float));
+  for (int i = 0; i < n; i++) {
+    out[i] = (float*)malloc(m * sizeof(float));
+    in[i] = (float)((i * 3 + 1) % 19);
+  }
+  for (int j = 0; j < m; j++)
+    w[j] = (float)((j * 5 + 2) % 13);
+  sweep(out, in, w, n, m);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < m; j++)
+      checksum += (double)out[i][j] * ((i + j) % 3);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
+// A disjunctive guard (`i < m || i > m + 4`) with an else branch: the
+// model splits the then-statement into one convex-domain copy per
+// disjunct, the three statement domains are pairwise disjoint, and the
+// loop proves parallel instead of being rejected as non-affine.
+inline constexpr const char* kRunDisjunctiveGuard = R"(
+#include <stdio.h>
+#include <stdlib.h>
+
+pure float twice(float x) {
+  return 2.0f * x;
+}
+
+void mask(float* out, float* in, int n, int m) {
+  for (int i = 0; i < n; i++) {
+    if (i < m || i > m + 4)
+      out[i] = twice(in[i]);
+    else
+      out[i] = 0.0f;
+  }
+}
+
+int main() {
+  int n = 4096;
+  float* out = (float*)malloc(n * sizeof(float));
+  float* in = (float*)malloc(n * sizeof(float));
+  for (int i = 0; i < n; i++)
+    in[i] = (float)((i * 13 + 7) % 29);
+  mask(out, in, n, n / 2);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++)
+    checksum += (double)out[i] * (i % 7 + 1);
+  printf("checksum %.6f\n", checksum);
+  return 0;
+}
+)";
+
 /// The complete corpus: every fixture in tests/test_sources.h plus every
 /// paper listing checked in under assets/c/.
 inline std::vector<Fixture> all_fixtures() {
@@ -890,6 +1048,16 @@ inline std::vector<Fixture> all_fixtures() {
       {"min_reduce", kRunMinReduce, false, kRunMinReduce, true, true},
       {"guarded_reduce", kRunGuardedReduce, false, kRunGuardedReduce, true,
        true},
+      // Region scheduling (fission / fusion / privatization / guard
+      // splitting): each pins its emitted shape per config and runs the
+      // serial-vs-parallel differential.
+      {"fission_split", kRunFissionSplit, false, kRunFissionSplit, true,
+       true},
+      {"fused_siblings", kRunFusedSiblings, false, kRunFusedSiblings, true,
+       true},
+      {"private_tmp", kRunPrivateTmp, false, kRunPrivateTmp, true, true},
+      {"disjunctive_guard", kRunDisjunctiveGuard, false,
+       kRunDisjunctiveGuard, true, true},
       {"matmul_plain", testsrc::kMatmulPlain, false, kRunMatmulPlain, true,
        true, /*infer=*/true},
       {"heat_plain", testsrc::kHeatPlain, false, kRunHeatPlain, true, true,

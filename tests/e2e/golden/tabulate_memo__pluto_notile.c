@@ -279,12 +279,6 @@ int main()
     for (int t1 = 0; t1 <= n - 1; t1++)
     {
       vals[t1] = (t1 * 37 + 11) % 32;
-    }
-  }
-  {
-#pragma omp parallel for
-    for (int t1 = 0; t1 <= n - 1; t1++)
-    {
       out[t1] = 0.0f;
     }
   }

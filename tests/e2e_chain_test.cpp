@@ -351,7 +351,8 @@ TEST(E2ECorpus, RegionFixturesKeepRunnableDifferentials) {
   const std::vector<Fixture> fixtures = all_fixtures();
   for (const char* name :
        {"guarded_update", "while_loop", "imperfect_nest", "strided_lower",
-        "dot_reduce", "min_reduce", "guarded_reduce"}) {
+        "dot_reduce", "min_reduce", "guarded_reduce", "fission_split",
+        "fused_siblings", "private_tmp", "disjunctive_guard"}) {
     const auto it = std::find_if(
         fixtures.begin(), fixtures.end(),
         [&](const Fixture& f) { return std::string(f.name) == name; });

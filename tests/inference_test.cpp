@@ -455,6 +455,70 @@ TEST(ExternEffects, MemsetAndMemmoveFollowTheSameRule) {
   EXPECT_NE(bad.impurity_reason.find("'memset'"), std::string::npos);
 }
 
+TEST(ExternEffects, StringCopyFamilyIsWritesArg0) {
+  for (const char* name : {"strcpy", "strncpy", "strcat"}) {
+    ASSERT_NE(extern_effect(name), nullptr) << name;
+    EXPECT_EQ(extern_effect(name)->kind, ExternEffectKind::WritesArg0)
+        << name;
+  }
+}
+
+TEST(ExternEffects, StringScannerFamilyIsReadOnly) {
+  for (const char* name : {"strcspn", "strspn", "strstr"}) {
+    ASSERT_NE(extern_effect(name), nullptr) << name;
+    EXPECT_EQ(extern_effect(name)->kind, ExternEffectKind::ReadOnly)
+        << name;
+  }
+}
+
+TEST(ExternEffects, StrcspnAndStrstrResolveNotPessimized) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int f(char* s, char* needle) {\n"
+      "  if (strstr(s, needle) != 0) return 1;\n"
+      "  return strcspn(s, needle) + strspn(s, needle);\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.callees.count("strstr"), 0u)
+      << "modeled externs are resolved, not pessimized";
+  EXPECT_EQ(s.extern_calls.count("strstr"), 1u);
+  EXPECT_EQ(s.extern_calls.count("strcspn"), 1u);
+  EXPECT_EQ(s.extern_calls.count("strspn"), 1u);
+}
+
+TEST(ExternEffects, StrcpyIntoLocalBufferStaysPure) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int f(char* src) {\n"
+      "  char buf[64];\n"
+      "  strcpy(buf, src);\n"
+      "  strcat(buf, src);\n"
+      "  return buf[0];\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.callees.count("strcpy"), 0u)
+      << "modeled externs are resolved, not pessimized";
+}
+
+TEST(ExternEffects, StrcpyThroughParameterIsAnEffect) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "void f(char* dst, char* src) {\n"
+      "  strcpy(dst, src);\n"
+      "}\n",
+      "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_TRUE(s.writes_unknown_pointer);
+  EXPECT_NE(s.impurity_reason.find("'strcpy'"), std::string::npos)
+      << s.impurity_reason;
+  EXPECT_NE(s.impurity_reason.find("caller or global"), std::string::npos);
+}
+
 TEST(ExternEffects, SnprintfBoundedWriteIntoLocalIsPure) {
   EffectsOutcome out;
   const EffectSummary s = effects_of(

@@ -337,9 +337,11 @@ TEST(RegionExtraction, ElseBranchGetsNegatedHalfSpace) {
   EXPECT_TRUE(else_domain.is_empty());
 }
 
-TEST(RegionExtraction, NotEqualGuardDisjunctiveOnThenAffineOnElse) {
+TEST(RegionExtraction, NotEqualGuardSplitsThenIntoTwoDisjuncts) {
   // A statement under the *then* of `!=` needs the disjunction i < m or
-  // i > m — no single polyhedron, rejected with a reason.
+  // i > m: the extractor now emits one statement copy per disjunct
+  // (sharing the source ast — codegen keeps the original `if`), each
+  // with a convex domain.
   auto r = extract_from(
       "float* a; float* b;\n"
       "void k(int n, int m) {\n"
@@ -350,8 +352,20 @@ TEST(RegionExtraction, NotEqualGuardDisjunctiveOnThenAffineOnElse) {
       "  }\n"
       "}\n",
       "k");
-  EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.failure_reason.find("disjunctive"), std::string::npos);
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  ASSERT_EQ(r.scop->statements.size(), 3u);
+  EXPECT_EQ(r.scop->statements[0].ast, r.scop->statements[1].ast);
+  EXPECT_EQ(r.scop->statements[0].position, r.scop->statements[1].position);
+  EXPECT_NE(r.scop->statements[0].ast, r.scop->statements[2].ast);
+  // First copy: i < m (i == m empties it, i < m admits points)...
+  ConstraintSystem low = r.scop->statements[0].domain;
+  low.add_equality({1, 0, -1}, 0);  // i - m == 0
+  EXPECT_TRUE(low.is_empty());
+  // ...second copy: i > m. The two copies are pairwise disjoint: asking
+  // the second for a point with i <= m must fail.
+  ConstraintSystem high = r.scop->statements[1].domain;
+  high.add_inequality({-1, 0, 1}, 0);  // m - i >= 0
+  EXPECT_TRUE(high.is_empty());
 
   // The *else* of `!=` is the affine equality i == m.
   auto ok = extract_from(
@@ -368,13 +382,88 @@ TEST(RegionExtraction, NotEqualGuardDisjunctiveOnThenAffineOnElse) {
   ASSERT_TRUE(ok.ok()) << ok.failure_reason;
   ASSERT_EQ(ok.scop->statements.size(), 1u);
   // The else domain pins i == m: i <= m - 1 makes it empty...
-  ConstraintSystem low = ok.scop->statements[0].domain;
-  low.add_inequality({-1, 0, 1}, -1);  // m - i - 1 >= 0
-  EXPECT_TRUE(low.is_empty());
+  ConstraintSystem else_low = ok.scop->statements[0].domain;
+  else_low.add_inequality({-1, 0, 1}, -1);  // m - i - 1 >= 0
+  EXPECT_TRUE(else_low.is_empty());
   // ...and so does i >= m + 1.
-  ConstraintSystem high = ok.scop->statements[0].domain;
-  high.add_inequality({1, 0, -1}, -1);  // i - m - 1 >= 0
-  EXPECT_TRUE(high.is_empty());
+  ConstraintSystem else_high = ok.scop->statements[0].domain;
+  else_high.add_inequality({1, 0, -1}, -1);  // i - m - 1 >= 0
+  EXPECT_TRUE(else_high.is_empty());
+}
+
+TEST(RegionExtraction, DisjunctiveOrGuardSplitsIntoUnionOfDomains) {
+  // `i < m || i > m + 4`: two convex disjuncts, one statement copy each,
+  // plus the else statement covering the gap [m, m+4].
+  auto r = extract_from(
+      "float* a; float* b;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i < m || i > m + 4)\n"
+      "      a[i] = 1.0f;\n"
+      "    else\n"
+      "      b[i] = 2.0f;\n"
+      "  }\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  ASSERT_EQ(r.scop->statements.size(), 3u);
+  EXPECT_EQ(r.scop->statements[0].ast, r.scop->statements[1].ast);
+  // Copy 0 admits only i < m...
+  ConstraintSystem c0 = r.scop->statements[0].domain;
+  c0.add_inequality({1, 0, -1}, 0);  // i - m >= 0
+  EXPECT_TRUE(c0.is_empty());
+  // ...copy 1 only i > m + 4...
+  ConstraintSystem c1 = r.scop->statements[1].domain;
+  c1.add_inequality({-1, 0, 1}, 4);  // m + 4 - i >= 0
+  EXPECT_TRUE(c1.is_empty());
+  // ...and the else statement exactly the negation: m <= i <= m + 4.
+  ConstraintSystem e_low = r.scop->statements[2].domain;
+  e_low.add_inequality({-1, 0, 1}, -1);  // m - i - 1 >= 0 (i < m)
+  EXPECT_TRUE(e_low.is_empty());
+  ConstraintSystem e_high = r.scop->statements[2].domain;
+  e_high.add_inequality({1, 0, -1}, -5);  // i - m - 5 >= 0 (i > m + 4)
+  EXPECT_TRUE(e_high.is_empty());
+}
+
+TEST(RegionExtraction, GuardDisjunctCountIsCapped) {
+  // Each `!=` doubles the disjunct count; three of them want 8 > 4
+  // disjuncts, which the cap rejects with a located reason (quadratic
+  // dependence-analysis cost).
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i != m && i != m + 2 && i != m + 4)\n"
+      "      a[i] = 1.0f;\n"
+      "  }\n"
+      "}\n",
+      "k");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.failure_reason.find("more than"), std::string::npos)
+      << r.failure_reason;
+}
+
+TEST(RegionExtraction, NegatedConjunctionLowersToDisjunctionOfNegations) {
+  // `!(i >= 2 && i < m)` = i < 2 or i >= m: two copies.
+  auto r = extract_from(
+      "float* a;\n"
+      "void k(int n, int m) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (!(i >= 2 && i < m))\n"
+      "      a[i] = 1.0f;\n"
+      "  }\n"
+      "}\n",
+      "k");
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  ASSERT_EQ(r.scop->statements.size(), 2u);
+  // Copy 0: i < 2.
+  ConstraintSystem c0 = r.scop->statements[0].domain;
+  c0.add_inequality({1, 0, 0}, -2);  // i - 2 >= 0
+  EXPECT_TRUE(c0.is_empty());
+  // Copy 1: i >= m.
+  ConstraintSystem c1 = r.scop->statements[1].domain;
+  c1.add_inequality({-1, 0, 1}, -1);  // m - i - 1 >= 0
+  EXPECT_TRUE(c1.is_empty());
 }
 
 TEST(RegionExtraction, CompoundGuardFoldsAsConjunction) {

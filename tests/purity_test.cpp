@@ -473,6 +473,32 @@ TEST(Purity, PureFunctionMayNotCallWritesArg0Extern) {
       << out.diags.format();
 }
 
+TEST(Purity, PureFunctionMayCallStringScanners) {
+  // strstr/strcspn/strspn joined the extern effect database as ReadOnly:
+  // a verified-pure body may call them without pessimization.
+  auto out = check(
+      "pure int score(pure char* s, pure char* set) {\n"
+      "  if (strstr(s, set) != 0) return 2;\n"
+      "  return strspn(s, set) + strcspn(s, set);\n"
+      "}\n");
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
+}
+
+TEST(Purity, PureFunctionMayNotStrcpyIntoParameter) {
+  // strcpy/strncpy/strcat are WritesArg0: through a parameter the write
+  // reaches caller memory, so the verifier rejects it with the same
+  // provenance-based reason as inference.
+  auto out = check(
+      "pure int copy(pure char* d, pure char* s) {\n"
+      "  strcpy(d, s);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(out.diags.has_error_containing("strcpy"))
+      << out.diags.format();
+  EXPECT_TRUE(out.diags.has_error_containing("caller or global"))
+      << out.diags.format();
+}
+
 // The WritesArg0 asymmetry fix: the declared-pure verifier consults the
 // same provenance reasoning as inference, so each modeled extern writing
 // into provably function-local storage verifies in a `pure` body too.
