@@ -42,19 +42,33 @@
 //                          --report text is a renderer over the same
 //                          structure (transform/chain_report.h)
 //     --instrument         emit self-contained observability counters into
-//                          the output C: per-region invocations/wall-time
-//                          and cache-line-padded per-worker chunk tallies,
-//                          dumped at exit as a human summary (PUREC_STATS_FILE
-//                          or stderr) or as Chrome trace-event JSON under
-//                          PUREC_TRACE=FILE
+//                          the output C: per-region invocations/wall-time,
+//                          a log-bucketed wall-time histogram (p50/p90/p99
+//                          in the summary), and cache-line-padded
+//                          per-worker chunk tallies, dumped at exit as a
+//                          human summary (PUREC_STATS_FILE or stderr) or as
+//                          Chrome trace-event JSON under PUREC_TRACE=FILE
+//
+//   purecc trace [--report report.json] trace.json
+//     Analyze a recorded trace: per-region wall time, worker imbalance,
+//     steal ratios, barrier/memo behavior; with --report, each region is
+//     joined (by region_id) to the compiler's schedule decisions.
+//
+//   purecc trace --diff baseline.json candidate.json [--threshold F]
+//     Region-by-region wall-time comparison; exits 1 when any region
+//     regressed by more than F (fractional, default 0.2 = 20%) — the CI
+//     perf gate.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "tools/trace_analysis.h"
 #include "transform/chain_report.h"
 #include "transform/pure_chain.h"
 
@@ -68,14 +82,96 @@ int usage(const char* argv0) {
                "          [--inline-pure] [--infer-pure] "
                "[--memoize[=all]] [--fp-reductions]\n"
                "          [--gcc-attributes] [--instrument]\n"
-               "          [--stage NAME] [--report[=json[:FILE]]] input.c\n",
-               argv0);
+               "          [--stage NAME] [--report[=json[:FILE]]] input.c\n"
+               "       %s trace [--report report.json] trace.json\n"
+               "       %s trace --diff baseline.json candidate.json "
+               "[--threshold F]\n",
+               argv0, argv0, argv0);
   return 2;
+}
+
+int trace_main(int argc, char** argv) {
+  std::string report_path;
+  std::vector<std::string> trace_paths;
+  double threshold = 0.2;
+  bool diff = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      report_path = v;
+    } else if (arg == "--diff") {
+      diff = true;
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      char* end = nullptr;
+      threshold = std::strtod(v, &end);
+      if (end == nullptr || *end != '\0' || threshold < 0.0) {
+        std::fprintf(stderr, "purecc: invalid --threshold '%s'\n", v);
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      trace_paths.push_back(arg);
+    }
+  }
+  if (diff ? trace_paths.size() != 2 : trace_paths.size() != 1) {
+    return usage(argv[0]);
+  }
+
+  std::optional<purec::json::Value> report;
+  if (!report_path.empty()) {
+    std::string error;
+    report = purec::tools::load_json_file(report_path, &error);
+    if (!report.has_value()) {
+      std::fprintf(stderr, "purecc: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<purec::tools::TraceSummary> summaries;
+  for (const std::string& path : trace_paths) {
+    std::string error;
+    const std::optional<purec::json::Value> trace =
+        purec::tools::load_json_file(path, &error);
+    if (!trace.has_value()) {
+      std::fprintf(stderr, "purecc: %s\n", error.c_str());
+      return 2;
+    }
+    const std::optional<purec::tools::TraceSummary> summary =
+        purec::tools::analyze_trace(
+            *trace, report.has_value() ? &*report : nullptr, &error);
+    if (!summary.has_value()) {
+      std::fprintf(stderr, "purecc: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    summaries.push_back(*summary);
+  }
+
+  if (diff) {
+    const purec::tools::TraceDiff result =
+        purec::tools::diff_traces(summaries[0], summaries[1], threshold);
+    std::fputs(result.text.c_str(), stdout);
+    return result.regression ? 1 : 0;
+  }
+  std::fputs(purec::tools::render_trace_summary(summaries[0]).c_str(),
+             stdout);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "trace") == 0) {
+    return trace_main(argc, argv);
+  }
   std::string input_path;
   std::string output_path;
   std::string stage;

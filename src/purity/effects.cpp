@@ -588,6 +588,21 @@ const ExternEffect* extern_effect(const std::string& name) {
       {"fmaxf", {ExternEffectKind::ReadOnly}},
       {"fabsf", {ExternEffectKind::ReadOnly}},
       {"sqrtf", {ExternEffectKind::ReadOnly}},
+      // ctype.h classifiers/converters: value in, value out. Sound under
+      // the "C" locale assumption the chain already makes everywhere
+      // (glibc implements them as table lookups; the chain never calls
+      // setlocale, and emitted programs do not either).
+      {"isalpha", {ExternEffectKind::ReadOnly}},
+      {"isdigit", {ExternEffectKind::ReadOnly}},
+      {"isspace", {ExternEffectKind::ReadOnly}},
+      {"tolower", {ExternEffectKind::ReadOnly}},
+      {"toupper", {ExternEffectKind::ReadOnly}},
+      // Numeric parsers that only *read* their argument string. (The
+      // strtol family is deliberately absent: the endptr out-parameter is
+      // a write the model would have to track.) atoi/atol on invalid
+      // input are UB per the standard, so errno is not a concern.
+      {"atoi", {ExternEffectKind::ReadOnly}},
+      {"atol", {ExternEffectKind::ReadOnly}},
   };
   const auto it = kDatabase.find(name);
   return it == kDatabase.end() ? nullptr : &it->second;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "runtime/stats.h"
+#include "runtime/trace.h"
 
 namespace purec::rt {
 
@@ -81,6 +82,26 @@ MemoCache::MemoCache(MemoConfig config) {
 MemoCache::~MemoCache() = default;
 
 bool MemoCache::lookup(std::uint64_t key, std::uint64_t* value) noexcept {
+  if constexpr (stats::kEnabled || trace::kEnabled) {
+    const std::uint64_t begin_ns = stats::now_ns();
+    const bool hit = lookup_impl(key, value);
+    const std::uint64_t end_ns = stats::now_ns();
+    stats::record_memo_probe_ns(end_ns - begin_ns);
+    if constexpr (trace::kEnabled) {
+      if (trace::active()) {
+        trace::record(stats::current_worker(),
+                      hit ? trace::EventKind::MemoHit
+                          : trace::EventKind::MemoMiss,
+                      begin_ns, end_ns);
+      }
+    }
+    return hit;
+  }
+  return lookup_impl(key, value);
+}
+
+bool MemoCache::lookup_impl(std::uint64_t key,
+                            std::uint64_t* value) noexcept {
   Shard& shard = shard_for(key);
   for (std::size_t i = 0; i < probe_window_; ++i) {
     Slot& slot = shard.slots[(key + i) & slot_mask_];

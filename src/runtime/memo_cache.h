@@ -131,6 +131,11 @@ class MemoCache {
     return shards_[(key >> 40) & shard_mask_];
   }
 
+  /// The uninstrumented probe; lookup() wraps it with the latency
+  /// histogram and trace hooks (which compile to nothing by default).
+  [[nodiscard]] bool lookup_impl(std::uint64_t key,
+                                 std::uint64_t* value) noexcept;
+
   std::size_t shards_n_ = 1;
   std::uint64_t shard_mask_ = 0;
   std::uint64_t slot_mask_ = 0;   // per-shard slot count - 1

@@ -10,6 +10,47 @@ Counters& counters() noexcept {
   return instance;
 }
 
+namespace {
+thread_local std::size_t tls_worker = 0;
+}  // namespace
+
+std::size_t current_worker() noexcept { return tls_worker; }
+
+void set_current_worker(std::size_t worker) noexcept {
+  tls_worker = worker & (kMaxWorkers - 1);
+}
+
+HistSnapshot snapshot_hist(const HistRow* rows) noexcept {
+  HistSnapshot snapshot;
+  for (std::size_t w = 0; w < kMaxWorkers; ++w) {
+    for (int c = 0; c < kHistCells; ++c) {
+      const std::uint64_t n =
+          rows[w].cells[c].load(std::memory_order_relaxed);
+      snapshot.cells[c] += n;
+      snapshot.count += n;
+    }
+  }
+  return snapshot;
+}
+
+std::uint64_t hist_percentile(const HistSnapshot& snapshot,
+                              unsigned percent) noexcept {
+  if (snapshot.count == 0) return 0;
+  // ceil(percent/100 * count), clamped to [1, count]: the rank of the
+  // observation the percentile names.
+  std::uint64_t target = (snapshot.count * percent + 99) / 100;
+  if (target == 0) target = 1;
+  if (target > snapshot.count) target = snapshot.count;
+  std::uint64_t cumulative = 0;
+  for (int c = 0; c < kHistCells; ++c) {
+    cumulative += snapshot.cells[c];
+    if (cumulative >= target) {
+      return hist_cell_upper(static_cast<std::size_t>(c));
+    }
+  }
+  return hist_cell_upper(kHistCells - 1);
+}
+
 std::uint64_t now_ns() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -62,6 +103,25 @@ void dump(std::FILE* out) {
     }
     std::fprintf(out, "\n");
   }
+  const auto dump_hist = [out](const char* label,
+                               const HistSnapshot& snapshot) {
+    if (snapshot.count == 0) return;
+    std::fprintf(out,
+                 "purec-rt[%s] count=%llu p50_ns=%llu p90_ns=%llu "
+                 "p99_ns=%llu max_ns=%llu\n",
+                 label,
+                 static_cast<unsigned long long>(snapshot.count),
+                 static_cast<unsigned long long>(
+                     hist_percentile(snapshot, 50)),
+                 static_cast<unsigned long long>(
+                     hist_percentile(snapshot, 90)),
+                 static_cast<unsigned long long>(
+                     hist_percentile(snapshot, 99)),
+                 static_cast<unsigned long long>(
+                     hist_percentile(snapshot, 100)));
+  };
+  dump_hist("region_hist", snapshot_region_hist());
+  dump_hist("memo_probe", snapshot_memo_hist());
 }
 
 void reset() noexcept {
@@ -79,6 +139,12 @@ void reset() noexcept {
   zero(c.memo_stores);
   zero(c.memo_evictions);
   for (std::size_t w = 0; w < kMaxWorkers; ++w) zero(c.chunks[w]);
+  for (std::size_t w = 0; w < kMaxWorkers; ++w) {
+    for (int cell = 0; cell < kHistCells; ++cell) {
+      c.region_hist[w].cells[cell].store(0, std::memory_order_relaxed);
+      c.memo_hist[w].cells[cell].store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 }  // namespace purec::rt::stats

@@ -1,5 +1,6 @@
 #include "support/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -144,6 +145,300 @@ std::string Value::dump(int indent) const {
   std::string out;
   write(out, indent, 0);
   return out;
+}
+
+namespace {
+
+/// Strict RFC 8259 recursive descent over a string_view. Depth-capped so
+/// adversarial nesting cannot blow the stack (the documents the tools
+/// read are a handful of levels deep).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] std::optional<Value> run(std::string* error) {
+    std::optional<Value> v = parse_value(0);
+    if (v.has_value()) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after document");
+        v.reset();
+      }
+    }
+    if (!v.has_value() && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Value> parse_value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case 'n':
+        if (consume_word("null")) return Value(nullptr);
+        break;
+      case 't':
+        if (consume_word("true")) return Value(true);
+        break;
+      case 'f':
+        if (consume_word("false")) return Value(false);
+        break;
+      case '"':
+        return parse_string();
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+    fail("invalid literal");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parse_array(int depth) {
+    ++pos_;  // '['
+    Value out = Value::array();
+    skip_ws();
+    if (consume(']')) return out;
+    for (;;) {
+      std::optional<Value> item = parse_value(depth + 1);
+      if (!item.has_value()) return std::nullopt;
+      out.push(std::move(*item));
+      skip_ws();
+      if (consume(']')) return out;
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Value> parse_object(int depth) {
+    ++pos_;  // '{'
+    Value out = Value::object();
+    skip_ws();
+    if (consume('}')) return out;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected string key in object");
+        return std::nullopt;
+      }
+      std::optional<Value> key = parse_string();
+      if (!key.has_value()) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      std::optional<Value> member = parse_value(depth + 1);
+      if (!member.has_value()) return std::nullopt;
+      out.set(key->as_string(), std::move(*member));
+      skip_ws();
+      if (consume('}')) return out;
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  [[nodiscard]] bool parse_hex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::optional<Value> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Value(std::move(out));
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(&cp)) {
+            fail("invalid \\u escape");
+            return std::nullopt;
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF &&
+              text_.substr(pos_, 2) == "\\u") {
+            // Surrogate pair: combine when the low half follows.
+            const std::size_t saved = pos_;
+            pos_ += 2;
+            unsigned low = 0;
+            if (parse_hex4(&low) && low >= 0xDC00 && low <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              pos_ = saved;
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape character");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // sign consumed
+    }
+    bool integral = true;
+    bool any_digit = false;
+    while (pos_ < text_.size() && text_[pos_] >= '0' &&
+           text_[pos_] <= '9') {
+      ++pos_;
+      any_digit = true;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (!any_digit) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Value(v);
+      }
+      // Out of int64 range: fall through to double.
+    }
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
 }
 
 void Value::write(std::string& out, int indent, int depth) const {

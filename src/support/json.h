@@ -12,11 +12,17 @@
 //    non-ASCII bytes pass through untouched (the writer does not try to
 //    validate UTF-8 — source text goes in, source text comes out).
 //
-// This is a writer, not a parser: the chain only ever *produces* JSON.
+// A recursive-descent parser (`parse`) rides along for the tools that
+// *consume* these documents — `purecc trace` ingests reports and Chrome
+// trace arrays the writers above produced. It accepts strict RFC 8259
+// input (no comments, no trailing commas) and reports the byte offset of
+// the first error.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -109,5 +115,13 @@ class Value {
 
 /// RFC 8259 string escaping, without the surrounding quotes.
 [[nodiscard]] std::string escape(const std::string& s);
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Returns std::nullopt on malformed input; when `error` is non-null it
+/// receives a one-line description with the byte offset of the failure.
+/// Numbers parse as Int when they are integral and fit std::int64_t,
+/// Double otherwise; \uXXXX escapes decode to UTF-8.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* error = nullptr);
 
 }  // namespace purec::json

@@ -48,7 +48,9 @@ json::Value build_chain_report(const ChainArtifacts& artifacts,
                                const ChainOptions& options) {
   json::Value report = json::Value::object();
   report.set("tool", "purecc");
-  report.set("report_version", 2);
+  // v3: scops[] entries carry region_id, the stable join key the runtime
+  // stamps on trace events (purecc trace joins the two by it).
+  report.set("report_version", 3);
   report.set("ok", artifacts.ok);
 
   json::Value opts = json::Value::object();
@@ -115,6 +117,8 @@ json::Value build_chain_report(const ChainArtifacts& artifacts,
               static_cast<std::int64_t>(r.fission_parallel_groups));
     entry.set("privatized", string_array(r.privatized));
     entry.set("fused_loops", static_cast<std::int64_t>(r.fused_loops));
+    entry.set("region_id", r.region_id < 0 ? json::Value(nullptr)
+                                           : json::Value(r.region_id));
     entry.set("reductions", string_array(r.reductions));
     entry.set("reduction_notes", string_array(r.reduction_notes));
     if (r.failure_reason.empty()) {

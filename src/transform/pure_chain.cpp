@@ -1031,6 +1031,11 @@ ChainArtifacts run_pure_chain(const std::string& source,
       // Wrap the transformed nest in a timing envelope and plant the
       // per-worker chunk tally in every parallel loop body. The region's
       // counter struct + registrar are emitted into the prelude below.
+      // The index doubles as the region's stable id: it is stamped into
+      // the report entry AND emitted into the region struct, so trace
+      // events join back to compiler decisions by args.region_id.
+      report.region_id =
+          static_cast<std::int64_t>(artifacts.instrumented_regions.size());
       instrument_region(*slot,
                         artifacts.instrumented_regions.size());
       artifacts.instrumented_regions.push_back(

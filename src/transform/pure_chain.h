@@ -147,6 +147,11 @@ struct ScopReport {
   /// Sibling loops fused into this nest before transformation (0 = the
   /// nest was not a fusion target).
   std::size_t fused_loops = 0;
+  /// Stable instrumentation region id (-1 when the scop was not
+  /// instrumented): the join key between this report entry and the
+  /// runtime's trace events (`args.region_id`). Assigned in emission
+  /// order, matching the emitted purec_instr_rN index.
+  std::int64_t region_id = -1;
 };
 
 /// One adjacent-sibling-loop fusion decision (taken or rejected), for the

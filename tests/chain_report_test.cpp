@@ -131,7 +131,7 @@ TEST(ChainReportSchema, EveryAcceptedFixtureCarriesTheFullDecisionTrail) {
     const json::Value report = build_chain_report(artifacts, options);
     ASSERT_EQ(report.kind(), json::Value::Kind::Object);
     EXPECT_EQ(report.find("tool")->as_string(), "purecc");
-    EXPECT_EQ(report.find("report_version")->as_int(), 2);
+    EXPECT_EQ(report.find("report_version")->as_int(), 3);
     EXPECT_TRUE(report.find("ok")->as_bool());
 
     // Options echo: every chain knob must be stated.
@@ -181,6 +181,9 @@ TEST(ChainReportSchema, EveryAcceptedFixtureCarriesTheFullDecisionTrail) {
       ASSERT_NE(scop.find("fission_groups"), nullptr) << where;
       ASSERT_NE(scop.find("fission_parallel_groups"), nullptr) << where;
       ASSERT_NE(scop.find("fused_loops"), nullptr) << where;
+      // v3: the region id join key is always stated (null when the scop
+      // was not instrumented).
+      ASSERT_NE(scop.find("region_id"), nullptr) << where;
       const json::Value* privatized = scop.find("privatized");
       ASSERT_NE(privatized, nullptr) << where;
       ASSERT_NE(privatized->as_array(), nullptr) << where;

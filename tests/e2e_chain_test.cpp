@@ -333,14 +333,68 @@ TEST(E2EInstrument, InstrumentedDifferentialAndChromeTrace) {
   EXPECT_EQ(traced_run, reference) << traced_run;
   const std::string trace = read_file(trace_path);
   ASSERT_FALSE(trace.empty()) << "PUREC_TRACE wrote nothing";
-  EXPECT_EQ(trace.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u)
-      << trace.substr(0, 120);
-  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  // Cooperative array format: a bare JSON array of events, opened with
+  // '[' and closed with ']' after every dump, so a second writer (the
+  // C++ runtime's PUREC_RT_TRACE dump) can splice its events in.
+  EXPECT_EQ(trace.rfind("[", 0), 0u) << trace.substr(0, 120);
+  EXPECT_NE(trace.find("\"ph\":\"M\""), std::string::npos)
+      << "no metadata events in the trace";
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
   EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos)
       << "no duration events in the trace";
-  const auto last_brace = trace.find_last_not_of(" \n\r\t");
-  ASSERT_NE(last_brace, std::string::npos);
-  EXPECT_EQ(trace[last_brace], '}') << "trace is not a closed JSON object";
+  EXPECT_NE(trace.find("\"region_id\":"), std::string::npos)
+      << "duration events carry no region_id join key";
+  const auto last_bracket = trace.find_last_not_of(" \n\r\t");
+  ASSERT_NE(last_bracket, std::string::npos);
+  EXPECT_EQ(trace[last_bracket], ']')
+      << "trace is not a closed JSON array";
+
+  // A second traced run against the SAME path must append cooperatively:
+  // still one valid array, now with both runs' events.
+  const std::string twice_run = run_cmd(
+      "PUREC_TRACE=" + shell_quote(trace_path) + " " +
+      shell_quote(bin_path));
+  EXPECT_EQ(twice_run, reference) << twice_run;
+  const std::string merged = read_file(trace_path);
+  EXPECT_GT(merged.size(), trace.size());
+  EXPECT_EQ(merged.rfind("[", 0), 0u);
+  const auto merged_last = merged.find_last_not_of(" \n\r\t");
+  ASSERT_NE(merged_last, std::string::npos);
+  EXPECT_EQ(merged[merged_last], ']')
+      << "second dump corrupted the cooperative array";
+  // Two dumps -> two process_name metadata events.
+  std::size_t meta_count = 0;
+  for (std::size_t at = merged.find("\"process_name\"");
+       at != std::string::npos;
+       at = merged.find("\"process_name\"", at + 1)) {
+    ++meta_count;
+  }
+  EXPECT_EQ(meta_count, 2u);
+
+  // PUREC_STATS_FILE is an append-mode sink: two runs dumping into one
+  // file must interleave as whole summaries (every region line present
+  // twice), so a batch of experiments can share one log.
+  const std::string stats_path = dir + "/purec_e2e_instr_stats.log";
+  std::remove(stats_path.c_str());
+  for (int run = 0; run < 2; ++run) {
+    const std::string stats_run = run_cmd(
+        "PUREC_STATS_FILE=" + shell_quote(stats_path) + " " +
+        shell_quote(bin_path));
+    EXPECT_EQ(stats_run, reference) << stats_run;
+  }
+  const std::string stats_log = read_file(stats_path);
+  ASSERT_FALSE(stats_log.empty()) << "PUREC_STATS_FILE wrote nothing";
+  for (const std::string& region : instrumented.instrumented_regions) {
+    const std::string needle = "purec-instr[" + region + "]";
+    std::size_t line_count = 0;
+    for (std::size_t at = stats_log.find(needle); at != std::string::npos;
+         at = stats_log.find(needle, at + 1)) {
+      ++line_count;
+    }
+    EXPECT_EQ(line_count, 2u) << needle << " in:\n" << stats_log;
+  }
+  // The histogram percentiles ride along in the summary lines.
+  EXPECT_NE(stats_log.find("p99_ns="), std::string::npos) << stats_log;
 }
 
 // tier1 smoke guard: the region-SCoP fixtures must stay in the corpus as

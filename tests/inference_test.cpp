@@ -471,6 +471,37 @@ TEST(ExternEffects, StringScannerFamilyIsReadOnly) {
   }
 }
 
+TEST(ExternEffects, CtypeClassifiersAndAtoiFamilyAreReadOnly) {
+  for (const char* name : {"isalpha", "isdigit", "isspace", "tolower",
+                           "toupper", "atoi", "atol"}) {
+    ASSERT_NE(extern_effect(name), nullptr) << name;
+    EXPECT_EQ(extern_effect(name)->kind, ExternEffectKind::ReadOnly)
+        << name;
+  }
+  // The strtol family stays unmodeled: endptr is an out-parameter write.
+  EXPECT_EQ(extern_effect("strtol"), nullptr);
+}
+
+TEST(ExternEffects, TokenizerUsingCtypeAndAtoiInfersPure) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int parse_score(char* s) {\n"
+      "  int acc = 0;\n"
+      "  while (isspace(s[0])) s = s + 1;\n"
+      "  if (isalpha(s[0])) return tolower(s[0]);\n"
+      "  if (isdigit(s[0])) acc = atoi(s);\n"
+      "  return acc + toupper(s[0]);\n"
+      "}\n",
+      "parse_score");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.callees.count("isalpha"), 0u)
+      << "modeled externs are resolved, not pessimized";
+  EXPECT_EQ(s.extern_calls.count("isspace"), 1u);
+  EXPECT_EQ(s.extern_calls.count("atoi"), 1u);
+  EXPECT_EQ(s.extern_calls.count("tolower"), 1u);
+}
+
 TEST(ExternEffects, StrcspnAndStrstrResolveNotPessimized) {
   EffectsOutcome out;
   const EffectSummary s = effects_of(

@@ -484,6 +484,20 @@ TEST(Purity, PureFunctionMayCallStringScanners) {
   EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
 }
 
+TEST(Purity, PureFunctionMayCallCtypeAndAtoi) {
+  // ctype.h classifiers/converters and atoi/atol joined the extern
+  // effect database as ReadOnly: a declared-pure body may call them and
+  // still verify.
+  auto out = check(
+      "pure int classify(pure char* s) {\n"
+      "  if (isspace(s[0])) return 0;\n"
+      "  if (isalpha(s[0])) return tolower(s[0]) - toupper(s[0]);\n"
+      "  if (isdigit(s[0])) return atoi(s) + (int)atol(s);\n"
+      "  return 1;\n"
+      "}\n");
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
+}
+
 TEST(Purity, PureFunctionMayNotStrcpyIntoParameter) {
   // strcpy/strncpy/strcat are WritesArg0: through a parameter the write
   // reaches caller memory, so the verifier rejects it with the same
