@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
@@ -45,6 +46,26 @@ namespace purec::bench {
   if (env == nullptr) return 1;
   const int reps = std::atoi(env);
   return reps > 0 ? reps : 1;
+}
+
+[[nodiscard]] inline unsigned bench_hardware_concurrency() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+/// Host-honesty fields every BENCH_*.json writer stamps right after its
+/// "benchmark" field: the node's hardware concurrency and a
+/// `container_1core` flag. When the flag is true (CI containers pinned to
+/// one core) every multi-worker row oversubscribes a single core — the
+/// numbers measure contention behavior, not scaling, and readers of the
+/// committed artifacts can tell which is which without knowing where the
+/// file was produced.
+inline void write_json_host_fields(std::FILE* out) {
+  const unsigned hc = bench_hardware_concurrency();
+  std::fprintf(out,
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"container_1core\": %s,\n",
+               hc, hc <= 1 ? "true" : "false");
 }
 
 /// The paper's ladder: 2^0 .. 2^6 cores. Values above the hardware

@@ -280,6 +280,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n  \"benchmark\": \"memo_hit_ratio\",\n");
+  purec::bench::write_json_host_fields(out);
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out,
                "  \"cache\": {\"shards\": %zu, \"capacity\": %zu},\n",

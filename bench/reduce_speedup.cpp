@@ -194,6 +194,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n  \"benchmark\": \"reduce_speedup\",\n");
+  purec::bench::write_json_host_fields(out);
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"n\": %lld,\n", static_cast<long long>(n));
   std::fprintf(out, "  \"rows\": [\n");

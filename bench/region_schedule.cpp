@@ -283,6 +283,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(json, "{\n  \"benchmark\": \"region_schedule\",\n");
+  purec::bench::write_json_host_fields(json);
   std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(json, "  \"n\": %lld,\n", static_cast<long long>(n));
   std::fprintf(json, "  \"rows\": [\n");

@@ -267,6 +267,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n  \"benchmark\": \"schedule_sweep\",\n");
+  purec::bench::write_json_host_fields(out);
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out,
                "  \"workload\": {\"name\": \"fig8_satellite\", \"width\": "

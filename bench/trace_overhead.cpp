@@ -196,6 +196,7 @@ int main() {
     return 1;
   }
   std::fprintf(out, "{\n  \"benchmark\": \"trace_overhead\",\n");
+  purec::bench::write_json_host_fields(out);
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out,
                "  \"workload\": {\"iterations\": 1024, \"chunk\": 16, "

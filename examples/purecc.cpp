@@ -23,6 +23,16 @@
 //                          by the cost gate
 //     --memoize=all        disable the cost gate (thunk every
 //                          memoizable function, for measurement)
+//     --memoize=verify     memoize with full-key verification compiled in
+//                          by default: slots store the raw argument/global
+//                          words and compare them on a hit, so the 2^-25
+//                          fingerprint-aliasing bound becomes opt-out
+//                          (PUREC_MEMO_VERIFY=0/1 overrides at run time)
+//     --memoize-profile=F  feed a PUREC_MEMO_STATS dump back into the
+//                          classifier: the shape-based cost gate is
+//                          replaced by the profile-informed model, keeping
+//                          only thunks whose observed reuse x callee cost
+//                          clears the table-trip bar (implies --memoize)
 //     --fp-reductions      allow +/-/* reductions on float/double
 //                          accumulators (OpenMP partials reassociate the
 //                          combination, so results may differ in the last
@@ -80,7 +90,8 @@ int usage(const char* argv0) {
                "          [--schedule static|dynamic[,N]|guided[,N]] "
                "[--no-parallel]\n"
                "          [--inline-pure] [--infer-pure] "
-               "[--memoize[=all]] [--fp-reductions]\n"
+               "[--memoize[=all|=verify]]\n"
+               "          [--memoize-profile=FILE] [--fp-reductions]\n"
                "          [--gcc-attributes] [--instrument]\n"
                "          [--stage NAME] [--report[=json[:FILE]]] input.c\n"
                "       %s trace [--report report.json] trace.json\n"
@@ -227,6 +238,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--memoize=all") {
       options.memoize = true;
       options.memoize_all = true;
+    } else if (arg == "--memoize=verify") {
+      options.memoize = true;
+      options.memoize_verify = true;
+    } else if (arg.rfind("--memoize-profile=", 0) == 0) {
+      const std::string path = arg.substr(std::strlen("--memoize-profile="));
+      if (path.empty()) return usage(argv[0]);
+      std::ifstream pf(path);
+      if (!pf) {
+        std::fprintf(stderr, "purecc: cannot open %s\n", path.c_str());
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << pf.rdbuf();
+      options.memoize_profile =
+          purec::parse_memo_profile(std::move(ss).str());
+      options.has_memoize_profile = true;
+      options.memoize = true;
     } else if (arg == "--fp-reductions") {
       options.fp_reductions = true;
     } else if (arg == "--gcc-attributes") {

@@ -1,7 +1,9 @@
 #include "memo/memoizable.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
+#include <string_view>
 
 #include "ast/walk.h"
 #include "purity/effects.h"
@@ -49,14 +51,27 @@ namespace {
   return nodes;
 }
 
+/// Expression-node count over the whole body: the static callee-cost
+/// proxy. Unlike single_expression_size it accepts any body shape, so the
+/// profile gate can price multi-statement pipelines too.
+[[nodiscard]] std::size_t body_cost_nodes(const FunctionDecl& fn) {
+  if (fn.body == nullptr) return 0;
+  std::size_t nodes = 0;
+  for_each_expr(static_cast<const Stmt&>(*fn.body),
+                [&](const Expr&) { ++nodes; });
+  return nodes;
+}
+
 class Classifier {
  public:
   Classifier(const TranslationUnit& tu, const SymbolTable& symbols,
              const std::set<std::string>& pure_functions,
-             const PurityOptions& options, bool cost_gate)
+             const PurityOptions& options, bool cost_gate,
+             const MemoProfile* profile)
       : symbols_(symbols),
         pure_functions_(pure_functions),
-        cost_gate_(cost_gate) {
+        cost_gate_(cost_gate),
+        profile_(profile) {
     for (const FunctionDecl* fn : tu.functions()) {
       if (!fn->is_definition() || pure_functions.count(fn->name) == 0) {
         continue;
@@ -88,6 +103,7 @@ class Classifier {
     info.name = name;
     info.loc = fn.loc;
     info.return_type = fn.return_type;
+    info.cost_nodes = body_cost_nodes(fn);
 
     const auto reject = [&](std::string reason) {
       info.memoizable = false;
@@ -119,9 +135,10 @@ class Classifier {
       info.param_types.push_back(p.type);
     }
 
-    // Cost gate: for a mult-sized leaf the hash/probe round trip costs
-    // more than just recomputing the expression.
-    if (cost_gate_) {
+    // Shape cost gate: for a mult-sized leaf the hash/probe round trip
+    // costs more than just recomputing the expression. A supplied profile
+    // supersedes this guess with measured reuse (gate at the end).
+    if (cost_gate_ && profile_ == nullptr) {
       const std::optional<std::size_t> nodes = single_expression_size(fn);
       if (nodes && *nodes < kMemoTrivialExprNodes) {
         return reject("single-expression body of " +
@@ -152,6 +169,16 @@ class Classifier {
       if (summary.extern_calls.count("snprintf") != 0) {
         return reject(closure_site(name, current) +
                       "calls 'snprintf' (locale-sensitive formatting)");
+      }
+      // Same locale hazard in reverse: C11 7.22.1.3/7.22.1.4 let other
+      // locales accept additional subject-sequence forms, so identical
+      // argument bytes can parse differently across setlocale calls.
+      for (const char* parser : {"strtol", "strtoul", "strtod", "strtof"}) {
+        if (summary.extern_calls.count(parser) != 0) {
+          return reject(closure_site(name, current) + "calls '" +
+                        std::string(parser) +
+                        "' (locale-sensitive parsing)");
+        }
       }
       for (const std::string& callee : summary.callees) {
         if (visited.count(callee) != 0) continue;
@@ -203,6 +230,39 @@ class Classifier {
       info.global_snapshot.emplace_back(global, decl->var.type);
     }
 
+    // Profile-informed gate: only thunks with demonstrated reuse x callee
+    // cost above the table-trip bar survive. Runs last so a rejected
+    // function still reports its full key shape, and only under the cost
+    // gate (--memoize=all thunks everything but keeps the annotations).
+    if (profile_ != nullptr) {
+      const auto it = profile_->find(name);
+      if (it == profile_->end()) {
+        if (cost_gate_) {
+          return reject(
+              "no observed traffic in the profile (thunk never exercised)");
+        }
+      } else {
+        info.profiled = true;
+        info.profile_hits = it->second.hits;
+        info.profile_misses = it->second.misses;
+        const double reuse =
+            static_cast<double>(it->second.hits) /
+            static_cast<double>(std::max<std::uint64_t>(
+                std::uint64_t{1}, it->second.misses));
+        info.profile_score = reuse * static_cast<double>(info.cost_nodes);
+        if (cost_gate_ && it->second.hits == 0) {
+          return reject("profile shows no reuse (0 hits over " +
+                        std::to_string(it->second.misses) + " misses)");
+        }
+        if (cost_gate_ && info.profile_score < kMemoProfileScoreMin) {
+          return reject(
+              "profile score " + std::to_string(info.profile_score) +
+              " (reuse x " + std::to_string(info.cost_nodes) +
+              " cost nodes) below the gate; --memoize=all overrides");
+        }
+      }
+    }
+
     info.memoizable = true;
     return info;
   }
@@ -217,11 +277,45 @@ class Classifier {
   const SymbolTable& symbols_;
   const std::set<std::string>& pure_functions_;
   bool cost_gate_ = false;
+  const MemoProfile* profile_ = nullptr;
   std::map<std::string, EffectSummary> summaries_;
   std::map<std::string, const FunctionDecl*> definitions_;
 };
 
 }  // namespace
+
+MemoProfile parse_memo_profile(const std::string& text) {
+  MemoProfile profile;
+  constexpr std::string_view kPrefix = "purec-memo[";
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    const std::size_t close = line.find(']', kPrefix.size());
+    if (close == std::string::npos) continue;
+    const std::string name =
+        line.substr(kPrefix.size(), close - kPrefix.size());
+    if (name.empty()) continue;
+    unsigned long long hits = 0;
+    unsigned long long misses = 0;
+    unsigned long long evictions = 0;
+    if (std::sscanf(line.c_str() + close + 1,
+                    " hits=%llu misses=%llu evictions=%llu", &hits, &misses,
+                    &evictions) != 3) {
+      continue;
+    }
+    // Sum rather than overwrite: a fleet run dumps one line per process
+    // per thunk, and the observed reuse is their combined traffic.
+    MemoProfileEntry& entry = profile[name];
+    entry.hits += hits;
+    entry.misses += misses;
+    entry.evictions += evictions;
+  }
+  return profile;
+}
 
 std::string MemoizableResult::summary() const {
   std::string yes;
@@ -244,8 +338,10 @@ MemoizableResult classify_memoizable(const TranslationUnit& tu,
                                      const SymbolTable& symbols,
                                      const std::set<std::string>& pure_functions,
                                      const PurityOptions& options,
-                                     bool cost_gate) {
-  return Classifier(tu, symbols, pure_functions, options, cost_gate).run();
+                                     bool cost_gate,
+                                     const MemoProfile* profile) {
+  return Classifier(tu, symbols, pure_functions, options, cost_gate, profile)
+      .run();
 }
 
 }  // namespace purec

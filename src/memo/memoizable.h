@@ -24,6 +24,7 @@
 // inference subsystem's provenance reporting.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -35,6 +36,22 @@
 #include "sema/symbols.h"
 
 namespace purec {
+
+/// Observed per-thunk traffic, parsed back out of a PUREC_MEMO_STATS dump
+/// (`purec-memo[NAME] hits=H misses=M evictions=E` lines) and keyed by
+/// function name. Feeding it to the classifier via `--memoize-profile`
+/// replaces the shape-based cost gate with the profile-informed model.
+struct MemoProfileEntry {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+using MemoProfile = std::map<std::string, MemoProfileEntry>;
+
+/// Extracts profile entries from stats-dump text; lines that are not
+/// `purec-memo[...]` counter lines are ignored, so a whole stderr capture
+/// (stats summaries, program output) can be fed back verbatim.
+[[nodiscard]] MemoProfile parse_memo_profile(const std::string& text);
 
 struct MemoFunctionInfo {
   std::string name;
@@ -48,6 +65,16 @@ struct MemoFunctionInfo {
   /// Scalar globals whose values join the key (transitive reads, sorted
   /// by name so the key layout is deterministic).
   std::vector<std::pair<std::string, TypePtr>> global_snapshot;
+  /// Whole-body expression-node count — the static callee-cost proxy the
+  /// profile-informed gate multiplies against observed reuse.
+  std::size_t cost_nodes = 0;
+  /// Profile-informed gate trail (set when a profile was supplied and the
+  /// function passed the base classification): observed traffic and the
+  /// reuse-per-miss x cost score it produced.
+  bool profiled = false;
+  std::uint64_t profile_hits = 0;
+  std::uint64_t profile_misses = 0;
+  double profile_score = 0.0;
 };
 
 struct MemoizableResult {
@@ -71,14 +98,27 @@ inline constexpr std::size_t kMemoMaxGlobalSnapshot = 8;
 /// nodes), so gated classification rejects it.
 inline constexpr std::size_t kMemoTrivialExprNodes = 8;
 
+/// Profile-gate threshold on reuse-per-miss x body-cost-nodes: a thunk
+/// pays off when the work it saves per distinct key (observed reuse times
+/// callee cost) clears the same table-trip bar the shape gate uses. A
+/// 3-node `mult` needs ~3 reuses per key to survive; a 50-node pipeline
+/// stage survives on any demonstrated reuse.
+inline constexpr double kMemoProfileScoreMin =
+    static_cast<double>(kMemoTrivialExprNodes);
+
 /// Classifies every defined function in `pure_functions`. Must run on the
 /// *pre-transformation* AST (it re-derives effect summaries through
 /// `symbols`, whose resolutions are keyed on the original nodes).
 /// `cost_gate` enables the trivially-small-callee rejection (the chain
-/// passes true unless the user asked for `--memoize=all`).
+/// passes true unless the user asked for `--memoize=all`). A non-null
+/// `profile` replaces that shape-based gate with the profile-informed
+/// model: only thunks whose observed reuse x callee cost clears
+/// kMemoProfileScoreMin survive (functions absent from the profile saw no
+/// traffic and are rejected).
 [[nodiscard]] MemoizableResult classify_memoizable(
     const TranslationUnit& tu, const SymbolTable& symbols,
     const std::set<std::string>& pure_functions,
-    const PurityOptions& options = {}, bool cost_gate = false);
+    const PurityOptions& options = {}, bool cost_gate = false,
+    const MemoProfile* profile = nullptr);
 
 }  // namespace purec

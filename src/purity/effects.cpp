@@ -66,6 +66,27 @@ class ProvenanceMap {
       return &ident->name;
     };
     for_each_expr(static_cast<const Stmt&>(*fn.body), [&](const Expr& e) {
+      if (const auto* call = expr_cast<CallExpr>(&e)) {
+        // A WritesArg1 extern (strtol/strtod) stores a pointer *into its
+        // input string* through *endptr. When endptr is &local, that
+        // local now refers to foreign memory even though the call itself
+        // is harmless — record the callee-side store as a Foreign source
+        // so later writes through the local are rejected.
+        const ExternEffect* known = extern_effect(call->callee_name());
+        if (known == nullptr ||
+            known->kind != ExternEffectKind::WritesArg1 ||
+            call->args.size() < 2) {
+          return;
+        }
+        const auto* unary =
+            expr_cast<UnaryExpr>(strip_casts(call->args[1].get()));
+        if (unary == nullptr || unary->op != UnaryOp::AddrOf) return;
+        if (const std::string* name =
+                local_pointer_name(*unary->operand)) {
+          sources_[*name].push_back(Source{Provenance::Foreign, {}});
+        }
+        return;
+      }
       if (const auto* assign = expr_cast<AssignExpr>(&e)) {
         const std::string* name = local_pointer_name(*assign->lhs);
         if (name == nullptr) return;
@@ -367,6 +388,28 @@ struct WritesArg0Verdict {
   return {};
 }
 
+/// WritesArg1 (strtol/strtod family): the only store is *endptr. A null
+/// constant endptr performs no write at all and an `&local` endptr lands
+/// in function-local storage — both fall out of the same foreign-pointer
+/// query (literals are scalar values, AddrOf of a non-static local is
+/// local provenance). errno on range errors is outside the modeled
+/// dialect; a body that read errno would already be rejected as an
+/// unknown-global read.
+[[nodiscard]] WritesArg0Verdict check_writes_arg1(const PointerOracle& oracle,
+                                                  const CallExpr& call,
+                                                  const std::string& name) {
+  if (call.args.size() < 2) {
+    return {"calls '" + name + "' without an end-pointer argument", false};
+  }
+  if (oracle.is_foreign_pointer_value(call.args[1].get())) {
+    return {"calls '" + name +
+                "' storing its end pointer where the caller or another "
+                "thread may observe it",
+            true};
+  }
+  return {};
+}
+
 class EffectScanner {
  public:
   EffectScanner(const FunctionDecl& fn, const FunctionScopeInfo& scope,
@@ -459,14 +502,17 @@ class EffectScanner {
 
   /// A call modeled by the extern effect database is resolved here and
   /// never becomes a pessimized callee edge. ReadOnly externs are free;
-  /// WritesArg0 externs are harmless exactly when their destination
-  /// provably targets function-local storage (same provenance reasoning
-  /// as direct stores).
+  /// writing externs (WritesArg0/WritesArg1) are harmless exactly when
+  /// their destination provably targets function-local storage (same
+  /// provenance reasoning as direct stores).
   void scan_known_extern(const CallExpr& call, const std::string& name,
                          const ExternEffect& effect) {
     summary_.extern_calls.insert(name);
     if (effect.kind == ExternEffectKind::ReadOnly) return;
-    const WritesArg0Verdict verdict = check_writes_arg0(oracle_, call, name);
+    const WritesArg0Verdict verdict =
+        effect.kind == ExternEffectKind::WritesArg1
+            ? check_writes_arg1(oracle_, call, name)
+            : check_writes_arg0(oracle_, call, name);
     if (verdict.reason.empty()) return;
     if (verdict.unknown_pointer) summary_.writes_unknown_pointer = true;
     impure(call.loc, verdict.reason);
@@ -565,8 +611,10 @@ const ExternEffect* extern_effect(const std::string& name) {
       {"strcpy", {ExternEffectKind::WritesArg0}},
       {"strncpy", {ExternEffectKind::WritesArg0}},
       {"strcat", {ExternEffectKind::WritesArg0}},
+      {"strncat", {ExternEffectKind::WritesArg0}},
       {"strlen", {ExternEffectKind::ReadOnly}},
       {"memcmp", {ExternEffectKind::ReadOnly}},
+      {"memchr", {ExternEffectKind::ReadOnly}},
       {"strchr", {ExternEffectKind::ReadOnly}},
       {"strrchr", {ExternEffectKind::ReadOnly}},
       {"strncmp", {ExternEffectKind::ReadOnly}},
@@ -597,12 +645,20 @@ const ExternEffect* extern_effect(const std::string& name) {
       {"isspace", {ExternEffectKind::ReadOnly}},
       {"tolower", {ExternEffectKind::ReadOnly}},
       {"toupper", {ExternEffectKind::ReadOnly}},
-      // Numeric parsers that only *read* their argument string. (The
-      // strtol family is deliberately absent: the endptr out-parameter is
-      // a write the model would have to track.) atoi/atol on invalid
-      // input are UB per the standard, so errno is not a concern.
+      // Numeric parsers that only *read* their argument string. atoi/atol
+      // on invalid input are UB per the standard, so errno is not a
+      // concern.
       {"atoi", {ExternEffectKind::ReadOnly}},
       {"atol", {ExternEffectKind::ReadOnly}},
+      // The strtol family writes through its endptr out-parameter and
+      // nothing else, so it gets the WritesArg1 model: fine with a null
+      // endptr or an &local, rejected when the end pointer could land in
+      // caller or global memory. (Purity tolerates these; memoization
+      // still rejects them as locale-sensitive — see memoizable.cpp.)
+      {"strtol", {ExternEffectKind::WritesArg1}},
+      {"strtoul", {ExternEffectKind::WritesArg1}},
+      {"strtod", {ExternEffectKind::WritesArg1}},
+      {"strtof", {ExternEffectKind::WritesArg1}},
   };
   const auto it = kDatabase.find(name);
   return it == kDatabase.end() ? nullptr : &it->second;
@@ -622,6 +678,10 @@ WritesArg0Oracle::~WritesArg0Oracle() = default;
 
 std::string WritesArg0Oracle::violation(const CallExpr& call,
                                         const std::string& name) const {
+  const ExternEffect* known = extern_effect(name);
+  if (known != nullptr && known->kind == ExternEffectKind::WritesArg1) {
+    return check_writes_arg1(impl_->oracle, call, name).reason;
+  }
   return check_writes_arg0(impl_->oracle, call, name).reason;
 }
 

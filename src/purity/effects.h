@@ -33,6 +33,13 @@ enum class ExternEffectKind : std::uint8_t {
   /// destination-is-foreign write (memcpy, memset, memmove, snprintf).
   /// Locally harmless when arg0 provably targets function-local storage.
   WritesArg0,
+  /// Writes through argument 1 only — the strtol/strtod end-pointer
+  /// out-parameter. Harmless when endptr is a null constant (no write
+  /// happens) or provably targets function-local storage (&local, a
+  /// local char**). errno on range errors is outside the modeled
+  /// dialect: purec-emitted programs never read errno, and a body that
+  /// did would be rejected as an unknown-global read.
+  WritesArg1,
 };
 
 struct ExternEffect {
@@ -43,12 +50,12 @@ struct ExternEffect {
 /// fall back to the pessimistic unknown-external rule).
 [[nodiscard]] const ExternEffect* extern_effect(const std::string& name);
 
-/// Destination-provenance oracle for WritesArg0 externs, shared with the
-/// declared-pure verifier (§3.2): answers whether a memcpy/memset/memmove/
-/// snprintf call inside `fn` provably writes only into function-local
-/// storage. Backed by the same provenance reasoning compute_effects uses,
-/// so a body inference would accept verifies identically when it carries
-/// the `pure` keyword.
+/// Destination-provenance oracle for writing externs (WritesArg0 and
+/// WritesArg1), shared with the declared-pure verifier (§3.2): answers
+/// whether a memcpy/memset/strtol/... call inside `fn` provably writes
+/// only into function-local storage. Backed by the same provenance
+/// reasoning compute_effects uses, so a body inference would accept
+/// verifies identically when it carries the `pure` keyword.
 class WritesArg0Oracle {
  public:
   WritesArg0Oracle(const FunctionDecl& fn, const FunctionScopeInfo& scope);

@@ -178,15 +178,17 @@ class FunctionVerifier {
       // The extern effect database (shared with inference) models some
       // libc routines beyond the seed hashset: a ReadOnly extern
       // (strchr, strncmp, ...) writes nothing, so a verified-pure body
-      // may call it. A WritesArg0 extern (memcpy, memset, ...) is held
-      // to the same provenance standard inference applies — harmless
-      // exactly when its destination provably targets function-local
-      // storage — so annotated and keyword-free twins agree.
+      // may call it. A writing extern (memcpy/memset via WritesArg0,
+      // strtol/strtod via WritesArg1) is held to the same provenance
+      // standard inference applies — harmless exactly when its
+      // destination provably targets function-local storage — so
+      // annotated and keyword-free twins agree.
       const ExternEffect* known = extern_effect(name);
       if (known != nullptr && known->kind == ExternEffectKind::ReadOnly) {
         return;
       }
-      if (known != nullptr && known->kind == ExternEffectKind::WritesArg0) {
+      if (known != nullptr && (known->kind == ExternEffectKind::WritesArg0 ||
+                               known->kind == ExternEffectKind::WritesArg1)) {
         if (!writes_arg0_oracle_) {
           writes_arg0_oracle_.emplace(fn_, scope_);
         }
@@ -346,7 +348,7 @@ class FunctionVerifier {
   DiagnosticEngine& diags_;
   std::map<std::string, int> pure_ptr_assignments_;
   std::set<std::string> malloced_locals_;
-  /// Built on the first WritesArg0 extern call (most bodies have none;
+  /// Built on the first writing extern call (most bodies have none;
   /// construction walks the whole body for pointer provenance).
   std::optional<WritesArg0Oracle> writes_arg0_oracle_;
 };

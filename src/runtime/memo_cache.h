@@ -19,21 +19,39 @@
 //     pressure without any global LRU bookkeeping.
 //
 // Values are 64-bit words; scalar results travel as their bit patterns, so
-// a hit returns the exact bits the miss path stored. The fingerprint IS
-// the key (the original tuple is never stored), so correctness rests on
-// the 64-bit mix not colliding: ~2^-25 probability of any collision at
-// the default 2^16-slot working set, but a real bound, not zero — see
-// ROADMAP for the planned full-key verification mode.
+// a hit returns the exact bits the miss path stored. By default the
+// fingerprint IS the key (the original tuple is never stored), so
+// correctness rests on the 64-bit mix not colliding: ~2^-25 probability of
+// any collision at the default 2^16-slot working set. PUREC_MEMO_VERIFY=1
+// makes that bound opt-out: each slot additionally publishes the raw key
+// words (argument tuple + global snapshot) under the same seqlock and a
+// hit only counts when they compare equal — a fingerprint alias degrades
+// to a miss, never a wrong value.
+//
+// Process-shared persistence: PUREC_MEMO_PATH=FILE maps the slot array
+// from an mmap'd file (ftruncate + MAP_SHARED) so a fleet of workers
+// warms one cache that survives restarts. The file starts with a 64-byte
+// header (magic, version, ABI fingerprint of the slot/verify layout,
+// geometry, verify flag, init state) validated under flock on attach; any
+// mismatch — wrong magic, different geometry knobs, a verify-mode
+// process meeting a plain file, a half-initialized file from a killed
+// creator — falls back to the private in-process table. Cross-process
+// safety is the same per-slot seqlock: a torn or stale read is a safe
+// miss. Stats counters stay per-process (each attacher counts its own
+// traffic; sum across processes for fleet totals).
 //
 // Env knobs (read by MemoConfig::from_env, shared with the emitted C):
 //   PUREC_MEMO_SHARDS=<n>  shard count (rounded down to a power of two)
 //   PUREC_MEMO_CAP=<n>     total slot budget across all shards
+//   PUREC_MEMO_PATH=<file> process-shared persistent backing file
+//   PUREC_MEMO_VERIFY=1    full-key verification on hits
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "runtime/thread_pool.h"
 
@@ -42,10 +60,13 @@ namespace purec::rt {
 struct MemoConfig {
   std::size_t shards = 8;
   std::size_t capacity = std::size_t{1} << 16;  // total slots, all shards
+  std::string path;     // non-empty: mmap the table from this file
+  bool verify = false;  // full-key compare on hit
 
-  /// Applies PUREC_MEMO_SHARDS / PUREC_MEMO_CAP on top of the defaults.
-  /// Unparsable or zero values fall back to the default silently (a bad
-  /// knob must never turn correct caching into a crash).
+  /// Applies PUREC_MEMO_SHARDS / PUREC_MEMO_CAP / PUREC_MEMO_PATH /
+  /// PUREC_MEMO_VERIFY on top of the defaults. Unparsable or zero values
+  /// fall back to the default silently (a bad knob must never turn
+  /// correct caching into a crash).
   [[nodiscard]] static MemoConfig from_env();
 };
 
@@ -58,14 +79,22 @@ struct MemoStats {
 
 /// Incremental key hasher: one 64-bit fingerprint over (function id,
 /// argument words, global-snapshot words). The fingerprint *is* the key —
-/// the table never stores the original tuple — so the mixer must spread
-/// every input bit (splitmix64 finalizer). Fingerprint 0 is reserved as
-/// the empty-slot tag and remapped to 1.
+/// by default the table never stores the original tuple — so the mixer
+/// must spread every input bit (splitmix64 finalizer). Fingerprint 0 is
+/// reserved as the empty-slot tag and remapped to 1. The raw words are
+/// recorded alongside (up to kMaxWords) so verify-mode callers can hand
+/// the full tuple to MemoCache::lookup/store.
 class MemoKey {
  public:
+  static constexpr std::size_t kMaxWords = 16;
+
   explicit MemoKey(std::uint64_t function_id) noexcept : h_(function_id) {}
 
-  void add(std::uint64_t word) noexcept { h_ = mix(h_ ^ word); }
+  void add(std::uint64_t word) noexcept {
+    if (nwords_ < kMaxWords) words_[nwords_] = word;
+    ++nwords_;  // past kMaxWords the count alone says "too wide to verify"
+    h_ = mix(h_ ^ word);
+  }
   void add_f64(double v) noexcept;
   void add_f32(float v) noexcept;
 
@@ -73,6 +102,11 @@ class MemoKey {
     const std::uint64_t h = mix(h_);
     return h == 0 ? 1 : h;
   }
+
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::size_t word_count() const noexcept { return nwords_; }
 
   [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
     x += 0x9e3779b97f4a7c15ULL;
@@ -83,10 +117,16 @@ class MemoKey {
 
  private:
   std::uint64_t h_;
+  std::uint64_t words_[kMaxWords] = {};
+  std::size_t nwords_ = 0;
 };
 
 class MemoCache {
  public:
+  /// Widest key tuple (in 64-bit words) a verify-mode slot can store.
+  /// Covers the classifier's bound: params + kMemoMaxGlobalSnapshot.
+  static constexpr std::size_t kVerifyWords = 12;
+
   explicit MemoCache(MemoConfig config = MemoConfig::from_env());
   ~MemoCache();
 
@@ -95,21 +135,40 @@ class MemoCache {
 
   /// True and *value filled on a hit. Marks the slot referenced for the
   /// clock sweep. Never blocks; a concurrent writer at the same slot
-  /// degrades this to a miss, not a wrong value.
-  [[nodiscard]] bool lookup(std::uint64_t key, std::uint64_t* value) noexcept;
+  /// degrades this to a miss, not a wrong value. `words`/`nwords` carry
+  /// the raw key tuple for verify mode (ignored otherwise); under verify
+  /// a tuple wider than kVerifyWords bypasses the cache (permanent miss).
+  [[nodiscard]] bool lookup(std::uint64_t key, const std::uint64_t* words,
+                            std::size_t nwords,
+                            std::uint64_t* value) noexcept;
+  [[nodiscard]] bool lookup(std::uint64_t key,
+                            std::uint64_t* value) noexcept {
+    return lookup(key, nullptr, 0, value);
+  }
 
   /// Publishes key -> value. Idempotent for an already-present key (pure
-  /// results are deterministic, so the value is necessarily identical).
-  /// Evicts within the probe window when it is full.
-  void store(std::uint64_t key, std::uint64_t value) noexcept;
+  /// results are deterministic, so the value is necessarily identical) —
+  /// except under verify, where a resident fingerprint alias with a
+  /// different tuple is overwritten. Evicts within the probe window when
+  /// it is full.
+  void store(std::uint64_t key, const std::uint64_t* words,
+             std::size_t nwords, std::uint64_t value) noexcept;
+  void store(std::uint64_t key, std::uint64_t value) noexcept {
+    store(key, nullptr, 0, value);
+  }
 
-  /// Aggregated over all shards; racy reads (monitoring only).
+  /// Aggregated over all shards; racy reads (monitoring only). Always
+  /// process-local, even when the slots live in a shared mapping.
   [[nodiscard]] MemoStats stats() const noexcept;
 
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_n_; }
   [[nodiscard]] std::size_t capacity() const noexcept {
     return shards_n_ * (slot_mask_ + 1);
   }
+  /// True when the slots live in a PUREC_MEMO_PATH mapping (false after
+  /// any attach failure — the private fallback).
+  [[nodiscard]] bool shared() const noexcept { return shared_; }
+  [[nodiscard]] bool verifying() const noexcept { return verify_; }
 
  private:
   struct Slot {
@@ -118,9 +177,16 @@ class MemoCache {
     std::atomic<std::uint64_t> value{0};
     std::atomic<std::uint64_t> ref{0};  // clock second-chance bit
   };
+  static_assert(sizeof(Slot) == 32, "shared-file ABI: 4x u64 per slot");
+
+  // Verify-mode sidecar, parallel to the slot array (so verify-off files
+  // keep the bare 32-byte-slot layout): per slot, [word count, words...],
+  // published under the owning slot's seqlock.
+  static constexpr std::size_t kVerifyStride = 1 + kVerifyWords;
 
   struct alignas(kCacheLineBytes) Shard {
     Slot* slots = nullptr;
+    std::atomic<std::uint64_t>* vwords = nullptr;  // verify mode only
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> stores{0};
@@ -134,14 +200,31 @@ class MemoCache {
   /// The uninstrumented probe; lookup() wraps it with the latency
   /// histogram and trace hooks (which compile to nothing by default).
   [[nodiscard]] bool lookup_impl(std::uint64_t key,
+                                 const std::uint64_t* words,
+                                 std::size_t nwords,
                                  std::uint64_t* value) noexcept;
+
+  /// mmap `path` under flock, creating + initializing the header when the
+  /// file is fresh, validating it otherwise. On success points *slots_out
+  /// / *vwords_out into the mapping and returns true; any failure returns
+  /// false with nothing mapped (the caller allocates privately).
+  [[nodiscard]] bool attach_shared(const std::string& path,
+                                   std::size_t shards,
+                                   std::size_t per_shard, Slot** slots_out,
+                                   std::atomic<std::uint64_t>** vwords_out);
 
   std::size_t shards_n_ = 1;
   std::uint64_t shard_mask_ = 0;
   std::uint64_t slot_mask_ = 0;   // per-shard slot count - 1
   std::size_t probe_window_ = 1;  // min(kProbeWindow, slots per shard)
+  bool verify_ = false;
+  bool shared_ = false;
   std::unique_ptr<Shard[]> shards_;
-  std::unique_ptr<Slot[]> slot_storage_;
+  std::unique_ptr<Slot[]> slot_storage_;  // private mode
+  std::unique_ptr<std::atomic<std::uint64_t>[]> verify_storage_;
+  void* map_base_ = nullptr;  // shared mode
+  std::size_t map_len_ = 0;
+  int map_fd_ = -1;
 
   static constexpr std::size_t kProbeWindow = 8;
 };

@@ -581,10 +581,10 @@ ChainArtifacts run_pure_chain(const std::string& source,
   // polyhedral step so reinserted calls inside generated nests are
   // rewritten too.
   if (options.memoize) {
-    artifacts.memoization =
-        classify_memoizable(tu, symbols, purity.pure_functions,
-                            purity_options,
-                            /*cost_gate=*/!options.memoize_all);
+    artifacts.memoization = classify_memoizable(
+        tu, symbols, purity.pure_functions, purity_options,
+        /*cost_gate=*/!options.memoize_all,
+        options.has_memoize_profile ? &options.memoize_profile : nullptr);
   }
 
   mark_scops(tu, purity.scop_loops);
@@ -1122,6 +1122,11 @@ ChainArtifacts run_pure_chain(const std::string& source,
     // dump.
     add_include("#include <stdlib.h>");
     add_include("#include <stdio.h>");
+    if (options.memoize_verify) {
+      // Flips the compiled-in default inside the prelude; the
+      // PUREC_MEMO_VERIFY env knob still overrides either way.
+      prelude += "#define PUREC_MEMO_VERIFY_DEFAULT 1\n";
+    }
     prelude += memo_runtime_prelude();
     for (const std::string& name : memo_used) {
       prelude +=

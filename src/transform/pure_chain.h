@@ -71,6 +71,18 @@ struct ChainOptions {
   /// the honest 0.1× negative in BENCH_memoize.json); this flag restores
   /// thunk-everything behavior for measurement.
   bool memoize_all = false;
+  /// `--memoize=verify`: the emitted table compiles with full-key
+  /// verification on by default — slots store the raw argument/global
+  /// words and compare them on a hit, making the 2^-25 fingerprint-
+  /// aliasing bound opt-out (PUREC_MEMO_VERIFY=0/1 still overrides at run
+  /// time). Implies memoize.
+  bool memoize_verify = false;
+  /// `--memoize-profile=FILE` (the CLI parses the PUREC_MEMO_STATS dump
+  /// into this map): when `has_memoize_profile`, the classifier swaps the
+  /// shape-based cost gate for the profile-informed model — only thunks
+  /// with demonstrated reuse x callee cost survive (memo/memoizable.h).
+  MemoProfile memoize_profile;
+  bool has_memoize_profile = false;
   /// `purecc --fp-reductions`: allow +/-/* reductions on float/double
   /// accumulators. Off by default because OpenMP's per-thread partials
   /// reassociate the combination, which changes FP rounding relative to

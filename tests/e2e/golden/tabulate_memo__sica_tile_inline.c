@@ -35,10 +35,34 @@ static FILE* purec_stats_out(void) {
  * PUREC_MEMO_CAP (total slots), PUREC_MEMO_STATS=1 (per-thunk
  * hit/miss/eviction counters dumped at exit to the shared stats stream —
  * PUREC_STATS_FILE or stderr, see purec_stats_out(); counters are dead
- * branches when the knob is off). */
+ * branches when the knob is off), PUREC_MEMO_PATH=FILE (map the slot
+ * array from an mmap'd file so concurrent processes share one cache that
+ * persists across restarts; a 64-byte header — magic, version, ABI
+ * fingerprint, geometry, verify flag, ready state — is validated under
+ * flock on attach and any mismatch falls back to the private in-process
+ * table), PUREC_MEMO_VERIFY=1 (store the raw key words next to each slot
+ * and compare them on a hit, so a fingerprint alias degrades to a miss
+ * instead of a wrong value; --memoize=verify flips the compiled-in
+ * default). Cross-process safety is the same per-slot seqlock: torn or
+ * stale reads are safe misses, and the stats counters stay per-process. */
+#ifndef PUREC_MEMO_VERIFY_DEFAULT
+#define PUREC_MEMO_VERIFY_DEFAULT 0
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+#define PUREC_MEMO_MMAP 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 typedef unsigned long long purec_memo_word;
 typedef union { float v; unsigned int b; } purec_memo_f32;
 typedef union { double v; purec_memo_word b; } purec_memo_f64;
+
+/* Widest key tuple (in 64-bit words) a verify record can hold; wider
+ * tuples bypass the cache under verify (a permanent, safe miss). */
+#define PUREC_MEMO_VWORDS 12u
 
 typedef struct {
   const char* name;
@@ -96,14 +120,17 @@ typedef struct {
 
 typedef struct {
   purec_memo_slot* slots;
+  purec_memo_word* vwords; /* verify mode: [count, words...] per slot */
   purec_memo_word slot_mask;
-  char pad[64 - sizeof(purec_memo_slot*) - sizeof(purec_memo_word)];
+  char pad[64 - sizeof(purec_memo_slot*) - sizeof(purec_memo_word*) -
+           sizeof(purec_memo_word)];
 } purec_memo_shard;
 
 static purec_memo_shard* purec_memo_shards;
 static purec_memo_word purec_memo_shard_mask;
 static unsigned purec_memo_probe = 8u;
-static int purec_memo_ready; /* 0 until init allocates successfully */
+static int purec_memo_verify; /* compare raw key words on hit */
+static int purec_memo_ready;  /* 0 until init allocates successfully */
 
 static purec_memo_word purec_memo_mix(purec_memo_word x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -131,23 +158,125 @@ static purec_memo_word purec_memo_pow2(purec_memo_word v) {
   return p;
 }
 
+#ifdef PUREC_MEMO_MMAP
+/* Map the slot array (and verify sidecar) from `path`. flock serializes
+ * create-vs-attach: the creator sizes the file and publishes the header
+ * before any attacher reads it; a creator killed mid-init leaves state
+ * != 2 and attachers reject the husk. Returns 0 on any mismatch so the
+ * caller falls back to the private table. The mapping and fd live for
+ * the process lifetime. */
+static int purec_memo_attach(const char* path, purec_memo_word shards,
+                             purec_memo_word per, int verify,
+                             purec_memo_slot** slots_out,
+                             purec_memo_word** vwords_out) {
+  purec_memo_word nslots = shards * per;
+  size_t slots_bytes = (size_t)nslots * sizeof(purec_memo_slot);
+  size_t vbytes = verify
+      ? (size_t)nslots * (1u + PUREC_MEMO_VWORDS) * sizeof(purec_memo_word)
+      : 0;
+  size_t total = 64 + slots_bytes + vbytes;
+  /* ABI fingerprint over the slot/verify layout; the same literals are
+   * mixed by the C++ runtime twin so both sides can share one file. */
+  purec_memo_word abi =
+      purec_memo_mix(0x5043ULL ^ (32ULL << 8) ^ (13ULL << 16) ^
+                     (verify ? (1ULL << 24) : 0ULL));
+  struct stat st;
+  unsigned char* base;
+  purec_memo_word* h;
+  int fresh;
+  int fd = open(path, O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return 0;
+  if (flock(fd, LOCK_EX) != 0) {
+    close(fd);
+    return 0;
+  }
+  if (fstat(fd, &st) != 0) {
+    flock(fd, LOCK_UN);
+    close(fd);
+    return 0;
+  }
+  fresh = st.st_size == 0;
+  if (fresh ? ftruncate(fd, (off_t)total) != 0
+            : (st.st_size < 0 || (purec_memo_word)st.st_size != total)) {
+    flock(fd, LOCK_UN);
+    close(fd);
+    return 0;
+  }
+  base = (unsigned char*)mmap(0, total, PROT_READ | PROT_WRITE, MAP_SHARED,
+                              fd, 0);
+  if (base == MAP_FAILED) {
+    flock(fd, LOCK_UN);
+    close(fd);
+    return 0;
+  }
+  h = (purec_memo_word*)base;
+  if (fresh) {
+    /* ftruncate zero-fills, so every slot is already empty. */
+    h[0] = 0x304d454d43525550ULL; /* "PURCMEM0" */
+    h[1] = 1;                     /* file format version */
+    h[2] = abi;
+    h[3] = shards;
+    h[4] = per;
+    h[5] = verify ? 1 : 0;
+    __atomic_store_n(&h[6], 2ULL, __ATOMIC_RELEASE); /* ready */
+  } else if (__atomic_load_n(&h[6], __ATOMIC_ACQUIRE) != 2ULL ||
+             h[0] != 0x304d454d43525550ULL || h[1] != 1 || h[2] != abi ||
+             h[3] != shards || h[4] != per ||
+             h[5] != (purec_memo_word)(verify ? 1 : 0)) {
+    munmap(base, total);
+    flock(fd, LOCK_UN);
+    close(fd);
+    return 0;
+  }
+  flock(fd, LOCK_UN);
+  *slots_out = (purec_memo_slot*)(base + 64);
+  *vwords_out = verify ? (purec_memo_word*)(base + 64 + slots_bytes) : 0;
+  return 1;
+}
+#endif
+
 __attribute__((constructor)) static void purec_memo_init(void) {
   purec_memo_word shards =
       purec_memo_pow2(purec_memo_env("PUREC_MEMO_SHARDS", 8));
   purec_memo_word cap = purec_memo_env("PUREC_MEMO_CAP", 65536);
-  purec_memo_word per, s;
+  purec_memo_word per, s, nslots;
+  purec_memo_slot* slots = 0;
+  purec_memo_word* vwords = 0;
+  int shared = 0;
   const char* stats = getenv("PUREC_MEMO_STATS");
+  const char* verify = getenv("PUREC_MEMO_VERIFY");
+  const char* path = getenv("PUREC_MEMO_PATH");
   purec_memo_stats_on = stats != 0 && stats[0] == '1';
+  purec_memo_verify =
+      verify != 0 ? verify[0] == '1' : PUREC_MEMO_VERIFY_DEFAULT;
   if (purec_memo_stats_on) atexit(purec_memo_stats_dump);
   if (cap < shards) shards = purec_memo_pow2(cap);
   per = purec_memo_pow2(cap / shards);
+  nslots = shards * per;
+#ifdef PUREC_MEMO_MMAP
+  if (path != 0 && path[0] != 0)
+    shared = purec_memo_attach(path, shards, per, purec_memo_verify,
+                               &slots, &vwords);
+#else
+  (void)path;
+#endif
+  if (!shared) {
+    slots = (purec_memo_slot*)calloc(nslots, sizeof(purec_memo_slot));
+    if (slots == 0) return; /* no table: every call computes */
+    if (purec_memo_verify) {
+      vwords = (purec_memo_word*)calloc(
+          (size_t)nslots * (1u + PUREC_MEMO_VWORDS),
+          sizeof(purec_memo_word));
+      if (vwords == 0) return;
+    }
+  }
   purec_memo_shards =
       (purec_memo_shard*)calloc(shards, sizeof(purec_memo_shard));
-  if (purec_memo_shards == 0) return; /* no table: every call computes */
+  if (purec_memo_shards == 0) return;
   for (s = 0; s < shards; s++) {
-    purec_memo_shards[s].slots =
-        (purec_memo_slot*)calloc(per, sizeof(purec_memo_slot));
-    if (purec_memo_shards[s].slots == 0) return;
+    purec_memo_shards[s].slots = slots + s * per;
+    purec_memo_shards[s].vwords =
+        purec_memo_verify ? vwords + s * per * (1u + PUREC_MEMO_VWORDS) : 0;
     purec_memo_shards[s].slot_mask = per - 1;
   }
   purec_memo_shard_mask = shards - 1;
@@ -155,21 +284,34 @@ __attribute__((constructor)) static void purec_memo_init(void) {
   purec_memo_ready = 1;
 }
 
-static int purec_memo_lookup(purec_memo_word key, purec_memo_word* value) {
+static int purec_memo_lookup(purec_memo_word key,
+                             const purec_memo_word* kw, unsigned kn,
+                             purec_memo_word* value) {
   purec_memo_shard* sh;
-  unsigned i;
+  unsigned i, w;
   if (!purec_memo_ready) return 0;
+  if (purec_memo_verify && kn > PUREC_MEMO_VWORDS) return 0; /* too wide */
   sh = &purec_memo_shards[(key >> 40) & purec_memo_shard_mask];
   for (i = 0; i < purec_memo_probe; i++) {
-    purec_memo_slot* s = &sh->slots[(key + i) & sh->slot_mask];
+    purec_memo_word idx = (key + i) & sh->slot_mask;
+    purec_memo_slot* s = &sh->slots[idx];
     purec_memo_word s1 = __atomic_load_n(&s->seq, __ATOMIC_ACQUIRE);
     purec_memo_word tag, val;
+    int verified = 1;
     if (s1 & 1u) continue;
     tag = __atomic_load_n(&s->tag, __ATOMIC_RELAXED);
     val = __atomic_load_n(&s->value, __ATOMIC_RELAXED);
+    if (purec_memo_verify && tag == key) {
+      const purec_memo_word* rec =
+          sh->vwords + idx * (1u + PUREC_MEMO_VWORDS);
+      verified = __atomic_load_n(&rec[0], __ATOMIC_RELAXED) == kn;
+      for (w = 0; verified && w < kn; w++)
+        verified = __atomic_load_n(&rec[1 + w], __ATOMIC_RELAXED) == kw[w];
+    }
     __atomic_thread_fence(__ATOMIC_ACQUIRE);
     if (__atomic_load_n(&s->seq, __ATOMIC_RELAXED) != s1) continue;
     if (tag == key) {
+      if (!verified) return 0; /* fingerprint alias: recompute */
       *value = val;
       __atomic_store_n(&s->ref, 1, __ATOMIC_RELAXED);
       return 1;
@@ -179,9 +321,12 @@ static int purec_memo_lookup(purec_memo_word key, purec_memo_word* value) {
   return 0;
 }
 
-static int purec_memo_claim(purec_memo_slot* s, purec_memo_word key,
-                            purec_memo_word value) {
+static int purec_memo_claim(purec_memo_shard* sh, purec_memo_word idx,
+                            purec_memo_word key, purec_memo_word value,
+                            const purec_memo_word* kw, unsigned kn) {
+  purec_memo_slot* s = &sh->slots[idx];
   purec_memo_word s1 = __atomic_load_n(&s->seq, __ATOMIC_RELAXED);
+  unsigned w;
   if (s1 & 1u) return 0;
   if (!__atomic_compare_exchange_n(&s->seq, &s1, s1 + 1, 0,
                                    __ATOMIC_ACQUIRE, __ATOMIC_RELAXED))
@@ -189,54 +334,89 @@ static int purec_memo_claim(purec_memo_slot* s, purec_memo_word key,
   __atomic_store_n(&s->tag, key, __ATOMIC_RELAXED);
   __atomic_store_n(&s->value, value, __ATOMIC_RELAXED);
   __atomic_store_n(&s->ref, 0, __ATOMIC_RELAXED);
+  if (purec_memo_verify) {
+    purec_memo_word* rec = sh->vwords + idx * (1u + PUREC_MEMO_VWORDS);
+    __atomic_store_n(&rec[0], (purec_memo_word)kn, __ATOMIC_RELAXED);
+    for (w = 0; w < kn; w++)
+      __atomic_store_n(&rec[1 + w], kw[w], __ATOMIC_RELAXED);
+  }
   __atomic_store_n(&s->seq, s1 + 2, __ATOMIC_RELEASE);
   return 1;
 }
 
 /* Returns 1 when the store displaced a live entry (an eviction), 0 for
  * fresh/duplicate/failed stores — the stats counters want the split. */
-static int purec_memo_store(purec_memo_word key, purec_memo_word value) {
+static int purec_memo_store(purec_memo_word key, const purec_memo_word* kw,
+                            unsigned kn, purec_memo_word value) {
   purec_memo_shard* sh;
-  unsigned i;
+  unsigned i, w;
   purec_memo_word old_tag;
   if (!purec_memo_ready) return 0;
+  if (purec_memo_verify && kn > PUREC_MEMO_VWORDS) return 0;
   sh = &purec_memo_shards[(key >> 40) & purec_memo_shard_mask];
   for (i = 0; i < purec_memo_probe; i++) {
-    purec_memo_slot* s = &sh->slots[(key + i) & sh->slot_mask];
+    purec_memo_word idx = (key + i) & sh->slot_mask;
+    purec_memo_slot* s = &sh->slots[idx];
     purec_memo_word tag = __atomic_load_n(&s->tag, __ATOMIC_RELAXED);
-    if (tag == key) return 0; /* pure: the resident value is identical */
-    if (tag == 0 && purec_memo_claim(s, key, value)) return 0;
+    if (tag == key) {
+      int same;
+      if (!purec_memo_verify) return 0; /* resident value is identical */
+      /* Under verify a resident fingerprint alias must be replaced or
+       * this key would miss forever; the unlocked compare only risks one
+       * redundant republish. */
+      {
+        const purec_memo_word* rec =
+            sh->vwords + idx * (1u + PUREC_MEMO_VWORDS);
+        same = __atomic_load_n(&rec[0], __ATOMIC_RELAXED) == kn;
+        for (w = 0; same && w < kn; w++)
+          same = __atomic_load_n(&rec[1 + w], __ATOMIC_RELAXED) == kw[w];
+      }
+      if (same) return 0;
+      if (purec_memo_claim(sh, idx, key, value, kw, kn)) return 1;
+      continue;
+    }
+    if (tag == 0 && purec_memo_claim(sh, idx, key, value, kw, kn)) return 0;
   }
   for (i = 0; i < purec_memo_probe; i++) {
-    purec_memo_slot* s = &sh->slots[(key + i) & sh->slot_mask];
+    purec_memo_word idx = (key + i) & sh->slot_mask;
+    purec_memo_slot* s = &sh->slots[idx];
     if (__atomic_exchange_n(&s->ref, 0, __ATOMIC_RELAXED) != 0) continue;
     old_tag = __atomic_load_n(&s->tag, __ATOMIC_RELAXED);
-    if (purec_memo_claim(s, key, value))
+    if (purec_memo_claim(sh, idx, key, value, kw, kn))
       return old_tag != 0 && old_tag != key;
   }
   {
-    purec_memo_slot* s = &sh->slots[key & sh->slot_mask];
+    purec_memo_word idx = key & sh->slot_mask;
+    purec_memo_slot* s = &sh->slots[idx];
     old_tag = __atomic_load_n(&s->tag, __ATOMIC_RELAXED);
-    if (purec_memo_claim(s, key, value))
+    if (purec_memo_claim(sh, idx, key, value, kw, kn))
       return old_tag != 0 && old_tag != key;
   }
   return 0;
 }
 
-#define PUREC_MEMO_KEY_F32(k, x)                                       \
+#define PUREC_MEMO_KEY_F32(k, kw, n, x)                                \
   do {                                                                 \
     purec_memo_f32 purec_u;                                            \
     purec_u.v = (x);                                                   \
-    (k) = purec_memo_mix((k) ^ (purec_memo_word)purec_u.b);            \
+    (kw)[(n)] = (purec_memo_word)purec_u.b;                            \
+    (k) = purec_memo_mix((k) ^ (kw)[(n)]);                             \
+    (n)++;                                                             \
   } while (0)
-#define PUREC_MEMO_KEY_F64(k, x)                                       \
+#define PUREC_MEMO_KEY_F64(k, kw, n, x)                                \
   do {                                                                 \
     purec_memo_f64 purec_u;                                            \
     purec_u.v = (x);                                                   \
-    (k) = purec_memo_mix((k) ^ purec_u.b);                             \
+    (kw)[(n)] = purec_u.b;                                             \
+    (k) = purec_memo_mix((k) ^ (kw)[(n)]);                             \
+    (n)++;                                                             \
   } while (0)
-#define PUREC_MEMO_KEY_INT(k, x) \
-  ((k) = purec_memo_mix((k) ^ (purec_memo_word)(x)))
+#define PUREC_MEMO_KEY_INT(k, kw, n, x)                                \
+  do {                                                                 \
+    (kw)[(n)] = (purec_memo_word)(x);                                  \
+    (k) = purec_memo_mix((k) ^ (kw)[(n)]);                             \
+    (n)++;                                                             \
+  } while (0)
 #define PUREC_MEMO_PACK_F32(x) \
   ((purec_memo_word)((purec_memo_f32){(x)}).b)
 #define PUREC_MEMO_PACK_F64(x) ((purec_memo_f64){(x)}).b
@@ -301,18 +481,20 @@ __attribute__((constructor)) static void purec_memo_stats_shade_register(void) {
 static float purec_memo_shade(int purec_a0) {
   purec_memo_word purec_key = 0x6de592493a8ba3aaULL;
   purec_memo_word purec_word;
+  purec_memo_word purec_kw[2];
+  unsigned purec_kn = 0;
   float purec_result;
-  PUREC_MEMO_KEY_INT(purec_key, purec_a0);
-  PUREC_MEMO_KEY_F32(purec_key, gain);
+  PUREC_MEMO_KEY_INT(purec_key, purec_kw, purec_kn, purec_a0);
+  PUREC_MEMO_KEY_F32(purec_key, purec_kw, purec_kn, gain);
   purec_key = purec_memo_mix(purec_key);
   if (purec_key == 0) purec_key = 1;
-  if (purec_memo_lookup(purec_key, &purec_word)) {
+  if (purec_memo_lookup(purec_key, purec_kw, purec_kn, &purec_word)) {
     PUREC_MEMO_STAT_INC(&purec_memo_stats_shade.hits);
     return PUREC_MEMO_UNPACK_F32(purec_word);
   }
   PUREC_MEMO_STAT_INC(&purec_memo_stats_shade.misses);
   purec_result = shade(purec_a0);
-  if (purec_memo_store(purec_key, PUREC_MEMO_PACK_F32(purec_result)))
+  if (purec_memo_store(purec_key, purec_kw, purec_kn, PUREC_MEMO_PACK_F32(purec_result)))
     PUREC_MEMO_STAT_INC(&purec_memo_stats_shade.evictions);
   return purec_result;
 }

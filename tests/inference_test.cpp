@@ -478,8 +478,18 @@ TEST(ExternEffects, CtypeClassifiersAndAtoiFamilyAreReadOnly) {
     EXPECT_EQ(extern_effect(name)->kind, ExternEffectKind::ReadOnly)
         << name;
   }
-  // The strtol family stays unmodeled: endptr is an out-parameter write.
-  EXPECT_EQ(extern_effect("strtol"), nullptr);
+}
+
+TEST(ExternEffects, StrtolFamilyMemchrAndStrncatAreClassified) {
+  for (const char* name : {"strtol", "strtoul", "strtod", "strtof"}) {
+    ASSERT_NE(extern_effect(name), nullptr) << name;
+    EXPECT_EQ(extern_effect(name)->kind, ExternEffectKind::WritesArg1)
+        << name;
+  }
+  ASSERT_NE(extern_effect("memchr"), nullptr);
+  EXPECT_EQ(extern_effect("memchr")->kind, ExternEffectKind::ReadOnly);
+  ASSERT_NE(extern_effect("strncat"), nullptr);
+  EXPECT_EQ(extern_effect("strncat")->kind, ExternEffectKind::WritesArg0);
 }
 
 TEST(ExternEffects, TokenizerUsingCtypeAndAtoiInfersPure) {
@@ -631,6 +641,125 @@ TEST(ExternEffects, InferenceStillRejectsMemcpyThroughParams) {
   const FunctionPurity& p = purity_of(out, "blit");
   EXPECT_FALSE(p.pure);
   EXPECT_NE(p.reason.find("'memcpy'"), std::string::npos) << p.reason;
+}
+
+TEST(ExternEffects, StrtolWithNullEndptrStaysPure) {
+  // A null-constant endptr performs no write at all: the call is a plain
+  // read of its input string.
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "long f(char* s) {\n"
+      "  return strtol(s, 0, 10);\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.callees.count("strtol"), 0u)
+      << "modeled externs are resolved, not pessimized";
+  EXPECT_EQ(s.extern_calls.count("strtol"), 1u);
+}
+
+TEST(ExternEffects, StrtodIntoLocalEndptrStaysPure) {
+  // &local endptr: the out-parameter store lands in function-local
+  // storage, invisible to any other thread.
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "double f(char* s) {\n"
+      "  char* end;\n"
+      "  double v = strtod(s, &end);\n"
+      "  if (end == s) return 0.0;\n"
+      "  return v;\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.extern_calls.count("strtod"), 1u);
+}
+
+TEST(ExternEffects, StrtolThroughParamEndptrIsAnEffect) {
+  // A caller-supplied char** receives the end pointer: that store is
+  // visible outside the call.
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "long f(char* s, char** end) {\n"
+      "  return strtol(s, end, 10);\n"
+      "}\n",
+      "f");
+  EXPECT_FALSE(s.pure_locally);
+  EXPECT_TRUE(s.writes_unknown_pointer);
+  EXPECT_NE(s.impurity_reason.find("'strtol'"), std::string::npos)
+      << s.impurity_reason;
+  EXPECT_NE(s.impurity_reason.find("end pointer"), std::string::npos)
+      << s.impurity_reason;
+}
+
+TEST(ExternEffects, WriteThroughEndptrAfterStrtolIsAnEffect) {
+  // The callee-side store repoints the local into the input string, so a
+  // later write through it reaches caller memory even though `end`
+  // started out with local provenance.
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int f(char* s) {\n"
+      "  char buf[8];\n"
+      "  char* end = buf;\n"
+      "  strtol(s, &end, 10);\n"
+      "  *end = 0;\n"
+      "  return 0;\n"
+      "}\n",
+      "f");
+  EXPECT_FALSE(s.pure_locally) << "strtol repointed `end` at foreign memory";
+}
+
+TEST(ExternEffects, MemchrResolvedNotPessimized) {
+  EffectsOutcome out;
+  const EffectSummary s = effects_of(
+      out,
+      "int f(char* s, int n) {\n"
+      "  return memchr(s, 46, n) != 0;\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(s.pure_locally) << s.impurity_reason;
+  EXPECT_EQ(s.callees.count("memchr"), 0u)
+      << "modeled externs are resolved, not pessimized";
+  EXPECT_EQ(s.extern_calls.count("memchr"), 1u);
+}
+
+TEST(ExternEffects, StrncatFollowsTheWritesArg0Rule) {
+  EffectsOutcome out;
+  const EffectSummary local = effects_of(
+      out,
+      "int f(char* s) {\n"
+      "  char buf[16];\n"
+      "  buf[0] = 0;\n"
+      "  strncat(buf, s, 8);\n"
+      "  return buf[0];\n"
+      "}\n",
+      "f");
+  EXPECT_TRUE(local.pure_locally) << local.impurity_reason;
+  EffectsOutcome out2;
+  const EffectSummary foreign = effects_of(
+      out2,
+      "void f(char* d, char* s) {\n"
+      "  strncat(d, s, 8);\n"
+      "}\n",
+      "f");
+  EXPECT_FALSE(foreign.pure_locally);
+  EXPECT_NE(foreign.impurity_reason.find("'strncat'"), std::string::npos)
+      << foreign.impurity_reason;
+}
+
+TEST(ExternEffects, InferenceAcceptsStrtolWithLocalEndptr) {
+  const InferOutcome out = infer(
+      "long parse(char* s) {\n"
+      "  char* end;\n"
+      "  long v = strtol(s, &end, 10);\n"
+      "  if (end == s) return -1;\n"
+      "  return v;\n"
+      "}\n");
+  const FunctionPurity& p = purity_of(out, "parse");
+  EXPECT_TRUE(p.inferred) << p.reason;
 }
 
 TEST(Inference, InfersTheUnannotatedMatmulHelpers) {

@@ -4,10 +4,15 @@
 // and the chain wiring behind ChainOptions::memoize.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 #include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "memo/memo_codegen.h"
 #include "memo/memoizable.h"
@@ -211,6 +216,276 @@ TEST(MemoCache, ChecksumDeterministicWithAndWithoutCapPressure) {
 }
 
 // ---------------------------------------------------------------------------
+// MemoKey raw-word recording (the verify-mode tuple)
+// ---------------------------------------------------------------------------
+
+TEST(MemoKeyWords, RecordsTupleAlongsideTheFingerprint) {
+  MemoKey key(0x42);
+  key.add(7);
+  key.add_f64(1.5);
+  ASSERT_EQ(key.word_count(), 2u);
+  EXPECT_EQ(key.words()[0], 7u);
+  double back = 0.0;
+  static_assert(sizeof(back) == sizeof(key.words()[1]));
+  std::memcpy(&back, &key.words()[1], sizeof(back));
+  EXPECT_EQ(back, 1.5);
+}
+
+TEST(MemoKeyWords, OverflowingTupleKeepsTheHonestCount) {
+  // Past kMaxWords the storage saturates but the count keeps climbing —
+  // that count alone is what tells verify mode "too wide, bypass".
+  MemoKey key(1);
+  for (std::uint64_t i = 0; i < MemoKey::kMaxWords + 4; ++i) key.add(i);
+  EXPECT_EQ(key.word_count(), MemoKey::kMaxWords + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Full-key verification mode
+// ---------------------------------------------------------------------------
+
+TEST(MemoCacheVerify, FingerprintAliasDegradesToMissNeverWrongValue) {
+  MemoConfig config{4, 256};
+  config.verify = true;
+  MemoCache cache(config);
+  ASSERT_TRUE(cache.verifying());
+  // Two distinct tuples forced onto the same fingerprint — the aliasing
+  // event verify mode exists for.
+  const std::uint64_t fp = key_of(1);
+  const std::uint64_t tuple_a[] = {11, 12};
+  const std::uint64_t tuple_b[] = {21, 22};
+  cache.store(fp, tuple_a, 2, 100);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(cache.lookup(fp, tuple_a, 2, &out));
+  EXPECT_EQ(out, 100u);
+  // The alias must miss, not return tuple_a's value.
+  EXPECT_FALSE(cache.lookup(fp, tuple_b, 2, &out));
+  // Publishing the alias replaces the resident entry (otherwise tuple_b
+  // would miss forever); tuple_a then misses in turn.
+  cache.store(fp, tuple_b, 2, 200);
+  ASSERT_TRUE(cache.lookup(fp, tuple_b, 2, &out));
+  EXPECT_EQ(out, 200u);
+  EXPECT_FALSE(cache.lookup(fp, tuple_a, 2, &out));
+}
+
+TEST(MemoCacheVerify, WideTuplesBypassTheCache) {
+  MemoConfig config{4, 256};
+  config.verify = true;
+  MemoCache cache(config);
+  std::uint64_t wide[MemoCache::kVerifyWords + 1] = {};
+  const std::uint64_t fp = key_of(9);
+  cache.store(fp, wide, MemoCache::kVerifyWords + 1, 5);
+  std::uint64_t out = 0;
+  // An unverifiable tuple is never cached: permanent (counted) miss.
+  EXPECT_FALSE(
+      cache.lookup(fp, wide, MemoCache::kVerifyWords + 1, &out));
+  EXPECT_GE(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().stores, 0u);
+}
+
+TEST(MemoCacheVerify, VerifyOffIgnoresTheTuple) {
+  MemoCache cache(MemoConfig{4, 256});
+  ASSERT_FALSE(cache.verifying());
+  const std::uint64_t fp = key_of(3);
+  const std::uint64_t tuple_a[] = {1};
+  const std::uint64_t tuple_b[] = {2};
+  cache.store(fp, tuple_a, 1, 33);
+  std::uint64_t out = 0;
+  // Without verify the fingerprint is the whole key: tuple_b "hits".
+  ASSERT_TRUE(cache.lookup(fp, tuple_b, 1, &out));
+  EXPECT_EQ(out, 33u);
+}
+
+// ---------------------------------------------------------------------------
+// Process-shared persistence (PUREC_MEMO_PATH)
+// ---------------------------------------------------------------------------
+
+std::string shared_cache_path(const char* tag) {
+  return ::testing::TempDir() + "purec_memo_" + tag + "_" +
+         std::to_string(static_cast<long long>(getpid())) + ".cache";
+}
+
+TEST(MemoCacheShared, TwoAttachersShareOneFile) {
+  const std::string path = shared_cache_path("attach");
+  std::remove(path.c_str());
+  MemoConfig config{4, 256};
+  config.path = path;
+  {
+    MemoCache writer(config);
+    ASSERT_TRUE(writer.shared());
+    writer.store(key_of(1), 111);
+    MemoCache reader(config);
+    ASSERT_TRUE(reader.shared());
+    std::uint64_t out = 0;
+    ASSERT_TRUE(reader.lookup(key_of(1), &out))
+        << "second attacher must see the first attacher's stores";
+    EXPECT_EQ(out, 111u);
+    // Stats stay per-attacher even though the slots are shared.
+    EXPECT_EQ(writer.stats().hits, 0u);
+    EXPECT_EQ(reader.stats().hits, 1u);
+  }
+  // Persistence across detach/reattach (the restart case).
+  MemoCache revived(config);
+  ASSERT_TRUE(revived.shared());
+  std::uint64_t out = 0;
+  ASSERT_TRUE(revived.lookup(key_of(1), &out));
+  EXPECT_EQ(out, 111u);
+  std::remove(path.c_str());
+}
+
+TEST(MemoCacheShared, GeometryOrVerifyMismatchFallsBackToPrivate) {
+  const std::string path = shared_cache_path("mismatch");
+  std::remove(path.c_str());
+  MemoConfig config{4, 256};
+  config.path = path;
+  MemoCache owner(config);
+  ASSERT_TRUE(owner.shared());
+  // Different geometry: reject the file, serve privately, never corrupt.
+  MemoConfig other{8, 1024};
+  other.path = path;
+  MemoCache mismatched(other);
+  EXPECT_FALSE(mismatched.shared());
+  // Different verify flag (the slot sidecar changes the ABI): same.
+  MemoConfig verifying{4, 256};
+  verifying.path = path;
+  verifying.verify = true;
+  MemoCache incompatible(verifying);
+  EXPECT_FALSE(incompatible.shared());
+  // The private fallback still functions as a cache.
+  mismatched.store(key_of(5), 55);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(mismatched.lookup(key_of(5), &out));
+  EXPECT_EQ(out, 55u);
+  std::remove(path.c_str());
+}
+
+TEST(MemoCacheShared, CorruptHeaderFallsBackToPrivate) {
+  const std::string path = shared_cache_path("corrupt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  // Plausible size, garbage content: magic validation must reject it.
+  std::vector<char> garbage(4096, '\x5a');
+  std::fwrite(garbage.data(), 1, garbage.size(), f);
+  std::fclose(f);
+  MemoConfig config{4, 256};
+  config.path = path;
+  MemoCache cache(config);
+  EXPECT_FALSE(cache.shared());
+  cache.store(key_of(2), 22);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(cache.lookup(key_of(2), &out));
+  EXPECT_EQ(out, 22u);
+  std::remove(path.c_str());
+}
+
+TEST(MemoCacheShared, ForkedProcessesShareTrafficAndStayExact) {
+  // The fleet case the subsystem exists for: two child processes hammer
+  // one PUREC_MEMO_PATH file. Every hit in every process must return the
+  // value computed for that key (exit code carries the verdict), and the
+  // table the children leave behind must be fully resident for a fresh
+  // attacher.
+  const std::string path = shared_cache_path("fork");
+  std::remove(path.c_str());
+  MemoConfig config{4, 1024};
+  config.path = path;
+  constexpr std::uint64_t kKeys = 256;
+  constexpr int kRounds = 50;
+
+  pid_t children[2] = {};
+  for (int c = 0; c < 2; ++c) {
+    children[c] = fork();
+    ASSERT_GE(children[c], 0) << "fork failed";
+    if (children[c] == 0) {
+      // Child: attach, serve, verify every hit. _exit keeps gtest's
+      // output machinery out of the forked copy.
+      MemoCache cache(config);
+      if (!cache.shared()) _exit(3);
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::uint64_t i = 0; i < kKeys; ++i) {
+          const std::uint64_t k = key_of((i + static_cast<std::uint64_t>(
+                                                  c) *
+                                                  31) %
+                                         kKeys);
+          std::uint64_t out = 0;
+          if (cache.lookup(k, &out)) {
+            if (out != value_of(k)) _exit(4);
+          } else {
+            cache.store(k, value_of(k));
+          }
+        }
+      }
+      const rt::MemoStats stats = cache.stats();
+      // Per-process counters: this child alone saw kRounds x kKeys probes.
+      if (stats.hits + stats.misses !=
+          static_cast<std::uint64_t>(kRounds) * kKeys) {
+        _exit(5);
+      }
+      _exit(stats.hits > 0 ? 0 : 6);
+    }
+  }
+  for (const pid_t child : children) {
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0)
+        << "child verdict (3=attach 4=corrupt-hit 5=counters 6=no-hits)";
+  }
+  // A fresh attacher finds every key resident (1024 slots, 256 keys: no
+  // eviction), with the exact stored bits.
+  MemoCache after(config);
+  ASSERT_TRUE(after.shared());
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    std::uint64_t out = 0;
+    ASSERT_TRUE(after.lookup(key_of(i), &out)) << "key " << i;
+    EXPECT_EQ(out, value_of(key_of(i))) << "key " << i;
+  }
+  EXPECT_EQ(after.stats().hits, kKeys);
+  std::remove(path.c_str());
+}
+
+TEST(MemoCacheShared, ForkedVerifyModeStaysExact) {
+  // Same two-process hammer with full-key verification on: the vwords
+  // sidecar rides the same seqlock, so cross-process torn reads must
+  // still degrade to misses, never wrong values.
+  const std::string path = shared_cache_path("fork_verify");
+  std::remove(path.c_str());
+  MemoConfig config{4, 1024};
+  config.path = path;
+  config.verify = true;
+  constexpr std::uint64_t kKeys = 256;
+
+  pid_t children[2] = {};
+  for (int c = 0; c < 2; ++c) {
+    children[c] = fork();
+    ASSERT_GE(children[c], 0) << "fork failed";
+    if (children[c] == 0) {
+      MemoCache cache(config);
+      if (!cache.shared() || !cache.verifying()) _exit(3);
+      for (int round = 0; round < 50; ++round) {
+        for (std::uint64_t i = 0; i < kKeys; ++i) {
+          MemoKey mk(0x1234);
+          mk.add(i);
+          const std::uint64_t k = mk.hash();
+          std::uint64_t out = 0;
+          if (cache.lookup(k, mk.words(), mk.word_count(), &out)) {
+            if (out != value_of(k)) _exit(4);
+          } else {
+            cache.store(k, mk.words(), mk.word_count(), value_of(k));
+          }
+        }
+      }
+      _exit(cache.stats().hits > 0 ? 0 : 6);
+    }
+  }
+  for (const pid_t child : children) {
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Memoizability analysis
 // ---------------------------------------------------------------------------
 
@@ -224,7 +499,9 @@ struct ClassifyOutcome {
 /// Parses `src`, derives the pure set via the checker (plus `extra_pure`
 /// names assumed without verification), and classifies.
 ClassifyOutcome classify(const std::string& src,
-                         std::set<std::string> extra_pure = {}) {
+                         std::set<std::string> extra_pure = {},
+                         bool cost_gate = false,
+                         const MemoProfile* profile = nullptr) {
   ClassifyOutcome out;
   SourceBuffer buf = SourceBuffer::from_string(src);
   out.tu = std::make_unique<TranslationUnit>(parse(buf, out.diags));
@@ -237,7 +514,8 @@ ClassifyOutcome classify(const std::string& src,
   PurityChecker checker(*out.tu, *out.symbols, out.diags, options);
   const PurityResult purity = checker.check();
   out.result = classify_memoizable(*out.tu, *out.symbols,
-                                   purity.pure_functions, options);
+                                   purity.pure_functions, options,
+                                   cost_gate, profile);
   return out;
 }
 
@@ -353,6 +631,27 @@ TEST(Memoizable, LocaleSensitiveSnprintfRejected) {
       << info.reason;
 }
 
+TEST(Memoizable, LocaleSensitiveStrtodRejected) {
+  // The mirror hazard of snprintf: C11 lets other locales accept
+  // additional subject-sequence forms, so identical argument bytes can
+  // parse differently across setlocale calls. Pure (the &local endptr
+  // write is thread-invisible) but not cacheable.
+  const ClassifyOutcome out = classify(
+      "double parse(int digit) {\n"
+      "  char buf[2];\n"
+      "  char* end;\n"
+      "  buf[0] = 48 + digit;\n"
+      "  buf[1] = 0;\n"
+      "  return strtod(buf, &end);\n"
+      "}\n",
+      {"parse"});
+  const MemoFunctionInfo& info = info_of(out, "parse");
+  EXPECT_FALSE(info.memoizable);
+  EXPECT_NE(info.reason.find("locale-sensitive parsing"),
+            std::string::npos)
+      << info.reason;
+}
+
 TEST(Memoizable, StandardMathCalleesAreFine) {
   const ClassifyOutcome out = classify(
       "pure double wave(double x) { return sin(x) * cos(x); }\n");
@@ -383,6 +682,93 @@ TEST(Memoizable, SummaryNamesBothSides) {
 }
 
 // ---------------------------------------------------------------------------
+// Profile-informed cost gate (--memoize-profile)
+// ---------------------------------------------------------------------------
+
+constexpr const char* kProfileFixture =
+    "pure float heavy(float a, float b) {\n"
+    "  float acc = a * b + a;\n"
+    "  acc = acc * acc + b * b;\n"
+    "  acc = acc * 0.5f + a * b;\n"
+    "  return acc * acc + 1.0f;\n"
+    "}\n"
+    "pure float cold(float a, float b) {\n"
+    "  float acc = a * b + a;\n"
+    "  acc = acc * acc + b * b;\n"
+    "  return acc;\n"
+    "}\n"
+    "pure float unseen(float a) { return a * 2.0f; }\n";
+
+TEST(MemoProfile, ParseSumsFleetDumps) {
+  // One PUREC_MEMO_STATS dump per process in a fleet: entries for the
+  // same thunk sum; anything that is not a stats line is ignored.
+  const MemoProfile profile = parse_memo_profile(
+      "purec-memo[heavy] hits=10 misses=2 evictions=0\n"
+      "some unrelated program output\n"
+      "purec-memo[heavy] hits=5 misses=1 evictions=3\n"
+      "purec-memo[cold] hits=0 misses=7 evictions=0\n"
+      "purec-memo[broken] hits=oops\n");
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_EQ(profile.at("heavy").hits, 15u);
+  EXPECT_EQ(profile.at("heavy").misses, 3u);
+  EXPECT_EQ(profile.at("heavy").evictions, 3u);
+  EXPECT_EQ(profile.at("cold").misses, 7u);
+}
+
+TEST(Memoizable, ProfileGateKeepsDemonstratedReuseOnly) {
+  MemoProfile profile;
+  profile["heavy"] = {900, 100, 0};  // reuse 9x: survives
+  profile["cold"] = {0, 500, 0};     // traffic but zero reuse: rejected
+  // "unseen" absent: the thunk was never exercised.
+  const ClassifyOutcome out =
+      classify(kProfileFixture, {}, /*cost_gate=*/true, &profile);
+
+  const MemoFunctionInfo& heavy = info_of(out, "heavy");
+  EXPECT_TRUE(heavy.memoizable) << heavy.reason;
+  EXPECT_TRUE(heavy.profiled);
+  EXPECT_EQ(heavy.profile_hits, 900u);
+  EXPECT_GT(heavy.cost_nodes, 0u);
+  EXPECT_GE(heavy.profile_score, kMemoProfileScoreMin);
+
+  const MemoFunctionInfo& cold = info_of(out, "cold");
+  EXPECT_FALSE(cold.memoizable);
+  EXPECT_NE(cold.reason.find("profile shows no reuse"), std::string::npos)
+      << cold.reason;
+
+  const MemoFunctionInfo& unseen = info_of(out, "unseen");
+  EXPECT_FALSE(unseen.memoizable);
+  EXPECT_NE(unseen.reason.find("no observed traffic"), std::string::npos)
+      << unseen.reason;
+}
+
+TEST(Memoizable, ProfileScoreBelowGateRejectsThinReuse) {
+  MemoProfile profile;
+  profile["heavy"] = {1, 1000, 0};  // reuse 0.001x: score under the gate
+  const ClassifyOutcome out =
+      classify(kProfileFixture, {}, /*cost_gate=*/true, &profile);
+  const MemoFunctionInfo& heavy = info_of(out, "heavy");
+  EXPECT_FALSE(heavy.memoizable);
+  EXPECT_NE(heavy.reason.find("profile score"), std::string::npos)
+      << heavy.reason;
+}
+
+TEST(Memoizable, MemoizeAllKeepsProfileAnnotationsWithoutRejecting) {
+  // --memoize=all (cost_gate off) still records the profile verdicts —
+  // the report shows the scores — but nothing is rejected by them.
+  MemoProfile profile;
+  profile["cold"] = {0, 500, 0};
+  const ClassifyOutcome out =
+      classify(kProfileFixture, {}, /*cost_gate=*/false, &profile);
+  const MemoFunctionInfo& cold = info_of(out, "cold");
+  EXPECT_TRUE(cold.memoizable) << cold.reason;
+  EXPECT_TRUE(cold.profiled);
+  EXPECT_EQ(cold.profile_hits, 0u);
+  const MemoFunctionInfo& unseen = info_of(out, "unseen");
+  EXPECT_TRUE(unseen.memoizable) << unseen.reason;
+  EXPECT_FALSE(unseen.profiled);
+}
+
+// ---------------------------------------------------------------------------
 // Thunk codegen
 // ---------------------------------------------------------------------------
 
@@ -396,8 +782,10 @@ TEST(MemoCodegen, ThunkPrototypeShape) {
             "static float purec_memo_mult(float purec_a0, "
             "float purec_a1);\n");
   const std::string def = memo_thunk_definition(info);
-  EXPECT_NE(def.find("PUREC_MEMO_KEY_F32(purec_key, purec_a0);"),
-            std::string::npos)
+  EXPECT_NE(
+      def.find("PUREC_MEMO_KEY_F32(purec_key, purec_kw, purec_kn, "
+               "purec_a0);"),
+      std::string::npos)
       << def;
   EXPECT_NE(def.find("purec_result = mult(purec_a0, purec_a1);"),
             std::string::npos)
@@ -417,10 +805,13 @@ TEST(MemoCodegen, IntegerAndDoubleKeyLines) {
   info.global_snapshot.emplace_back(
       "g", Type::make_builtin(BuiltinKind::Double));
   const std::string def = memo_thunk_definition(info);
-  EXPECT_NE(def.find("PUREC_MEMO_KEY_INT(purec_key, purec_a0);"),
-            std::string::npos)
+  EXPECT_NE(
+      def.find("PUREC_MEMO_KEY_INT(purec_key, purec_kw, purec_kn, "
+               "purec_a0);"),
+      std::string::npos)
       << def;
-  EXPECT_NE(def.find("PUREC_MEMO_KEY_F64(purec_key, g);"),
+  EXPECT_NE(def.find("PUREC_MEMO_KEY_F64(purec_key, purec_kw, purec_kn, "
+                     "g);"),
             std::string::npos)
       << def;
   EXPECT_NE(def.find("PUREC_MEMO_UNPACK_F64"), std::string::npos) << def;

@@ -188,7 +188,7 @@ TEST_F(PureccCliTest, ReportJsonGoesToStderrOrFile) {
   const RunResult r =
       run_purecc("--report=json -o /dev/null " + shell_quote(input_path_));
   ASSERT_EQ(r.exit_code, 0) << r.output;
-  EXPECT_NE(r.output.find("\"report_version\": 3"), std::string::npos)
+  EXPECT_NE(r.output.find("\"report_version\": 4"), std::string::npos)
       << r.output;
   EXPECT_NE(r.output.find("\"purity\""), std::string::npos) << r.output;
 
@@ -332,6 +332,56 @@ TEST_F(PureccCliTest, MemoizeAllRewritesCallSitesAndReports) {
   const RunResult plain = run_purecc(shell_quote(input_path_));
   ASSERT_EQ(plain.exit_code, 0) << plain.output;
   EXPECT_EQ(plain.output.find("purec_memo"), std::string::npos);
+}
+
+TEST_F(PureccCliTest, MemoizeVerifyCompilesTheFullKeyDefaultIn) {
+  // --memoize=verify flips the compiled-in verification default in the
+  // emitted prelude and is echoed in the report options.
+  const RunResult r = run_purecc(
+      "--memoize=all --memoize=verify --report=json " +
+      shell_quote(input_path_));
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("#define PUREC_MEMO_VERIFY_DEFAULT 1"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"memoize_verify\": true"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(PureccCliTest, MemoizeProfileGatesOnObservedTraffic) {
+  // A PUREC_MEMO_STATS dump fed back via --memoize-profile supersedes
+  // the shape-based cost gate: demonstrated reuse keeps the thunk, a
+  // traffic-free profile rejects it with the measured counts.
+  const std::string hot_path = ::testing::TempDir() + "/purecc_cli_hot.prof";
+  {
+    std::ofstream out(hot_path);
+    out << "purec-memo[twice] hits=900 misses=10 evictions=0\n";
+  }
+  const RunResult hot = run_purecc("--memoize-profile=" +
+                                   shell_quote(hot_path) +
+                                   " --report=json " +
+                                   shell_quote(input_path_));
+  ASSERT_EQ(hot.exit_code, 0) << hot.output;
+  EXPECT_NE(hot.output.find("purec_memo_twice("), std::string::npos)
+      << "demonstrated reuse must keep the thunk:\n"
+      << hot.output;
+  EXPECT_NE(hot.output.find("\"memoize_profile\": true"), std::string::npos)
+      << hot.output;
+
+  const std::string cold_path =
+      ::testing::TempDir() + "/purecc_cli_cold.prof";
+  {
+    std::ofstream out(cold_path);
+    out << "purec-memo[twice] hits=0 misses=500 evictions=0\n";
+  }
+  const RunResult cold = run_purecc("--memoize-profile=" +
+                                    shell_quote(cold_path) + " --report " +
+                                    shell_quote(input_path_));
+  ASSERT_EQ(cold.exit_code, 0) << cold.output;
+  EXPECT_NE(cold.output.find("profile shows no reuse"), std::string::npos)
+      << cold.output;
+  EXPECT_NE(cold.output.find("memoized 0 call site(s)"), std::string::npos)
+      << cold.output;
 }
 
 TEST_F(PureccCliTest, FpReductionsGatesTheFloatAccumulation) {

@@ -498,6 +498,54 @@ TEST(Purity, PureFunctionMayCallCtypeAndAtoi) {
   EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
 }
 
+TEST(Purity, PureFunctionMayCallStrtolWithNullEndptr) {
+  // strtol is modeled WritesArg1: with a null endptr there is no write
+  // at all, so the declared-pure body verifies.
+  auto out = check(
+      "pure long parse(pure char* s) {\n"
+      "  return strtol(s, 0, 10);\n"
+      "}\n");
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
+}
+
+TEST(Purity, PureFunctionMayCallStrtodIntoLocalEndptr) {
+  // &local endptr: the out-parameter store lands in function-local
+  // storage — same provenance standard inference applies, so annotated
+  // and keyword-free twins agree.
+  auto out = check(
+      "pure double parse(pure char* s) {\n"
+      "  char* end;\n"
+      "  double v = strtod(s, &end);\n"
+      "  if (end == s) return 0.0;\n"
+      "  return v;\n"
+      "}\n");
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
+}
+
+TEST(Purity, PureFunctionMayNotLeakTheEndPointer) {
+  // A caller-supplied char** receives the end pointer: that store is
+  // observable outside the call, so the verifier rejects it.
+  auto out = check(
+      "pure long parse(pure char* s, pure char** end) {\n"
+      "  return strtol(s, end, 10);\n"
+      "}\n");
+  EXPECT_TRUE(out.diags.has_error_containing("strtol"))
+      << out.diags.format();
+  EXPECT_TRUE(out.diags.has_error_containing("end pointer"))
+      << out.diags.format();
+}
+
+TEST(Purity, PureFunctionMayCallMemchrAndStrncatIntoLocals) {
+  auto out = check(
+      "pure int scan(pure char* s, int n) {\n"
+      "  char buf[16];\n"
+      "  buf[0] = 0;\n"
+      "  strncat(buf, s, 8);\n"
+      "  return memchr(buf, 46, n) != 0;\n"
+      "}\n");
+  EXPECT_FALSE(out.diags.has_errors()) << out.diags.format();
+}
+
 TEST(Purity, PureFunctionMayNotStrcpyIntoParameter) {
   // strcpy/strncpy/strcat are WritesArg0: through a parameter the write
   // reaches caller memory, so the verifier rejects it with the same

@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <string>
 
+#include <unistd.h>
+
 #include "runtime/memo_cache.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
@@ -116,6 +118,29 @@ TEST(RuntimeStats, MemoCacheTrafficMirrorsIntoTheGlobalCounters) {
   EXPECT_EQ(read(stats::counters().memo_misses), 1u);
   EXPECT_EQ(read(stats::counters().memo_stores), 1u);
   EXPECT_EQ(read(stats::counters().memo_evictions), 0u);
+}
+
+TEST(RuntimeStats, SharedMemoCacheTrafficTicksTheSameCounters) {
+  // A PUREC_MEMO_PATH-backed cache routes probes through the identical
+  // instrumented wrapper: global counters and the memo-probe latency
+  // histogram fill exactly as for a private table.
+  stats::reset();
+  const std::string path = ::testing::TempDir() + "purec_stats_memo_" +
+                           std::to_string(::getpid()) + ".cache";
+  std::remove(path.c_str());
+  MemoConfig config{4, 256};
+  config.path = path;
+  MemoCache cache(config);
+  ASSERT_TRUE(cache.shared());
+  std::uint64_t value = 0;
+  EXPECT_FALSE(cache.lookup(42, &value));
+  cache.store(42, 7);
+  EXPECT_TRUE(cache.lookup(42, &value));
+  EXPECT_EQ(read(stats::counters().memo_hits), 1u);
+  EXPECT_EQ(read(stats::counters().memo_misses), 1u);
+  EXPECT_EQ(read(stats::counters().memo_stores), 1u);
+  EXPECT_EQ(stats::snapshot_memo_hist().count, 2u);  // one per probe
+  std::remove(path.c_str());
 }
 
 TEST(RuntimeStats, DumpWritesTheHumanSummary) {

@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <string>
 
+#include <unistd.h>
+
 #include "runtime/memo_cache.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
@@ -221,6 +223,32 @@ TEST(RuntimeTrace, MemoProbesStreamHitAndMissEvents) {
   std::fclose(tmp);
   EXPECT_NE(text.find("\"memo_hit\""), std::string::npos) << text;
   EXPECT_NE(text.find("\"memo_miss\""), std::string::npos) << text;
+}
+
+TEST(RuntimeTrace, SharedMemoCacheStreamsTheSameEvents) {
+  // Probes against a PUREC_MEMO_PATH mapping go through the identical
+  // trace hook: hit/miss events stream whether the slots are private or
+  // a shared file.
+  ScopedTracePath scratch("runtime_trace_memo_shared.json");
+  const std::string path = ::testing::TempDir() + "purec_trace_memo_" +
+                           std::to_string(::getpid()) + ".cache";
+  std::remove(path.c_str());
+  MemoConfig config{4, 256};
+  config.path = path;
+  MemoCache cache(config);
+  ASSERT_TRUE(cache.shared());
+  std::uint64_t value = 0;
+  EXPECT_FALSE(cache.lookup(42, &value));
+  cache.store(42, 7);
+  EXPECT_TRUE(cache.lookup(42, &value));
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  trace::write_events(tmp);
+  const std::string text = slurp(tmp);
+  std::fclose(tmp);
+  EXPECT_NE(text.find("\"memo_hit\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"memo_miss\""), std::string::npos) << text;
+  std::remove(path.c_str());
 }
 
 TEST(RuntimeTrace, ResetDropsRecordedEvents) {
